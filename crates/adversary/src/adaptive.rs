@@ -1,0 +1,169 @@
+//! Adaptive, output-aware adversaries.
+//!
+//! The paper distinguishes adversary strengths: the coloring analysis holds
+//! even against an *adaptive offline* adversary (which knows all random bits
+//! in advance), whereas the DMis analysis requires a *2-oblivious* adversary
+//! (Lemma 5.2's remark). We cannot implement a genuinely offline adversary
+//! against fresh per-round randomness, but we can implement the strongest
+//! adversary realizable in the simulation loop: one that inspects the outputs
+//! published at the end of the previous round and rewires the graph to create
+//! as much trouble as possible — inserting edges between nodes whose current
+//! outputs conflict (same color / both in the MIS) and cutting edges that the
+//! algorithm appears to rely on.
+
+use crate::traits::OutputAdversary;
+use dynnet_graph::{Edge, Graph, NodeId};
+use dynnet_runtime::rng::experiment_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// An adversary that inserts edges between pairs of nodes whose *published*
+/// outputs conflict according to a user-supplied predicate, and additionally
+/// applies background churn on a footprint graph.
+pub struct ConflictSeekingAdversary<O, C> {
+    footprint: Graph,
+    conflict: C,
+    /// Maximum number of conflict edges inserted per round.
+    max_insertions: usize,
+    /// Per-round flip probability of footprint edges (background churn).
+    background_churn: f64,
+    /// Rounds after which an injected conflict edge is removed again (so the
+    /// graph does not converge to a clique of conflicting nodes).
+    injected_lifetime: u64,
+    injected: Vec<(Edge, u64)>,
+    rng: ChaCha8Rng,
+    _marker: std::marker::PhantomData<fn(&O)>,
+}
+
+impl<O, C> ConflictSeekingAdversary<O, C>
+where
+    C: Fn(&O, &O) -> bool + Send,
+{
+    /// Creates a conflict-seeking adversary.
+    pub fn new(
+        footprint: Graph,
+        conflict: C,
+        max_insertions: usize,
+        background_churn: f64,
+        injected_lifetime: u64,
+        seed: u64,
+    ) -> Self {
+        ConflictSeekingAdversary {
+            footprint,
+            conflict,
+            max_insertions,
+            background_churn,
+            injected_lifetime: injected_lifetime.max(1),
+            injected: Vec::new(),
+            rng: experiment_rng(seed, "conflict-seeking"),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of conflict edges injected so far (for analysis).
+    pub fn total_injected(&self) -> usize {
+        self.injected.len()
+    }
+}
+
+impl<O, C> OutputAdversary<O> for ConflictSeekingAdversary<O, C>
+where
+    O: Sync,
+    C: Fn(&O, &O) -> bool + Send,
+{
+    fn initial_graph(&mut self) -> Graph {
+        self.footprint.clone()
+    }
+
+    fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph {
+        let n = self.footprint.num_nodes();
+        let mut g = prev.clone();
+
+        // Background churn on footprint edges.
+        for e in self.footprint.edge_vec() {
+            if self.background_churn > 0.0 && self.rng.gen_bool(self.background_churn) {
+                g.toggle_edge(e.u, e.v);
+            }
+        }
+
+        // Remove expired injected edges.
+        for (e, inserted_at) in &self.injected {
+            if round.saturating_sub(*inserted_at) >= self.injected_lifetime {
+                g.remove_edge(e.u, e.v);
+            }
+        }
+        self.injected
+            .retain(|(_, inserted_at)| round.saturating_sub(*inserted_at) < self.injected_lifetime);
+
+        // Insert edges between conflicting pairs. Scan a random sample of
+        // node pairs to keep the adversary cheap on large graphs.
+        let mut candidates: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        candidates.shuffle(&mut self.rng);
+        let sample = &candidates[..candidates.len().min(200)];
+        let mut inserted = 0;
+        'outer: for (i, &u) in sample.iter().enumerate() {
+            for &v in &sample[i + 1..] {
+                if inserted >= self.max_insertions {
+                    break 'outer;
+                }
+                if g.has_edge(u, v) {
+                    continue;
+                }
+                if let (Some(ou), Some(ov)) = (&outputs[u.index()], &outputs[v.index()]) {
+                    if (self.conflict)(ou, ov) {
+                        g.insert_edge(u, v);
+                        self.injected.push((Edge::new(u, v), round));
+                        inserted += 1;
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::generators;
+
+    #[test]
+    fn inserts_edges_between_equal_outputs() {
+        let footprint = generators::path(10);
+        let mut adv: ConflictSeekingAdversary<u32, _> =
+            ConflictSeekingAdversary::new(footprint, |a: &u32, b: &u32| a == b, 5, 0.0, 3, 1);
+        let g0 = OutputAdversary::<u32>::initial_graph(&mut adv);
+        // All nodes output the same value -> plenty of conflicts to attack.
+        let outputs: Vec<Option<u32>> = vec![Some(7); 10];
+        let g1 = adv.next_graph(1, &g0, &outputs);
+        assert!(g1.num_edges() > g0.num_edges());
+        assert!(adv.total_injected() > 0);
+    }
+
+    #[test]
+    fn no_conflicts_means_no_insertions() {
+        let footprint = generators::path(6);
+        let mut adv: ConflictSeekingAdversary<u32, _> =
+            ConflictSeekingAdversary::new(footprint, |a: &u32, b: &u32| a == b, 5, 0.0, 3, 2);
+        let g0 = OutputAdversary::<u32>::initial_graph(&mut adv);
+        let outputs: Vec<Option<u32>> = (0..6).map(|i| Some(i as u32)).collect();
+        let g1 = adv.next_graph(1, &g0, &outputs);
+        assert_eq!(g1.num_edges(), g0.num_edges());
+    }
+
+    #[test]
+    fn injected_edges_expire() {
+        let footprint = Graph::new(4);
+        let mut adv: ConflictSeekingAdversary<u32, _> =
+            ConflictSeekingAdversary::new(footprint, |a: &u32, b: &u32| a == b, 10, 0.0, 2, 3);
+        let g0 = OutputAdversary::<u32>::initial_graph(&mut adv);
+        let conflicting: Vec<Option<u32>> = vec![Some(1); 4];
+        let clean: Vec<Option<u32>> = (0..4).map(|i| Some(i as u32)).collect();
+        let g1 = adv.next_graph(1, &g0, &conflicting);
+        assert!(g1.num_edges() > 0);
+        let g2 = adv.next_graph(2, &g1, &clean);
+        let g3 = adv.next_graph(3, &g2, &clean);
+        assert_eq!(g3.num_edges(), 0, "injected edges removed after their lifetime");
+    }
+}

@@ -1,0 +1,324 @@
+//! Edge-churn adversaries: per-edge Markov on/off dynamics, uniform edge
+//! flips over a footprint graph, fixed-rate random insert/remove, and
+//! periodic conflict-injection bursts.
+//!
+//! These model the "highly dynamic" regime of the paper: changes can occur in
+//! *every* round, so algorithms can never rely on a quiet recovery period.
+
+use crate::traits::Adversary;
+use dynnet_graph::{Edge, Graph, NodeId};
+use dynnet_runtime::rng::experiment_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-edge two-state Markov chain over the edges of a *footprint* graph:
+/// a present edge disappears with probability `p_off`, an absent footprint
+/// edge (re)appears with probability `p_on`. Edges outside the footprint
+/// never exist.
+///
+/// The stationary presence probability of a footprint edge is
+/// `p_on / (p_on + p_off)`.
+pub struct MarkovChurnAdversary {
+    footprint: Vec<Edge>,
+    n: usize,
+    p_on: f64,
+    p_off: f64,
+    start_from_footprint: bool,
+    rng: ChaCha8Rng,
+}
+
+impl MarkovChurnAdversary {
+    /// Creates the adversary over the edges of `footprint`.
+    ///
+    /// If `start_from_footprint` is true, round 0 contains all footprint
+    /// edges; otherwise round 0 starts from the stationary distribution.
+    pub fn new(footprint: &Graph, p_on: f64, p_off: f64, start_from_footprint: bool, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
+        MarkovChurnAdversary {
+            footprint: footprint.edge_vec(),
+            n: footprint.num_nodes(),
+            p_on,
+            p_off,
+            start_from_footprint,
+            rng: experiment_rng(seed, "markov-churn"),
+        }
+    }
+}
+
+impl Adversary for MarkovChurnAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        let mut g = Graph::new(self.n);
+        let stationary = if self.p_on + self.p_off > 0.0 {
+            self.p_on / (self.p_on + self.p_off)
+        } else {
+            1.0
+        };
+        for e in &self.footprint {
+            if self.start_from_footprint || self.rng.gen_bool(stationary) {
+                g.insert_edge(e.u, e.v);
+            }
+        }
+        g
+    }
+
+    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
+        let mut g = Graph::new(self.n);
+        for e in &self.footprint {
+            let present = prev.has_edge(e.u, e.v);
+            let keep = if present {
+                !self.rng.gen_bool(self.p_off)
+            } else {
+                self.rng.gen_bool(self.p_on)
+            };
+            if keep {
+                g.insert_edge(e.u, e.v);
+            }
+        }
+        g
+    }
+}
+
+/// Every round, every footprint edge flips its presence independently with
+/// probability `p` — a memoryless "churn rate p" adversary.
+pub struct FlipChurnAdversary {
+    footprint: Vec<Edge>,
+    n: usize,
+    p: f64,
+    rng: ChaCha8Rng,
+}
+
+impl FlipChurnAdversary {
+    /// All footprint edges are present in round 0; afterwards each flips
+    /// independently with probability `p` per round.
+    pub fn new(footprint: &Graph, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        FlipChurnAdversary {
+            footprint: footprint.edge_vec(),
+            n: footprint.num_nodes(),
+            p,
+            rng: experiment_rng(seed, "flip-churn"),
+        }
+    }
+}
+
+impl Adversary for FlipChurnAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        Graph::from_edges(self.n, self.footprint.iter().copied())
+    }
+
+    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
+        let mut g = prev.clone();
+        for e in &self.footprint {
+            if self.rng.gen_bool(self.p) {
+                g.toggle_edge(e.u, e.v);
+            }
+        }
+        g
+    }
+}
+
+/// Every round removes up to `removals` random existing edges and inserts up
+/// to `insertions` random new edges between arbitrary node pairs — a
+/// fixed-rate topology churn independent of any footprint.
+pub struct RateChurnAdversary {
+    initial: Graph,
+    insertions: usize,
+    removals: usize,
+    rng: ChaCha8Rng,
+}
+
+impl RateChurnAdversary {
+    /// Starts from `initial` and applies the fixed per-round change rate.
+    pub fn new(initial: Graph, insertions: usize, removals: usize, seed: u64) -> Self {
+        RateChurnAdversary {
+            initial,
+            insertions,
+            removals,
+            rng: experiment_rng(seed, "rate-churn"),
+        }
+    }
+}
+
+impl Adversary for RateChurnAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.initial.clone()
+    }
+
+    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
+        let mut g = prev.clone();
+        let n = g.num_nodes();
+        let edges = g.edge_vec();
+        for e in edges.choose_multiple(&mut self.rng, self.removals.min(edges.len())) {
+            g.remove_edge(e.u, e.v);
+        }
+        let mut inserted = 0;
+        let mut attempts = 0;
+        while inserted < self.insertions && attempts < 20 * self.insertions.max(1) {
+            let a = self.rng.gen_range(0..n);
+            let b = self.rng.gen_range(0..n);
+            if a != b && !g.has_edge(NodeId::new(a), NodeId::new(b)) {
+                g.insert_edge(NodeId::new(a), NodeId::new(b));
+                inserted += 1;
+            }
+            attempts += 1;
+        }
+        g
+    }
+}
+
+/// Keeps a base graph fixed but, every `period` rounds, inserts a burst of
+/// `burst_size` random *new* edges which persist for `duration` rounds and
+/// are then removed again. This is the "conflict injection" workload used to
+/// measure how fast a newly inserted edge's conflict is resolved
+/// (Corollary 1.2's headline guarantee).
+pub struct BurstAdversary {
+    base: Graph,
+    period: u64,
+    duration: u64,
+    burst_size: usize,
+    rng: ChaCha8Rng,
+    /// Currently injected edges with their expiry round.
+    live: Vec<(Edge, u64)>,
+    /// All edges ever injected with their injection round (for analysis).
+    injected_log: Vec<(Edge, u64)>,
+}
+
+impl BurstAdversary {
+    /// Creates a burst adversary over `base`.
+    pub fn new(base: Graph, period: u64, duration: u64, burst_size: usize, seed: u64) -> Self {
+        assert!(period >= 1);
+        BurstAdversary {
+            base,
+            period,
+            duration,
+            burst_size,
+            rng: experiment_rng(seed, "burst"),
+            live: Vec::new(),
+            injected_log: Vec::new(),
+        }
+    }
+
+    /// The log of `(edge, round)` injections performed so far.
+    pub fn injected_log(&self) -> &[(Edge, u64)] {
+        &self.injected_log
+    }
+
+    fn compose(&self, round: u64) -> Graph {
+        let mut g = self.base.clone();
+        for (e, expiry) in &self.live {
+            if *expiry > round {
+                g.insert_edge(e.u, e.v);
+            }
+        }
+        g
+    }
+}
+
+impl Adversary for BurstAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.base.clone()
+    }
+
+    fn next_graph(&mut self, round: u64, _prev: &Graph) -> Graph {
+        self.live.retain(|(_, expiry)| *expiry > round);
+        if round % self.period == 0 {
+            let n = self.base.num_nodes();
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < self.burst_size && attempts < 50 * self.burst_size.max(1) {
+                let a = self.rng.gen_range(0..n);
+                let b = self.rng.gen_range(0..n);
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                if a != b && !self.base.has_edge(a, b) && !self.live.iter().any(|(e, _)| *e == Edge::new(a, b)) {
+                    self.live.push((Edge::new(a, b), round + self.duration));
+                    self.injected_log.push((Edge::new(a, b), round));
+                    added += 1;
+                }
+                attempts += 1;
+            }
+        }
+        self.compose(round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::generators;
+
+    #[test]
+    fn markov_stays_within_footprint() {
+        let footprint = generators::cycle(10);
+        let mut adv = MarkovChurnAdversary::new(&footprint, 0.3, 0.3, true, 1);
+        let mut g = adv.initial_graph();
+        assert_eq!(g.num_edges(), 10, "starts from the full footprint");
+        for r in 1..30 {
+            g = adv.next_graph(r, &g);
+            for e in g.edges() {
+                assert!(footprint.has_edge(e.u, e.v), "edge outside footprint");
+            }
+        }
+    }
+
+    #[test]
+    fn markov_extremes() {
+        let footprint = generators::complete(6);
+        let mut frozen = MarkovChurnAdversary::new(&footprint, 0.0, 0.0, true, 2);
+        let g0 = frozen.initial_graph();
+        let g1 = frozen.next_graph(1, &g0);
+        assert_eq!(g0.edge_vec(), g1.edge_vec(), "p_on = p_off = 0 freezes the graph");
+
+        let mut always_off = MarkovChurnAdversary::new(&footprint, 0.0, 1.0, true, 3);
+        let g0 = always_off.initial_graph();
+        let g1 = always_off.next_graph(1, &g0);
+        assert_eq!(g1.num_edges(), 0);
+    }
+
+    #[test]
+    fn flip_churn_zero_probability_is_static() {
+        let footprint = generators::grid(4, 4);
+        let mut adv = FlipChurnAdversary::new(&footprint, 0.0, 5);
+        let g0 = adv.initial_graph();
+        let g1 = adv.next_graph(1, &g0);
+        assert_eq!(g0.edge_vec(), g1.edge_vec());
+    }
+
+    #[test]
+    fn flip_churn_changes_some_edges() {
+        let footprint = generators::complete(10);
+        let mut adv = FlipChurnAdversary::new(&footprint, 0.2, 6);
+        let g0 = adv.initial_graph();
+        let g1 = adv.next_graph(1, &g0);
+        assert!(!g0.edge_symmetric_difference(&g1).is_empty());
+    }
+
+    #[test]
+    fn rate_churn_bounds_change_per_round() {
+        let mut adv = RateChurnAdversary::new(generators::cycle(20), 3, 2, 7);
+        let g0 = adv.initial_graph();
+        let g1 = adv.next_graph(1, &g0);
+        let diff = g0.edge_symmetric_difference(&g1).len();
+        assert!(diff <= 5, "at most insertions + removals changes, got {diff}");
+        assert!(diff > 0);
+    }
+
+    #[test]
+    fn bursts_inject_and_expire() {
+        let base = generators::path(12);
+        let mut adv = BurstAdversary::new(base.clone(), 5, 2, 3, 11);
+        let mut g = adv.initial_graph();
+        assert_eq!(g.num_edges(), base.num_edges());
+        // Round 5 is a burst round (multiples of period).
+        for r in 1..=5 {
+            g = adv.next_graph(r, &g);
+        }
+        assert!(g.num_edges() > base.num_edges(), "burst edges present");
+        assert!(!adv.injected_log().is_empty());
+        // Two rounds later the burst has expired (and round 10 not reached).
+        for r in 6..=8 {
+            g = adv.next_graph(r, &g);
+        }
+        assert_eq!(g.num_edges(), base.num_edges(), "burst edges expired");
+    }
+}

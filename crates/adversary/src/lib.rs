@@ -1,0 +1,42 @@
+//! # dynnet-adversary
+//!
+//! Dynamic-graph adversaries (workload generators) for the `dynnet`
+//! reproduction of *"Local Distributed Algorithms in Highly Dynamic
+//! Networks"*.
+//!
+//! The paper's dynamic graph is chosen by a worst-case adversary; this crate
+//! provides a spectrum of adversaries ranging from fully static to
+//! output-aware conflict seekers:
+//!
+//! * [`StaticAdversary`], [`ScriptedAdversary`], [`PhaseAdversary`] — static
+//!   graphs, recorded traces, and phase schedules.
+//! * [`MarkovChurnAdversary`], [`FlipChurnAdversary`], [`RateChurnAdversary`],
+//!   [`BurstAdversary`] — edge churn at configurable rates and periodic
+//!   conflict-injection bursts.
+//! * [`NodeChurnAdversary`], [`GrowthAdversary`] — nodes leaving/joining.
+//! * [`MobilityAdversary`] — random-waypoint wireless ad-hoc mobility.
+//! * [`LocallyStaticAdversary`] — keeps a protected region static while
+//!   churning the rest (the workload behind the locally-static guarantees).
+//! * [`ConflictSeekingAdversary`] — adaptive, output-aware attacks.
+//! * [`drive::run`] — couples a [`dynnet_runtime::Simulator`] with an
+//!   adversary and records the execution.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod churn;
+pub mod drive;
+pub mod locally_static;
+pub mod mobility;
+pub mod node_churn;
+pub mod simple;
+pub mod traits;
+
+pub use adaptive::ConflictSeekingAdversary;
+pub use churn::{BurstAdversary, FlipChurnAdversary, MarkovChurnAdversary, RateChurnAdversary};
+pub use drive::{run, ExecutionRecord};
+pub use locally_static::LocallyStaticAdversary;
+pub use mobility::{MobilityAdversary, MobilityConfig};
+pub use node_churn::{GrowthAdversary, NodeChurnAdversary};
+pub use simple::{PhaseAdversary, ScriptedAdversary, StaticAdversary};
+pub use traits::{Adversary, OutputAdversary};

@@ -1,0 +1,145 @@
+//! Locally-static adversary: keeps a protected region of the graph perfectly
+//! static while churning the rest.
+//!
+//! This is the workload for the "locally static ⇒ locally stable output"
+//! guarantees (Theorem 1.1 part 2, Corollaries 1.2/1.3): if the
+//! α-neighborhood of a node never changes during an interval, the combined
+//! algorithm's output at that node must stop changing after `T1 + T2` rounds.
+
+use crate::traits::Adversary;
+use dynnet_graph::{neighborhood, Edge, Graph, NodeId};
+use dynnet_runtime::rng::experiment_rng;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Churns footprint edges outside a protected node set while keeping every
+/// edge with both endpoints inside the protected *closure* exactly as in the
+/// base graph, and never adding new edges incident to the protected closure.
+///
+/// The protected closure is the `protect_radius`-neighborhood of the
+/// `protected` seed nodes in the base graph: protecting the closure at radius
+/// `α` guarantees the `α`-neighborhood of every seed node is static.
+pub struct LocallyStaticAdversary {
+    base: Graph,
+    /// Nodes whose α-neighborhood must stay static (the seeds).
+    protected_seeds: Vec<NodeId>,
+    /// The protected closure (seeds + radius).
+    closure: Vec<bool>,
+    /// Per-round flip probability for unprotected footprint edges.
+    churn: f64,
+    rng: ChaCha8Rng,
+}
+
+impl LocallyStaticAdversary {
+    /// Creates the adversary.
+    ///
+    /// * `base` — the footprint graph (round 0 graph).
+    /// * `protected_seeds` — nodes whose neighborhoods must stay static.
+    /// * `protect_radius` — the α for which the seeds' α-neighborhood is kept
+    ///   static (use α+1 to be safe against edges dangling off the boundary;
+    ///   the implementation protects all edges with *either* endpoint in the
+    ///   closure, which keeps the closure's adjacency — and hence the seeds'
+    ///   `protect_radius`-neighborhood — untouched).
+    /// * `churn` — per-round flip probability of unprotected footprint edges.
+    pub fn new(
+        base: Graph,
+        protected_seeds: Vec<NodeId>,
+        protect_radius: usize,
+        churn: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&churn));
+        let mut closure = vec![false; base.num_nodes()];
+        for &s in &protected_seeds {
+            for v in neighborhood::neighborhood(&base, s, protect_radius) {
+                closure[v.index()] = true;
+            }
+        }
+        LocallyStaticAdversary {
+            base,
+            protected_seeds,
+            closure,
+            churn,
+            rng: experiment_rng(seed, "locally-static"),
+        }
+    }
+
+    /// The protected seed nodes.
+    pub fn protected_seeds(&self) -> &[NodeId] {
+        &self.protected_seeds
+    }
+
+    /// Returns `true` if `v` belongs to the protected closure.
+    pub fn in_closure(&self, v: NodeId) -> bool {
+        self.closure[v.index()]
+    }
+
+    fn edge_protected(&self, e: Edge) -> bool {
+        self.closure[e.u.index()] || self.closure[e.v.index()]
+    }
+}
+
+impl Adversary for LocallyStaticAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.base.clone()
+    }
+
+    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
+        let mut g = prev.clone();
+        for e in self.base.edge_vec() {
+            if self.edge_protected(e) {
+                continue;
+            }
+            if self.rng.gen_bool(self.churn) {
+                g.toggle_edge(e.u, e.v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::generators;
+
+    #[test]
+    fn protected_neighborhood_never_changes() {
+        let base = generators::grid(8, 8);
+        let seed_node = NodeId::new(27); // an interior node
+        let mut adv = LocallyStaticAdversary::new(base.clone(), vec![seed_node], 2, 0.4, 13);
+        let mut g = adv.initial_graph();
+        let mut changed_outside = false;
+        for r in 1..40 {
+            let next = adv.next_graph(r, &g);
+            assert!(
+                neighborhood::same_local_view(&g, &next, seed_node, 2),
+                "2-neighborhood of the protected node changed in round {r}"
+            );
+            if !g.edge_symmetric_difference(&next).is_empty() {
+                changed_outside = true;
+            }
+            g = next;
+        }
+        assert!(changed_outside, "the unprotected part must actually churn");
+    }
+
+    #[test]
+    fn closure_membership() {
+        let base = generators::path(6);
+        let adv = LocallyStaticAdversary::new(base, vec![NodeId::new(0)], 1, 0.5, 1);
+        assert!(adv.in_closure(NodeId::new(0)));
+        assert!(adv.in_closure(NodeId::new(1)));
+        assert!(!adv.in_closure(NodeId::new(3)));
+        assert_eq!(adv.protected_seeds(), &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn zero_churn_is_fully_static() {
+        let base = generators::cycle(10);
+        let mut adv = LocallyStaticAdversary::new(base.clone(), vec![NodeId::new(0)], 1, 0.0, 2);
+        let g0 = adv.initial_graph();
+        let g1 = adv.next_graph(1, &g0);
+        assert_eq!(g0.edge_vec(), g1.edge_vec());
+    }
+}

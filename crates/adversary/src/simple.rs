@@ -1,0 +1,135 @@
+//! Simple adversaries: a static network, a scripted replay of a recorded
+//! trace, and a phase-schedule composite that switches between inner
+//! adversaries over time.
+
+use crate::traits::Adversary;
+use dynnet_graph::{DynamicGraphTrace, Graph};
+
+/// The degenerate "adversary" of a fully static network: the same graph in
+/// every round. Running the dynamic algorithms against it recovers the
+//  classic static guarantees.
+#[derive(Clone, Debug)]
+pub struct StaticAdversary {
+    graph: Graph,
+}
+
+impl StaticAdversary {
+    /// Uses `graph` in every round.
+    pub fn new(graph: Graph) -> Self {
+        StaticAdversary { graph }
+    }
+}
+
+impl Adversary for StaticAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.graph.clone()
+    }
+
+    fn next_graph(&mut self, _round: u64, _prev: &Graph) -> Graph {
+        self.graph.clone()
+    }
+}
+
+/// Replays a recorded [`DynamicGraphTrace`]; after the trace ends the last
+/// graph repeats forever.
+#[derive(Clone, Debug)]
+pub struct ScriptedAdversary {
+    trace: DynamicGraphTrace,
+}
+
+impl ScriptedAdversary {
+    /// Replays `trace` round by round.
+    pub fn new(trace: DynamicGraphTrace) -> Self {
+        ScriptedAdversary { trace }
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.trace.graph_at(0)
+    }
+
+    fn next_graph(&mut self, round: u64, _prev: &Graph) -> Graph {
+        let r = (round as usize).min(self.trace.num_rounds() - 1);
+        self.trace.graph_at(r)
+    }
+}
+
+/// Runs a sequence of inner adversaries, each for a fixed number of rounds.
+/// When a phase starts, its adversary continues from the previous phase's
+/// last graph (its own `initial_graph` is only used for the very first
+/// phase).
+pub struct PhaseAdversary {
+    phases: Vec<(u64, Box<dyn Adversary>)>,
+}
+
+impl PhaseAdversary {
+    /// `phases` is a list of `(duration_in_rounds, adversary)` pairs; the
+    /// last phase runs forever regardless of its stated duration.
+    pub fn new(phases: Vec<(u64, Box<dyn Adversary>)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        PhaseAdversary { phases }
+    }
+
+    fn phase_for(&mut self, round: u64) -> usize {
+        let mut acc = 0u64;
+        for (i, (dur, _)) in self.phases.iter().enumerate() {
+            acc = acc.saturating_add(*dur);
+            if round < acc || i == self.phases.len() - 1 {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+}
+
+impl Adversary for PhaseAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.phases[0].1.initial_graph()
+    }
+
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        let i = self.phase_for(round);
+        self.phases[i].1.next_graph(round, prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::{generators, Edge};
+
+    #[test]
+    fn static_adversary_never_changes() {
+        let g = generators::cycle(5);
+        let mut adv = StaticAdversary::new(g.clone());
+        let g0 = adv.initial_graph();
+        let g1 = adv.next_graph(1, &g0);
+        assert_eq!(g0.edge_vec(), g.edge_vec());
+        assert_eq!(g1.edge_vec(), g.edge_vec());
+    }
+
+    #[test]
+    fn scripted_replays_and_then_repeats() {
+        let g0 = Graph::from_edges(3, [Edge::of(0, 1)]);
+        let g1 = Graph::from_edges(3, [Edge::of(1, 2)]);
+        let mut trace = DynamicGraphTrace::new(g0.clone());
+        trace.push(&g1);
+        let mut adv = ScriptedAdversary::new(trace);
+        assert_eq!(adv.initial_graph().edge_vec(), g0.edge_vec());
+        assert_eq!(adv.next_graph(1, &g0).edge_vec(), g1.edge_vec());
+        assert_eq!(adv.next_graph(7, &g1).edge_vec(), g1.edge_vec(), "repeats last graph");
+    }
+
+    #[test]
+    fn phase_adversary_switches() {
+        let a = StaticAdversary::new(generators::path(4));
+        let b = StaticAdversary::new(generators::complete(4));
+        let mut adv = PhaseAdversary::new(vec![(2, Box::new(a)), (2, Box::new(b))]);
+        let g0 = adv.initial_graph();
+        assert_eq!(g0.num_edges(), 3);
+        assert_eq!(adv.next_graph(1, &g0).num_edges(), 3);
+        assert_eq!(adv.next_graph(2, &g0).num_edges(), 6);
+        assert_eq!(adv.next_graph(99, &g0).num_edges(), 6, "last phase runs forever");
+    }
+}

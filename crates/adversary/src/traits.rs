@@ -1,0 +1,73 @@
+//! Adversary traits.
+//!
+//! The paper's dynamic graph is "provided by a worst case adversary in a
+//! synchronous round-based model" (Section 2). An [`Adversary`] produces the
+//! communication graph of each round, possibly as a function of the previous
+//! graph. An [`OutputAdversary`] may additionally observe the outputs that
+//! the nodes published at the end of the *previous* round — this models the
+//! adaptive adversaries discussed in the paper (an adversary never sees the
+//! coin flips of the current round, so every adversary built from this trait
+//! is at least 1-oblivious; the oblivious adversaries ignore outputs
+//! entirely and are therefore also 2-oblivious as required by Lemma 5.2).
+
+use dynnet_graph::Graph;
+
+/// An output-oblivious adversary: produces `G_r` from the round number and
+/// the previous graph only.
+pub trait Adversary: Send {
+    /// The graph for round 0.
+    fn initial_graph(&mut self) -> Graph;
+
+    /// The graph for round `round ≥ 1`, given the previous round's graph.
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph;
+}
+
+/// An adversary that may additionally inspect the outputs published by the
+/// nodes at the end of the previous round (adaptive, but still oblivious to
+/// the current round's randomness).
+pub trait OutputAdversary<O>: Send {
+    /// The graph for round 0.
+    fn initial_graph(&mut self) -> Graph;
+
+    /// The graph for round `round ≥ 1`, given the previous graph and the
+    /// outputs published at the end of round `round - 1` (`None` for nodes
+    /// that have not woken up).
+    fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph;
+}
+
+/// Every output-oblivious adversary is trivially an output-aware adversary
+/// that ignores the outputs.
+impl<O, A: Adversary> OutputAdversary<O> for A {
+    fn initial_graph(&mut self) -> Graph {
+        Adversary::initial_graph(self)
+    }
+
+    fn next_graph(&mut self, round: u64, prev: &Graph, _outputs: &[Option<O>]) -> Graph {
+        Adversary::next_graph(self, round, prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::generators;
+
+    struct Freeze(Graph);
+
+    impl Adversary for Freeze {
+        fn initial_graph(&mut self) -> Graph {
+            self.0.clone()
+        }
+        fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
+            prev.clone()
+        }
+    }
+
+    #[test]
+    fn blanket_output_adversary_impl() {
+        let mut adv = Freeze(generators::cycle(4));
+        let g0 = <Freeze as OutputAdversary<u32>>::initial_graph(&mut adv);
+        let g1 = <Freeze as OutputAdversary<u32>>::next_graph(&mut adv, 1, &g0, &[None; 4]);
+        assert_eq!(g0.edge_vec(), g1.edge_vec());
+    }
+}

@@ -1,0 +1,50 @@
+//! Adversary (workload generator) benchmarks: per-round graph generation
+//! cost of the different adversaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+fn advance<A: Adversary>(adv: &mut A, rounds: usize) -> usize {
+    let mut g = adv.initial_graph();
+    for r in 1..rounds {
+        g = adv.next_graph(r as u64, &g);
+    }
+    g.num_edges()
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let rounds = 20;
+    for &n in &[1_000usize, 5_000] {
+        let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(10, "ba"));
+        group.bench_with_input(BenchmarkId::new("flip_churn_20_rounds", n), &n, |b, _| {
+            b.iter(|| advance(&mut FlipChurnAdversary::new(&footprint, 0.02, 1), rounds))
+        });
+        group.bench_with_input(BenchmarkId::new("markov_churn_20_rounds", n), &n, |b, _| {
+            b.iter(|| advance(&mut MarkovChurnAdversary::new(&footprint, 0.05, 0.05, true, 2), rounds))
+        });
+        group.bench_with_input(BenchmarkId::new("mobility_20_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = MobilityConfig {
+                    n,
+                    radius: 3.5 / (n as f64).sqrt(),
+                    min_speed: 0.005,
+                    max_speed: 0.02,
+                };
+                advance(&mut MobilityAdversary::new(config, 3), rounds)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("node_churn_20_rounds", n), &n, |b, _| {
+            b.iter(|| advance(&mut NodeChurnAdversary::new(footprint.clone(), 0.02, 0.1, 4), rounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

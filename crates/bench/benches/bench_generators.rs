@@ -1,0 +1,40 @@
+//! Graph-generator benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_d10", n), &n, |b, &n| {
+            b.iter(|| {
+                generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(3, "bgen"))
+                    .num_edges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("random_geometric", n), &n, |b, &n| {
+            let radius = 4.0 / (n as f64).sqrt();
+            b.iter(|| {
+                generators::random_geometric(n, radius, &mut experiment_rng(4, "bgen")).num_edges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("preferential_attachment_m3", n), &n, |b, &n| {
+            b.iter(|| {
+                generators::preferential_attachment(n, 3, &mut experiment_rng(5, "bgen")).num_edges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, &n| {
+            let side = (n as f64).sqrt() as usize;
+            b.iter(|| generators::grid(side, side).num_edges())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

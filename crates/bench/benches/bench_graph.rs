@@ -1,0 +1,46 @@
+//! Substrate benchmarks: core graph operations on the adjacency-set graph
+//! and on CSR snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000] {
+        let g = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(1, "bg"));
+        group.bench_with_input(BenchmarkId::new("csr_snapshot", n), &g, |b, g| {
+            b.iter(|| dynnet::graph::CsrGraph::from_graph(g))
+        });
+        group.bench_with_input(BenchmarkId::new("edge_iteration", n), &g, |b, g| {
+            b.iter(|| g.edges().count())
+        });
+        group.bench_with_input(BenchmarkId::new("degree_sum", n), &g, |b, g| {
+            b.iter(|| g.nodes().map(|v| g.degree(v)).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_coloring", n), &g, |b, g| {
+            b.iter(|| dynnet::graph::algo::greedy_coloring(g))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_mis", n), &g, |b, g| {
+            b.iter(|| dynnet::graph::algo::greedy_mis(g))
+        });
+        group.bench_with_input(BenchmarkId::new("clone_and_toggle_100_edges", n), &g, |b, g| {
+            let edges: Vec<Edge> = g.edges().take(100).collect();
+            b.iter(|| {
+                let mut h = g.clone();
+                for e in &edges {
+                    h.toggle_edge(e.u, e.v);
+                }
+                h.num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Per-round cost of the MIS algorithms (Luby, DMis, Ghaffari, SMis and the
+//! combined Corollary 1.3 algorithm) on a churning network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+const ROUNDS: usize = 10;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize] {
+        let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(7, "bm"));
+        let window = recommended_window(n);
+
+        group.bench_with_input(BenchmarkId::new("luby_static_20_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(n, LubyMis::new, AllAtStart, SimConfig::sequential(1));
+                sim.run_static(&footprint, ROUNDS).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dmis_churn_20_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let factory = |v: NodeId| DMis::new(v, MisOutput::Undecided);
+                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(2));
+                let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 3);
+                run(&mut sim, &mut adv, ROUNDS).num_rounds()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ghaffari_static_20_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let factory = move |v: NodeId| GhaffariMis::new(v, n);
+                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(4));
+                sim.run_static(&footprint, ROUNDS).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("smis_churn_20_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let factory = move |v: NodeId| SMis::new(v, n);
+                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(5));
+                let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 6);
+                run(&mut sim, &mut adv, ROUNDS).num_rounds()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("combined_corollary13_20_rounds", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        n,
+                        dynamic_mis(n, window),
+                        AllAtStart,
+                        SimConfig::sequential(7),
+                    );
+                    let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 8);
+                    run(&mut sim, &mut adv, ROUNDS).num_rounds()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Simulator executor benchmarks: sequential vs. rayon-parallel per-node
+//! phases, and the cost of the T-dynamic verification pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[4_000usize] {
+        let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(8, "br"));
+        for (label, parallel) in [("sequential", false), ("parallel", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("luby_10_rounds_{label}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let config = SimConfig { seed: 1, parallel, parallel_threshold: 0 };
+                        let mut sim = Simulator::new(n, LubyMis::new, AllAtStart, config);
+                        sim.run_static(&footprint, 10).len()
+                    })
+                },
+            );
+        }
+    }
+
+    // Verification cost: windowed T-dynamic check over a recorded run.
+    let n = 2_000;
+    let window = recommended_window(n);
+    let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(9, "br2"));
+    let factory = |v: NodeId| DMis::new(v, MisOutput::Undecided);
+    let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(2));
+    let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 10);
+    let record = run(&mut sim, &mut adv, 2 * window);
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs: Vec<Vec<Option<MisOutput>>> = (0..record.num_rounds())
+        .map(|r| record.outputs_at(r).to_vec())
+        .collect();
+    group.bench_function("verify_t_dynamic_run_n2000", |b| {
+        b.iter(|| {
+            verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1).rounds_valid
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment harness: regenerates every experiment table recorded in
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p dynnet-bench --bin experiments -- all
+//! cargo run --release -p dynnet-bench --bin experiments -- e4 e8
+//! cargo run --release -p dynnet-bench --bin experiments -- list
+//! ```
+//!
+//! Tables are printed as Markdown on stdout and additionally written to
+//! `results/<id>.md` (and `results/<id>_<table>.csv`) at the workspace root.
+
+use dynnet_bench::exp::registry;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = registry();
+
+    if args.is_empty() || args[0] == "list" {
+        println!("Available experiments (run with `experiments all` or a list of ids):\n");
+        for e in &experiments {
+            println!("  {:<4} {}", e.id, e.description);
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments.iter().map(|e| e.id).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let dir = results_dir();
+    for e in &experiments {
+        if !selected.contains(&e.id) {
+            continue;
+        }
+        eprintln!("== running {} — {}", e.id, e.description);
+        let start = Instant::now();
+        let tables = (e.run)();
+        let elapsed = start.elapsed();
+        let mut md = format!("## {} — {}\n\n", e.id.to_uppercase(), e.description);
+        for t in &tables {
+            md.push_str(&t.to_markdown());
+            md.push('\n');
+            let csv_path = dir.join(format!(
+                "{}_{}.csv",
+                e.id,
+                t.title
+                    .chars()
+                    .take(40)
+                    .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                    .collect::<String>()
+            ));
+            fs::write(&csv_path, t.to_csv()).expect("write csv");
+        }
+        md.push_str(&format!("_elapsed: {:.1}s_\n", elapsed.as_secs_f64()));
+        fs::write(dir.join(format!("{}.md", e.id)), &md).expect("write markdown");
+        println!("{md}");
+        eprintln!("== {} finished in {:.1}s", e.id, elapsed.as_secs_f64());
+    }
+}

@@ -1,0 +1,295 @@
+//! Comparison experiments: oblivious vs. adaptive adversaries (E9), the
+//! Concat framework vs. the restart-from-scratch strawman (E11), the TDMA
+//! application under mobility (E13), and simulator throughput (E14).
+
+use dynnet::algorithms::apps::tdma;
+use dynnet::core::mis::independence_violations;
+use dynnet::metrics::{fmt2, fmt_pct, Summary, Table};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use std::time::Instant;
+
+fn collect<O: Clone>(record: &ExecutionRecord<O>) -> (Vec<Graph>, Vec<Vec<Option<O>>>) {
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs = (0..record.num_rounds())
+        .map(|r| record.outputs_at(r).to_vec())
+        .collect();
+    (graphs, outputs)
+}
+
+/// E9: DMis against an oblivious churn adversary vs. an adaptive,
+/// output-aware conflict seeker. The adaptive adversary may slow progress
+/// (the O(log n) bound of Lemma 5.4 assumes 2-obliviousness) but can never
+/// violate the deterministic independence guarantee.
+pub fn e9_oblivious_vs_adaptive() -> Vec<Table> {
+    let n = 256;
+    let window = recommended_window(n);
+    let rounds = 4 * window;
+    let mut table = Table::new(
+        format!("E9 — Combined MIS against oblivious vs. adaptive adversaries, n = {n}, T = {window}"),
+        &[
+            "adversary",
+            "undecided node-rounds (lower = faster progress)",
+            "independence violations on G^∩T (total)",
+            "T-dynamic valid rounds",
+            "output changes/round",
+        ],
+    );
+    let footprint = generators::grid(16, 16);
+    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+
+    let run_case = |name: &str, adv: &mut dyn OutputAdversary<MisOutput>| -> Vec<String> {
+        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(9));
+        let record = run(&mut sim, &mut *adv, rounds);
+        let (graphs, outputs) = collect(&record);
+        let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
+        // Count undecided node-rounds after the first window as a progress proxy.
+        let undecided: usize = (window..rounds)
+            .map(|r| {
+                outputs[r]
+                    .iter()
+                    .filter(|o| o.map(|s| s == MisOutput::Undecided).unwrap_or(true))
+                    .count()
+            })
+            .sum();
+        // Independence violations on the window intersection graph.
+        let mut w = GraphWindow::new(n, window);
+        let mut violations = 0usize;
+        for r in 0..rounds {
+            w.push(&graphs[r]);
+            let out: Vec<MisOutput> = outputs[r]
+                .iter()
+                .map(|o| o.unwrap_or(MisOutput::Undecided))
+                .collect();
+            violations += independence_violations(&w.intersection_graph(), &out);
+        }
+        let churn_series = dynnet::core::output_churn_series(&outputs, &nodes);
+        let churn =
+            churn_series[window..].iter().sum::<usize>() as f64 / (rounds - window) as f64;
+        vec![
+            name.to_string(),
+            undecided.to_string(),
+            violations.to_string(),
+            format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
+            fmt2(churn),
+        ]
+    };
+
+    let mut oblivious = FlipChurnAdversary::new(&footprint, 0.02, 90);
+    table.push_row(run_case("oblivious flip churn p=0.02", &mut oblivious));
+    let mut adaptive: ConflictSeekingAdversary<MisOutput, _> = ConflictSeekingAdversary::new(
+        footprint.clone(),
+        |a: &MisOutput, b: &MisOutput| a.in_mis() && b.in_mis(),
+        8,
+        0.02,
+        (2 * window) as u64,
+        91,
+    );
+    table.push_row(run_case("adaptive conflict seeker (wires MIS members together)", &mut adaptive));
+    vec![table]
+}
+
+/// E11: Concat vs. restart-from-scratch on identical schedules, for both
+/// problems and several churn rates.
+pub fn e11_concat_vs_restart() -> Vec<Table> {
+    let n = 256;
+    let window = recommended_window(n);
+    let rounds = 6 * window;
+    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(11, "e11"));
+    let mut table = Table::new(
+        format!("E11 — Concat (Corollaries 1.2/1.3) vs. restart-every-T strawman, n = {n}, T = {window}"),
+        &[
+            "problem",
+            "churn p",
+            "Concat valid rounds",
+            "restart valid rounds",
+            "Concat output changes/round",
+            "restart output changes/round",
+        ],
+    );
+    for churn in [0.0, 0.01, 0.05] {
+        // --- Coloring ---
+        let mut adv = FlipChurnAdversary::new(&footprint, churn, 500 + (churn * 1e4) as u64);
+        let mut sim =
+            Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(11));
+        let record = run(&mut sim, &mut adv, rounds);
+        let (graphs, outputs) = collect(&record);
+        let concat_summary =
+            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+        let concat_churn = dynnet::core::output_churn_series(&outputs, &nodes)[2 * window..]
+            .iter()
+            .sum::<usize>() as f64
+            / (rounds - 2 * window) as f64;
+
+        let period = window as u64;
+        let mut replay = ScriptedAdversary::new(record.trace.clone());
+        let mut sim = Simulator::new(
+            n,
+            move |v: NodeId| RestartColoring::new(v, period),
+            AllAtStart,
+            SimConfig::sequential(12),
+        );
+        let record_restart = run(&mut sim, &mut replay, rounds);
+        let (_, outputs_restart) = collect(&record_restart);
+        let restart_summary =
+            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs_restart, window, window - 1);
+        let restart_churn = dynnet::core::output_churn_series(&outputs_restart, &nodes)
+            [2 * window..]
+            .iter()
+            .sum::<usize>() as f64
+            / (rounds - 2 * window) as f64;
+        table.push_row(vec![
+            "coloring".into(),
+            format!("{churn}"),
+            format!("{}/{}", concat_summary.rounds_valid, concat_summary.rounds_checked),
+            format!("{}/{}", restart_summary.rounds_valid, restart_summary.rounds_checked),
+            fmt2(concat_churn),
+            fmt2(restart_churn),
+        ]);
+
+        // --- MIS ---
+        let mut adv = FlipChurnAdversary::new(&footprint, churn, 600 + (churn * 1e4) as u64);
+        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(13));
+        let record = run(&mut sim, &mut adv, rounds);
+        let (graphs, outputs) = collect(&record);
+        let concat_summary =
+            verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
+        let concat_churn = dynnet::core::output_churn_series(&outputs, &nodes)[2 * window..]
+            .iter()
+            .sum::<usize>() as f64
+            / (rounds - 2 * window) as f64;
+        let mut replay = ScriptedAdversary::new(record.trace.clone());
+        let mut sim = Simulator::new(
+            n,
+            move |v: NodeId| RestartMis::new(v, period),
+            AllAtStart,
+            SimConfig::sequential(14),
+        );
+        let record_restart = run(&mut sim, &mut replay, rounds);
+        let (_, outputs_restart) = collect(&record_restart);
+        let restart_summary =
+            verify_t_dynamic_run(&MisProblem, &graphs, &outputs_restart, window, window - 1);
+        let restart_churn = dynnet::core::output_churn_series(&outputs_restart, &nodes)
+            [2 * window..]
+            .iter()
+            .sum::<usize>() as f64
+            / (rounds - 2 * window) as f64;
+        table.push_row(vec![
+            "MIS".into(),
+            format!("{churn}"),
+            format!("{}/{}", concat_summary.rounds_valid, concat_summary.rounds_checked),
+            format!("{}/{}", restart_summary.rounds_valid, restart_summary.rounds_checked),
+            fmt2(concat_churn),
+            fmt2(restart_churn),
+        ]);
+    }
+    vec![table]
+}
+
+/// E13: TDMA slot assignment under random-waypoint mobility.
+pub fn e13_tdma_mobility() -> Vec<Table> {
+    let n = 256;
+    let window = recommended_window(n);
+    let rounds = 5 * window;
+    let mut table = Table::new(
+        format!("E13 — TDMA on the combined coloring under mobility, n = {n}, T = {window}"),
+        &[
+            "speed (per round)",
+            "edge changes/round",
+            "mean frame success rate",
+            "min frame success rate",
+            "mean frame length",
+            "max degree+1 (upper bound)",
+        ],
+    );
+    for (name, min_speed, max_speed) in [
+        ("static (0)", 0.0, 0.0),
+        ("slow (0.002–0.01)", 0.002, 0.01),
+        ("fast (0.01–0.03)", 0.01, 0.03),
+    ] {
+        let mut adv = MobilityAdversary::new(
+            MobilityConfig { n, radius: 0.08, min_speed, max_speed },
+            131,
+        );
+        let mut sim =
+            Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(13));
+        let record = run(&mut sim, &mut adv, rounds);
+        let mut success_rates = Vec::new();
+        let mut frame_lengths = Vec::new();
+        let mut max_deg = 0usize;
+        for r in window..rounds {
+            let g = record.graph_at(r);
+            max_deg = max_deg.max(g.max_degree());
+            let colors: Vec<ColorOutput> = record
+                .outputs_at(r)
+                .iter()
+                .map(|o| o.unwrap_or(ColorOutput::Undecided))
+                .collect();
+            let frame = tdma::run_frame(&g, &colors);
+            success_rates.push(frame.success_rate());
+            frame_lengths.push(frame.frame_length as f64);
+        }
+        let s = Summary::of(&success_rates);
+        table.push_row(vec![
+            name.to_string(),
+            fmt2(record.trace.total_edge_changes() as f64 / rounds as f64),
+            fmt_pct(s.mean),
+            fmt_pct(s.min),
+            fmt2(Summary::of(&frame_lengths).mean),
+            (max_deg + 1).to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E14: simulator throughput — wall-clock time per round for the sequential
+/// and the rayon-parallel executor at increasing network sizes, for a plain
+/// single-instance algorithm (DMis) and for the full combined algorithm of
+/// Corollary 1.3 (which runs Θ(log n) pipelined instances per node).
+pub fn e14_simulator_throughput() -> Vec<Table> {
+    let mut table = Table::new(
+        "E14 — Simulator throughput (ER d̄=10, churn p=0.01, release build)",
+        &["algorithm", "n", "sequential ms/round", "parallel ms/round", "speedup"],
+    );
+    let time_per_round = |parallel: bool, n: usize, rounds: usize, combined: bool| -> f64 {
+        let window = recommended_window(n);
+        let footprint =
+            generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(14, &format!("e14-{n}")));
+        let config = SimConfig { seed: 14, parallel, parallel_threshold: 0 };
+        let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 140);
+        let start = Instant::now();
+        if combined {
+            let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, config);
+            let _ = run(&mut sim, &mut adv, rounds);
+        } else {
+            let factory = |v: NodeId| DMis::new(v, MisOutput::Undecided);
+            let mut sim = Simulator::new(n, factory, AllAtStart, config);
+            let _ = run(&mut sim, &mut adv, rounds);
+        }
+        start.elapsed().as_secs_f64() * 1000.0 / rounds as f64
+    };
+    for &n in &[4_000usize, 16_000, 64_000] {
+        let seq = time_per_round(false, n, 20, false);
+        let par = time_per_round(true, n, 20, false);
+        table.push_row(vec![
+            "DMis (single instance)".into(),
+            n.to_string(),
+            fmt2(seq),
+            fmt2(par),
+            fmt2(seq / par),
+        ]);
+    }
+    for &n in &[1_000usize, 4_000] {
+        let seq = time_per_round(false, n, 15, true);
+        let par = time_per_round(true, n, 15, true);
+        table.push_row(vec![
+            "Combined MIS (Corollary 1.3)".into(),
+            n.to_string(),
+            fmt2(seq),
+            fmt2(par),
+            fmt2(seq / par),
+        ]);
+    }
+    vec![table]
+}

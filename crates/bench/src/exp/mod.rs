@@ -1,0 +1,99 @@
+//! Experiment implementations. Each `eN` function returns the Markdown
+//! tables that EXPERIMENTS.md records for that experiment.
+//!
+//! The experiment ids (E1–E14) and the claims they validate are listed in
+//! DESIGN.md §5. All experiments are deterministic given their hard-coded
+//! seeds and run on a laptop in a few minutes in release mode.
+
+pub mod comparisons;
+pub mod convergence;
+pub mod guarantees;
+
+use dynnet::metrics::Table;
+
+/// A named experiment: id, one-line description, and the function producing
+/// its tables.
+pub struct Experiment {
+    /// Experiment id (`e1` … `e14`).
+    pub id: &'static str,
+    /// One-line description (which claim of the paper it validates).
+    pub description: &'static str,
+    /// Runs the experiment and returns its tables.
+    pub run: fn() -> Vec<Table>,
+}
+
+/// The registry of all experiments, in id order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            description: "Basic static coloring completes in O(log n) rounds (Lemma 6.2)",
+            run: convergence::e1_basic_coloring_scaling,
+        },
+        Experiment {
+            id: "e2",
+            description: "DColor completes in O(log n) rounds despite churn (Lemma 4.4)",
+            run: convergence::e2_dcolor_scaling_under_churn,
+        },
+        Experiment {
+            id: "e3",
+            description: "DColor per-round progress: colored w.p. ≥ 1/64 or palette shrinks by 1/4 (Lemma 4.3)",
+            run: convergence::e3_dcolor_progress,
+        },
+        Experiment {
+            id: "e4",
+            description: "Corollary 1.2: T-dynamic coloring every round; conflicts resolve within T; colors ≤ d^∪T+1",
+            run: guarantees::e4_combined_coloring_under_churn,
+        },
+        Experiment {
+            id: "e5",
+            description: "Corollary 1.2 locally-static part: static 2-neighborhood ⇒ no output change after 2T",
+            run: guarantees::e5_locally_static_coloring,
+        },
+        Experiment {
+            id: "e6",
+            description: "DMis decides all nodes in O(log n); undecided-edge decay ≤ 2/3 per 2 rounds (Lemmas 5.2/5.4)",
+            run: convergence::e6_dmis_scaling_and_decay,
+        },
+        Experiment {
+            id: "e7",
+            description: "SMis decides in O(log n) rounds when the 2-neighborhood is static (Lemma 5.6)",
+            run: convergence::e7_smis_scaling,
+        },
+        Experiment {
+            id: "e8",
+            description: "Corollary 1.3: T-dynamic MIS every round under churn and mobility",
+            run: guarantees::e8_combined_mis_under_churn,
+        },
+        Experiment {
+            id: "e9",
+            description: "DMis needs a 2-oblivious adversary for progress (remark after Lemma 5.2)",
+            run: comparisons::e9_oblivious_vs_adaptive,
+        },
+        Experiment {
+            id: "e10",
+            description: "Asynchronous wake-up: convergence measured from each node's wake-up round",
+            run: guarantees::e10_asynchronous_wakeup,
+        },
+        Experiment {
+            id: "e11",
+            description: "Concat vs. restart-from-scratch strawman on identical schedules (Section 1.1 motivation)",
+            run: comparisons::e11_concat_vs_restart,
+        },
+        Experiment {
+            id: "e12",
+            description: "Window-size lower bound: T below the static complexity breaks the guarantee (Section 1.1)",
+            run: guarantees::e12_window_size_sweep,
+        },
+        Experiment {
+            id: "e13",
+            description: "TDMA application: collision-free slots except on recently inserted edges (Section 1.2)",
+            run: comparisons::e13_tdma_mobility,
+        },
+        Experiment {
+            id: "e14",
+            description: "Simulator throughput: sequential vs. rayon-parallel round execution",
+            run: comparisons::e14_simulator_throughput,
+        },
+    ]
+}

@@ -1,0 +1,14 @@
+//! # dynnet-bench
+//!
+//! Experiment harness regenerating every experiment table in EXPERIMENTS.md
+//! (the paper has no empirical tables; each experiment validates one of its
+//! quantitative claims — see DESIGN.md §5 for the experiment index), plus
+//! Criterion micro-benchmarks of the substrate and the algorithms.
+//!
+//! Run all experiments:
+//!
+//! ```text
+//! cargo run --release -p dynnet-bench --bin experiments -- all
+//! ```
+
+pub mod exp;

@@ -1,0 +1,149 @@
+//! Output value types for the two concrete problems and the `⊥` (undecided)
+//! abstraction shared by the framework.
+//!
+//! The paper's outputs `y_v` may be `⊥` while an algorithm is still working
+//! (partial solutions, Definition 2.2/3.2). [`HasBottom`] captures that
+//! notion generically so the `Concat` combiner and the checkers can treat any
+//! problem's output uniformly.
+
+use serde::{Deserialize, Serialize};
+
+/// A color; valid colors are `1, 2, …` (the paper's `[k] = {1, …, k}`).
+pub type Color = usize;
+
+/// Output types that have a distinguished "undecided" value `⊥`.
+pub trait HasBottom: Clone + PartialEq {
+    /// The `⊥` value.
+    fn bottom() -> Self;
+
+    /// Returns `true` if `self` is `⊥`.
+    fn is_bottom(&self) -> bool;
+
+    /// Returns `true` if `self` is a decided (non-`⊥`) value.
+    fn is_decided(&self) -> bool {
+        !self.is_bottom()
+    }
+}
+
+/// Output of the (degree+1)-coloring problem at one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColorOutput {
+    /// `⊥` — no color chosen yet.
+    Undecided,
+    /// A permanently chosen color (≥ 1).
+    Colored(Color),
+}
+
+impl ColorOutput {
+    /// The chosen color, if any.
+    pub fn color(&self) -> Option<Color> {
+        match self {
+            ColorOutput::Undecided => None,
+            ColorOutput::Colored(c) => Some(*c),
+        }
+    }
+}
+
+impl HasBottom for ColorOutput {
+    fn bottom() -> Self {
+        ColorOutput::Undecided
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, ColorOutput::Undecided)
+    }
+}
+
+impl Default for ColorOutput {
+    fn default() -> Self {
+        ColorOutput::Undecided
+    }
+}
+
+/// Output of the MIS problem at one node (the paper's set notation
+/// `(M, D, U)` translated to per-node states).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MisOutput {
+    /// `⊥` — the node is still undecided (`U`).
+    Undecided,
+    /// The node is in the independent set `M` (output `1`).
+    InMis,
+    /// The node is dominated (`D`, output `0`).
+    Dominated,
+}
+
+impl MisOutput {
+    /// Returns `true` if this node is an MIS member.
+    pub fn in_mis(&self) -> bool {
+        matches!(self, MisOutput::InMis)
+    }
+}
+
+impl HasBottom for MisOutput {
+    fn bottom() -> Self {
+        MisOutput::Undecided
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, MisOutput::Undecided)
+    }
+}
+
+impl Default for MisOutput {
+    fn default() -> Self {
+        MisOutput::Undecided
+    }
+}
+
+/// Convenience: treat an `Option` as a value with bottom = `None`. Used when
+/// a problem's natural output is a plain value.
+impl<T: Clone + PartialEq> HasBottom for Option<T> {
+    fn bottom() -> Self {
+        None
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_output_bottom() {
+        assert!(ColorOutput::Undecided.is_bottom());
+        assert!(!ColorOutput::Colored(3).is_bottom());
+        assert!(ColorOutput::Colored(3).is_decided());
+        assert_eq!(ColorOutput::bottom(), ColorOutput::Undecided);
+        assert_eq!(ColorOutput::Colored(3).color(), Some(3));
+        assert_eq!(ColorOutput::Undecided.color(), None);
+        assert_eq!(ColorOutput::default(), ColorOutput::Undecided);
+    }
+
+    #[test]
+    fn mis_output_bottom() {
+        assert!(MisOutput::Undecided.is_bottom());
+        assert!(!MisOutput::InMis.is_bottom());
+        assert!(!MisOutput::Dominated.is_bottom());
+        assert!(MisOutput::InMis.in_mis());
+        assert!(!MisOutput::Dominated.in_mis());
+        assert_eq!(MisOutput::bottom(), MisOutput::Undecided);
+        assert_eq!(MisOutput::default(), MisOutput::Undecided);
+    }
+
+    #[test]
+    fn option_bottom() {
+        assert!(Option::<u32>::bottom().is_bottom());
+        assert!(Some(5u32).is_decided());
+    }
+
+    #[test]
+    fn outputs_serialize() {
+        let c: ColorOutput = serde_json::from_str(&serde_json::to_string(&ColorOutput::Colored(2)).unwrap()).unwrap();
+        assert_eq!(c, ColorOutput::Colored(2));
+        let m: MisOutput = serde_json::from_str(&serde_json::to_string(&MisOutput::InMis).unwrap()).unwrap();
+        assert_eq!(m, MisOutput::InMis);
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end verification harnesses for the Theorem 1.1 guarantees, used by
+//! the integration tests and the experiment harness.
+//!
+//! The harness works on raw data — a sequence of graphs and the per-round
+//! output snapshots — so it is independent of how the execution was produced
+//! (any adversary, any wake-up schedule, sequential or parallel simulator).
+
+use crate::output::HasBottom;
+use crate::problem::DynamicProblem;
+use crate::tdynamic::{check_t_dynamic, TDynamicReport};
+use dynnet_graph::{Graph, GraphWindow, NodeId};
+
+/// Per-round verification result plus aggregate counters.
+#[derive(Clone, Debug, Default)]
+pub struct VerificationSummary {
+    /// Number of rounds that were subject to checking.
+    pub rounds_checked: usize,
+    /// Number of checked rounds in which the output was a full T-dynamic solution.
+    pub rounds_valid: usize,
+    /// Number of checked rounds in which the decided part was consistent
+    /// (partial solution on the window graphs).
+    pub rounds_partial_valid: usize,
+    /// Total packing violations summed over the checked rounds.
+    pub total_packing_violations: usize,
+    /// Total covering violations summed over the checked rounds.
+    pub total_covering_violations: usize,
+    /// Total undecided nodes (within `V^∩T`) summed over the checked rounds.
+    pub total_undecided: usize,
+    /// First checked round (0-based, absolute) in which the output was a full
+    /// T-dynamic solution, if any.
+    pub first_valid_round: Option<usize>,
+    /// Rounds (absolute indices) whose output was *not* a full solution.
+    pub invalid_rounds: Vec<usize>,
+}
+
+impl VerificationSummary {
+    /// Returns `true` if every checked round carried a full T-dynamic solution.
+    pub fn all_valid(&self) -> bool {
+        self.rounds_checked == self.rounds_valid
+    }
+
+    /// Fraction of checked rounds with a full T-dynamic solution (1.0 if no
+    /// round was checked).
+    pub fn valid_fraction(&self) -> f64 {
+        if self.rounds_checked == 0 {
+            1.0
+        } else {
+            self.rounds_valid as f64 / self.rounds_checked as f64
+        }
+    }
+}
+
+/// Verifies the T-dynamic property (Theorem 1.1, part 1) over an execution.
+///
+/// * `graphs` — the dynamic graph sequence `G_0, G_1, …` (one per round);
+/// * `outputs` — per round, the simulator's outputs (`None` = asleep);
+/// * `window` — the window size `T`;
+/// * `check_from` — first round (0-based) at which the guarantee is asserted
+///   (use `T - 1` for synchronous starts, or later to allow a warm-up).
+pub fn verify_t_dynamic_run<P: DynamicProblem>(
+    problem: &P,
+    graphs: &[Graph],
+    outputs: &[Vec<Option<P::Output>>],
+    window: usize,
+    check_from: usize,
+) -> VerificationSummary {
+    assert_eq!(graphs.len(), outputs.len(), "one output snapshot per round");
+    let n = graphs.first().map_or(0, |g| g.num_nodes());
+    let mut w = GraphWindow::new(n, window);
+    let mut summary = VerificationSummary::default();
+    for (r, g) in graphs.iter().enumerate() {
+        w.push(g);
+        if r < check_from {
+            continue;
+        }
+        let report: TDynamicReport = check_t_dynamic(problem, &w, &outputs[r]);
+        summary.rounds_checked += 1;
+        summary.total_packing_violations += report.packing_violations.len();
+        summary.total_covering_violations += report.covering_violations.len();
+        summary.total_undecided += report.undecided.len();
+        if report.is_partial_solution() {
+            summary.rounds_partial_valid += 1;
+        }
+        if report.is_solution() {
+            summary.rounds_valid += 1;
+            if summary.first_valid_round.is_none() {
+                summary.first_valid_round = Some(r);
+            }
+        } else {
+            summary.invalid_rounds.push(r);
+        }
+    }
+    summary
+}
+
+/// Returns the last round in which node `v`'s output differs from its output
+/// in the following round, i.e. the round after which the output is stable to
+/// the end of the execution. Returns `None` if the output never changes.
+pub fn last_change_round<O: PartialEq>(outputs: &[Vec<Option<O>>], v: NodeId) -> Option<usize> {
+    let mut last = None;
+    for r in 1..outputs.len() {
+        if outputs[r][v.index()] != outputs[r - 1][v.index()] {
+            last = Some(r);
+        }
+    }
+    last
+}
+
+/// Checks the locally-static guarantee (Theorem 1.1, part 2) for one node:
+/// the output of `v` must be decided and unchanged in every round of
+/// `[stable_from, to]` (inclusive bounds, absolute round indices).
+pub fn verify_locally_static<O: HasBottom>(
+    outputs: &[Vec<Option<O>>],
+    v: NodeId,
+    stable_from: usize,
+    to: usize,
+) -> bool {
+    if stable_from > to || to >= outputs.len() {
+        return false;
+    }
+    let reference = &outputs[stable_from][v.index()];
+    let Some(ref_val) = reference.as_ref() else {
+        return false;
+    };
+    if ref_val.is_bottom() {
+        return false;
+    }
+    (stable_from..=to).all(|r| outputs[r][v.index()].as_ref() == Some(ref_val))
+}
+
+/// Counts, per round, how many of the given nodes changed their output
+/// relative to the previous round — the "output churn" time series.
+pub fn output_churn_series<O: PartialEq>(
+    outputs: &[Vec<Option<O>>],
+    nodes: &[NodeId],
+) -> Vec<usize> {
+    let mut series = vec![0usize];
+    for r in 1..outputs.len() {
+        let changed = nodes
+            .iter()
+            .filter(|v| outputs[r][v.index()] != outputs[r - 1][v.index()])
+            .count();
+        series.push(changed);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::ColoringProblem;
+    use crate::output::ColorOutput;
+    use dynnet_graph::Edge;
+
+    fn g(n: usize, edges: &[(usize, usize)]) -> Graph {
+        Graph::from_edges(n, edges.iter().map(|&(a, b)| Edge::of(a, b)))
+    }
+
+    fn colored(cs: &[usize]) -> Vec<Option<ColorOutput>> {
+        cs.iter()
+            .map(|&c| Some(if c == 0 { ColorOutput::Undecided } else { ColorOutput::Colored(c) }))
+            .collect()
+    }
+
+    #[test]
+    fn verify_run_counts_valid_rounds() {
+        let graphs = vec![g(2, &[(0, 1)]), g(2, &[(0, 1)]), g(2, &[(0, 1)])];
+        let outputs = vec![
+            colored(&[0, 0]),
+            colored(&[1, 2]),
+            colored(&[1, 1]), // conflict in the last round
+        ];
+        let p = ColoringProblem;
+        let summary = verify_t_dynamic_run(&p, &graphs, &outputs, 2, 1);
+        assert_eq!(summary.rounds_checked, 2);
+        assert_eq!(summary.rounds_valid, 1);
+        assert_eq!(summary.first_valid_round, Some(1));
+        assert_eq!(summary.invalid_rounds, vec![2]);
+        assert!(!summary.all_valid());
+        assert!((summary.valid_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(summary.total_packing_violations, 2);
+    }
+
+    #[test]
+    fn check_from_skips_warmup() {
+        let graphs = vec![g(2, &[(0, 1)]); 4];
+        let outputs = vec![colored(&[0, 0]), colored(&[0, 0]), colored(&[1, 2]), colored(&[1, 2])];
+        let p = ColoringProblem;
+        let summary = verify_t_dynamic_run(&p, &graphs, &outputs, 2, 2);
+        assert!(summary.all_valid());
+        assert_eq!(summary.rounds_checked, 2);
+    }
+
+    #[test]
+    fn locally_static_verification() {
+        let outputs = vec![
+            colored(&[0, 1]),
+            colored(&[2, 1]),
+            colored(&[2, 1]),
+            colored(&[2, 3]),
+        ];
+        let v0 = NodeId::new(0);
+        let v1 = NodeId::new(1);
+        assert!(verify_locally_static(&outputs, v0, 1, 3));
+        assert!(!verify_locally_static(&outputs, v0, 0, 3), "⊥ at the start");
+        assert!(!verify_locally_static(&outputs, v1, 1, 3), "changes in round 3");
+        assert!(verify_locally_static(&outputs, v1, 0, 2));
+        assert!(!verify_locally_static(&outputs, v0, 2, 5), "out of range");
+        assert_eq!(last_change_round(&outputs, v0), Some(1));
+        assert_eq!(last_change_round(&outputs, v1), Some(3));
+    }
+
+    #[test]
+    fn churn_series() {
+        let outputs = vec![colored(&[0, 0]), colored(&[1, 0]), colored(&[1, 2]), colored(&[1, 2])];
+        let nodes: Vec<NodeId> = (0..2).map(NodeId::new).collect();
+        assert_eq!(output_churn_series(&outputs, &nodes), vec![0, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! # dynnet
+//!
+//! Facade crate for the `dynnet` workspace — a Rust reproduction of
+//! *"Local Distributed Algorithms in Highly Dynamic Networks"* (Bamberger,
+//! Kuhn, Maus; IPPS 2019 / arXiv:1802.10199).
+//!
+//! The workspace implements the paper's framework for local distributed
+//! graph problems on synchronous round-based dynamic networks — packing and
+//! covering problems, `T`-dynamic solutions over sliding windows of
+//! intersection/union graphs, and the `Concat` combiner of Theorem 1.1 — and
+//! instantiates it for (degree+1)-vertex coloring (Corollary 1.2) and MIS
+//! (Corollary 1.3), together with the dynamic-graph simulator, adversaries,
+//! baselines, verification harnesses, and an experiment suite.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dynnet::prelude::*;
+//!
+//! // A 32-node random geometric network whose edges churn every round.
+//! let n = 32;
+//! let window = recommended_window(n);
+//! let footprint = generators::random_geometric(
+//!     n, 0.3, &mut dynnet::runtime::rng::experiment_rng(1, "doc"));
+//! let mut adversary = FlipChurnAdversary::new(&footprint, 0.02, 7);
+//!
+//! // The combined dynamic coloring algorithm of Corollary 1.2.
+//! let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart,
+//!                              SimConfig::sequential(42));
+//! let record = dynnet::adversary::run(&mut sim, &mut adversary, 3 * window);
+//!
+//! // Verify that every round (after the first window) carries a T-dynamic coloring.
+//! let graphs: Vec<_> = record.trace.iter().collect();
+//! let outputs: Vec<_> = (0..record.num_rounds())
+//!     .map(|r| record.outputs_at(r).to_vec())
+//!     .collect();
+//! let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+//! assert!(summary.all_valid());
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the experiment harness that regenerates EXPERIMENTS.md.
+
+pub use dynnet_adversary as adversary;
+pub use dynnet_algorithms as algorithms;
+pub use dynnet_core as core;
+pub use dynnet_graph as graph;
+pub use dynnet_metrics as metrics;
+pub use dynnet_runtime as runtime;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use dynnet_adversary::{
+        run, Adversary, BurstAdversary, ConflictSeekingAdversary, ExecutionRecord,
+        FlipChurnAdversary, GrowthAdversary, LocallyStaticAdversary, MarkovChurnAdversary,
+        MobilityAdversary, MobilityConfig, NodeChurnAdversary, OutputAdversary, PhaseAdversary,
+        RateChurnAdversary, ScriptedAdversary, StaticAdversary,
+    };
+    pub use dynnet_algorithms::apps::tdma;
+    pub use dynnet_algorithms::coloring::{
+        dynamic_coloring, oracle_coloring, BasicColoring, DColor, RestartColoring, SColor,
+    };
+    pub use dynnet_algorithms::mis::{
+        dynamic_mis, oracle_mis, DMis, GhaffariMis, LubyMis, RestartMis, SMis,
+    };
+    pub use dynnet_core::{
+        check_t_dynamic, recommended_window, verify_locally_static, verify_t_dynamic_run,
+        ColorOutput, ColoringProblem, DynamicProblem, HasBottom, MisOutput, MisProblem,
+        TDynamicReport, VerificationSummary,
+    };
+    pub use dynnet_graph::{generators, Edge, Graph, GraphWindow, NodeId};
+    pub use dynnet_metrics::{log_fit, Series, Summary, Table};
+    pub use dynnet_runtime::{
+        AllAtStart, NodeAlgorithm, RandomWakeup, SimConfig, Simulator, Staggered, WakeupSchedule,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let w = recommended_window(128);
+        assert!(w > 8);
+        let g = generators::cycle(5);
+        assert_eq!(g.num_edges(), 5);
+    }
+}

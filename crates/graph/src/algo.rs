@@ -1,0 +1,296 @@
+//! Centralized graph algorithms used by the solution checkers, by baselines
+//! and by tests: connected components, greedy coloring, greedy MIS/maximal
+//! matching, and validity predicates for independent/dominating sets and
+//! proper colorings.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Connected components; returns for each node the id of its component
+/// (smallest node id in the component) — inactive isolated nodes form their
+/// own singleton components.
+pub fn connected_components(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut comp: Vec<Option<NodeId>> = vec![None; n];
+    for start in 0..n {
+        if comp[start].is_some() {
+            continue;
+        }
+        let root = NodeId::new(start);
+        let mut queue = VecDeque::new();
+        comp[start] = Some(root);
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for w in g.neighbors(u) {
+                if comp[w.index()].is_none() {
+                    comp[w.index()] = Some(root);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    comp.into_iter().map(|c| c.expect("all assigned")).collect()
+}
+
+/// Number of connected components among *active* nodes.
+pub fn num_components(g: &Graph) -> usize {
+    let comp = connected_components(g);
+    let mut roots: Vec<NodeId> = g.active_nodes().map(|v| comp[v.index()]).collect();
+    roots.sort();
+    roots.dedup();
+    roots.len()
+}
+
+/// Sequential greedy (degree+1)-coloring in node-id order. Colors are
+/// `1..=deg+1`; inactive nodes get color `0` meaning "no color needed".
+/// Used as a centralized baseline and to construct extensions of partial
+/// colorings in the checkers.
+pub fn greedy_coloring(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut colors = vec![0usize; n];
+    for i in 0..n {
+        let v = NodeId::new(i);
+        if !g.is_active(v) {
+            continue;
+        }
+        let taken: Vec<usize> = g.neighbors(v).map(|w| colors[w.index()]).collect();
+        let mut c = 1usize;
+        while taken.contains(&c) {
+            c += 1;
+        }
+        colors[i] = c;
+    }
+    colors
+}
+
+/// Extends a partial coloring greedily: nodes with `Some(c)` keep `c`,
+/// uncolored active nodes receive the smallest color not used by any
+/// (already-colored) neighbor. Returns `None` if the given partial coloring
+/// is itself improper (two adjacent pre-colored nodes share a color).
+pub fn greedy_extend_coloring(g: &Graph, partial: &[Option<usize>]) -> Option<Vec<usize>> {
+    let n = g.num_nodes();
+    assert_eq!(partial.len(), n);
+    // Verify the pre-colored part is proper.
+    for e in g.edges() {
+        if let (Some(a), Some(b)) = (partial[e.u.index()], partial[e.v.index()]) {
+            if a == b {
+                return None;
+            }
+        }
+    }
+    let mut colors: Vec<usize> = partial.iter().map(|c| c.unwrap_or(0)).collect();
+    for i in 0..n {
+        let v = NodeId::new(i);
+        if partial[i].is_some() || !g.is_active(v) {
+            continue;
+        }
+        let taken: Vec<usize> = g
+            .neighbors(v)
+            .map(|w| colors[w.index()])
+            .filter(|&c| c != 0)
+            .collect();
+        let mut c = 1usize;
+        while taken.contains(&c) {
+            c += 1;
+        }
+        colors[i] = c;
+    }
+    Some(colors)
+}
+
+/// Returns `true` if `colors` (0 = uncolored) is a proper coloring of the
+/// colored nodes: no edge joins two nodes with the same non-zero color.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize]) -> bool {
+    g.edges().all(|e| {
+        let a = colors[e.u.index()];
+        let b = colors[e.v.index()];
+        a == 0 || b == 0 || a != b
+    })
+}
+
+/// Returns the edges that violate properness (both endpoints colored equal).
+pub fn coloring_conflicts(g: &Graph, colors: &[usize]) -> Vec<crate::node::Edge> {
+    g.edges()
+        .filter(|e| {
+            let a = colors[e.u.index()];
+            let b = colors[e.v.index()];
+            a != 0 && a == b
+        })
+        .collect()
+}
+
+/// Sequential greedy maximal independent set in node-id order. Returns a
+/// membership vector over the universe; inactive nodes are never members.
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut in_mis = vec![false; n];
+    let mut blocked = vec![false; n];
+    for i in 0..n {
+        let v = NodeId::new(i);
+        if !g.is_active(v) || blocked[i] {
+            continue;
+        }
+        in_mis[i] = true;
+        for w in g.neighbors(v) {
+            blocked[w.index()] = true;
+        }
+    }
+    in_mis
+}
+
+/// Returns `true` if `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
+    g.edges().all(|e| !(set[e.u.index()] && set[e.v.index()]))
+}
+
+/// Returns `true` if `set` dominates every active node of `g`: each active
+/// node is in the set or has a neighbor in the set.
+pub fn is_dominating_set(g: &Graph, set: &[bool]) -> bool {
+    g.active_nodes().all(|v| {
+        set[v.index()] || g.neighbors(v).any(|w| set[w.index()])
+    })
+}
+
+/// Returns `true` if `set` is a *maximal* independent set of `g` (independent
+/// and dominating over the active nodes).
+pub fn is_maximal_independent_set(g: &Graph, set: &[bool]) -> bool {
+    is_independent_set(g, set) && is_dominating_set(g, set)
+}
+
+/// Greedy maximal matching (in canonical edge order); returns matched edges.
+pub fn greedy_maximal_matching(g: &Graph) -> Vec<crate::node::Edge> {
+    let mut matched = vec![false; g.num_nodes()];
+    let mut out = Vec::new();
+    for e in g.edges() {
+        if !matched[e.u.index()] && !matched[e.v.index()] {
+            matched[e.u.index()] = true;
+            matched[e.v.index()] = true;
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Number of distinct non-zero colors used by a coloring vector.
+pub fn colors_used(colors: &[usize]) -> usize {
+    let mut cs: Vec<usize> = colors.iter().copied().filter(|&c| c != 0).collect();
+    cs.sort_unstable();
+    cs.dedup();
+    cs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Edge;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| Edge::of(i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = Graph::from_edges(6, [Edge::of(0, 1), Edge::of(1, 2), Edge::of(4, 5)]);
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[4]);
+        assert_eq!(num_components(&g), 3, "two paths plus the isolated node 3");
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_degree_bounded() {
+        let g = cycle(7);
+        let colors = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        for v in g.active_nodes() {
+            let c = colors[v.index()];
+            assert!(c >= 1 && c <= g.degree(v) + 1);
+        }
+        assert!(colors_used(&colors) <= 3);
+    }
+
+    #[test]
+    fn greedy_extend_respects_precoloring() {
+        let g = cycle(5);
+        let mut partial = vec![None; 5];
+        partial[0] = Some(2);
+        partial[2] = Some(1);
+        let full = greedy_extend_coloring(&g, &partial).expect("extendable");
+        assert_eq!(full[0], 2);
+        assert_eq!(full[2], 1);
+        assert!(is_proper_coloring(&g, &full));
+        assert!(full.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn greedy_extend_rejects_improper_precoloring() {
+        let g = Graph::from_edges(2, [Edge::of(0, 1)]);
+        let partial = vec![Some(1), Some(1)];
+        assert!(greedy_extend_coloring(&g, &partial).is_none());
+    }
+
+    #[test]
+    fn conflicts_detected() {
+        let g = Graph::from_edges(3, [Edge::of(0, 1), Edge::of(1, 2)]);
+        let colors = vec![1, 1, 2];
+        assert!(!is_proper_coloring(&g, &colors));
+        assert_eq!(coloring_conflicts(&g, &colors), vec![Edge::of(0, 1)]);
+        let partial = vec![1, 0, 1];
+        assert!(is_proper_coloring(&g, &partial), "uncolored node can't conflict");
+    }
+
+    #[test]
+    fn greedy_mis_is_maximal() {
+        for n in [1usize, 2, 5, 8, 13] {
+            let g = cycle(n.max(3));
+            let mis = greedy_mis(&g);
+            assert!(is_maximal_independent_set(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn mis_checkers() {
+        let g = Graph::from_edges(4, [Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3)]);
+        let good = vec![true, false, true, false];
+        assert!(is_independent_set(&g, &good));
+        assert!(is_dominating_set(&g, &good));
+        assert!(is_maximal_independent_set(&g, &good));
+        let not_ind = vec![true, true, false, false];
+        assert!(!is_independent_set(&g, &not_ind));
+        let not_dom = vec![true, false, false, false];
+        assert!(!is_dominating_set(&g, &not_dom));
+    }
+
+    #[test]
+    fn dominating_set_ignores_inactive_nodes() {
+        let mut g = Graph::from_edges(3, [Edge::of(0, 1)]);
+        g.deactivate(NodeId::new(2));
+        let set = vec![true, false, false];
+        assert!(is_dominating_set(&g, &set));
+    }
+
+    #[test]
+    fn maximal_matching_is_maximal() {
+        let g = cycle(6);
+        let m = greedy_maximal_matching(&g);
+        let mut matched = vec![false; 6];
+        for e in &m {
+            assert!(!matched[e.u.index()] && !matched[e.v.index()], "matching");
+            matched[e.u.index()] = true;
+            matched[e.v.index()] = true;
+        }
+        for e in g.edges() {
+            assert!(
+                matched[e.u.index()] || matched[e.v.index()],
+                "maximality: edge {e:?} could be added"
+            );
+        }
+    }
+
+    #[test]
+    fn colors_used_counts_distinct() {
+        assert_eq!(colors_used(&[0, 1, 2, 1, 0, 3]), 3);
+        assert_eq!(colors_used(&[0, 0]), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Compressed sparse row (CSR) snapshots of a [`Graph`].
+//!
+//! The simulator takes a CSR snapshot of the communication graph once per
+//! round and hands read-only references to all nodes, which makes the
+//! per-round send/receive phases embarrassingly parallel (no locks, pure
+//! reads) and cache friendly. This is the hot data structure of the whole
+//! system.
+
+use crate::graph::Graph;
+use crate::node::{Edge, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable CSR (compressed sparse row) snapshot of an undirected graph.
+///
+/// Neighbor lists are stored in one contiguous vector; `offsets[v]..offsets[v+1]`
+/// delimits the neighbors of node `v`, sorted ascending.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CsrGraph {
+    n: usize,
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeId>,
+    active: Vec<bool>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot from a mutable [`Graph`].
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0u32);
+        for i in 0..n {
+            let v = NodeId::new(i);
+            neighbors.extend(g.neighbors(v));
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph {
+            n,
+            offsets,
+            neighbors,
+            active: (0..n).map(|i| g.is_active(NodeId::new(i))).collect(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Builds an empty snapshot over `n` inactive nodes.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            n,
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            active: vec![false; n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of potential nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if node `v` was active when the snapshot was taken.
+    #[inline]
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Neighbors of `v` as a sorted slice.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Returns `true` if the edge `{u, v}` is present (binary search).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// Iterator over active node ids.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).filter(|&i| self.active[i]).map(NodeId::new)
+    }
+
+    /// Iterator over all edges in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&w| w > u)
+                .map(move |w| Edge::new(u, w))
+        })
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|i| self.degree(NodeId::new(i))).max().unwrap_or(0)
+    }
+
+    /// Converts the snapshot back into a mutable [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new_all_asleep(self.n);
+        for i in 0..self.n {
+            if self.active[i] {
+                g.activate(NodeId::new(i));
+            }
+        }
+        for e in self.edges() {
+            g.insert_edge(e.u, e.v);
+        }
+        g
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, [Edge::of(0, 1), Edge::of(0, 2), Edge::of(2, 3), Edge::of(3, 4)])
+    }
+
+    #[test]
+    fn csr_matches_source_graph() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.num_edges(), 4);
+        for v in g.nodes() {
+            assert_eq!(c.degree(v), g.degree(v));
+            assert_eq!(c.neighbors(v), g.neighbors_vec(v).as_slice());
+        }
+        assert_eq!(c.edges().collect::<Vec<_>>(), g.edge_vec());
+    }
+
+    #[test]
+    fn csr_has_edge() {
+        let c = CsrGraph::from_graph(&sample());
+        assert!(c.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(c.has_edge(NodeId::new(2), NodeId::new(0)));
+        assert!(!c.has_edge(NodeId::new(1), NodeId::new(4)));
+    }
+
+    #[test]
+    fn csr_roundtrip_to_graph() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.to_graph(), g);
+    }
+
+    #[test]
+    fn csr_empty() {
+        let c = CsrGraph::empty(3);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.degree(NodeId::new(1)), 0);
+        assert!(!c.is_active(NodeId::new(0)));
+    }
+
+    #[test]
+    fn csr_preserves_activity() {
+        let mut g = sample();
+        g.deactivate(NodeId::new(4));
+        let c = CsrGraph::from_graph(&g);
+        assert!(!c.is_active(NodeId::new(4)));
+        assert!(c.is_active(NodeId::new(0)));
+        assert_eq!(c.active_nodes().count(), 4);
+    }
+
+    #[test]
+    fn csr_max_degree() {
+        let c = CsrGraph::from_graph(&sample());
+        assert_eq!(c.max_degree(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Export helpers: DOT (Graphviz), plain edge lists, and JSON, for inspecting
+//! simulation snapshots and for feeding external plotting tools.
+
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format. Nodes may carry an optional
+/// label (e.g. a color or MIS state) supplied by `label`.
+pub fn to_dot<F>(g: &Graph, name: &str, mut label: F) -> String
+where
+    F: FnMut(crate::node::NodeId) -> Option<String>,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in g.active_nodes() {
+        match label(v) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}: {}\"];", v.index(), v, l);
+            }
+            None => {
+                let _ = writeln!(out, "  {};", v.index());
+            }
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", e.u.index(), e.v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph as a whitespace-separated edge list (one edge per line),
+/// preceded by a header line `n m`.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.num_nodes(), g.num_edges());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {}", e.u.index(), e.v.index());
+    }
+    out
+}
+
+/// Parses a graph from the edge-list format produced by [`to_edge_list`].
+pub fn from_edge_list(s: &str) -> Result<Graph, String> {
+    let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("missing header line")?;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or("missing node count")?
+        .parse()
+        .map_err(|e| format!("bad node count: {e}"))?;
+    let mut g = Graph::new(n);
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let a: usize = parts
+            .next()
+            .ok_or_else(|| format!("bad edge line: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad endpoint: {e}"))?;
+        let b: usize = parts
+            .next()
+            .ok_or_else(|| format!("bad edge line: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad endpoint: {e}"))?;
+        if a >= n || b >= n {
+            return Err(format!("endpoint out of range in line: {line}"));
+        }
+        g.insert_edge(crate::node::NodeId::new(a), crate::node::NodeId::new(b));
+    }
+    Ok(g)
+}
+
+/// Serializes the graph to a JSON document (`{"n": .., "edges": [[u, v], ..]}`).
+pub fn to_json(g: &Graph) -> String {
+    let edges: Vec<[u32; 2]> = g.edges().map(|e| [e.u.0, e.v.0]).collect();
+    serde_json::json!({ "n": g.num_nodes(), "edges": edges }).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Edge;
+
+    fn sample() -> Graph {
+        Graph::from_edges(4, [Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3)])
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let dot = to_dot(&sample(), "g", |_| None);
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("2 -- 3;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_labels() {
+        let dot = to_dot(&sample(), "g", |v| Some(format!("c{}", v.index())));
+        assert!(dot.contains("label=\"v0: c0\""));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let s = to_edge_list(&g);
+        let back = from_edge_list(&s).unwrap();
+        assert_eq!(back.edge_vec(), g.edge_vec());
+        assert_eq!(back.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("3 1\n0 9").is_err());
+        assert!(from_edge_list("3 1\nx y").is_err());
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = to_json(&sample());
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["n"], 4);
+        assert_eq!(v["edges"].as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,343 @@
+//! Graph generators: deterministic families (paths, cycles, grids, stars,
+//! complete and complete-bipartite graphs, balanced trees) and random
+//! families (Erdős–Rényi, random geometric / unit-disk, preferential
+//! attachment, random d-regular-ish) used as base topologies for the
+//! experiments.
+
+use crate::graph::Graph;
+use crate::node::{Edge, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An empty graph on `n` active nodes.
+pub fn empty(n: usize) -> Graph {
+    Graph::new(n)
+}
+
+/// Path `0 – 1 – … – (n-1)`.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| Edge::of(i - 1, i)))
+}
+
+/// Cycle on `n ≥ 3` nodes.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    Graph::from_edges(n, (0..n).map(|i| Edge::of(i, (i + 1) % n)))
+}
+
+/// Star with center `0` and `n-1` leaves.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    Graph::from_edges(n, (1..n).map(|i| Edge::of(0, i)))
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.insert_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}` (nodes `0..a` on one side, `a..a+b` on
+/// the other).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for i in 0..a {
+        for j in a..a + b {
+            g.insert_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.insert_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.insert_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Complete `arity`-ary tree with `n` nodes (node `i`'s parent is
+/// `(i-1)/arity`).
+pub fn balanced_tree(n: usize, arity: usize) -> Graph {
+    assert!(arity >= 1);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.insert_edge(NodeId::new(i), NodeId::new((i - 1) / arity));
+    }
+    g
+}
+
+/// Erdős–Rényi graph `G(n, p)`: every potential edge is present independently
+/// with probability `p`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.insert_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi graph with a target *average degree* `d̄` (sets `p = d̄/(n-1)`).
+pub fn erdos_renyi_avg_degree<R: Rng + ?Sized>(n: usize, avg_degree: f64, rng: &mut R) -> Graph {
+    if n <= 1 {
+        return Graph::new(n);
+    }
+    let p = (avg_degree / (n as f64 - 1.0)).clamp(0.0, 1.0);
+    erdos_renyi(n, p, rng)
+}
+
+/// Positions of `n` points placed uniformly at random in the unit square.
+pub fn random_positions<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(f64, f64)> {
+    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
+}
+
+/// Unit-disk graph over the given positions: nodes are adjacent iff their
+/// Euclidean distance is at most `radius`. This is the standard model of a
+/// wireless ad-hoc network — one of the paper's motivating settings.
+pub fn unit_disk(positions: &[(f64, f64)], radius: f64) -> Graph {
+    let n = positions.len();
+    let mut g = Graph::new(n);
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = positions[i].0 - positions[j].0;
+            let dy = positions[i].1 - positions[j].1;
+            if dx * dx + dy * dy <= r2 {
+                g.insert_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    g
+}
+
+/// Random geometric graph: `n` uniform points in the unit square, unit-disk
+/// connectivity with the given radius.
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    let pos = random_positions(n, rng);
+    unit_disk(&pos, radius)
+}
+
+/// Barabási–Albert-style preferential attachment: nodes arrive one by one and
+/// connect to `m` existing nodes chosen with probability proportional to the
+/// current degree (plus one, so isolated seeds can be chosen).
+pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1);
+    let mut g = Graph::new(n);
+    if n == 0 {
+        return g;
+    }
+    // Repeated-endpoint list: node i appears degree(i)+1 times.
+    let mut endpoints: Vec<usize> = vec![0];
+    for i in 1..n {
+        let mut targets = Vec::new();
+        let mut tries = 0;
+        while targets.len() < m.min(i) && tries < 50 * m {
+            let &cand = endpoints.choose(rng).expect("non-empty");
+            if cand != i && !targets.contains(&cand) {
+                targets.push(cand);
+            }
+            tries += 1;
+        }
+        for &t in &targets {
+            g.insert_edge(NodeId::new(i), NodeId::new(t));
+            endpoints.push(t);
+            endpoints.push(i);
+        }
+        endpoints.push(i);
+    }
+    g
+}
+
+/// Approximately d-regular random graph built from `d` random perfect
+/// matchings on `n` nodes (duplicate edges are simply skipped, so degrees can
+/// be slightly below `d`).
+pub fn random_regular_ish<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for _ in 0..d {
+        perm.shuffle(rng);
+        for pair in perm.chunks(2) {
+            if let [a, b] = pair {
+                if a != b {
+                    g.insert_edge(NodeId::new(*a), NodeId::new(*b));
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Named graph families, used by the experiment configuration files.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum GraphFamily {
+    /// Empty graph.
+    Empty,
+    /// Path graph.
+    Path,
+    /// Cycle graph.
+    Cycle,
+    /// Star graph.
+    Star,
+    /// Complete graph.
+    Complete,
+    /// Square-ish grid (`⌈√n⌉ × ⌈n/⌈√n⌉⌉`).
+    Grid,
+    /// Balanced binary tree.
+    BinaryTree,
+    /// Erdős–Rényi with the given expected average degree.
+    ErdosRenyi {
+        /// Target expected average degree `d̄` (edge probability `d̄/(n-1)`).
+        avg_degree: f64,
+    },
+    /// Random geometric graph with the given connection radius.
+    Geometric {
+        /// Unit-disk connection radius.
+        radius: f64,
+    },
+    /// Preferential attachment with `m` edges per arriving node.
+    PreferentialAttachment {
+        /// Number of edges each arriving node creates.
+        m: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Instantiates the family with `n` nodes using the provided RNG.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Graph {
+        match self {
+            GraphFamily::Empty => empty(n),
+            GraphFamily::Path => path(n),
+            GraphFamily::Cycle => cycle(n.max(3)),
+            GraphFamily::Star => star(n.max(2)),
+            GraphFamily::Complete => complete(n),
+            GraphFamily::Grid => {
+                let cols = (n as f64).sqrt().ceil() as usize;
+                let rows = n.div_ceil(cols.max(1));
+                grid(rows, cols.max(1))
+            }
+            GraphFamily::BinaryTree => balanced_tree(n, 2),
+            GraphFamily::ErdosRenyi { avg_degree } => erdos_renyi_avg_degree(n, *avg_degree, rng),
+            GraphFamily::Geometric { radius } => random_geometric(n, *radius, rng),
+            GraphFamily::PreferentialAttachment { m } => preferential_attachment(n, *m, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn deterministic_families_have_expected_edge_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(complete_bipartite(2, 3).num_edges(), 6);
+        assert_eq!(grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(balanced_tree(7, 2).num_edges(), 6);
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 3);
+        assert_eq!(g.degree(NodeId::new(4)), 4, "center of a 3x3 grid");
+        assert_eq!(g.degree(NodeId::new(0)), 2, "corner");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut r = rng();
+        assert_eq!(erdos_renyi(10, 0.0, &mut r).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut r).num_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_avg_degree_close_to_target() {
+        let mut r = rng();
+        let g = erdos_renyi_avg_degree(400, 10.0, &mut r);
+        let avg = g.avg_degree();
+        assert!((avg - 10.0).abs() < 2.5, "avg degree {avg} too far from 10");
+    }
+
+    #[test]
+    fn unit_disk_radius_extremes() {
+        let pos = vec![(0.0, 0.0), (0.5, 0.0), (1.0, 1.0)];
+        let g_small = unit_disk(&pos, 0.1);
+        assert_eq!(g_small.num_edges(), 0);
+        let g_big = unit_disk(&pos, 2.0);
+        assert_eq!(g_big.num_edges(), 3);
+        let g_mid = unit_disk(&pos, 0.6);
+        assert!(g_mid.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g_mid.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn geometric_graph_is_reproducible_per_seed() {
+        let g1 = random_geometric(50, 0.2, &mut rng());
+        let g2 = random_geometric(50, 0.2, &mut rng());
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+    }
+
+    #[test]
+    fn preferential_attachment_connected_and_sized() {
+        let g = preferential_attachment(100, 2, &mut rng());
+        assert!(g.num_edges() >= 100, "roughly m edges per node");
+        assert_eq!(crate::algo::num_components(&g), 1);
+    }
+
+    #[test]
+    fn random_regular_ish_degree_bound() {
+        let g = random_regular_ish(40, 4, &mut rng());
+        assert!(g.max_degree() <= 4);
+        assert!(g.avg_degree() > 2.0);
+    }
+
+    #[test]
+    fn family_enum_generates() {
+        let mut r = rng();
+        for fam in [
+            GraphFamily::Empty,
+            GraphFamily::Path,
+            GraphFamily::Cycle,
+            GraphFamily::Star,
+            GraphFamily::Grid,
+            GraphFamily::BinaryTree,
+            GraphFamily::ErdosRenyi { avg_degree: 4.0 },
+            GraphFamily::Geometric { radius: 0.2 },
+            GraphFamily::PreferentialAttachment { m: 2 },
+        ] {
+            let g = fam.generate(20, &mut r);
+            assert_eq!(g.num_nodes(), 20);
+        }
+        let k = GraphFamily::Complete.generate(6, &mut r);
+        assert_eq!(k.num_edges(), 15);
+    }
+}

@@ -1,0 +1,178 @@
+//! # dynnet-graph
+//!
+//! Graph substrate for the `dynnet` reproduction of *"Local Distributed
+//! Algorithms in Highly Dynamic Networks"* (Bamberger, Kuhn, Maus).
+//!
+//! The crate provides:
+//!
+//! * [`NodeId`] / [`Edge`] — dense node identifiers over a fixed universe of
+//!   `n` potential nodes, canonical undirected edges (Section 2 of the paper).
+//! * [`Graph`] — the mutable per-round communication graph `G_r`, with node
+//!   activity flags modelling asynchronous wake-up.
+//! * [`CsrGraph`] — immutable compressed-sparse-row snapshots used by the
+//!   simulator's parallel round execution.
+//! * [`GraphWindow`] — incrementally maintained sliding window exposing the
+//!   `T`-intersection graph `G^∩T_r` and `T`-union graph `G^∪T_r`
+//!   (Definition 2.1), plus "locally static" neighborhood checks.
+//! * [`DynamicGraphTrace`] — recorded dynamic graph sequences for replaying
+//!   identical adversarial schedules across algorithms.
+//! * [`generators`] — deterministic and random graph families.
+//! * [`algo`] — centralized algorithms and validity predicates used by the
+//!   solution checkers and baselines.
+//! * [`neighborhood`] — `N^α(v)` balls and local-view comparisons.
+//! * [`export`] — DOT / edge-list / JSON output.
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod csr;
+pub mod dynamic;
+pub mod export;
+pub mod generators;
+pub mod graph;
+pub mod neighborhood;
+pub mod node;
+pub mod window;
+
+pub use csr::CsrGraph;
+pub use dynamic::{DynamicGraphTrace, GraphDelta};
+pub use graph::Graph;
+pub use node::{Edge, NodeId};
+pub use window::GraphWindow;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy producing a small random graph as (n, edge list).
+    fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+        (2usize..max_n).prop_flat_map(|n| {
+            proptest::collection::vec((0..n, 0..n), 0..(2 * n)).prop_map(move |pairs| {
+                let mut g = Graph::new(n);
+                for (a, b) in pairs {
+                    if a != b {
+                        g.insert_edge(NodeId::new(a), NodeId::new(b));
+                    }
+                }
+                g
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn edge_count_consistent_with_iteration(g in arb_graph(20)) {
+            prop_assert_eq!(g.edges().count(), g.num_edges());
+            let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        }
+
+        #[test]
+        fn csr_snapshot_equivalent(g in arb_graph(20)) {
+            let c = CsrGraph::from_graph(&g);
+            prop_assert_eq!(c.num_edges(), g.num_edges());
+            for v in g.nodes() {
+                prop_assert_eq!(c.degree(v), g.degree(v));
+            }
+            prop_assert_eq!(c.to_graph(), g);
+        }
+
+        #[test]
+        fn greedy_coloring_proper_and_bounded(g in arb_graph(20)) {
+            let colors = algo::greedy_coloring(&g);
+            prop_assert!(algo::is_proper_coloring(&g, &colors));
+            for v in g.active_nodes() {
+                prop_assert!(colors[v.index()] >= 1);
+                prop_assert!(colors[v.index()] <= g.degree(v) + 1);
+            }
+        }
+
+        #[test]
+        fn greedy_mis_maximal(g in arb_graph(20)) {
+            let mis = algo::greedy_mis(&g);
+            prop_assert!(algo::is_maximal_independent_set(&g, &mis));
+        }
+
+        #[test]
+        fn window_incremental_matches_bruteforce(
+            graphs in proptest::collection::vec(arb_graph(10), 1..8),
+            window in 1usize..5,
+        ) {
+            // All graphs must share a universe; re-map them onto the max n.
+            let n = graphs.iter().map(|g| g.num_nodes()).max().unwrap();
+            let mut w = GraphWindow::new(n, window);
+            for g in &graphs {
+                let mut resized = Graph::new(n);
+                for e in g.edges() {
+                    resized.insert_edge(e.u, e.v);
+                }
+                w.push(&resized);
+                prop_assert_eq!(
+                    w.intersection_graph().edge_vec(),
+                    w.intersection_graph_bruteforce().edge_vec()
+                );
+                prop_assert_eq!(
+                    w.union_graph().edge_vec(),
+                    w.union_graph_bruteforce().edge_vec()
+                );
+            }
+        }
+
+        #[test]
+        fn union_contains_intersection(
+            graphs in proptest::collection::vec(arb_graph(10), 1..6),
+        ) {
+            let n = graphs.iter().map(|g| g.num_nodes()).max().unwrap();
+            let mut w = GraphWindow::new(n, 4);
+            for g in &graphs {
+                let mut resized = Graph::new(n);
+                for e in g.edges() {
+                    resized.insert_edge(e.u, e.v);
+                }
+                w.push(&resized);
+            }
+            let inter = w.intersection_graph();
+            let uni = w.union_graph();
+            for e in inter.edges() {
+                prop_assert!(uni.has_edge(e.u, e.v), "G^∩T ⊆ G^∪T must hold");
+            }
+            // Current graph lies between them edge-wise.
+            let cur = w.current().unwrap();
+            for e in inter.edges() {
+                prop_assert!(cur.has_edge(e.u, e.v), "G^∩T ⊆ G_r");
+            }
+            for e in cur.edges() {
+                prop_assert!(uni.has_edge(e.u, e.v), "G_r ⊆ G^∪T");
+            }
+        }
+
+        #[test]
+        fn delta_roundtrip(g1 in arb_graph(15), g2 in arb_graph(15)) {
+            let n = g1.num_nodes().max(g2.num_nodes());
+            let mut a = Graph::new(n);
+            for e in g1.edges() { a.insert_edge(e.u, e.v); }
+            let mut b = Graph::new(n);
+            for e in g2.edges() { b.insert_edge(e.u, e.v); }
+            let d = GraphDelta::between(&a, &b);
+            let mut x = a.clone();
+            d.apply(&mut x);
+            prop_assert_eq!(x.edge_vec(), b.edge_vec());
+        }
+
+        #[test]
+        fn greedy_extension_of_valid_partial_is_proper(
+            g in arb_graph(15),
+            mask in proptest::collection::vec(any::<bool>(), 15),
+        ) {
+            // Build a partial coloring from the greedy coloring restricted by the mask.
+            let full = algo::greedy_coloring(&g);
+            let partial: Vec<Option<usize>> = (0..g.num_nodes())
+                .map(|i| if *mask.get(i).unwrap_or(&false) { Some(full[i]).filter(|&c| c != 0) } else { None })
+                .collect();
+            let ext = algo::greedy_extend_coloring(&g, &partial)
+                .expect("restriction of a proper coloring is extendable");
+            prop_assert!(algo::is_proper_coloring(&g, &ext));
+        }
+    }
+}

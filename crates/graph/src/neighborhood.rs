@@ -1,0 +1,161 @@
+//! Neighborhood queries: `N^α(v)` balls, local views, and distances.
+//!
+//! The paper's locality guarantees are phrased in terms of the α-neighborhood
+//! of a node (`α = 2` for both coloring and MIS, cf. Corollaries 1.2/1.3 and
+//! Definition 3.3 B.2). These helpers compute such balls with bounded-depth
+//! BFS.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Returns the α-neighborhood `N^α(v)` of `v` in `g`, *including* `v` itself,
+/// i.e. all nodes at hop distance at most `alpha` from `v`. The result is
+/// sorted by node id.
+pub fn neighborhood(g: &Graph, v: NodeId, alpha: usize) -> Vec<NodeId> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    out.push(v);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        if d == alpha {
+            continue;
+        }
+        for w in g.neighbors(u) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = d + 1;
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Returns the nodes at *exactly* hop distance `alpha` from `v`.
+pub fn sphere(g: &Graph, v: NodeId, alpha: usize) -> Vec<NodeId> {
+    let dists = bfs_distances(g, v, Some(alpha));
+    let mut out: Vec<NodeId> = (0..g.num_nodes())
+        .filter(|&i| dists[i] == Some(alpha))
+        .map(NodeId::new)
+        .collect();
+    out.sort();
+    out
+}
+
+/// BFS distances from `source`, optionally truncated at `max_depth`.
+/// Unreachable nodes (or nodes beyond the depth limit) get `None`.
+pub fn bfs_distances(g: &Graph, source: NodeId, max_depth: Option<usize>) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        if let Some(limit) = max_depth {
+            if d == limit {
+                continue;
+            }
+        }
+        for w in g.neighbors(u) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between `u` and `v`, or `None` if disconnected.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<usize> {
+    bfs_distances(g, u, None)[v.index()]
+}
+
+/// The subgraph induced by `N^α(v)` — the "local view" a node with knowledge
+/// radius `α` has of the network.
+pub fn local_view(g: &Graph, v: NodeId, alpha: usize) -> Graph {
+    let ball = neighborhood(g, v, alpha);
+    g.induced_subgraph(&ball)
+}
+
+/// Returns `true` if the α-neighborhood of `v` induces identical adjacency in
+/// `g1` and `g2`. The ball is computed in `g1`; per the paper's definition of
+/// a locally static interval the ball is the same in both graphs whenever the
+/// predicate holds, so the choice of reference graph does not matter for
+/// positive answers.
+pub fn same_local_view(g1: &Graph, g2: &Graph, v: NodeId, alpha: usize) -> bool {
+    let ball = neighborhood(g1, v, alpha);
+    g1.same_edges_on(g2, &ball)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Edge;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| Edge::of(i, i + 1)))
+    }
+
+    #[test]
+    fn neighborhood_on_path() {
+        let g = path(6);
+        let ball = neighborhood(&g, NodeId::new(2), 2);
+        assert_eq!(
+            ball,
+            vec![0, 1, 2, 3, 4].into_iter().map(NodeId::new).collect::<Vec<_>>()
+        );
+        let ball0 = neighborhood(&g, NodeId::new(2), 0);
+        assert_eq!(ball0, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn sphere_on_path() {
+        let g = path(6);
+        assert_eq!(
+            sphere(&g, NodeId::new(2), 2),
+            vec![NodeId::new(0), NodeId::new(4)]
+        );
+        assert_eq!(sphere(&g, NodeId::new(0), 3), vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn distances() {
+        let g = path(5);
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(4)), Some(4));
+        assert_eq!(distance(&g, NodeId::new(2), NodeId::new(2)), Some(0));
+        let disconnected = Graph::from_edges(4, [Edge::of(0, 1)]);
+        assert_eq!(distance(&disconnected, NodeId::new(0), NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn bfs_depth_limit() {
+        let g = path(6);
+        let d = bfs_distances(&g, NodeId::new(0), Some(2));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None, "beyond the depth limit");
+    }
+
+    #[test]
+    fn local_view_is_induced_subgraph() {
+        let g = Graph::from_edges(5, [Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3), Edge::of(3, 4)]);
+        let view = local_view(&g, NodeId::new(0), 2);
+        assert_eq!(view.edge_vec(), vec![Edge::of(0, 1), Edge::of(1, 2)]);
+    }
+
+    #[test]
+    fn same_local_view_detects_changes_inside_ball_only() {
+        let g1 = Graph::from_edges(6, [Edge::of(0, 1), Edge::of(1, 2), Edge::of(4, 5)]);
+        let mut g2 = g1.clone();
+        g2.remove_edge(NodeId::new(4), NodeId::new(5));
+        assert!(same_local_view(&g1, &g2, NodeId::new(0), 2));
+        g2.insert_edge(NodeId::new(2), NodeId::new(3));
+        assert!(!same_local_view(&g1, &g2, NodeId::new(0), 2));
+        assert!(same_local_view(&g1, &g2, NodeId::new(0), 1));
+    }
+}

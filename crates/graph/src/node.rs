@@ -1,0 +1,182 @@
+//! Node identifiers and undirected edges.
+//!
+//! The paper models a dynamic network over a fixed universe of `n` potential
+//! nodes `V` (Section 2). We therefore use dense integer identifiers
+//! [`NodeId`] in the range `0..n`, which lets every per-node data structure be
+//! a flat vector indexed by the id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in the potential node universe `V`.
+///
+/// Node ids are dense (`0..n`), which makes them usable as vector indices via
+/// [`NodeId::index`]. The upper bound `n` is globally known to all nodes, as
+/// assumed by the paper (Section 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(id: usize) -> Self {
+        NodeId(id as u32)
+    }
+
+    /// Returns the id as a `usize` index suitable for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId::new(v)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An undirected edge `{u, v}` stored in canonical order (`min`, `max`).
+///
+/// Canonicalization makes `Edge` usable as a hash-map key without worrying
+/// about the orientation in which the edge was created, and guarantees
+/// `Edge::new(u, v) == Edge::new(v, u)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// The smaller endpoint.
+    pub u: NodeId,
+    /// The larger endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Creates a canonical undirected edge between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if `a == b`; the graphs in this crate are simple (no loops),
+    /// matching Definition 2.2 of the paper.
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert!(a != b, "self-loops are not allowed in simple graphs");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Creates an edge from raw indices.
+    #[inline]
+    pub fn of(a: usize, b: usize) -> Self {
+        Edge::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    /// Returns both endpoints as a tuple `(min, max)`.
+    #[inline]
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.u, self.v)
+    }
+
+    /// Returns the endpoint opposite to `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Returns `true` if `x` is one of the two endpoints.
+    #[inline]
+    pub fn contains(self, x: NodeId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {}}}", self.u, self.v)
+    }
+}
+
+impl From<(usize, usize)> for Edge {
+    fn from((a, b): (usize, usize)) -> Self {
+        Edge::of(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, NodeId::from(42usize));
+        assert_eq!(v, NodeId::from(42u32));
+        assert_eq!(format!("{v}"), "v42");
+    }
+
+    #[test]
+    fn edge_is_canonical() {
+        let e1 = Edge::of(3, 7);
+        let e2 = Edge::of(7, 3);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.u, NodeId::new(3));
+        assert_eq!(e1.v, NodeId::new(7));
+    }
+
+    #[test]
+    fn edge_other_and_contains() {
+        let e = Edge::of(1, 2);
+        assert_eq!(e.other(NodeId::new(1)), NodeId::new(2));
+        assert_eq!(e.other(NodeId::new(2)), NodeId::new(1));
+        assert!(e.contains(NodeId::new(1)));
+        assert!(!e.contains(NodeId::new(5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::of(4, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge::of(1, 2);
+        let _ = e.other(NodeId::new(9));
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic() {
+        let mut edges = vec![Edge::of(2, 3), Edge::of(0, 5), Edge::of(0, 1)];
+        edges.sort();
+        assert_eq!(edges, vec![Edge::of(0, 1), Edge::of(0, 5), Edge::of(2, 3)]);
+    }
+}

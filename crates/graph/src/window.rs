@@ -1,0 +1,394 @@
+//! Sliding-window views over a dynamic graph: the `T`-intersection graph
+//! `G^∩T_r` and the `T`-union graph `G^∪T_r` of Definition 2.1.
+//!
+//! `G^∩T_r` contains the edges present in *every* one of the last `T` rounds
+//! (and the nodes awake throughout them); `G^∪T_r` contains the edges present
+//! in *at least one* of the last `T` rounds, over the same node set `V^∩T_r`.
+//!
+//! [`GraphWindow`] maintains both views incrementally: per edge it stores the
+//! number of rounds (within the window) in which the edge was present, so a
+//! round update costs `O(|E_{r-T}| + |E_r|)` instead of recomputing `T`-fold
+//! intersections and unions from scratch.
+
+use crate::graph::Graph;
+use crate::node::{Edge, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Incrementally maintained sliding window over the last `T` rounds of a
+/// dynamic graph, exposing the intersection graph `G^∩T_r` and union graph
+/// `G^∪T_r` of Definition 2.1.
+#[derive(Clone, Debug)]
+pub struct GraphWindow {
+    n: usize,
+    window: usize,
+    /// Graphs of the last ≤ `window` rounds, oldest first.
+    history: VecDeque<Graph>,
+    /// For every edge present in at least one window round: in how many of
+    /// those rounds it was present.
+    edge_counts: HashMap<Edge, usize>,
+    /// For every node: in how many of the window rounds it was awake.
+    active_counts: Vec<usize>,
+    round: Option<u64>,
+}
+
+impl GraphWindow {
+    /// Creates an empty window of size `window` (the paper's parameter `T ≥ 1`)
+    /// over a universe of `n` nodes.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(window >= 1, "window size T must be at least 1");
+        GraphWindow {
+            n,
+            window,
+            history: VecDeque::with_capacity(window),
+            edge_counts: HashMap::new(),
+            active_counts: vec![0; n],
+            round: None,
+        }
+    }
+
+    /// The window size `T`.
+    #[inline]
+    pub fn window_size(&self) -> usize {
+        self.window
+    }
+
+    /// Number of rounds currently inside the window (`min(T, r+1)` after
+    /// pushing round `r`, with rounds counted from the first push).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Returns `true` if no round has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The last round number pushed, if any.
+    #[inline]
+    pub fn current_round(&self) -> Option<u64> {
+        self.round
+    }
+
+    /// Pushes the communication graph of the next round into the window,
+    /// evicting the oldest graph if the window is full.
+    pub fn push(&mut self, g: &Graph) {
+        assert_eq!(g.num_nodes(), self.n, "graph universe mismatch");
+        if self.history.len() == self.window {
+            let old = self.history.pop_front().expect("window non-empty");
+            for e in old.edges() {
+                let c = self
+                    .edge_counts
+                    .get_mut(&e)
+                    .expect("evicted edge must be counted");
+                *c -= 1;
+                if *c == 0 {
+                    self.edge_counts.remove(&e);
+                }
+            }
+            for v in old.active_nodes() {
+                self.active_counts[v.index()] -= 1;
+            }
+        }
+        for e in g.edges() {
+            *self.edge_counts.entry(e).or_insert(0) += 1;
+        }
+        for v in g.active_nodes() {
+            self.active_counts[v.index()] += 1;
+        }
+        self.history.push_back(g.clone());
+        self.round = Some(self.round.map_or(0, |r| r + 1));
+    }
+
+    /// The most recent graph `G_r`, if any round has been pushed.
+    pub fn current(&self) -> Option<&Graph> {
+        self.history.back()
+    }
+
+    /// The oldest graph still inside the window.
+    pub fn oldest(&self) -> Option<&Graph> {
+        self.history.front()
+    }
+
+    /// Returns the graph `i` rounds ago (`0` = current), if in the window.
+    pub fn ago(&self, i: usize) -> Option<&Graph> {
+        if i < self.history.len() {
+            self.history.get(self.history.len() - 1 - i)
+        } else {
+            None
+        }
+    }
+
+    /// Node set `V^∩T_r`: nodes that were awake in every round of the window.
+    pub fn intersection_nodes(&self) -> Vec<NodeId> {
+        let k = self.history.len();
+        (0..self.n)
+            .filter(|&i| k > 0 && self.active_counts[i] == k)
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// Returns `true` if `v` has been awake for the whole window.
+    pub fn node_in_intersection(&self, v: NodeId) -> bool {
+        let k = self.history.len();
+        k > 0 && self.active_counts[v.index()] == k
+    }
+
+    /// Returns `true` if the edge was present in every round of the window.
+    pub fn edge_in_intersection(&self, e: Edge) -> bool {
+        let k = self.history.len();
+        k > 0 && self.edge_counts.get(&e).copied().unwrap_or(0) == k
+    }
+
+    /// Returns `true` if the edge was present in at least one window round.
+    pub fn edge_in_union(&self, e: Edge) -> bool {
+        self.edge_counts.contains_key(&e)
+    }
+
+    /// Materializes the intersection graph `G^∩T_r`.
+    ///
+    /// Only nodes in `V^∩T_r` are active; only edges present in all window
+    /// rounds are included.
+    pub fn intersection_graph(&self) -> Graph {
+        let k = self.history.len();
+        let mut g = Graph::new_all_asleep(self.n);
+        if k == 0 {
+            return g;
+        }
+        for i in 0..self.n {
+            if self.active_counts[i] == k {
+                g.activate(NodeId::new(i));
+            }
+        }
+        for (&e, &c) in &self.edge_counts {
+            if c == k {
+                g.insert_edge(e.u, e.v);
+            }
+        }
+        g
+    }
+
+    /// Materializes the union graph `G^∪T_r` (node set `V^∩T_r`, edge union).
+    pub fn union_graph(&self) -> Graph {
+        let k = self.history.len();
+        let mut g = Graph::new_all_asleep(self.n);
+        if k == 0 {
+            return g;
+        }
+        for i in 0..self.n {
+            if self.active_counts[i] == k {
+                g.activate(NodeId::new(i));
+            }
+        }
+        for &e in self.edge_counts.keys() {
+            g.insert_edge(e.u, e.v);
+        }
+        g
+    }
+
+    /// Degree of `v` in the union graph: the number of *distinct* neighbors
+    /// seen in the last `T` rounds — the paper's notion of "degree" for the
+    /// (degree+1)-coloring covering constraint in dynamic networks.
+    pub fn union_degree(&self, v: NodeId) -> usize {
+        self.edge_counts.keys().filter(|e| e.contains(v)).count()
+    }
+
+    /// Degree of `v` in the intersection graph.
+    pub fn intersection_degree(&self, v: NodeId) -> usize {
+        let k = self.history.len();
+        if k == 0 {
+            return 0;
+        }
+        self.edge_counts
+            .iter()
+            .filter(|(e, &c)| c == k && e.contains(v))
+            .count()
+    }
+
+    /// Returns `true` if the α-neighborhood of `v` (measured in the *current*
+    /// graph) has been static over the whole window: every graph in the window
+    /// induces the same edge set on `N^α(v) ∪ {v}` and the same adjacency for
+    /// each of those nodes.
+    ///
+    /// This is the premise of property B.2 (Definition 3.3) and of the
+    /// "locally static" clauses of Corollaries 1.2 and 1.3.
+    pub fn locally_static(&self, v: NodeId, alpha: usize) -> bool {
+        let Some(cur) = self.current() else { return false };
+        let ball = crate::neighborhood::neighborhood(cur, v, alpha);
+        let first = self.history.front().expect("non-empty history");
+        for g in self.history.iter().skip(1) {
+            if !first.same_edges_on(g, &ball) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Brute-force recomputation of the intersection graph (used by tests to
+    /// validate the incremental maintenance).
+    pub fn intersection_graph_bruteforce(&self) -> Graph {
+        let mut it = self.history.iter();
+        let Some(first) = it.next() else {
+            return Graph::new_all_asleep(self.n);
+        };
+        let mut acc = first.clone();
+        // Restrict activity to V^∩.
+        for g in self.history.iter() {
+            for i in 0..self.n {
+                if !g.is_active(NodeId::new(i)) && acc.is_active(NodeId::new(i)) {
+                    // Do not remove edges: activity and edges are tracked
+                    // independently in Definition 2.1.
+                }
+            }
+        }
+        for g in it {
+            acc = acc.intersection(g);
+        }
+        // `Graph::intersection` already intersects activity; for a single
+        // graph ensure activity equals that graph's activity.
+        if self.history.len() == 1 {
+            return first.clone();
+        }
+        acc
+    }
+
+    /// Brute-force recomputation of the union graph (testing aid).
+    pub fn union_graph_bruteforce(&self) -> Graph {
+        let mut it = self.history.iter();
+        let Some(first) = it.next() else {
+            return Graph::new_all_asleep(self.n);
+        };
+        let mut acc = first.clone();
+        for g in it {
+            acc = acc.union(g);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, edges: &[(usize, usize)]) -> Graph {
+        Graph::from_edges(n, edges.iter().map(|&(a, b)| Edge::of(a, b)))
+    }
+
+    #[test]
+    fn window_of_one_round_is_current_graph() {
+        let mut w = GraphWindow::new(4, 3);
+        let g0 = g(4, &[(0, 1), (2, 3)]);
+        w.push(&g0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.intersection_graph().edge_vec(), g0.edge_vec());
+        assert_eq!(w.union_graph().edge_vec(), g0.edge_vec());
+    }
+
+    #[test]
+    fn intersection_and_union_over_three_rounds() {
+        let mut w = GraphWindow::new(4, 3);
+        w.push(&g(4, &[(0, 1), (1, 2)]));
+        w.push(&g(4, &[(0, 1), (2, 3)]));
+        w.push(&g(4, &[(0, 1), (1, 2), (2, 3)]));
+        let inter = w.intersection_graph();
+        let uni = w.union_graph();
+        assert_eq!(inter.edge_vec(), vec![Edge::of(0, 1)]);
+        assert_eq!(
+            uni.edge_vec(),
+            vec![Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3)]
+        );
+    }
+
+    #[test]
+    fn eviction_forgets_old_edges() {
+        let mut w = GraphWindow::new(3, 2);
+        w.push(&g(3, &[(0, 1)]));
+        w.push(&g(3, &[(1, 2)]));
+        w.push(&g(3, &[(1, 2)]));
+        // Window now holds rounds 1 and 2: {1,2} in both; {0,1} evicted.
+        assert!(w.edge_in_intersection(Edge::of(1, 2)));
+        assert!(!w.edge_in_union(Edge::of(0, 1)));
+        assert_eq!(w.union_graph().edge_vec(), vec![Edge::of(1, 2)]);
+    }
+
+    #[test]
+    fn union_degree_counts_distinct_neighbors() {
+        let mut w = GraphWindow::new(5, 4);
+        w.push(&g(5, &[(0, 1)]));
+        w.push(&g(5, &[(0, 2)]));
+        w.push(&g(5, &[(0, 3)]));
+        assert_eq!(w.union_degree(NodeId::new(0)), 3);
+        assert_eq!(w.intersection_degree(NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn node_activity_intersection() {
+        let mut w = GraphWindow::new(3, 2);
+        let mut g0 = Graph::new_all_asleep(3);
+        g0.activate(NodeId::new(0));
+        let mut g1 = Graph::new_all_asleep(3);
+        g1.activate(NodeId::new(0));
+        g1.activate(NodeId::new(1));
+        w.push(&g0);
+        w.push(&g1);
+        assert!(w.node_in_intersection(NodeId::new(0)));
+        assert!(!w.node_in_intersection(NodeId::new(1)));
+        assert_eq!(w.intersection_nodes(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn incremental_matches_bruteforce() {
+        let mut w = GraphWindow::new(6, 3);
+        let seq = [
+            g(6, &[(0, 1), (2, 3), (4, 5)]),
+            g(6, &[(0, 1), (1, 2), (4, 5)]),
+            g(6, &[(0, 1), (3, 4)]),
+            g(6, &[(1, 2), (3, 4), (0, 1)]),
+            g(6, &[(1, 2)]),
+        ];
+        for gr in &seq {
+            w.push(gr);
+            assert_eq!(
+                w.intersection_graph().edge_vec(),
+                w.intersection_graph_bruteforce().edge_vec()
+            );
+            assert_eq!(
+                w.union_graph().edge_vec(),
+                w.union_graph_bruteforce().edge_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn locally_static_detection() {
+        let mut w = GraphWindow::new(5, 3);
+        // Node 0's 1-neighborhood {0,1} stays identical; node 3-4 edge churns.
+        w.push(&g(5, &[(0, 1), (3, 4)]));
+        w.push(&g(5, &[(0, 1)]));
+        w.push(&g(5, &[(0, 1), (3, 4)]));
+        assert!(w.locally_static(NodeId::new(0), 1));
+        assert!(!w.locally_static(NodeId::new(3), 1));
+        // 2-neighborhood of 0 is {0,1} (nothing else attached), still static.
+        assert!(w.locally_static(NodeId::new(0), 2));
+    }
+
+    #[test]
+    fn ago_indexing() {
+        let mut w = GraphWindow::new(3, 3);
+        let g0 = g(3, &[(0, 1)]);
+        let g1 = g(3, &[(1, 2)]);
+        w.push(&g0);
+        w.push(&g1);
+        assert_eq!(w.ago(0).unwrap().edge_vec(), g1.edge_vec());
+        assert_eq!(w.ago(1).unwrap().edge_vec(), g0.edge_vec());
+        assert!(w.ago(2).is_none());
+        assert_eq!(w.current_round(), Some(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        let _ = GraphWindow::new(3, 0);
+    }
+}

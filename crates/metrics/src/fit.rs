@@ -1,0 +1,100 @@
+//! Model fitting used to validate asymptotic claims: ordinary least squares
+//! for `y = a + b·x`, applied with `x = log₂ n` to check `O(log n)` runtime
+//! claims, plus the coefficient of determination `R²`.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = intercept + slope · x`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares fit of `y = a + b·x`. Returns `None` for fewer than
+/// two points or when all `x` are identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { intercept, slope, r_squared })
+}
+
+/// Fits `y = a + b · log₂(n)` — the shape check for the paper's `O(log n)`
+/// round-complexity claims. `points` are `(n, y)` pairs.
+pub fn log_fit(points: &[(usize, f64)]) -> Option<LinearFit> {
+    let xs: Vec<f64> = points.iter().map(|(n, _)| (*n as f64).log2()).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+    linear_fit(&xs, &ys)
+}
+
+/// Fits `y = a + b · n` (linear in n) — used to contrast against the log fit:
+/// if runtime were linear in `n`, this fit would explain the data better.
+pub fn linear_in_n_fit(points: &[(usize, f64)]) -> Option<LinearFit> {
+    let xs: Vec<f64> = points.iter().map(|(n, _)| *n as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+    linear_fit(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ys = vec![1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+        // Constant y: R² defined as 1.
+        let fit = linear_fit(&[0.0, 1.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log_fit_detects_logarithmic_growth() {
+        // y = 3 log2(n) + 2, exact.
+        let points: Vec<(usize, f64)> = [16usize, 64, 256, 1024, 4096]
+            .iter()
+            .map(|&n| (n, 3.0 * (n as f64).log2() + 2.0))
+            .collect();
+        let fit = log_fit(&points).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.9999);
+        // The linear-in-n model fits logarithmic data worse.
+        let lin = linear_in_n_fit(&points).unwrap();
+        assert!(fit.r_squared > lin.r_squared);
+    }
+}

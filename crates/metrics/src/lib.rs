@@ -1,0 +1,18 @@
+//! # dynnet-metrics
+//!
+//! Measurement utilities for the `dynnet` experiments: summary statistics,
+//! per-round time series with convergence/decay detection, least-squares
+//! model fitting (for the `O(log n)` shape checks), and Markdown/CSV table
+//! writers used to regenerate the tables in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use fit::{linear_fit, linear_in_n_fit, log_fit, LinearFit};
+pub use series::Series;
+pub use stats::{quantile_sorted, Summary};
+pub use table::{fmt2, fmt_pct, Table};

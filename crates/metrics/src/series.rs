@@ -1,0 +1,114 @@
+//! Per-round time series of measurements and convergence detection.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// A named per-round time series of `f64` measurements.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Name of the measured quantity.
+    pub name: String,
+    /// One value per round.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), values: Vec::new() }
+    }
+
+    /// Appends one round's value.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of rounds recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Summary statistics over all rounds.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values)
+    }
+
+    /// Summary statistics over the rounds `from..`.
+    pub fn summary_from(&self, from: usize) -> Summary {
+        Summary::of(&self.values[from.min(self.values.len())..])
+    }
+
+    /// First round (index) at which the value reaches `target` and never
+    /// rises above it again — e.g. "first round with 0 undecided nodes that
+    /// stays converged". Returns `None` if that never happens.
+    pub fn converged_at_or_below(&self, target: f64) -> Option<usize> {
+        let mut candidate = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v <= target {
+                if candidate.is_none() {
+                    candidate = Some(i);
+                }
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// The per-round ratio `values[i + lag] / values[i]` (skipping zero
+    /// denominators) — used to measure geometric decay rates such as
+    /// Lemma 5.2's 2/3-edge-decay.
+    pub fn decay_ratios(&self, lag: usize) -> Vec<f64> {
+        assert!(lag >= 1);
+        let mut out = Vec::new();
+        for i in 0..self.values.len().saturating_sub(lag) {
+            if self.values[i] > 0.0 {
+                out.push(self.values[i + lag] / self.values[i]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_summarize() {
+        let mut s = Series::new("undecided");
+        for v in [10.0, 5.0, 2.0, 0.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!((s.summary().mean - 4.25).abs() < 1e-12);
+        assert!((s.summary_from(2).mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let s = Series { name: "x".into(), values: vec![5.0, 0.0, 3.0, 0.0, 0.0] };
+        assert_eq!(s.converged_at_or_below(0.0), Some(3));
+        assert_eq!(s.converged_at_or_below(10.0), Some(0));
+        let never = Series { name: "y".into(), values: vec![1.0, 2.0] };
+        assert_eq!(never.converged_at_or_below(0.0), None);
+        assert_eq!(Series::new("z").converged_at_or_below(0.0), None);
+    }
+
+    #[test]
+    fn decay_ratios() {
+        let s = Series { name: "edges".into(), values: vec![90.0, 60.0, 40.0, 0.0] };
+        let r1 = s.decay_ratios(1);
+        assert_eq!(r1.len(), 3);
+        assert!((r1[0] - 2.0 / 3.0).abs() < 1e-12);
+        let r2 = s.decay_ratios(2);
+        assert_eq!(r2.len(), 2);
+        assert!((r2[0] - 4.0 / 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! The per-node algorithm abstraction.
+//!
+//! The paper's round structure (Section 2) is:
+//!
+//! 1. the adversary changes the graph and provides `G_r`,
+//! 2. nodes send/receive messages through the edges `E_r` (local broadcast)
+//!    and perform local computations,
+//! 3. each node returns its output.
+//!
+//! A [`NodeAlgorithm`] mirrors this: per round the simulator calls
+//! [`NodeAlgorithm::send`] to obtain the broadcast message, delivers to every
+//! node the messages of its current neighbors, calls
+//! [`NodeAlgorithm::receive`], and finally reads [`NodeAlgorithm::output`].
+//! Communication is by local broadcast: one message per node per round,
+//! delivered to all current neighbors; a node need not know its neighbors or
+//! its degree at the start of a round (it learns them from the inbox).
+
+use dynnet_graph::{CsrGraph, NodeId};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-round, per-node execution context handed to [`NodeAlgorithm`] hooks.
+pub struct NodeContext<'a> {
+    /// The node this context belongs to.
+    pub node: NodeId,
+    /// Upper bound `n` on the number of nodes — globally known (Section 2).
+    pub n: usize,
+    /// Global round number (for tracing/analysis only; the paper stresses
+    /// that nodes need no common round counter and the provided algorithms
+    /// never read this field).
+    pub round: u64,
+    /// Rounds since this node woke up (0 in its wake-up round).
+    pub local_round: u64,
+    /// The current communication graph `G_r`.
+    pub graph: &'a CsrGraph,
+    /// Fresh per-(seed, node, round) randomness.
+    pub rng: ChaCha8Rng,
+}
+
+impl NodeContext<'_> {
+    /// The node's neighbors in the current graph `G_r`.
+    ///
+    /// Note: the paper-faithful algorithms only inspect neighbor information
+    /// *after* the receive step; this accessor also backs the inbox
+    /// construction in the simulator.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// The node's degree in the current graph `G_r`.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+}
+
+/// A message received from a neighbor: `(sender, payload)`.
+pub type Incoming<M> = (NodeId, M);
+
+/// A distributed algorithm as executed by a single node.
+///
+/// Implementations hold the node's entire local state. One instance exists
+/// per (awake) node; the simulator drives all instances in lock step.
+pub trait NodeAlgorithm: Send {
+    /// The broadcast message type.
+    type Msg: Clone + Send + Sync;
+    /// The per-round output type (the paper's `y_v`; use an `Option`-like
+    /// type to model `⊥`).
+    type Output: Clone + PartialEq + Send + Sync;
+
+    /// Called once, in the round in which the node wakes up, before the first
+    /// `send`. Default: no-op.
+    fn on_wake(&mut self, ctx: &mut NodeContext<'_>) {
+        let _ = ctx;
+    }
+
+    /// Produces the message this node broadcasts to all neighbors in `G_r`.
+    fn send(&mut self, ctx: &mut NodeContext<'_>) -> Self::Msg;
+
+    /// Consumes the messages broadcast by the node's neighbors in `G_r`
+    /// (one entry per awake neighbor) and updates the local state.
+    fn receive(&mut self, ctx: &mut NodeContext<'_>, inbox: &[Incoming<Self::Msg>]);
+
+    /// The node's output at the end of the round.
+    fn output(&self) -> Self::Output;
+}
+
+/// Creates fresh per-node algorithm instances when nodes wake up.
+///
+/// Blanket-implemented for closures `Fn(NodeId) -> A`.
+pub trait AlgorithmFactory<A: NodeAlgorithm>: Sync {
+    /// Creates the algorithm instance for node `v`.
+    fn create(&self, v: NodeId) -> A;
+}
+
+impl<A: NodeAlgorithm, F: Fn(NodeId) -> A + Sync> AlgorithmFactory<A> for F {
+    fn create(&self, v: NodeId) -> A {
+        self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::{Edge, Graph};
+
+    /// Trivial algorithm used to exercise the trait plumbing: every node
+    /// outputs the number of distinct neighbors heard from so far.
+    struct CountNeighbors {
+        heard: std::collections::BTreeSet<NodeId>,
+    }
+
+    impl NodeAlgorithm for CountNeighbors {
+        type Msg = ();
+        type Output = usize;
+
+        fn send(&mut self, _ctx: &mut NodeContext<'_>) -> Self::Msg {}
+
+        fn receive(&mut self, _ctx: &mut NodeContext<'_>, inbox: &[Incoming<Self::Msg>]) {
+            for (from, ()) in inbox {
+                self.heard.insert(*from);
+            }
+        }
+
+        fn output(&self) -> usize {
+            self.heard.len()
+        }
+    }
+
+    #[test]
+    fn context_accessors() {
+        let g = Graph::from_edges(4, [Edge::of(0, 1), Edge::of(0, 2)]);
+        let csr = CsrGraph::from_graph(&g);
+        let ctx = NodeContext {
+            node: NodeId::new(0),
+            n: 4,
+            round: 3,
+            local_round: 1,
+            graph: &csr,
+            rng: crate::rng::node_round_rng(0, 0, 3, 0),
+        };
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.neighbors(), &[NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn factory_closure_blanket_impl() {
+        let factory = |_v: NodeId| CountNeighbors {
+            heard: Default::default(),
+        };
+        let mut alg = AlgorithmFactory::<CountNeighbors>::create(&factory, NodeId::new(3));
+        assert_eq!(alg.output(), 0);
+        let g = Graph::from_edges(2, [Edge::of(0, 1)]);
+        let csr = CsrGraph::from_graph(&g);
+        let mut ctx = NodeContext {
+            node: NodeId::new(0),
+            n: 2,
+            round: 0,
+            local_round: 0,
+            graph: &csr,
+            rng: crate::rng::node_round_rng(0, 0, 0, 0),
+        };
+        alg.receive(&mut ctx, &[(NodeId::new(1), ())]);
+        assert_eq!(alg.output(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dynnet-runtime
+//!
+//! Synchronous round-based distributed simulation engine for the `dynnet`
+//! reproduction of *"Local Distributed Algorithms in Highly Dynamic
+//! Networks"*.
+//!
+//! The engine implements the paper's execution model (Section 2): in every
+//! round the adversary supplies a communication graph, every awake node
+//! broadcasts one message to its current neighbors, receives its neighbors'
+//! messages, performs local computation, and produces an output. Nodes may
+//! wake up asynchronously and never need a common round counter.
+//!
+//! * [`NodeAlgorithm`] — the per-node algorithm abstraction (send → receive →
+//!   output per round).
+//! * [`Simulator`] — drives one algorithm over a dynamic graph; sequential or
+//!   rayon-parallel per-node phases with bit-identical results.
+//! * [`rng`] — deterministic per-(seed, node, round) randomness.
+//! * [`wakeup`] — asynchronous wake-up schedules.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod rng;
+pub mod simulator;
+pub mod wakeup;
+
+pub use algorithm::{AlgorithmFactory, Incoming, NodeAlgorithm, NodeContext};
+pub use simulator::{RoundReport, SimConfig, Simulator};
+pub use wakeup::{AllAtStart, RandomWakeup, ScriptedWakeup, Staggered, WakeupSchedule};

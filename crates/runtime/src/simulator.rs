@@ -1,0 +1,492 @@
+//! The synchronous round-based simulator.
+//!
+//! One [`Simulator`] drives one distributed algorithm (one [`NodeAlgorithm`]
+//! instance per awake node) over a dynamic graph supplied round-by-round by
+//! the caller (usually an adversary from `dynnet-adversary`). Each call to
+//! [`Simulator::step`] executes one round of the paper's model:
+//!
+//! 1. the caller passes the adversary's graph `G_r`,
+//! 2. nodes that become active wake up,
+//! 3. every awake node broadcasts one message to its current neighbors,
+//! 4. every awake node receives its neighbors' messages and updates state,
+//! 5. every awake node returns its output.
+//!
+//! The per-node send and receive phases are embarrassingly parallel; with
+//! [`SimConfig::parallel`] enabled they run on rayon. Because node randomness
+//! is derived from `(seed, node, round)` (see [`crate::rng`]), sequential and
+//! parallel execution produce bit-identical results.
+
+use crate::algorithm::{AlgorithmFactory, NodeAlgorithm, NodeContext};
+use crate::rng::node_round_rng;
+use crate::wakeup::WakeupSchedule;
+use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, NodeId};
+use rayon::prelude::*;
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Experiment seed; all node randomness derives from it.
+    pub seed: u64,
+    /// Execute the per-node phases on the rayon thread pool.
+    pub parallel: bool,
+    /// Minimum number of awake nodes before the parallel path is used
+    /// (below this the sequential path is faster).
+    pub parallel_threshold: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            parallel: false,
+            parallel_threshold: 512,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sequential execution with the given seed.
+    pub fn sequential(seed: u64) -> Self {
+        SimConfig { seed, parallel: false, ..Default::default() }
+    }
+
+    /// Rayon-parallel execution with the given seed.
+    pub fn parallel(seed: u64) -> Self {
+        SimConfig { seed, parallel: true, ..Default::default() }
+    }
+}
+
+/// The result of executing one round.
+#[derive(Clone, Debug)]
+pub struct RoundReport<O> {
+    /// The round that was executed (0-based).
+    pub round: u64,
+    /// Snapshot of the communication graph `G_r` used in this round.
+    pub graph: CsrGraph,
+    /// Output of every node (`None` for nodes that have not woken up yet —
+    /// the paper's nodes outside `V_r`).
+    pub outputs: Vec<Option<O>>,
+    /// Nodes that woke up in this round.
+    pub newly_awake: Vec<NodeId>,
+    /// Number of awake nodes at the end of the round.
+    pub num_awake: usize,
+}
+
+/// Drives one [`NodeAlgorithm`] over a dynamic graph, one round per
+/// [`Simulator::step`] call.
+pub struct Simulator<A, F, W>
+where
+    A: NodeAlgorithm,
+    F: AlgorithmFactory<A>,
+    W: WakeupSchedule,
+{
+    n: usize,
+    factory: F,
+    wakeup: W,
+    config: SimConfig,
+    nodes: Vec<Option<A>>,
+    outputs: Vec<Option<A::Output>>,
+    /// Round in which each node actually woke (None = still asleep).
+    woke_at: Vec<Option<u64>>,
+    next_round: u64,
+}
+
+impl<A, F, W> Simulator<A, F, W>
+where
+    A: NodeAlgorithm,
+    F: AlgorithmFactory<A>,
+    W: WakeupSchedule,
+{
+    /// Creates a simulator over a universe of `n` nodes.
+    pub fn new(n: usize, factory: F, wakeup: W, config: SimConfig) -> Self {
+        Simulator {
+            n,
+            factory,
+            wakeup,
+            config,
+            nodes: (0..n).map(|_| None).collect(),
+            outputs: vec![None; n],
+            woke_at: vec![None; n],
+            next_round: 0,
+        }
+    }
+
+    /// The universe size `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The next round to be executed.
+    pub fn round(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Returns `true` if node `v` has woken up.
+    pub fn is_awake(&self, v: NodeId) -> bool {
+        self.woke_at[v.index()].is_some()
+    }
+
+    /// The round in which node `v` woke, if it has.
+    pub fn woke_at(&self, v: NodeId) -> Option<u64> {
+        self.woke_at[v.index()]
+    }
+
+    /// The most recent outputs (as of the last executed round).
+    pub fn outputs(&self) -> &[Option<A::Output>] {
+        &self.outputs
+    }
+
+    /// Immutable access to a node's algorithm instance (testing/inspection).
+    pub fn node(&self, v: NodeId) -> Option<&A> {
+        self.nodes[v.index()].as_ref()
+    }
+
+    /// Executes one round on the communication graph `graph` (the adversary's
+    /// `G_r` for `r = self.round()`).
+    ///
+    /// Nodes that have not woken up yet (because their wake-up schedule has
+    /// not fired) are not part of `V_r` in the paper's model; they are pruned
+    /// from the *effective* communication graph of the round, which is the
+    /// graph reported in [`RoundReport::graph`] and used for message
+    /// delivery.
+    pub fn step(&mut self, graph: &Graph) -> RoundReport<A::Output> {
+        assert_eq!(graph.num_nodes(), self.n, "graph universe mismatch");
+        let round = self.next_round;
+
+        // 1. Wake-up: a node wakes in the first round where it is active in
+        //    the adversary's graph and its wake-up schedule permits.
+        let mut newly_awake = Vec::new();
+        for i in 0..self.n {
+            let v = NodeId::new(i);
+            if self.woke_at[i].is_none()
+                && graph.is_active(v)
+                && round >= self.wakeup.wake_round(v)
+            {
+                self.woke_at[i] = Some(round);
+                newly_awake.push(v);
+            }
+        }
+
+        // 2. Effective communication graph: prune nodes outside V_r (asleep),
+        //    then snapshot it for the parallel phases.
+        let mut effective = graph.clone();
+        for i in 0..self.n {
+            if self.woke_at[i].is_none() {
+                effective.deactivate(NodeId::new(i));
+            }
+        }
+        let csr = CsrGraph::from_graph(&effective);
+
+        // 3. Instantiate algorithms for the newly awake nodes.
+        for &v in &newly_awake {
+            let mut alg = self.factory.create(v);
+            let mut ctx = self.context(v, round, &csr, 0);
+            alg.on_wake(&mut ctx);
+            self.nodes[v.index()] = Some(alg);
+        }
+
+        // 4. Send phase: every awake node broadcasts one message.
+        let messages: Vec<Option<A::Msg>> = self.run_send_phase(round, &csr);
+
+        // 5+6. Deliver + receive phase.
+        self.run_receive_phase(round, &csr, &messages);
+
+        // 7. Collect outputs.
+        for i in 0..self.n {
+            if let Some(alg) = &self.nodes[i] {
+                self.outputs[i] = Some(alg.output());
+            }
+        }
+
+        self.next_round += 1;
+        RoundReport {
+            round,
+            graph: csr,
+            outputs: self.outputs.clone(),
+            newly_awake,
+            num_awake: self.woke_at.iter().filter(|w| w.is_some()).count(),
+        }
+    }
+
+    /// Runs the simulator over every graph of a recorded trace and returns
+    /// the per-round reports.
+    pub fn run_trace(&mut self, trace: &DynamicGraphTrace) -> Vec<RoundReport<A::Output>> {
+        trace.iter().map(|g| self.step(&g)).collect()
+    }
+
+    /// Runs `rounds` rounds on a static graph.
+    pub fn run_static(&mut self, graph: &Graph, rounds: usize) -> Vec<RoundReport<A::Output>> {
+        (0..rounds).map(|_| self.step(graph)).collect()
+    }
+
+    fn context<'a>(
+        &self,
+        v: NodeId,
+        round: u64,
+        csr: &'a CsrGraph,
+        stream: u64,
+    ) -> NodeContext<'a> {
+        let local_round = self.woke_at[v.index()].map_or(0, |w| round - w);
+        NodeContext {
+            node: v,
+            n: self.n,
+            round,
+            local_round,
+            graph: csr,
+            rng: node_round_rng(self.config.seed, v.0, round, stream),
+        }
+    }
+
+    fn use_parallel(&self, awake: usize) -> bool {
+        self.config.parallel && awake >= self.config.parallel_threshold
+    }
+
+    fn run_send_phase(&mut self, round: u64, csr: &CsrGraph) -> Vec<Option<A::Msg>> {
+        let awake = self.woke_at.iter().filter(|w| w.is_some()).count();
+        let seed = self.config.seed;
+        let n = self.n;
+        let woke_at = &self.woke_at;
+        if self.use_parallel(awake) {
+            self.nodes
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    slot.as_mut().map(|alg| {
+                        let v = NodeId::new(i);
+                        let local_round = round - woke_at[i].expect("awake");
+                        let mut ctx = NodeContext {
+                            node: v,
+                            n,
+                            round,
+                            local_round,
+                            graph: csr,
+                            rng: node_round_rng(seed, v.0, round, 0),
+                        };
+                        alg.send(&mut ctx)
+                    })
+                })
+                .collect()
+        } else {
+            let mut out = Vec::with_capacity(self.n);
+            for i in 0..self.n {
+                let msg = self.nodes[i].as_mut().map(|alg| {
+                    let v = NodeId::new(i);
+                    let local_round = round - woke_at[i].expect("awake");
+                    let mut ctx = NodeContext {
+                        node: v,
+                        n,
+                        round,
+                        local_round,
+                        graph: csr,
+                        rng: node_round_rng(seed, v.0, round, 0),
+                    };
+                    alg.send(&mut ctx)
+                });
+                out.push(msg);
+            }
+            out
+        }
+    }
+
+    fn run_receive_phase(&mut self, round: u64, csr: &CsrGraph, messages: &[Option<A::Msg>]) {
+        let awake = self.woke_at.iter().filter(|w| w.is_some()).count();
+        let seed = self.config.seed;
+        let n = self.n;
+        let woke_at = &self.woke_at;
+        let build_inbox = |v: NodeId| -> Vec<(NodeId, A::Msg)> {
+            csr.neighbors(v)
+                .iter()
+                .filter_map(|&u| messages[u.index()].clone().map(|m| (u, m)))
+                .collect()
+        };
+        if self.use_parallel(awake) {
+            self.nodes.par_iter_mut().enumerate().for_each(|(i, slot)| {
+                if let Some(alg) = slot.as_mut() {
+                    let v = NodeId::new(i);
+                    let inbox = build_inbox(v);
+                    let local_round = round - woke_at[i].expect("awake");
+                    let mut ctx = NodeContext {
+                        node: v,
+                        n,
+                        round,
+                        local_round,
+                        graph: csr,
+                        rng: node_round_rng(seed, v.0, round, 1),
+                    };
+                    alg.receive(&mut ctx, &inbox);
+                }
+            });
+        } else {
+            for i in 0..self.n {
+                if let Some(alg) = self.nodes[i].as_mut() {
+                    let v = NodeId::new(i);
+                    let inbox = build_inbox(v);
+                    let local_round = round - woke_at[i].expect("awake");
+                    let mut ctx = NodeContext {
+                        node: v,
+                        n,
+                        round,
+                        local_round,
+                        graph: csr,
+                        rng: node_round_rng(seed, v.0, round, 1),
+                    };
+                    alg.receive(&mut ctx, &inbox);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Incoming;
+    use crate::wakeup::{AllAtStart, ScriptedWakeup};
+    use dynnet_graph::{generators, Edge, Graph};
+    use rand::Rng;
+
+    /// Every node outputs the maximum id it has heard of (including itself):
+    /// classic flooding; on a connected static graph of diameter D all nodes
+    /// converge to the global maximum after D rounds.
+    #[derive(Clone)]
+    struct MaxFlood {
+        best: u32,
+    }
+
+    impl NodeAlgorithm for MaxFlood {
+        type Msg = u32;
+        type Output = u32;
+
+        fn send(&mut self, _ctx: &mut NodeContext<'_>) -> u32 {
+            self.best
+        }
+
+        fn receive(&mut self, _ctx: &mut NodeContext<'_>, inbox: &[Incoming<u32>]) {
+            for (_, m) in inbox {
+                self.best = self.best.max(*m);
+            }
+        }
+
+        fn output(&self) -> u32 {
+            self.best
+        }
+    }
+
+    fn max_flood_factory(v: NodeId) -> MaxFlood {
+        MaxFlood { best: v.0 }
+    }
+
+    /// Outputs one random draw per round; used to check RNG determinism.
+    struct RandomDraw {
+        last: u64,
+    }
+
+    impl NodeAlgorithm for RandomDraw {
+        type Msg = ();
+        type Output = u64;
+
+        fn send(&mut self, ctx: &mut NodeContext<'_>) -> () {
+            self.last = ctx.rng.gen();
+        }
+
+        fn receive(&mut self, _ctx: &mut NodeContext<'_>, _inbox: &[Incoming<()>]) {}
+
+        fn output(&self) -> u64 {
+            self.last
+        }
+    }
+
+    #[test]
+    fn flooding_converges_on_a_path() {
+        let n = 8;
+        let g = generators::path(n);
+        let mut sim = Simulator::new(n, max_flood_factory, AllAtStart, SimConfig::sequential(1));
+        let reports = sim.run_static(&g, n);
+        let last = reports.last().unwrap();
+        for i in 0..n {
+            assert_eq!(last.outputs[i], Some((n - 1) as u32));
+        }
+        // After a single round only direct neighbors of the max know it.
+        assert_eq!(reports[0].outputs[0], Some(1));
+    }
+
+    #[test]
+    fn outputs_are_none_before_wakeup() {
+        let n = 3;
+        let g = generators::complete(n);
+        let wake = ScriptedWakeup { rounds: vec![0, 2, 5] };
+        let mut sim = Simulator::new(n, max_flood_factory, wake, SimConfig::sequential(0));
+        let r0 = sim.step(&g);
+        assert!(r0.outputs[0].is_some());
+        assert!(r0.outputs[1].is_none());
+        assert_eq!(r0.newly_awake, vec![NodeId::new(0)]);
+        let _r1 = sim.step(&g);
+        let r2 = sim.step(&g);
+        assert!(r2.outputs[1].is_some());
+        assert!(r2.outputs[2].is_none());
+        assert_eq!(r2.num_awake, 2);
+        assert_eq!(sim.woke_at(NodeId::new(1)), Some(2));
+    }
+
+    #[test]
+    fn messages_flow_only_over_current_edges() {
+        // Two nodes connected only in round 1; flooding only succeeds then.
+        let n = 2;
+        let empty = Graph::new(n);
+        let connected = Graph::from_edges(n, [Edge::of(0, 1)]);
+        let mut sim = Simulator::new(n, max_flood_factory, AllAtStart, SimConfig::sequential(0));
+        let r0 = sim.step(&empty);
+        assert_eq!(r0.outputs[0], Some(0));
+        let r1 = sim.step(&connected);
+        assert_eq!(r1.outputs[0], Some(1));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let n = 64;
+        let g = generators::erdos_renyi_avg_degree(n, 6.0, &mut crate::rng::experiment_rng(3, "g"));
+        let mut seq = Simulator::new(
+            n,
+            |_v| RandomDraw { last: 0 },
+            AllAtStart,
+            SimConfig { seed: 9, parallel: false, parallel_threshold: 0 },
+        );
+        let mut par = Simulator::new(
+            n,
+            |_v| RandomDraw { last: 0 },
+            AllAtStart,
+            SimConfig { seed: 9, parallel: true, parallel_threshold: 0 },
+        );
+        for _ in 0..5 {
+            let a = seq.step(&g);
+            let b = par.step(&g);
+            assert_eq!(a.outputs, b.outputs);
+        }
+    }
+
+    #[test]
+    fn run_trace_replays_each_round() {
+        let g0 = Graph::from_edges(3, [Edge::of(0, 1)]);
+        let g1 = Graph::from_edges(3, [Edge::of(1, 2)]);
+        let mut trace = DynamicGraphTrace::new(g0);
+        trace.push(&g1);
+        let mut sim = Simulator::new(3, max_flood_factory, AllAtStart, SimConfig::sequential(0));
+        let reports = sim.run_trace(&trace);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].round, 0);
+        assert_eq!(reports[1].round, 1);
+        // Node 0 hears 1 in round 0; node 1 hears 2 in round 1; 0 never hears 2.
+        assert_eq!(reports[1].outputs[0], Some(1));
+        assert_eq!(reports[1].outputs[1], Some(2));
+    }
+
+    #[test]
+    fn node_accessor_exposes_state() {
+        let g = generators::complete(3);
+        let mut sim = Simulator::new(3, max_flood_factory, AllAtStart, SimConfig::sequential(0));
+        sim.step(&g);
+        assert_eq!(sim.node(NodeId::new(0)).unwrap().best, 2);
+        assert_eq!(sim.round(), 1);
+        assert!(sim.is_awake(NodeId::new(2)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Asynchronous wake-up schedules.
+//!
+//! The paper allows nodes to wake up gradually (`∅ = V_0 ⊆ V_1 ⊆ …`); a node
+//! that wakes up does not know the current round number. A
+//! [`WakeupSchedule`] assigns each node the first round in which it may
+//! participate; a node actually wakes in the first round `r ≥ wake_round(v)`
+//! in which it is active in `G_r`.
+
+use dynnet_graph::NodeId;
+use rand::Rng;
+
+/// Assigns every node the earliest round in which it wakes up.
+pub trait WakeupSchedule: Send + Sync {
+    /// The earliest round in which node `v` may participate.
+    fn wake_round(&self, v: NodeId) -> u64;
+}
+
+/// All nodes wake up in round 0 — the synchronous-start special case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllAtStart;
+
+impl WakeupSchedule for AllAtStart {
+    fn wake_round(&self, _v: NodeId) -> u64 {
+        0
+    }
+}
+
+/// Node `v` wakes in round `v · stride` (capped at `max_round`): a simple
+/// deterministic staggered wake-up.
+#[derive(Clone, Copy, Debug)]
+pub struct Staggered {
+    /// Rounds between consecutive wake-ups.
+    pub stride: u64,
+    /// Latest possible wake-up round.
+    pub max_round: u64,
+}
+
+impl WakeupSchedule for Staggered {
+    fn wake_round(&self, v: NodeId) -> u64 {
+        (v.index() as u64 * self.stride).min(self.max_round)
+    }
+}
+
+/// Every node wakes at an independently uniform round in `[0, max_round]`,
+/// fixed at construction time from a seed.
+#[derive(Clone, Debug)]
+pub struct RandomWakeup {
+    rounds: Vec<u64>,
+}
+
+impl RandomWakeup {
+    /// Draws wake-up rounds for `n` nodes uniformly from `[0, max_round]`.
+    pub fn new(n: usize, max_round: u64, seed: u64) -> Self {
+        let mut rng = crate::rng::experiment_rng(seed, "wakeup");
+        RandomWakeup {
+            rounds: (0..n).map(|_| rng.gen_range(0..=max_round)).collect(),
+        }
+    }
+}
+
+impl WakeupSchedule for RandomWakeup {
+    fn wake_round(&self, v: NodeId) -> u64 {
+        self.rounds.get(v.index()).copied().unwrap_or(0)
+    }
+}
+
+/// Explicit per-node wake-up rounds (nodes beyond the vector wake at 0).
+#[derive(Clone, Debug)]
+pub struct ScriptedWakeup {
+    /// Wake-up round per node id.
+    pub rounds: Vec<u64>,
+}
+
+impl WakeupSchedule for ScriptedWakeup {
+    fn wake_round(&self, v: NodeId) -> u64 {
+        self.rounds.get(v.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_at_start() {
+        assert_eq!(AllAtStart.wake_round(NodeId::new(17)), 0);
+    }
+
+    #[test]
+    fn staggered_caps_at_max() {
+        let s = Staggered { stride: 3, max_round: 10 };
+        assert_eq!(s.wake_round(NodeId::new(0)), 0);
+        assert_eq!(s.wake_round(NodeId::new(2)), 6);
+        assert_eq!(s.wake_round(NodeId::new(100)), 10);
+    }
+
+    #[test]
+    fn random_wakeup_in_range_and_reproducible() {
+        let a = RandomWakeup::new(50, 20, 7);
+        let b = RandomWakeup::new(50, 20, 7);
+        for i in 0..50 {
+            let r = a.wake_round(NodeId::new(i));
+            assert!(r <= 20);
+            assert_eq!(r, b.wake_round(NodeId::new(i)));
+        }
+        let c = RandomWakeup::new(50, 20, 8);
+        assert!((0..50).any(|i| a.wake_round(NodeId::new(i)) != c.wake_round(NodeId::new(i))));
+    }
+
+    #[test]
+    fn scripted_wakeup_defaults_to_zero() {
+        let s = ScriptedWakeup { rounds: vec![5, 2] };
+        assert_eq!(s.wake_round(NodeId::new(0)), 5);
+        assert_eq!(s.wake_round(NodeId::new(1)), 2);
+        assert_eq!(s.wake_round(NodeId::new(9)), 0);
+    }
+}

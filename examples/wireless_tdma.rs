@@ -1,0 +1,66 @@
+//! Wireless TDMA slot assignment — the paper's motivating application for
+//! vertex coloring (Section 1.2): mobile nodes in the plane coordinate
+//! access to a shared radio channel by transmitting in the slot given by
+//! their current color. The dynamic coloring keeps the slot assignment
+//! almost-always collision free even though links appear and disappear every
+//! round; the residual collisions are handled by the simple randomized
+//! contention-resolution strategy from the paper.
+//!
+//! ```text
+//! cargo run --release -p dynnet --example wireless_tdma
+//! ```
+
+use dynnet::algorithms::apps::tdma;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+fn main() {
+    let n = 150;
+    let window = recommended_window(n);
+    let rounds = 6 * window;
+
+    // Random-waypoint mobility: each node moves toward a waypoint in the
+    // unit square; the communication graph is the unit-disk graph of the
+    // current positions.
+    let mut adversary = MobilityAdversary::new(
+        MobilityConfig { n, radius: 0.14, min_speed: 0.002, max_speed: 0.01 },
+        3,
+    );
+
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(11));
+    let record = run(&mut sim, &mut adversary, rounds);
+
+    println!("mobile wireless network: n = {n}, T = {window}, {rounds} rounds\n");
+    println!("{:>6} {:>8} {:>10} {:>10} {:>9} {:>10}", "round", "edges", "frame len", "success", "collide", "recovered");
+
+    let mut contention_rng = experiment_rng(99, "tdma-contention");
+    let mut worst_success_rate: f64 = 1.0;
+    for r in (window..rounds).step_by(window / 2) {
+        let g = record.graph_at(r);
+        let colors: Vec<ColorOutput> = record
+            .outputs_at(r)
+            .iter()
+            .map(|o| o.unwrap_or(ColorOutput::Undecided))
+            .collect();
+        let frame = tdma::run_frame(&g, &colors);
+        let recovered = tdma::resolve_contention(&g, &colors, &frame, 4, &mut contention_rng);
+        worst_success_rate = worst_success_rate.min(frame.success_rate());
+        println!(
+            "{:>6} {:>8} {:>10} {:>10} {:>9} {:>10}",
+            r,
+            g.num_edges(),
+            frame.frame_length,
+            frame.successful,
+            frame.collided,
+            recovered
+        );
+    }
+    println!(
+        "\nworst per-frame success rate over the sampled rounds: {:.1}%",
+        100.0 * worst_success_rate
+    );
+    println!(
+        "(collisions can only involve edges that appeared within the last T = {window} rounds; \
+         everything else is guaranteed collision free by Corollary 1.2)"
+    );
+}

@@ -1,0 +1,139 @@
+//! Integration tests for Corollary 1.2 (dynamic (degree+1)-coloring):
+//! conflict-resolution latency after adversarial edge insertions, color-range
+//! bounds under churn, and behaviour under mobility.
+
+use dynnet::core::coloring::{conflict_edges, max_color_used};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+#[test]
+fn injected_conflicts_resolve_within_one_window() {
+    let n = 49;
+    let window = recommended_window(n);
+    let base = generators::grid(7, 7);
+    let mut adv = BurstAdversary::new(base, (2 * window) as u64, (10 * window) as u64, 5, 2);
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(1));
+    let rounds = 5 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+
+    // Longest consecutive run of rounds with at least one conflict on the
+    // current graph must stay below the window size T.
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    for r in window..rounds {
+        let g = record.graph_at(r);
+        let out: Vec<ColorOutput> = record
+            .outputs_at(r)
+            .iter()
+            .map(|o| o.unwrap_or(ColorOutput::Undecided))
+            .collect();
+        if conflict_edges(&g, &out) > 0 {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    assert!(longest < window, "conflicts persisted {longest} ≥ T = {window} rounds");
+}
+
+#[test]
+fn colors_stay_within_union_degree_bound_under_heavy_churn() {
+    let n = 40;
+    let window = recommended_window(n);
+    let footprint = generators::erdos_renyi_avg_degree(n, 6.0, &mut experiment_rng(1, "icol"));
+    let mut adv = FlipChurnAdversary::new(&footprint, 0.10, 3);
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(2));
+    let rounds = 3 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+
+    // Check the covering bound per round against the window's union degree.
+    let mut w = GraphWindow::new(n, window);
+    for r in 0..rounds {
+        w.push(&record.graph_at(r));
+        if r < window - 1 {
+            continue;
+        }
+        for (i, o) in record.outputs_at(r).iter().enumerate() {
+            if let Some(ColorOutput::Colored(c)) = o {
+                let bound = w.union_degree(NodeId::new(i)) + 1;
+                assert!(*c <= bound, "round {r}: node {i} has color {c} > d^∪T+1 = {bound}");
+            }
+        }
+    }
+    // And the palette never explodes: far fewer colors than n are in use.
+    let final_out: Vec<ColorOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(ColorOutput::Undecided))
+        .collect();
+    assert!(max_color_used(&final_out) <= footprint.max_degree() + 1);
+}
+
+#[test]
+fn mobility_workload_keeps_t_dynamic_coloring() {
+    let n = 50;
+    let window = recommended_window(n);
+    let mut adv = MobilityAdversary::new(
+        MobilityConfig { n, radius: 0.22, min_speed: 0.002, max_speed: 0.012 },
+        5,
+    );
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(3));
+    let rounds = 3 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs: Vec<Vec<Option<ColorOutput>>> =
+        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
+    let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+}
+
+#[test]
+fn adaptive_conflict_seeking_adversary_cannot_break_validity() {
+    // The coloring analysis tolerates even adaptive adversaries; an
+    // output-aware adversary that keeps wiring equally-colored nodes together
+    // must not be able to make any round's output invalid.
+    let n = 36;
+    let window = recommended_window(n);
+    let footprint = generators::grid(6, 6);
+    let mut adv: ConflictSeekingAdversary<ColorOutput, _> = ConflictSeekingAdversary::new(
+        footprint,
+        |a: &ColorOutput, b: &ColorOutput| {
+            matches!((a, b), (ColorOutput::Colored(x), ColorOutput::Colored(y)) if x == y)
+        },
+        3,
+        0.02,
+        (2 * window) as u64,
+        7,
+    );
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(4));
+    let rounds = 4 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs: Vec<Vec<Option<ColorOutput>>> =
+        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
+    let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+}
+
+#[test]
+fn tdma_application_has_collision_free_frames_once_stable() {
+    // The motivating application: once the coloring has stabilized on a
+    // static network, every TDMA frame is collision free.
+    let n = 30;
+    let window = recommended_window(n);
+    let g = generators::random_geometric(n, 0.3, &mut experiment_rng(2, "tdma"));
+    let mut adv = StaticAdversary::new(g.clone());
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
+    let rounds = 3 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let out: Vec<ColorOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(ColorOutput::Undecided))
+        .collect();
+    let frame = tdma::run_frame(&g, &out);
+    assert_eq!(frame.collided, 0);
+    assert_eq!(frame.silent, 0);
+    assert!(frame.frame_length <= g.max_degree() + 1);
+}

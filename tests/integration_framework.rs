@@ -1,0 +1,131 @@
+//! Integration tests for the framework layer: Theorem 1.1's two guarantees
+//! verified end-to-end for both problems on shared adversarial schedules,
+//! plus determinism of the simulator across execution modes.
+
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+fn collect<O: Clone>(record: &ExecutionRecord<O>) -> (Vec<Graph>, Vec<Vec<Option<O>>>) {
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs = (0..record.num_rounds())
+        .map(|r| record.outputs_at(r).to_vec())
+        .collect();
+    (graphs, outputs)
+}
+
+#[test]
+fn theorem_1_1_part1_coloring_and_mis_on_identical_schedules() {
+    // Record one adversarial schedule and replay it for both combined
+    // algorithms; each must output a T-dynamic solution in every round.
+    let n = 40;
+    let window = recommended_window(n);
+    let rounds = 3 * window;
+    let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(1, "itf"));
+    let mut churn = MarkovChurnAdversary::new(&footprint, 0.05, 0.05, true, 11);
+
+    // Coloring run (records the trace).
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
+    let record = run(&mut sim, &mut churn, rounds);
+    let (graphs, outputs) = collect(&record);
+    let col = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+    assert!(col.all_valid(), "coloring invalid rounds: {:?}", col.invalid_rounds);
+
+    // MIS run on the *identical* schedule via trace replay.
+    let mut replay = ScriptedAdversary::new(record.trace.clone());
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(6));
+    let record2 = run(&mut sim, &mut replay, rounds);
+    let (graphs2, outputs2) = collect(&record2);
+    assert_eq!(
+        graphs.iter().map(|g| g.num_edges()).collect::<Vec<_>>(),
+        graphs2.iter().map(|g| g.num_edges()).collect::<Vec<_>>(),
+        "replay must reproduce the schedule"
+    );
+    let mis = verify_t_dynamic_run(&MisProblem, &graphs2, &outputs2, window, window - 1);
+    assert!(mis.all_valid(), "MIS invalid rounds: {:?}", mis.invalid_rounds);
+}
+
+#[test]
+fn theorem_1_1_part2_locally_static_stability_for_both_problems() {
+    let n = 64;
+    let window = recommended_window(n);
+    let rounds = 4 * window;
+    let base = generators::grid(8, 8);
+    let seeds = vec![NodeId::new(27), NodeId::new(36)];
+
+    // Coloring.
+    let mut adv = LocallyStaticAdversary::new(base.clone(), seeds.clone(), 2, 0.25, 3);
+    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(7));
+    let record = run(&mut sim, &mut adv, rounds);
+    let (_, outputs) = collect(&record);
+    for &v in &seeds {
+        assert!(
+            verify_locally_static(&outputs, v, 2 * window, rounds - 1),
+            "coloring output of protected node {v} not stable after 2T rounds"
+        );
+    }
+
+    // MIS.
+    let mut adv = LocallyStaticAdversary::new(base, seeds.clone(), 2, 0.25, 4);
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(8));
+    let record = run(&mut sim, &mut adv, rounds);
+    let (_, outputs) = collect(&record);
+    for &v in &seeds {
+        assert!(
+            verify_locally_static(&outputs, v, 2 * window, rounds - 1),
+            "MIS output of protected node {v} not stable after 2T rounds"
+        );
+    }
+}
+
+#[test]
+fn sequential_and_parallel_execution_produce_identical_results() {
+    let n = 60;
+    let window = recommended_window(n);
+    let rounds = window + 10;
+    let footprint = generators::random_geometric(n, 0.22, &mut experiment_rng(2, "det"));
+
+    let run_mode = |parallel: bool| {
+        let config = SimConfig { seed: 99, parallel, parallel_threshold: 0 };
+        let mut adv = FlipChurnAdversary::new(&footprint, 0.03, 21);
+        let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, config);
+        let record = run(&mut sim, &mut adv, rounds);
+        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect::<Vec<_>>()
+    };
+
+    assert_eq!(run_mode(false), run_mode(true));
+}
+
+#[test]
+fn window_checker_agrees_with_bruteforce_window_views() {
+    // The T-dynamic checker is only as good as the window maintenance; spot
+    // check the two window views against brute force on an adversarial run.
+    let n = 20;
+    let footprint = generators::erdos_renyi_avg_degree(n, 4.0, &mut experiment_rng(3, "win"));
+    let mut adv = RateChurnAdversary::new(footprint, 3, 3, 17);
+    let mut g = Adversary::initial_graph(&mut adv);
+    let mut w = GraphWindow::new(n, 6);
+    for r in 1..40u64 {
+        w.push(&g);
+        assert_eq!(
+            w.intersection_graph().edge_vec(),
+            w.intersection_graph_bruteforce().edge_vec()
+        );
+        assert_eq!(w.union_graph().edge_vec(), w.union_graph_bruteforce().edge_vec());
+        g = Adversary::next_graph(&mut adv, r, &g);
+    }
+}
+
+#[test]
+fn growth_adversary_with_combined_algorithms_stays_valid() {
+    // Nodes join over time (network bootstrap) while the algorithm runs.
+    let n = 48;
+    let window = recommended_window(n);
+    let rounds = 3 * window;
+    let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(4, "growth"));
+    let mut adv = GrowthAdversary::new(footprint, 4, 2);
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(9));
+    let record = run(&mut sim, &mut adv, rounds);
+    let (graphs, outputs) = collect(&record);
+    let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
+    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+}

@@ -1,0 +1,121 @@
+//! Integration tests for Corollary 1.3 (dynamic MIS): per-round T-dynamic
+//! validity under different adversaries, deterministic independence on
+//! persistent edges, and the oblivious-vs-adaptive adversary distinction.
+
+use dynnet::core::mis::{independence_violations, mis_size};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+#[test]
+fn node_churn_workload_keeps_t_dynamic_mis() {
+    let n = 48;
+    let window = recommended_window(n);
+    let footprint = generators::erdos_renyi_avg_degree(n, 6.0, &mut experiment_rng(1, "imis"));
+    let mut adv = NodeChurnAdversary::new(footprint, 0.02, 0.10, 3);
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(1));
+    let rounds = 3 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs: Vec<Vec<Option<MisOutput>>> =
+        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
+    let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
+    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+}
+
+#[test]
+fn independence_on_the_window_intersection_is_never_violated() {
+    // The packing half of Corollary 1.3 holds deterministically — check it
+    // round by round (not only via the aggregate verifier) under heavy churn.
+    let n = 40;
+    let window = recommended_window(n);
+    let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(2, "imis2"));
+    let mut adv = FlipChurnAdversary::new(&footprint, 0.15, 5);
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(2));
+    let rounds = 3 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let mut w = GraphWindow::new(n, window);
+    for r in 0..rounds {
+        w.push(&record.graph_at(r));
+        let inter = w.intersection_graph();
+        let out: Vec<MisOutput> = record
+            .outputs_at(r)
+            .iter()
+            .map(|o| o.unwrap_or(MisOutput::Undecided))
+            .collect();
+        assert_eq!(
+            independence_violations(&inter, &out),
+            0,
+            "two adjacent MIS members on G^∩T in round {r}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_adversary_degrades_progress_but_not_packing() {
+    // Lemma 5.2 needs a 2-oblivious adversary for the O(log n) progress
+    // bound. An adaptive adversary that wires MIS members together can slow
+    // convergence and force repairs, but the packing half must still hold on
+    // the window intersection graph.
+    let n = 36;
+    let window = recommended_window(n);
+    let footprint = generators::grid(6, 6);
+    let mut adv: ConflictSeekingAdversary<MisOutput, _> = ConflictSeekingAdversary::new(
+        footprint,
+        |a: &MisOutput, b: &MisOutput| a.in_mis() && b.in_mis(),
+        3,
+        0.02,
+        (2 * window) as u64,
+        9,
+    );
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(3));
+    let rounds = 4 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let mut w = GraphWindow::new(n, window);
+    for r in 0..rounds {
+        w.push(&record.graph_at(r));
+        let inter = w.intersection_graph();
+        let out: Vec<MisOutput> = record
+            .outputs_at(r)
+            .iter()
+            .map(|o| o.unwrap_or(MisOutput::Undecided))
+            .collect();
+        assert_eq!(independence_violations(&inter, &out), 0, "round {r}");
+    }
+    // The MIS stays non-trivial throughout.
+    let final_out: Vec<MisOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(MisOutput::Undecided))
+        .collect();
+    assert!(mis_size(&final_out) > 0);
+}
+
+#[test]
+fn phase_adversary_static_then_chaotic_then_static_reconverges() {
+    let n = 42;
+    let window = recommended_window(n);
+    let base = generators::random_geometric(n, 0.25, &mut experiment_rng(3, "imis3"));
+    let chaotic = FlipChurnAdversary::new(&base, 0.2, 7);
+    let phases: Vec<(u64, Box<dyn Adversary>)> = vec![
+        (2 * window as u64, Box::new(StaticAdversary::new(base.clone()))),
+        (window as u64, Box::new(chaotic)),
+        (u64::MAX, Box::new(StaticAdversary::new(base.clone()))),
+    ];
+    let mut adv = PhaseAdversary::new(phases);
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(4));
+    let rounds = 6 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    // After the final static phase has lasted 2T rounds, the output is a
+    // plain MIS of the base graph and frozen.
+    let final_out: Vec<MisOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(MisOutput::Undecided))
+        .collect();
+    assert_eq!(independence_violations(&base, &final_out), 0);
+    assert_eq!(dynnet::core::mis::domination_violations(&base, &final_out), 0);
+    let freeze_from = rounds - window;
+    for r in freeze_from..rounds {
+        assert_eq!(record.outputs_at(r), record.outputs_at(freeze_from), "round {r}");
+    }
+}

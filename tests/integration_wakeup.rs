@@ -1,0 +1,123 @@
+//! Integration tests for asynchronous wake-up (Section 2 / Section 7.2):
+//! all algorithms use a single uniform round type, so nodes may join the
+//! execution at arbitrary times without a shared round counter.
+
+use dynnet::core::coloring::conflict_edges;
+use dynnet::core::mis::{domination_violations, independence_violations};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+
+#[test]
+fn staggered_wakeup_still_yields_a_proper_coloring() {
+    let n = 36;
+    let window = recommended_window(n);
+    let g = generators::grid(6, 6);
+    let wake = Staggered { stride: 2, max_round: (2 * window) as u64 };
+    let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(1));
+    let mut adv = StaticAdversary::new(g.clone());
+    let rounds = 6 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let out: Vec<ColorOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(ColorOutput::Undecided))
+        .collect();
+    assert!(out.iter().all(|o| o.is_decided()), "everyone eventually colored");
+    assert_eq!(conflict_edges(&g, &out), 0);
+}
+
+#[test]
+fn random_wakeup_with_churn_keeps_window_solutions_consistent() {
+    // Even while nodes are still waking up, the decided part of the combined
+    // coloring must be consistent with respect to the sliding window in
+    // every round: proper on the intersection graph and degree-bounded on
+    // the union graph. (Conflicts on brand-new edges of the *current* graph
+    // are explicitly allowed by the T-dynamic definition and are resolved
+    // within T rounds.)
+    let n = 40;
+    let window = recommended_window(n);
+    let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(1, "wake"));
+    let wake = RandomWakeup::new(n, (2 * window) as u64, 77);
+    let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(2));
+    let mut adv = FlipChurnAdversary::new(&footprint, 0.03, 3);
+    let rounds = 5 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let mut w = GraphWindow::new(n, window);
+    for r in 0..rounds {
+        w.push(&record.graph_at(r));
+        let report = check_t_dynamic(&ColoringProblem, &w, record.outputs_at(r));
+        assert!(
+            report.is_partial_solution(),
+            "window-inconsistent decided output in round {r}: {report:?}"
+        );
+    }
+    // Once every node has been awake for a full window, full solutions are
+    // required and present.
+    let graphs: Vec<Graph> = record.trace.iter().collect();
+    let outputs: Vec<Vec<Option<ColorOutput>>> =
+        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
+    let summary =
+        verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, 3 * window);
+    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+}
+
+#[test]
+fn mis_with_staggered_wakeup_converges_to_a_maximal_independent_set() {
+    let n = 30;
+    let window = recommended_window(n);
+    let g = generators::random_geometric(n, 0.3, &mut experiment_rng(2, "wake-mis"));
+    let wake = Staggered { stride: 3, max_round: (2 * window) as u64 };
+    let mut sim = Simulator::new(n, dynamic_mis(n, window), wake, SimConfig::sequential(3));
+    let mut adv = StaticAdversary::new(g.clone());
+    let rounds = 7 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    let out: Vec<MisOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(MisOutput::Undecided))
+        .collect();
+    assert!(out.iter().all(|o| o.is_decided()));
+    assert_eq!(independence_violations(&g, &out), 0);
+    assert_eq!(domination_violations(&g, &out), 0);
+}
+
+#[test]
+fn late_wakers_join_without_disturbing_stable_neighbors() {
+    // A path where the two endpoints wake up very late: the middle segment
+    // stabilizes first and must not change its output when the endpoints join.
+    let n = 12;
+    let window = recommended_window(n);
+    let g = generators::path(n);
+    let mut wake_rounds = vec![0u64; n];
+    wake_rounds[0] = (3 * window) as u64;
+    wake_rounds[n - 1] = (3 * window) as u64;
+    let wake = ScriptedWakeup { rounds: wake_rounds };
+    let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(4));
+    let mut adv = StaticAdversary::new(g.clone());
+    let rounds = 6 * window;
+    let record = run(&mut sim, &mut adv, rounds);
+    // Snapshot of the "deep interior" (distance ≥ 2 from the late wakers,
+    // so their 2-neighborhood never changes) just before the late wake-up.
+    let before = 3 * window - 1;
+    for i in 3..n - 3 {
+        let stable = record.outputs_at(before)[i];
+        assert!(stable.unwrap().is_decided());
+        for r in before..rounds {
+            assert_eq!(
+                record.outputs_at(r)[i],
+                stable,
+                "interior node {i} changed output in round {r} after late wake-ups"
+            );
+        }
+    }
+    // The late wakers themselves end up properly colored.
+    let final_out: Vec<ColorOutput> = record
+        .outputs_at(rounds - 1)
+        .iter()
+        .map(|o| o.unwrap_or(ColorOutput::Undecided))
+        .collect();
+    assert!(final_out.iter().all(|o| o.is_decided()));
+    assert_eq!(conflict_edges(&g, &final_out), 0);
+}
+
+use dynnet::runtime::ScriptedWakeup;
