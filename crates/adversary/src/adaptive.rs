@@ -164,6 +164,10 @@ mod tests {
         assert!(g1.num_edges() > 0);
         let g2 = adv.next_graph(2, &g1, &clean);
         let g3 = adv.next_graph(3, &g2, &clean);
-        assert_eq!(g3.num_edges(), 0, "injected edges removed after their lifetime");
+        assert_eq!(
+            g3.num_edges(),
+            0,
+            "injected edges removed after their lifetime"
+        );
     }
 }

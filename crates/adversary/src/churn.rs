@@ -33,7 +33,13 @@ impl MarkovChurnAdversary {
     ///
     /// If `start_from_footprint` is true, round 0 contains all footprint
     /// edges; otherwise round 0 starts from the stationary distribution.
-    pub fn new(footprint: &Graph, p_on: f64, p_off: f64, start_from_footprint: bool, seed: u64) -> Self {
+    pub fn new(
+        footprint: &Graph,
+        p_on: f64,
+        p_off: f64,
+        start_from_footprint: bool,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
         MarkovChurnAdversary {
             footprint: footprint.edge_vec(),
@@ -222,7 +228,7 @@ impl Adversary for BurstAdversary {
 
     fn next_graph(&mut self, round: u64, _prev: &Graph) -> Graph {
         self.live.retain(|(_, expiry)| *expiry > round);
-        if round % self.period == 0 {
+        if round.is_multiple_of(self.period) {
             let n = self.base.num_nodes();
             let mut added = 0;
             let mut attempts = 0;
@@ -230,7 +236,10 @@ impl Adversary for BurstAdversary {
                 let a = self.rng.gen_range(0..n);
                 let b = self.rng.gen_range(0..n);
                 let (a, b) = (NodeId::new(a), NodeId::new(b));
-                if a != b && !self.base.has_edge(a, b) && !self.live.iter().any(|(e, _)| *e == Edge::new(a, b)) {
+                if a != b
+                    && !self.base.has_edge(a, b)
+                    && !self.live.iter().any(|(e, _)| *e == Edge::new(a, b))
+                {
                     self.live.push((Edge::new(a, b), round + self.duration));
                     self.injected_log.push((Edge::new(a, b), round));
                     added += 1;
@@ -267,7 +276,11 @@ mod tests {
         let mut frozen = MarkovChurnAdversary::new(&footprint, 0.0, 0.0, true, 2);
         let g0 = frozen.initial_graph();
         let g1 = frozen.next_graph(1, &g0);
-        assert_eq!(g0.edge_vec(), g1.edge_vec(), "p_on = p_off = 0 freezes the graph");
+        assert_eq!(
+            g0.edge_vec(),
+            g1.edge_vec(),
+            "p_on = p_off = 0 freezes the graph"
+        );
 
         let mut always_off = MarkovChurnAdversary::new(&footprint, 0.0, 1.0, true, 3);
         let g0 = always_off.initial_graph();
@@ -299,7 +312,10 @@ mod tests {
         let g0 = adv.initial_graph();
         let g1 = adv.next_graph(1, &g0);
         let diff = g0.edge_symmetric_difference(&g1).len();
-        assert!(diff <= 5, "at most insertions + removals changes, got {diff}");
+        assert!(
+            diff <= 5,
+            "at most insertions + removals changes, got {diff}"
+        );
         assert!(diff > 0);
     }
 

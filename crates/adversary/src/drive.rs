@@ -1,39 +1,23 @@
-//! Coupling the simulator with an adversary.
+//! Coupling the simulator with an adversary (legacy entry point).
 //!
 //! [`run`] executes the full round loop of the paper — adversary changes the
 //! graph, nodes compute, outputs are published — for a fixed number of
 //! rounds, recording per round the communication graph and the outputs. The
 //! adversary sees the previous round's outputs only (never the current
 //! round's randomness).
+//!
+//! This is now a thin shim over the streaming execution path: it drives the
+//! simulator with [`Simulator::step_streaming`] and feeds a
+//! [`TraceRecorder`] observer, exactly as [`crate::Scenario`] does. New code
+//! should prefer [`crate::Scenario`], which owns the loop and lets any
+//! number of [`dynnet_runtime::RoundObserver`]s stream over the execution
+//! without materializing it.
 
 use crate::traits::OutputAdversary;
-use dynnet_graph::{DynamicGraphTrace, Graph};
-use dynnet_runtime::{AlgorithmFactory, NodeAlgorithm, RoundReport, Simulator, WakeupSchedule};
+use dynnet_runtime::observer::{RoundObserver, RoundView, TraceRecorder};
+use dynnet_runtime::{AlgorithmFactory, NodeAlgorithm, Simulator, WakeupSchedule};
 
-/// The full record of one adversarial execution.
-pub struct ExecutionRecord<O> {
-    /// The dynamic graph sequence that the adversary produced.
-    pub trace: DynamicGraphTrace,
-    /// Per-round reports (same length as the trace).
-    pub reports: Vec<RoundReport<O>>,
-}
-
-impl<O> ExecutionRecord<O> {
-    /// Number of executed rounds.
-    pub fn num_rounds(&self) -> usize {
-        self.reports.len()
-    }
-
-    /// The outputs at the end of round `r`.
-    pub fn outputs_at(&self, r: usize) -> &[Option<O>] {
-        &self.reports[r].outputs
-    }
-
-    /// The communication graph of round `r`.
-    pub fn graph_at(&self, r: usize) -> Graph {
-        self.trace.graph_at(r)
-    }
-}
+pub use dynnet_runtime::observer::ExecutionRecord;
 
 /// Runs `sim` against `adversary` for `rounds` rounds and records everything.
 ///
@@ -53,19 +37,25 @@ where
     Adv: OutputAdversary<A::Output> + ?Sized,
 {
     assert!(rounds >= 1);
+    let mut recorder = TraceRecorder::new();
     let mut graph = adversary.initial_graph();
-    let mut reports = Vec::with_capacity(rounds);
-    let first = sim.step(&graph);
-    let mut trace = DynamicGraphTrace::new(first.graph.to_graph());
-    reports.push(first);
-    for r in 1..rounds {
-        let prev_outputs = reports[r - 1].outputs.clone();
-        graph = adversary.next_graph(r as u64, &graph, &prev_outputs);
-        let report = sim.step(&graph);
-        trace.push(&report.graph.to_graph());
-        reports.push(report);
+    for r in 0..rounds as u64 {
+        if r > 0 {
+            graph = adversary.next_graph(r, &graph, sim.outputs());
+        }
+        let summary = sim.step_streaming(&graph);
+        let graph_cell = std::cell::OnceCell::new();
+        recorder.on_round(&RoundView {
+            round: summary.round,
+            graph: &summary.graph,
+            outputs: sim.outputs(),
+            newly_awake: &summary.newly_awake,
+            num_awake: summary.num_awake,
+            graph_cell: &graph_cell,
+        });
     }
-    ExecutionRecord { trace, reports }
+    recorder.finish();
+    recorder.into_record()
 }
 
 #[cfg(test)]

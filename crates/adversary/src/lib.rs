@@ -18,8 +18,11 @@
 //! * [`LocallyStaticAdversary`] — keeps a protected region static while
 //!   churning the rest (the workload behind the locally-static guarantees).
 //! * [`ConflictSeekingAdversary`] — adaptive, output-aware attacks.
-//! * [`drive::run`] — couples a [`dynnet_runtime::Simulator`] with an
-//!   adversary and records the execution.
+//! * [`Scenario`] / [`Runner`] — the unified execution API: builds one
+//!   complete run (algorithm + adversary + wake-up + seed + rounds) and
+//!   streams every round to pluggable [`dynnet_runtime::RoundObserver`]s.
+//! * [`drive::run`] — the legacy "record everything" entry point, now a thin
+//!   shim over the streaming path.
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,7 @@ pub mod drive;
 pub mod locally_static;
 pub mod mobility;
 pub mod node_churn;
+pub mod scenario;
 pub mod simple;
 pub mod traits;
 
@@ -38,5 +42,6 @@ pub use drive::{run, ExecutionRecord};
 pub use locally_static::LocallyStaticAdversary;
 pub use mobility::{MobilityAdversary, MobilityConfig};
 pub use node_churn::{GrowthAdversary, NodeChurnAdversary};
+pub use scenario::{Runner, Scenario};
 pub use simple::{PhaseAdversary, ScriptedAdversary, StaticAdversary};
 pub use traits::{Adversary, OutputAdversary};

@@ -107,7 +107,13 @@ mod tests {
 
     #[test]
     fn positions_stay_in_unit_square() {
-        let mut adv = MobilityAdversary::new(MobilityConfig { n: 30, ..Default::default() }, 9);
+        let mut adv = MobilityAdversary::new(
+            MobilityConfig {
+                n: 30,
+                ..Default::default()
+            },
+            9,
+        );
         let mut g = adv.initial_graph();
         for r in 1..50 {
             g = adv.next_graph(r, &g);
@@ -121,7 +127,12 @@ mod tests {
     #[test]
     fn graphs_change_over_time_but_gradually() {
         let mut adv = MobilityAdversary::new(
-            MobilityConfig { n: 60, radius: 0.25, min_speed: 0.01, max_speed: 0.02 },
+            MobilityConfig {
+                n: 60,
+                radius: 0.25,
+                min_speed: 0.01,
+                max_speed: 0.02,
+            },
             3,
         );
         let g0 = adv.initial_graph();
@@ -132,13 +143,21 @@ mod tests {
         }
         let near_diff = g0.edge_symmetric_difference(&g1).len();
         let far_diff = g0.edge_symmetric_difference(&g_far).len();
-        assert!(near_diff < far_diff, "movement accumulates: {near_diff} vs {far_diff}");
+        assert!(
+            near_diff < far_diff,
+            "movement accumulates: {near_diff} vs {far_diff}"
+        );
     }
 
     #[test]
     fn zero_speed_is_static() {
         let mut adv = MobilityAdversary::new(
-            MobilityConfig { n: 20, radius: 0.3, min_speed: 0.0, max_speed: 0.0 },
+            MobilityConfig {
+                n: 20,
+                radius: 0.3,
+                min_speed: 0.0,
+                max_speed: 0.0,
+            },
             5,
         );
         let g0 = adv.initial_graph();

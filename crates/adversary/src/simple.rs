@@ -118,7 +118,11 @@ mod tests {
         let mut adv = ScriptedAdversary::new(trace);
         assert_eq!(adv.initial_graph().edge_vec(), g0.edge_vec());
         assert_eq!(adv.next_graph(1, &g0).edge_vec(), g1.edge_vec());
-        assert_eq!(adv.next_graph(7, &g1).edge_vec(), g1.edge_vec(), "repeats last graph");
+        assert_eq!(
+            adv.next_graph(7, &g1).edge_vec(),
+            g1.edge_vec(),
+            "repeats last graph"
+        );
     }
 
     #[test]
@@ -130,6 +134,10 @@ mod tests {
         assert_eq!(g0.num_edges(), 3);
         assert_eq!(adv.next_graph(1, &g0).num_edges(), 3);
         assert_eq!(adv.next_graph(2, &g0).num_edges(), 6);
-        assert_eq!(adv.next_graph(99, &g0).num_edges(), 6, "last phase runs forever");
+        assert_eq!(
+            adv.next_graph(99, &g0).num_edges(),
+            6,
+            "last phase runs forever"
+        );
     }
 }

@@ -47,6 +47,19 @@ impl<O, A: Adversary> OutputAdversary<O> for A {
     }
 }
 
+/// Boxed adversaries are adversaries, so heterogeneous workload lists
+/// (`Vec<(name, Box<dyn OutputAdversary<_>>)>`) plug straight into
+/// [`crate::Scenario::adversary`].
+impl<O> OutputAdversary<O> for Box<dyn OutputAdversary<O> + '_> {
+    fn initial_graph(&mut self) -> Graph {
+        (**self).initial_graph()
+    }
+
+    fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph {
+        (**self).next_graph(round, prev, outputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

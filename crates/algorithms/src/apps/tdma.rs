@@ -96,9 +96,9 @@ pub fn resolve_contention<R: Rng + ?Sized>(
     for i in 0..g.num_nodes() {
         let Some(my_slot) = choices[i] else { continue };
         let my_color = colors[i].color();
-        let conflict = g.neighbors(dynnet_graph::NodeId::new(i)).any(|w| {
-            choices[w.index()] == Some(my_slot) && colors[w.index()].color() == my_color
-        });
+        let conflict = g
+            .neighbors(dynnet_graph::NodeId::new(i))
+            .any(|w| choices[w.index()] == Some(my_slot) && colors[w.index()].color() == my_color);
         if !conflict {
             recovered += 1;
         }
@@ -114,7 +114,13 @@ mod tests {
 
     fn colors(cs: &[usize]) -> Vec<ColorOutput> {
         cs.iter()
-            .map(|&c| if c == 0 { ColorOutput::Undecided } else { ColorOutput::Colored(c) })
+            .map(|&c| {
+                if c == 0 {
+                    ColorOutput::Undecided
+                } else {
+                    ColorOutput::Colored(c)
+                }
+            })
             .collect()
     }
 

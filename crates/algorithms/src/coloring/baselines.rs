@@ -73,7 +73,13 @@ impl NodeAlgorithm for RestartColoring {
 pub fn oracle_coloring(g: &Graph) -> Vec<ColorOutput> {
     algo::greedy_coloring(g)
         .into_iter()
-        .map(|c| if c == 0 { ColorOutput::Undecided } else { ColorOutput::Colored(c) })
+        .map(|c| {
+            if c == 0 {
+                ColorOutput::Undecided
+            } else {
+                ColorOutput::Colored(c)
+            }
+        })
         .collect()
 }
 
@@ -110,14 +116,20 @@ mod tests {
         // The total churn over the run is large (way beyond the one-time
         // convergence churn of roughly n changes).
         let total: usize = churn.iter().sum();
-        assert!(total > 2 * n, "restart baseline must keep churning, churn = {total}");
+        assert!(
+            total > 2 * n,
+            "restart baseline must keep churning, churn = {total}"
+        );
         // And there are rounds in the steady state where some node is ⊥.
         let undecided_late_round = (rounds / 2..rounds).any(|r| {
             outputs[r]
                 .iter()
                 .any(|o| o.map(|c| c.is_bottom()).unwrap_or(true))
         });
-        assert!(undecided_late_round, "restarting forces ⊥ outputs long after start");
+        assert!(
+            undecided_late_round,
+            "restarting forces ⊥ outputs long after start"
+        );
         assert!(sim.node(NodeId::new(0)).unwrap().restarts() >= 4);
     }
 

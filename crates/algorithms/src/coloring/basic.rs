@@ -111,7 +111,12 @@ mod tests {
     use dynnet_runtime::{AllAtStart, SimConfig, Simulator};
 
     fn run_basic(g: &Graph, rounds: usize, seed: u64) -> Vec<ColorOutput> {
-        let mut sim = Simulator::new(g.num_nodes(), BasicColoring::new, AllAtStart, SimConfig::sequential(seed));
+        let mut sim = Simulator::new(
+            g.num_nodes(),
+            BasicColoring::new,
+            AllAtStart,
+            SimConfig::sequential(seed),
+        );
         let reports = sim.run_static(g, rounds);
         reports
             .last()
@@ -134,10 +139,16 @@ mod tests {
         let g = generators::cycle(20);
         let out = run_basic(&g, 60, 1);
         let p = ColoringProblem;
-        assert!(out.iter().all(|o| o.is_decided()), "all colored after O(log n) rounds");
+        assert!(
+            out.iter().all(|o| o.is_decided()),
+            "all colored after O(log n) rounds"
+        );
         assert_eq!(conflict_edges(&g, &out), 0);
         for v in g.nodes() {
-            assert!(p.covering_solution_ok_at(&g, v, &out), "color within degree+1 at {v}");
+            assert!(
+                p.covering_solution_ok_at(&g, v, &out),
+                "color within degree+1 at {v}"
+            );
         }
     }
 
@@ -162,14 +173,21 @@ mod tests {
         let mut last: Vec<Option<ColorOutput>> = vec![None; 8];
         for _ in 0..40 {
             let rep = sim.step(&g);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..8 {
                 if let Some(ColorOutput::Colored(c)) = last[i] {
-                    assert_eq!(rep.outputs[i], Some(ColorOutput::Colored(c)), "node {i} changed color");
+                    assert_eq!(
+                        rep.outputs[i],
+                        Some(ColorOutput::Colored(c)),
+                        "node {i} changed color"
+                    );
                 }
             }
             last = rep.outputs;
         }
-        assert!(last.iter().all(|o| matches!(o, Some(ColorOutput::Colored(_)))));
+        assert!(last
+            .iter()
+            .all(|o| matches!(o, Some(ColorOutput::Colored(_)))));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn dynamic_coloring(window: usize) -> DynamicColoringFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynnet_adversary::{drive, BurstAdversary, FlipChurnAdversary, LocallyStaticAdversary, StaticAdversary};
+    use dynnet_adversary::{
+        drive, BurstAdversary, FlipChurnAdversary, LocallyStaticAdversary, StaticAdversary,
+    };
     use dynnet_core::{
         coloring::conflict_edges, recommended_window, verify_t_dynamic_run, ColoringProblem,
         HasBottom,
@@ -64,13 +66,17 @@ mod tests {
             5.0,
             &mut dynnet_runtime::rng::experiment_rng(7, "combined-col"),
         );
-        let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(3));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_coloring(window),
+            AllAtStart,
+            SimConfig::sequential(3),
+        );
         let mut adv = FlipChurnAdversary::new(&footprint, 0.03, 5);
         let rounds = window * 3;
         let record = drive::run(&mut sim, &mut adv, rounds);
         let (graphs, outputs) = collect_outputs(&record);
-        let summary =
-            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+        let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
         assert!(
             summary.all_valid(),
             "invalid rounds: {:?}",
@@ -87,7 +93,12 @@ mod tests {
             0.25,
             &mut dynnet_runtime::rng::experiment_rng(8, "combined-static"),
         );
-        let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(4));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_coloring(window),
+            AllAtStart,
+            SimConfig::sequential(4),
+        );
         let mut adv = StaticAdversary::new(g.clone());
         let rounds = window * 3;
         let record = drive::run(&mut sim, &mut adv, rounds);
@@ -102,7 +113,11 @@ mod tests {
         let freeze_from = 2 * window;
         let reference = record.outputs_at(freeze_from).to_vec();
         for r in freeze_from..rounds {
-            assert_eq!(record.outputs_at(r), &reference[..], "output changed in round {r}");
+            assert_eq!(
+                record.outputs_at(r),
+                &reference[..],
+                "output changed in round {r}"
+            );
         }
     }
 
@@ -111,7 +126,12 @@ mod tests {
         let n = 36;
         let window = recommended_window(n);
         let base = generators::grid(6, 6);
-        let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_coloring(window),
+            AllAtStart,
+            SimConfig::sequential(5),
+        );
         let mut adv = BurstAdversary::new(base, 2 * window as u64, 10 * window as u64, 4, 9);
         let rounds = window * 4;
         let record = drive::run(&mut sim, &mut adv, rounds);
@@ -155,7 +175,12 @@ mod tests {
         let base = generators::grid(7, 7);
         let seed_node = NodeId::new(24);
         let mut adv = LocallyStaticAdversary::new(base, vec![seed_node], 2, 0.25, 31);
-        let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(6));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_coloring(window),
+            AllAtStart,
+            SimConfig::sequential(6),
+        );
         let rounds = window * 4;
         let record = drive::run(&mut sim, &mut adv, rounds);
         let stable_from = 2 * window;

@@ -89,7 +89,10 @@ impl NodeAlgorithm for DColor {
                     // recover by extending to the next free color.
                     self.palette.push(1);
                 }
-                let c = *self.palette.choose(&mut ctx.rng).expect("non-empty palette");
+                let c = *self
+                    .palette
+                    .choose(&mut ctx.rng)
+                    .expect("non-empty palette");
                 self.tentative = Some(c);
                 ColorMsg::Tentative(c)
             }
@@ -122,7 +125,10 @@ impl NodeAlgorithm for DColor {
         // Restrict to the intersection graph: only neighbors that have been
         // present in every round since the start are heard; the allowed set
         // shrinks to the senders that are still present.
-        let allowed = self.allowed.as_mut().expect("initialized after start round");
+        let allowed = self
+            .allowed
+            .as_mut()
+            .expect("initialized after start round");
         let mut fixed: BTreeSet<Color> = BTreeSet::new();
         let mut tentative: BTreeSet<Color> = BTreeSet::new();
         let mut still_present: BTreeSet<NodeId> = BTreeSet::new();
@@ -169,8 +175,8 @@ impl NodeAlgorithm for DColor {
 mod tests {
     use super::*;
     use dynnet_adversary::{drive, FlipChurnAdversary, StaticAdversary};
-    use dynnet_core::{coloring::conflict_edges, verify_t_dynamic_run, ColoringProblem};
     use dynnet_core::HasBottom;
+    use dynnet_core::{coloring::conflict_edges, verify_t_dynamic_run, ColoringProblem};
     use dynnet_graph::{generators, Graph};
     use dynnet_runtime::{AllAtStart, SimConfig, Simulator};
 
@@ -259,7 +265,12 @@ mod tests {
         assert_eq!(outs[0], Some(ColorOutput::Colored(1)));
         assert_eq!(outs[1], Some(ColorOutput::Colored(1)));
         // And the allowed sets stay empty: the edge appeared after the start.
-        assert!(sim.node(NodeId::new(0)).unwrap().allowed_neighbors().unwrap().is_empty());
+        assert!(sim
+            .node(NodeId::new(0))
+            .unwrap()
+            .allowed_neighbors()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

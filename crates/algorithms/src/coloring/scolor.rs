@@ -65,7 +65,10 @@ impl NodeAlgorithm for SColor {
                 if self.palette.is_empty() {
                     self.palette.push(1);
                 }
-                let c = *self.palette.choose(&mut ctx.rng).expect("non-empty palette");
+                let c = *self
+                    .palette
+                    .choose(&mut ctx.rng)
+                    .expect("non-empty palette");
                 self.tentative = Some(c);
                 ColorMsg::Tentative(c)
             }
@@ -168,7 +171,11 @@ mod tests {
         assert!(final_out.iter().all(|o| o.unwrap().is_decided()));
         // …and nobody changes output in the second half of the run.
         for r in (rounds / 2)..rounds {
-            assert_eq!(record.outputs_at(r), final_out, "output changed in round {r}");
+            assert_eq!(
+                record.outputs_at(r),
+                final_out,
+                "output changed in round {r}"
+            );
         }
     }
 

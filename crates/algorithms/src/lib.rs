@@ -35,8 +35,8 @@ pub mod apps {
 
 /// Vertex-coloring algorithms (Section 4 of the paper).
 pub mod coloring {
-    pub mod basic;
     pub mod baselines;
+    pub mod basic;
     pub mod combined;
     pub mod dcolor;
     pub mod scolor;

@@ -33,7 +33,10 @@ pub fn dynamic_mis(n: usize, window: usize) -> DynamicMisFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynnet_adversary::{drive, FlipChurnAdversary, LocallyStaticAdversary, MobilityAdversary, MobilityConfig, StaticAdversary};
+    use dynnet_adversary::{
+        drive, FlipChurnAdversary, LocallyStaticAdversary, MobilityAdversary, MobilityConfig,
+        StaticAdversary,
+    };
     use dynnet_core::mis::{domination_violations, independence_violations};
     use dynnet_core::{recommended_window, verify_t_dynamic_run, HasBottom, MisProblem};
     use dynnet_graph::{generators, Graph};
@@ -48,7 +51,12 @@ mod tests {
             5.0,
             &mut dynnet_runtime::rng::experiment_rng(11, "combined-mis"),
         );
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(7));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_mis(n, window),
+            AllAtStart,
+            SimConfig::sequential(7),
+        );
         let mut adv = FlipChurnAdversary::new(&footprint, 0.03, 13);
         let rounds = window * 3;
         let record = drive::run(&mut sim, &mut adv, rounds);
@@ -56,7 +64,11 @@ mod tests {
         let outputs: Vec<Vec<Option<MisOutput>>> =
             (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
         let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
-        assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+        assert!(
+            summary.all_valid(),
+            "invalid rounds: {:?}",
+            summary.invalid_rounds
+        );
     }
 
     #[test]
@@ -68,7 +80,12 @@ mod tests {
             0.25,
             &mut dynnet_runtime::rng::experiment_rng(12, "combined-mis-static"),
         );
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(8));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_mis(n, window),
+            AllAtStart,
+            SimConfig::sequential(8),
+        );
         let mut adv = StaticAdversary::new(g.clone());
         let rounds = window * 3;
         let record = drive::run(&mut sim, &mut adv, rounds);
@@ -94,7 +111,12 @@ mod tests {
         let base = generators::grid(7, 7);
         let seed_node = dynnet_graph::NodeId::new(24);
         let mut adv = LocallyStaticAdversary::new(base, vec![seed_node], 2, 0.25, 37);
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(9));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_mis(n, window),
+            AllAtStart,
+            SimConfig::sequential(9),
+        );
         let rounds = window * 4;
         let record = drive::run(&mut sim, &mut adv, rounds);
         let stable_from = 2 * window;
@@ -110,16 +132,30 @@ mod tests {
         let n = 40;
         let window = recommended_window(n);
         let mut adv = MobilityAdversary::new(
-            MobilityConfig { n, radius: 0.25, min_speed: 0.002, max_speed: 0.01 },
+            MobilityConfig {
+                n,
+                radius: 0.25,
+                min_speed: 0.002,
+                max_speed: 0.01,
+            },
             41,
         );
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(10));
+        let mut sim = Simulator::new(
+            n,
+            dynamic_mis(n, window),
+            AllAtStart,
+            SimConfig::sequential(10),
+        );
         let rounds = window * 3;
         let record = drive::run(&mut sim, &mut adv, rounds);
         let graphs: Vec<Graph> = record.trace.iter().collect();
         let outputs: Vec<Vec<Option<MisOutput>>> =
             (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
         let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
-        assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+        assert!(
+            summary.all_valid(),
+            "invalid rounds: {:?}",
+            summary.invalid_rounds
+        );
     }
 }

@@ -170,11 +170,7 @@ mod tests {
         let mut sim = Simulator::new(70, fresh, AllAtStart, SimConfig::sequential(2));
         let mut adv = StaticAdversary::new(g.clone());
         let record = drive::run(&mut sim, &mut adv, 80);
-        let out: Vec<MisOutput> = record
-            .outputs_at(79)
-            .iter()
-            .map(|o| o.unwrap())
-            .collect();
+        let out: Vec<MisOutput> = record.outputs_at(79).iter().map(|o| o.unwrap()).collect();
         assert!(out.iter().all(|o| o.is_decided()));
         assert_eq!(independence_violations(&g, &out), 0);
         assert_eq!(domination_violations(&g, &out), 0);
@@ -238,6 +234,11 @@ mod tests {
         }
         assert_eq!(sim.outputs()[0], Some(MisOutput::InMis));
         assert_eq!(sim.outputs()[1], Some(MisOutput::InMis));
-        assert!(sim.node(NodeId::new(0)).unwrap().allowed_neighbors().unwrap().is_empty());
+        assert!(sim
+            .node(NodeId::new(0))
+            .unwrap()
+            .allowed_neighbors()
+            .unwrap()
+            .is_empty());
     }
 }

@@ -49,7 +49,10 @@ impl NodeAlgorithm for GhaffariMis {
             MisOutput::Dominated => GhaffariMsg::Silent,
             MisOutput::Undecided => {
                 self.candidate = ctx.rng.gen_bool(self.p);
-                GhaffariMsg::Undecided { p: self.p, candidate: self.candidate }
+                GhaffariMsg::Undecided {
+                    p: self.p,
+                    candidate: self.candidate,
+                }
             }
         }
     }
@@ -141,6 +144,7 @@ mod tests {
         let mut prev: Vec<Option<MisOutput>> = vec![None; n];
         for _ in 0..80 {
             let rep = sim.step(&g);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 if let Some(s) = prev[i] {
                     if s != MisOutput::Undecided {
@@ -171,7 +175,8 @@ mod tests {
             let node = sim.node(NodeId::new(i)).unwrap();
             node.output() == MisOutput::Undecided && node.desire_level() < 0.2
         });
-        let all_decided = (0..n).all(|i| sim.node(NodeId::new(i)).unwrap().output() != MisOutput::Undecided);
+        let all_decided =
+            (0..n).all(|i| sim.node(NodeId::new(i)).unwrap().output() != MisOutput::Undecided);
         assert!(some_undecided_low || all_decided);
     }
 }

@@ -137,6 +137,7 @@ mod tests {
         let mut prev: Vec<Option<MisOutput>> = vec![None; 15];
         for _ in 0..40 {
             let rep = sim.step(&g);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..15 {
                 if let Some(s) = prev[i] {
                     if s != MisOutput::Undecided {
@@ -154,7 +155,11 @@ mod tests {
         let factory = |v: NodeId| {
             LubyMis::with_state(
                 v,
-                if v.index() == 0 { MisOutput::InMis } else { MisOutput::Undecided },
+                if v.index() == 0 {
+                    MisOutput::InMis
+                } else {
+                    MisOutput::Undecided
+                },
             )
         };
         let mut sim = Simulator::new(3, factory, AllAtStart, SimConfig::sequential(2));

@@ -94,7 +94,10 @@ impl NodeAlgorithm for SMis {
             MisOutput::Dominated => GhaffariMsg::Silent,
             MisOutput::Undecided => {
                 self.candidate = ctx.rng.gen_bool(self.p);
-                GhaffariMsg::Undecided { p: self.p, candidate: self.candidate }
+                GhaffariMsg::Undecided {
+                    p: self.p,
+                    candidate: self.candidate,
+                }
             }
         }
     }
@@ -225,7 +228,10 @@ mod tests {
             }
         }
         // Orphaned domination must be rare (it needs an adversarial M–M edge).
-        assert!(orphan_rounds < rounds, "orphaned domination should be transient");
+        assert!(
+            orphan_rounds < rounds,
+            "orphaned domination should be transient"
+        );
     }
 
     #[test]
@@ -285,7 +291,15 @@ mod tests {
         let joined = generators::path(2);
         let empty = Graph::new(2);
         let factory = |v: NodeId| {
-            SMis::with_state(v, 2, if v.index() == 0 { MisOutput::InMis } else { MisOutput::Dominated })
+            SMis::with_state(
+                v,
+                2,
+                if v.index() == 0 {
+                    MisOutput::InMis
+                } else {
+                    MisOutput::Dominated
+                },
+            )
         };
         let mut sim = Simulator::new(2, factory, AllAtStart, SimConfig::sequential(6));
         sim.step(&joined);
@@ -324,7 +338,10 @@ mod tests {
         let record = drive::run(&mut sim, &mut adv, rounds);
         let stable_from = 80;
         let reference = record.outputs_at(stable_from)[seed_node.index()].unwrap();
-        assert!(reference.is_decided(), "protected node decided after O(log n) rounds");
+        assert!(
+            reference.is_decided(),
+            "protected node decided after O(log n) rounds"
+        );
         for r in stable_from..rounds {
             assert_eq!(record.outputs_at(r)[seed_node.index()].unwrap(), reference);
         }

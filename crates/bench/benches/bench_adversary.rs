@@ -2,9 +2,9 @@
 //! cost of the different adversaries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 fn advance<A: Adversary>(adv: &mut A, rounds: usize) -> usize {
     let mut g = adv.initial_graph();
@@ -26,7 +26,12 @@ fn bench_adversary(c: &mut Criterion) {
             b.iter(|| advance(&mut FlipChurnAdversary::new(&footprint, 0.02, 1), rounds))
         });
         group.bench_with_input(BenchmarkId::new("markov_churn_20_rounds", n), &n, |b, _| {
-            b.iter(|| advance(&mut MarkovChurnAdversary::new(&footprint, 0.05, 0.05, true, 2), rounds))
+            b.iter(|| {
+                advance(
+                    &mut MarkovChurnAdversary::new(&footprint, 0.05, 0.05, true, 2),
+                    rounds,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("mobility_20_rounds", n), &n, |b, &n| {
             b.iter(|| {
@@ -40,7 +45,12 @@ fn bench_adversary(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("node_churn_20_rounds", n), &n, |b, _| {
-            b.iter(|| advance(&mut NodeChurnAdversary::new(footprint.clone(), 0.02, 0.1, 4), rounds))
+            b.iter(|| {
+                advance(
+                    &mut NodeChurnAdversary::new(footprint.clone(), 0.02, 0.1, 4),
+                    rounds,
+                )
+            })
         });
     }
     group.finish();

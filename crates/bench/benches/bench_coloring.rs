@@ -2,9 +2,9 @@
 //! and the combined Corollary 1.2 algorithm) on a churning network.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 const ROUNDS: usize = 10;
 
@@ -13,32 +13,46 @@ fn bench_coloring(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    for &n in &[1_000usize] {
+    {
+        let &n = &1_000usize;
         let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(6, "bc"));
         let window = recommended_window(n);
 
-        group.bench_with_input(BenchmarkId::new("basic_static_20_rounds", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim =
-                    Simulator::new(n, BasicColoring::new, AllAtStart, SimConfig::sequential(1));
-                sim.run_static(&footprint, ROUNDS).len()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dcolor_churn_20_rounds", n), &n, |b, &n| {
-            b.iter(|| {
-                let factory = |v: NodeId| DColor::new(v, ColorOutput::Undecided);
-                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(2));
-                let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 3);
-                run(&mut sim, &mut adv, ROUNDS).num_rounds()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("scolor_churn_20_rounds", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim = Simulator::new(n, SColor::new, AllAtStart, SimConfig::sequential(4));
-                let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 5);
-                run(&mut sim, &mut adv, ROUNDS).num_rounds()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("basic_static_20_rounds", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sim =
+                        Simulator::new(n, BasicColoring::new, AllAtStart, SimConfig::sequential(1));
+                    sim.run_static(&footprint, ROUNDS).len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dcolor_churn_20_rounds", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let factory = |v: NodeId| DColor::new(v, ColorOutput::Undecided);
+                    let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(2));
+                    let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 3);
+                    run(&mut sim, &mut adv, ROUNDS).num_rounds()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scolor_churn_20_rounds", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sim =
+                        Simulator::new(n, SColor::new, AllAtStart, SimConfig::sequential(4));
+                    let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 5);
+                    run(&mut sim, &mut adv, ROUNDS).num_rounds()
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("combined_corollary12_20_rounds", n),
             &n,

@@ -1,9 +1,9 @@
 //! Graph-generator benchmarks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
@@ -23,11 +23,16 @@ fn bench_generators(c: &mut Criterion) {
                 generators::random_geometric(n, radius, &mut experiment_rng(4, "bgen")).num_edges()
             })
         });
-        group.bench_with_input(BenchmarkId::new("preferential_attachment_m3", n), &n, |b, &n| {
-            b.iter(|| {
-                generators::preferential_attachment(n, 3, &mut experiment_rng(5, "bgen")).num_edges()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("preferential_attachment_m3", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    generators::preferential_attachment(n, 3, &mut experiment_rng(5, "bgen"))
+                        .num_edges()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, &n| {
             let side = (n as f64).sqrt() as usize;
             b.iter(|| generators::grid(side, side).num_edges())

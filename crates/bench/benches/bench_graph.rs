@@ -2,9 +2,9 @@
 //! and on CSR snapshots.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 fn bench_graph_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph");
@@ -28,16 +28,20 @@ fn bench_graph_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("greedy_mis", n), &g, |b, g| {
             b.iter(|| dynnet::graph::algo::greedy_mis(g))
         });
-        group.bench_with_input(BenchmarkId::new("clone_and_toggle_100_edges", n), &g, |b, g| {
-            let edges: Vec<Edge> = g.edges().take(100).collect();
-            b.iter(|| {
-                let mut h = g.clone();
-                for e in &edges {
-                    h.toggle_edge(e.u, e.v);
-                }
-                h.num_edges()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("clone_and_toggle_100_edges", n),
+            &g,
+            |b, g| {
+                let edges: Vec<Edge> = g.edges().take(100).collect();
+                b.iter(|| {
+                    let mut h = g.clone();
+                    for e in &edges {
+                        h.toggle_edge(e.u, e.v);
+                    }
+                    h.num_edges()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -2,9 +2,9 @@
 //! combined Corollary 1.3 algorithm) on a churning network.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 const ROUNDS: usize = 10;
 
@@ -13,7 +13,8 @@ fn bench_mis(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    for &n in &[1_000usize] {
+    {
+        let &n = &1_000usize;
         let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(7, "bm"));
         let window = recommended_window(n);
 
@@ -31,13 +32,17 @@ fn bench_mis(c: &mut Criterion) {
                 run(&mut sim, &mut adv, ROUNDS).num_rounds()
             })
         });
-        group.bench_with_input(BenchmarkId::new("ghaffari_static_20_rounds", n), &n, |b, &n| {
-            b.iter(|| {
-                let factory = move |v: NodeId| GhaffariMis::new(v, n);
-                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(4));
-                sim.run_static(&footprint, ROUNDS).len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ghaffari_static_20_rounds", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let factory = move |v: NodeId| GhaffariMis::new(v, n);
+                    let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(4));
+                    sim.run_static(&footprint, ROUNDS).len()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("smis_churn_20_rounds", n), &n, |b, &n| {
             b.iter(|| {
                 let factory = move |v: NodeId| SMis::new(v, n);

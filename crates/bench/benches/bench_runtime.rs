@@ -2,9 +2,9 @@
 //! phases, and the cost of the T-dynamic verification pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 fn bench_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime");
@@ -19,7 +19,11 @@ fn bench_runtime(c: &mut Criterion) {
                 &n,
                 |b, &n| {
                     b.iter(|| {
-                        let config = SimConfig { seed: 1, parallel, parallel_threshold: 0 };
+                        let config = SimConfig {
+                            seed: 1,
+                            parallel,
+                            parallel_threshold: 0,
+                        };
                         let mut sim = Simulator::new(n, LubyMis::new, AllAtStart, config);
                         sim.run_static(&footprint, 10).len()
                     })

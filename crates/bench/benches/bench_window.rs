@@ -2,9 +2,9 @@
 //! updates vs. brute-force recomputation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
 
 fn make_sequence(n: usize, rounds: usize, churn: f64) -> Vec<Graph> {
     let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(2, "bw"));
@@ -23,17 +23,22 @@ fn bench_window(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    for &n in &[1_000usize] {
+    {
+        let &n = &1_000usize;
         let seq = make_sequence(n, 64, 0.02);
-        group.bench_with_input(BenchmarkId::new("incremental_push_T32", n), &seq, |b, seq| {
-            b.iter(|| {
-                let mut w = GraphWindow::new(n, 32);
-                for g in seq {
-                    w.push(g);
-                }
-                w.intersection_graph().num_edges() + w.union_graph().num_edges()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_push_T32", n),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    let mut w = GraphWindow::new(n, 32);
+                    for g in seq {
+                        w.push(g);
+                    }
+                    w.intersection_graph().num_edges() + w.union_graph().num_edges()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("bruteforce_T32", n), &seq, |b, seq| {
             b.iter(|| {
                 let mut w = GraphWindow::new(n, 32);
@@ -44,13 +49,22 @@ fn bench_window(c: &mut Criterion) {
                     + w.union_graph_bruteforce().num_edges()
             })
         });
-        group.bench_with_input(BenchmarkId::new("materialize_views_T32", n), &seq, |b, seq| {
-            let mut w = GraphWindow::new(n, 32);
-            for g in seq {
-                w.push(g);
-            }
-            b.iter(|| (w.intersection_graph().num_edges(), w.union_graph().num_edges()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("materialize_views_T32", n),
+            &seq,
+            |b, seq| {
+                let mut w = GraphWindow::new(n, 32);
+                for g in seq {
+                    w.push(g);
+                }
+                b.iter(|| {
+                    (
+                        w.intersection_graph().num_edges(),
+                        w.union_graph().num_edges(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

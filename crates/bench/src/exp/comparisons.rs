@@ -1,6 +1,7 @@
 //! Comparison experiments: oblivious vs. adaptive adversaries (E9), the
 //! Concat framework vs. the restart-from-scratch strawman (E11), the TDMA
-//! application under mobility (E13), and simulator throughput (E14).
+//! application under mobility (E13), and simulator throughput (E14). All
+//! runs stream through `Scenario` observers.
 
 use dynnet::algorithms::apps::tdma;
 use dynnet::core::mis::independence_violations;
@@ -9,12 +10,42 @@ use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
 use std::time::Instant;
 
-fn collect<O: Clone>(record: &ExecutionRecord<O>) -> (Vec<Graph>, Vec<Vec<Option<O>>>) {
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs = (0..record.num_rounds())
-        .map(|r| record.outputs_at(r).to_vec())
-        .collect();
-    (graphs, outputs)
+/// Streaming observer: counts undecided node-rounds from round `from` on.
+struct UndecidedNodeRounds {
+    from: u64,
+    total: usize,
+}
+
+impl RoundObserver<MisOutput> for UndecidedNodeRounds {
+    fn on_round(&mut self, view: &RoundView<'_, MisOutput>) {
+        if view.round < self.from {
+            return;
+        }
+        self.total += view
+            .outputs
+            .iter()
+            .filter(|o| o.map(|s| s == MisOutput::Undecided).unwrap_or(true))
+            .count();
+    }
+}
+
+/// Streaming observer: total independence violations on the window
+/// intersection graph, summed over all rounds.
+struct IntersectionViolations {
+    window: GraphWindow,
+    total: usize,
+}
+
+impl RoundObserver<MisOutput> for IntersectionViolations {
+    fn on_round(&mut self, view: &RoundView<'_, MisOutput>) {
+        self.window.push(view.current_graph());
+        let out: Vec<MisOutput> = view
+            .outputs
+            .iter()
+            .map(|o| o.unwrap_or(MisOutput::Undecided))
+            .collect();
+        self.total += independence_violations(&self.window.intersection_graph(), &out);
+    }
 }
 
 /// E9: DMis against an oblivious churn adversary vs. an adaptive,
@@ -26,7 +57,9 @@ pub fn e9_oblivious_vs_adaptive() -> Vec<Table> {
     let window = recommended_window(n);
     let rounds = 4 * window;
     let mut table = Table::new(
-        format!("E9 — Combined MIS against oblivious vs. adaptive adversaries, n = {n}, T = {window}"),
+        format!(
+            "E9 — Combined MIS against oblivious vs. adaptive adversaries, n = {n}, T = {window}"
+        ),
         &[
             "adversary",
             "undecided node-rounds (lower = faster progress)",
@@ -36,48 +69,49 @@ pub fn e9_oblivious_vs_adaptive() -> Vec<Table> {
         ],
     );
     let footprint = generators::grid(16, 16);
-    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
 
-    let run_case = |name: &str, adv: &mut dyn OutputAdversary<MisOutput>| -> Vec<String> {
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(9));
-        let record = run(&mut sim, &mut *adv, rounds);
-        let (graphs, outputs) = collect(&record);
-        let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
-        // Count undecided node-rounds after the first window as a progress proxy.
-        let undecided: usize = (window..rounds)
-            .map(|r| {
-                outputs[r]
-                    .iter()
-                    .filter(|o| o.map(|s| s == MisOutput::Undecided).unwrap_or(true))
-                    .count()
-            })
-            .sum();
-        // Independence violations on the window intersection graph.
-        let mut w = GraphWindow::new(n, window);
-        let mut violations = 0usize;
-        for r in 0..rounds {
-            w.push(&graphs[r]);
-            let out: Vec<MisOutput> = outputs[r]
-                .iter()
-                .map(|o| o.unwrap_or(MisOutput::Undecided))
-                .collect();
-            violations += independence_violations(&w.intersection_graph(), &out);
-        }
-        let churn_series = dynnet::core::output_churn_series(&outputs, &nodes);
-        let churn =
-            churn_series[window..].iter().sum::<usize>() as f64 / (rounds - window) as f64;
+    fn run_case<Adv: OutputAdversary<MisOutput>>(
+        name: &str,
+        adv: Adv,
+        n: usize,
+        window: usize,
+        rounds: usize,
+    ) -> Vec<String> {
+        let mut undecided = UndecidedNodeRounds {
+            from: window as u64,
+            total: 0,
+        };
+        let mut violations = IntersectionViolations {
+            window: GraphWindow::new(n, window),
+            total: 0,
+        };
+        let mut verifier = TDynamicVerifier::new(MisProblem, window);
+        let mut churn = ChurnStats::new();
+        Scenario::new(n)
+            .algorithm(dynamic_mis(n, window))
+            .adversary(adv)
+            .seed(9)
+            .rounds(rounds)
+            .run(&mut [&mut undecided, &mut violations, &mut verifier, &mut churn]);
+        let summary = verifier.into_summary();
+        let churn_rate = churn.total_from(window) as f64 / (rounds - window) as f64;
         vec![
             name.to_string(),
-            undecided.to_string(),
-            violations.to_string(),
+            undecided.total.to_string(),
+            violations.total.to_string(),
             format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
-            fmt2(churn),
+            fmt2(churn_rate),
         ]
-    };
+    }
 
-    let mut oblivious = FlipChurnAdversary::new(&footprint, 0.02, 90);
-    table.push_row(run_case("oblivious flip churn p=0.02", &mut oblivious));
-    let mut adaptive: ConflictSeekingAdversary<MisOutput, _> = ConflictSeekingAdversary::new(
+    table.push_row(run_case(
+        "oblivious flip churn p=0.02",
+        FlipChurnAdversary::new(&footprint, 0.02, 90),
+        n,
+        window,
+        rounds,
+    ));
+    let adaptive: ConflictSeekingAdversary<MisOutput, _> = ConflictSeekingAdversary::new(
         footprint.clone(),
         |a: &MisOutput, b: &MisOutput| a.in_mis() && b.in_mis(),
         8,
@@ -85,7 +119,13 @@ pub fn e9_oblivious_vs_adaptive() -> Vec<Table> {
         (2 * window) as u64,
         91,
     );
-    table.push_row(run_case("adaptive conflict seeker (wires MIS members together)", &mut adaptive));
+    table.push_row(run_case(
+        "adaptive conflict seeker (wires MIS members together)",
+        adaptive,
+        n,
+        window,
+        rounds,
+    ));
     vec![table]
 }
 
@@ -95,7 +135,6 @@ pub fn e11_concat_vs_restart() -> Vec<Table> {
     let n = 256;
     let window = recommended_window(n);
     let rounds = 6 * window;
-    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(11, "e11"));
     let mut table = Table::new(
         format!("E11 — Concat (Corollaries 1.2/1.3) vs. restart-every-T strawman, n = {n}, T = {window}"),
@@ -108,83 +147,116 @@ pub fn e11_concat_vs_restart() -> Vec<Table> {
             "restart output changes/round",
         ],
     );
+    let steady = |total: usize| total as f64 / (rounds - 2 * window) as f64;
+    let period = window as u64;
     for churn in [0.0, 0.01, 0.05] {
         // --- Coloring ---
-        let mut adv = FlipChurnAdversary::new(&footprint, churn, 500 + (churn * 1e4) as u64);
-        let mut sim =
-            Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(11));
-        let record = run(&mut sim, &mut adv, rounds);
-        let (graphs, outputs) = collect(&record);
-        let concat_summary =
-            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
-        let concat_churn = dynnet::core::output_churn_series(&outputs, &nodes)[2 * window..]
-            .iter()
-            .sum::<usize>() as f64
-            / (rounds - 2 * window) as f64;
+        let mut concat_verifier = TDynamicVerifier::new(ColoringProblem, window);
+        let mut concat_churn = ChurnStats::new();
+        let mut recorder = TraceRecorder::graphs_only();
+        Scenario::new(n)
+            .algorithm(dynamic_coloring(window))
+            .adversary(FlipChurnAdversary::new(
+                &footprint,
+                churn,
+                500 + (churn * 1e4) as u64,
+            ))
+            .seed(11)
+            .rounds(rounds)
+            .run(&mut [&mut concat_verifier, &mut concat_churn, &mut recorder]);
+        let concat_summary = concat_verifier.into_summary();
 
-        let period = window as u64;
-        let mut replay = ScriptedAdversary::new(record.trace.clone());
-        let mut sim = Simulator::new(
-            n,
-            move |v: NodeId| RestartColoring::new(v, period),
-            AllAtStart,
-            SimConfig::sequential(12),
-        );
-        let record_restart = run(&mut sim, &mut replay, rounds);
-        let (_, outputs_restart) = collect(&record_restart);
-        let restart_summary =
-            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs_restart, window, window - 1);
-        let restart_churn = dynnet::core::output_churn_series(&outputs_restart, &nodes)
-            [2 * window..]
-            .iter()
-            .sum::<usize>() as f64
-            / (rounds - 2 * window) as f64;
+        let mut restart_verifier = TDynamicVerifier::new(ColoringProblem, window);
+        let mut restart_churn = ChurnStats::new();
+        Scenario::new(n)
+            .algorithm(move |v: NodeId| RestartColoring::new(v, period))
+            .adversary(ScriptedAdversary::new(recorder.into_trace()))
+            .seed(12)
+            .rounds(rounds)
+            .run(&mut [&mut restart_verifier, &mut restart_churn]);
+        let restart_summary = restart_verifier.into_summary();
         table.push_row(vec![
             "coloring".into(),
             format!("{churn}"),
-            format!("{}/{}", concat_summary.rounds_valid, concat_summary.rounds_checked),
-            format!("{}/{}", restart_summary.rounds_valid, restart_summary.rounds_checked),
-            fmt2(concat_churn),
-            fmt2(restart_churn),
+            format!(
+                "{}/{}",
+                concat_summary.rounds_valid, concat_summary.rounds_checked
+            ),
+            format!(
+                "{}/{}",
+                restart_summary.rounds_valid, restart_summary.rounds_checked
+            ),
+            fmt2(steady(concat_churn.total_from(2 * window))),
+            fmt2(steady(restart_churn.total_from(2 * window))),
         ]);
 
         // --- MIS ---
-        let mut adv = FlipChurnAdversary::new(&footprint, churn, 600 + (churn * 1e4) as u64);
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(13));
-        let record = run(&mut sim, &mut adv, rounds);
-        let (graphs, outputs) = collect(&record);
-        let concat_summary =
-            verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
-        let concat_churn = dynnet::core::output_churn_series(&outputs, &nodes)[2 * window..]
-            .iter()
-            .sum::<usize>() as f64
-            / (rounds - 2 * window) as f64;
-        let mut replay = ScriptedAdversary::new(record.trace.clone());
-        let mut sim = Simulator::new(
-            n,
-            move |v: NodeId| RestartMis::new(v, period),
-            AllAtStart,
-            SimConfig::sequential(14),
-        );
-        let record_restart = run(&mut sim, &mut replay, rounds);
-        let (_, outputs_restart) = collect(&record_restart);
-        let restart_summary =
-            verify_t_dynamic_run(&MisProblem, &graphs, &outputs_restart, window, window - 1);
-        let restart_churn = dynnet::core::output_churn_series(&outputs_restart, &nodes)
-            [2 * window..]
-            .iter()
-            .sum::<usize>() as f64
-            / (rounds - 2 * window) as f64;
+        let mut concat_verifier = TDynamicVerifier::new(MisProblem, window);
+        let mut concat_churn = ChurnStats::new();
+        let mut recorder = TraceRecorder::graphs_only();
+        Scenario::new(n)
+            .algorithm(dynamic_mis(n, window))
+            .adversary(FlipChurnAdversary::new(
+                &footprint,
+                churn,
+                600 + (churn * 1e4) as u64,
+            ))
+            .seed(13)
+            .rounds(rounds)
+            .run(&mut [&mut concat_verifier, &mut concat_churn, &mut recorder]);
+        let concat_summary = concat_verifier.into_summary();
+
+        let mut restart_verifier = TDynamicVerifier::new(MisProblem, window);
+        let mut restart_churn = ChurnStats::new();
+        Scenario::new(n)
+            .algorithm(move |v: NodeId| RestartMis::new(v, period))
+            .adversary(ScriptedAdversary::new(recorder.into_trace()))
+            .seed(14)
+            .rounds(rounds)
+            .run(&mut [&mut restart_verifier, &mut restart_churn]);
+        let restart_summary = restart_verifier.into_summary();
         table.push_row(vec![
             "MIS".into(),
             format!("{churn}"),
-            format!("{}/{}", concat_summary.rounds_valid, concat_summary.rounds_checked),
-            format!("{}/{}", restart_summary.rounds_valid, restart_summary.rounds_checked),
-            fmt2(concat_churn),
-            fmt2(restart_churn),
+            format!(
+                "{}/{}",
+                concat_summary.rounds_valid, concat_summary.rounds_checked
+            ),
+            format!(
+                "{}/{}",
+                restart_summary.rounds_valid, restart_summary.rounds_checked
+            ),
+            fmt2(steady(concat_churn.total_from(2 * window))),
+            fmt2(steady(restart_churn.total_from(2 * window))),
         ]);
     }
     vec![table]
+}
+
+/// Streaming observer running one TDMA frame per round (from `from` on).
+struct TdmaProbe {
+    from: u64,
+    success_rates: Vec<f64>,
+    frame_lengths: Vec<f64>,
+    max_deg: usize,
+}
+
+impl RoundObserver<ColorOutput> for TdmaProbe {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        if view.round < self.from {
+            return;
+        }
+        let g = view.current_graph();
+        self.max_deg = self.max_deg.max(g.max_degree());
+        let colors: Vec<ColorOutput> = view
+            .outputs
+            .iter()
+            .map(|o| o.unwrap_or(ColorOutput::Undecided))
+            .collect();
+        let frame = tdma::run_frame(&g, &colors);
+        self.success_rates.push(frame.success_rate());
+        self.frame_lengths.push(frame.frame_length as f64);
+    }
 }
 
 /// E13: TDMA slot assignment under random-waypoint mobility.
@@ -208,36 +280,35 @@ pub fn e13_tdma_mobility() -> Vec<Table> {
         ("slow (0.002–0.01)", 0.002, 0.01),
         ("fast (0.01–0.03)", 0.01, 0.03),
     ] {
-        let mut adv = MobilityAdversary::new(
-            MobilityConfig { n, radius: 0.08, min_speed, max_speed },
-            131,
-        );
-        let mut sim =
-            Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(13));
-        let record = run(&mut sim, &mut adv, rounds);
-        let mut success_rates = Vec::new();
-        let mut frame_lengths = Vec::new();
-        let mut max_deg = 0usize;
-        for r in window..rounds {
-            let g = record.graph_at(r);
-            max_deg = max_deg.max(g.max_degree());
-            let colors: Vec<ColorOutput> = record
-                .outputs_at(r)
-                .iter()
-                .map(|o| o.unwrap_or(ColorOutput::Undecided))
-                .collect();
-            let frame = tdma::run_frame(&g, &colors);
-            success_rates.push(frame.success_rate());
-            frame_lengths.push(frame.frame_length as f64);
-        }
-        let s = Summary::of(&success_rates);
+        let mut probe = TdmaProbe {
+            from: window as u64,
+            success_rates: Vec::new(),
+            frame_lengths: Vec::new(),
+            max_deg: 0,
+        };
+        let mut recorder = TraceRecorder::graphs_only();
+        Scenario::new(n)
+            .algorithm(dynamic_coloring(window))
+            .adversary(MobilityAdversary::new(
+                MobilityConfig {
+                    n,
+                    radius: 0.08,
+                    min_speed,
+                    max_speed,
+                },
+                131,
+            ))
+            .seed(13)
+            .rounds(rounds)
+            .run(&mut [&mut probe, &mut recorder]);
+        let s = Summary::of(&probe.success_rates);
         table.push_row(vec![
             name.to_string(),
-            fmt2(record.trace.total_edge_changes() as f64 / rounds as f64),
+            fmt2(recorder.trace().total_edge_changes() as f64 / rounds as f64),
             fmt_pct(s.mean),
             fmt_pct(s.min),
-            fmt2(Summary::of(&frame_lengths).mean),
-            (max_deg + 1).to_string(),
+            fmt2(Summary::of(&probe.frame_lengths).mean),
+            (probe.max_deg + 1).to_string(),
         ]);
     }
     vec![table]
@@ -250,22 +321,41 @@ pub fn e13_tdma_mobility() -> Vec<Table> {
 pub fn e14_simulator_throughput() -> Vec<Table> {
     let mut table = Table::new(
         "E14 — Simulator throughput (ER d̄=10, churn p=0.01, release build)",
-        &["algorithm", "n", "sequential ms/round", "parallel ms/round", "speedup"],
+        &[
+            "algorithm",
+            "n",
+            "sequential ms/round",
+            "parallel ms/round",
+            "speedup",
+        ],
     );
     let time_per_round = |parallel: bool, n: usize, rounds: usize, combined: bool| -> f64 {
         let window = recommended_window(n);
-        let footprint =
-            generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(14, &format!("e14-{n}")));
-        let config = SimConfig { seed: 14, parallel, parallel_threshold: 0 };
-        let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 140);
+        let footprint = generators::erdos_renyi_avg_degree(
+            n,
+            10.0,
+            &mut experiment_rng(14, &format!("e14-{n}")),
+        );
+        let config = SimConfig {
+            seed: 14,
+            parallel,
+            parallel_threshold: 0,
+        };
         let start = Instant::now();
         if combined {
-            let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, config);
-            let _ = run(&mut sim, &mut adv, rounds);
+            Scenario::new(n)
+                .algorithm(dynamic_mis(n, window))
+                .adversary(FlipChurnAdversary::new(&footprint, 0.01, 140))
+                .config(config)
+                .rounds(rounds)
+                .run(&mut []);
         } else {
-            let factory = |v: NodeId| DMis::new(v, MisOutput::Undecided);
-            let mut sim = Simulator::new(n, factory, AllAtStart, config);
-            let _ = run(&mut sim, &mut adv, rounds);
+            Scenario::new(n)
+                .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+                .adversary(FlipChurnAdversary::new(&footprint, 0.01, 140))
+                .config(config)
+                .rounds(rounds)
+                .run(&mut []);
         }
         start.elapsed().as_secs_f64() * 1000.0 / rounds as f64
     };

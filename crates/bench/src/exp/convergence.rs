@@ -1,42 +1,35 @@
 //! Convergence-time experiments: round complexity of the basic coloring,
 //! DColor, DMis and SMis as a function of `n`, with `O(log n)` shape checks,
-//! plus the per-round progress constants of Lemmas 4.3 and 5.2.
+//! plus the per-round progress constants of Lemmas 4.3 and 5.2. All runs are
+//! driven through the `Scenario` API.
 
 use dynnet::core::mis::independence_violations;
 use dynnet::metrics::{fmt2, log_fit, Summary, Table};
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use dynnet::runtime::AlgorithmFactory;
 
 const N_SWEEP: &[usize] = &[64, 128, 256, 512, 1024, 2048, 4096];
 
-/// Rounds until every node's output satisfies `done`, or `max_rounds`.
-fn rounds_until_done<A, F, W>(
-    sim: &mut Simulator<A, F, W>,
-    adv: &mut dyn OutputAdversary<A::Output>,
-    max_rounds: usize,
+/// Rounds until every node's output satisfies `done`, or the scenario's
+/// round budget.
+fn rounds_until_done<A, F, W, Adv>(
+    scenario: Scenario<F, W, Adv>,
     done: impl Fn(&A::Output) -> bool,
 ) -> usize
 where
     A: NodeAlgorithm,
-    F: dynnet::runtime::AlgorithmFactory<A>,
+    F: AlgorithmFactory<A>,
     W: WakeupSchedule,
+    Adv: OutputAdversary<A::Output>,
 {
-    let mut graph = adv.initial_graph();
-    for r in 0..max_rounds {
-        if r > 0 {
-            let prev = sim.outputs().to_vec();
-            graph = adv.next_graph(r as u64, &graph, &prev);
-        }
-        let report = sim.step(&graph);
-        let all_done = report
-            .outputs
-            .iter()
-            .all(|o| o.as_ref().map(&done).unwrap_or(false));
-        if all_done {
-            return r + 1;
-        }
-    }
-    max_rounds
+    scenario
+        .run_until(&mut [], |view| {
+            view.outputs
+                .iter()
+                .all(|o| o.as_ref().map(&done).unwrap_or(false))
+        })
+        .rounds_executed()
 }
 
 /// E1: basic static coloring (Algorithm 6) — rounds until all nodes colored,
@@ -52,24 +45,36 @@ pub fn e1_basic_coloring_scaling() -> Vec<Table> {
         &["family", "fit", "R²"],
     );
     for (name, family) in [
-        ("ER d̄=10", generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 }),
-        ("geometric r=4/√n", generators::GraphFamily::Geometric { radius: 0.0 }),
+        (
+            "ER d̄=10",
+            generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
+        ),
+        (
+            "geometric r=4/√n",
+            generators::GraphFamily::Geometric { radius: 0.0 },
+        ),
     ] {
         let mut points = Vec::new();
         for &n in N_SWEEP {
             let mut rounds = Vec::new();
             for seed in 0..seeds {
                 let fam = match family {
-                    generators::GraphFamily::Geometric { .. } => generators::GraphFamily::Geometric {
-                        radius: 4.0 / (n as f64).sqrt(),
-                    },
+                    generators::GraphFamily::Geometric { .. } => {
+                        generators::GraphFamily::Geometric {
+                            radius: 4.0 / (n as f64).sqrt(),
+                        }
+                    }
                     ref f => f.clone(),
                 };
                 let g = fam.generate(n, &mut experiment_rng(seed, &format!("e1-{name}-{n}")));
-                let mut sim =
-                    Simulator::new(n, BasicColoring::new, AllAtStart, SimConfig::sequential(seed));
-                let mut adv = StaticAdversary::new(g);
-                let r = rounds_until_done(&mut sim, &mut adv, 400, |o: &ColorOutput| o.is_decided());
+                let r = rounds_until_done(
+                    Scenario::new(n)
+                        .algorithm(BasicColoring::new)
+                        .adversary(StaticAdversary::new(g))
+                        .seed(seed)
+                        .rounds(400),
+                    |o: &ColorOutput| o.is_decided(),
+                );
                 rounds.push(r as f64);
             }
             let s = Summary::of(&rounds);
@@ -100,10 +105,7 @@ pub fn e2_dcolor_scaling_under_churn() -> Vec<Table> {
         "E2 — DColor (Algorithm 2): rounds until all nodes colored under per-edge flip churn",
         &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
     );
-    let mut fits = Table::new(
-        "E2 — O(log n) shape check",
-        &["churn p", "fit", "R²"],
-    );
+    let mut fits = Table::new("E2 — O(log n) shape check", &["churn p", "fit", "R²"]);
     for churn in [0.0, 0.01, 0.05] {
         let mut points = Vec::new();
         for &n in &[64usize, 256, 1024, 4096] {
@@ -114,10 +116,14 @@ pub fn e2_dcolor_scaling_under_churn() -> Vec<Table> {
                     10.0,
                     &mut experiment_rng(seed, &format!("e2-{n}")),
                 );
-                let factory = |v: NodeId| DColor::new(v, ColorOutput::Undecided);
-                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(seed));
-                let mut adv = FlipChurnAdversary::new(&footprint, churn, 100 + seed);
-                let r = rounds_until_done(&mut sim, &mut adv, 400, |o: &ColorOutput| o.is_decided());
+                let r = rounds_until_done(
+                    Scenario::new(n)
+                        .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
+                        .adversary(FlipChurnAdversary::new(&footprint, churn, 100 + seed))
+                        .seed(seed)
+                        .rounds(400),
+                    |o: &ColorOutput| o.is_decided(),
+                );
                 rounds.push(r as f64);
             }
             let s = Summary::of(&rounds);
@@ -145,6 +151,8 @@ pub fn e2_dcolor_scaling_under_churn() -> Vec<Table> {
 /// uncolored at the start of a round, measure how often the node gets
 /// colored, how often its palette shrinks by ≥ 1/4, and the conditional
 /// coloring probability when the palette does *not* shrink (claimed ≥ 1/64).
+/// Uses manual `Runner` stepping to inspect per-node algorithm state between
+/// rounds.
 pub fn e3_dcolor_progress() -> Vec<Table> {
     let mut table = Table::new(
         "E3 — DColor per-round progress events (Lemma 4.3)",
@@ -160,18 +168,22 @@ pub fn e3_dcolor_progress() -> Vec<Table> {
     for (name, avg_deg) in [("ER d̄=10", 10.0), ("ER d̄=30", 30.0)] {
         let n = 512;
         let g = generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3"));
-        let factory = |v: NodeId| DColor::new(v, ColorOutput::Undecided);
-        let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(3));
+        let mut runner = Scenario::new(n)
+            .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
+            .adversary(StaticAdversary::new(g))
+            .seed(3)
+            .rounds(200)
+            .runner();
         let mut observed = 0usize;
         let mut colored_events = 0usize;
         let mut shrink_events = 0usize;
         let mut colored_given_no_shrink = 0usize;
         let mut no_shrink = 0usize;
         let mut prev_state: Vec<Option<(bool, usize)>> = vec![None; n]; // (colored, palette size)
-        for _ in 0..200 {
-            sim.step(&g);
+        while runner.step(&mut []) {
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
-                let node = sim.node(NodeId::new(i)).unwrap();
+                let node = runner.sim().node(NodeId::new(i)).unwrap();
                 let colored_now = node.output().is_decided();
                 let palette_now = node.palette().len();
                 if let Some((was_colored, old_palette)) = prev_state[i] {
@@ -202,13 +214,63 @@ pub fn e3_dcolor_progress() -> Vec<Table> {
         table.push_row(vec![
             name.to_string(),
             observed.to_string(),
-            format!("{:.1}%", 100.0 * colored_events as f64 / observed.max(1) as f64),
-            format!("{:.1}%", 100.0 * shrink_events as f64 / observed.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * colored_events as f64 / observed.max(1) as f64
+            ),
+            format!(
+                "{:.1}%",
+                100.0 * shrink_events as f64 / observed.max(1) as f64
+            ),
             format!("{:.3}", p_cond),
             "0.016 (= 1/64)".to_string(),
         ]);
     }
     vec![table]
+}
+
+/// Streaming probe for the E6 decay measurement: maintains the running
+/// intersection graph, counts its edges between undecided nodes, and asserts
+/// the deterministic packing claim as the execution streams by.
+struct DecayProbe {
+    intersection: Option<Graph>,
+    series: Series,
+    done: bool,
+}
+
+impl RoundObserver<MisOutput> for DecayProbe {
+    fn on_round(&mut self, view: &RoundView<'_, MisOutput>) {
+        let g = view.current_graph();
+        let intersection = match &mut self.intersection {
+            None => self.intersection.insert(g.clone()),
+            Some(acc) => {
+                *acc = acc.intersection(g);
+                acc
+            }
+        };
+        // Count intersection-graph edges with both endpoints undecided.
+        let undecided: Vec<bool> = view
+            .outputs
+            .iter()
+            .map(|o| o.map(|s| s == MisOutput::Undecided).unwrap_or(true))
+            .collect();
+        let count = intersection
+            .edges()
+            .filter(|e| undecided[e.u.index()] && undecided[e.v.index()])
+            .count();
+        self.series.push(count as f64);
+        if count == 0 {
+            self.done = true;
+            return;
+        }
+        // Verify the deterministic packing claim as we go.
+        let out: Vec<MisOutput> = view
+            .outputs
+            .iter()
+            .map(|o| o.unwrap_or(MisOutput::Undecided))
+            .collect();
+        assert_eq!(independence_violations(intersection, &out), 0);
+    }
 }
 
 /// E6: DMis — rounds until every node is decided, over an `n` sweep and
@@ -232,10 +294,14 @@ pub fn e6_dmis_scaling_and_decay() -> Vec<Table> {
                     10.0,
                     &mut experiment_rng(seed, &format!("e6-{n}")),
                 );
-                let factory = |v: NodeId| DMis::new(v, MisOutput::Undecided);
-                let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(seed));
-                let mut adv = FlipChurnAdversary::new(&footprint, churn, 200 + seed);
-                let r = rounds_until_done(&mut sim, &mut adv, 400, |o: &MisOutput| o.is_decided());
+                let r = rounds_until_done(
+                    Scenario::new(n)
+                        .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+                        .adversary(FlipChurnAdversary::new(&footprint, churn, 200 + seed))
+                        .seed(seed)
+                        .rounds(400),
+                    |o: &MisOutput| o.is_decided(),
+                );
                 rounds.push(r as f64);
             }
             let s = Summary::of(&rounds);
@@ -258,50 +324,38 @@ pub fn e6_dmis_scaling_and_decay() -> Vec<Table> {
     }
 
     // Decay of |E(H_r)| (edges between undecided nodes in the running
-    // intersection graph), measured every 2 rounds.
+    // intersection graph), measured every 2 rounds via a streaming probe.
     let mut decay = Table::new(
         "E6 — Undecided-edge decay per 2 rounds (Lemma 5.2: expected factor ≤ 2/3)",
-        &["graph", "churn p", "mean decay factor", "p95 decay factor", "samples"],
+        &[
+            "graph",
+            "churn p",
+            "mean decay factor",
+            "p95 decay factor",
+            "samples",
+        ],
     );
     for churn in [0.0, 0.05] {
         let n = 1024;
         let footprint =
             generators::erdos_renyi_avg_degree(n, 12.0, &mut experiment_rng(7, "e6-decay"));
-        let factory = |v: NodeId| DMis::new(v, MisOutput::Undecided);
-        let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(5));
-        let mut adv = FlipChurnAdversary::new(&footprint, churn, 303);
-        let mut graph = Adversary::initial_graph(&mut adv);
-        let mut intersection = graph.clone();
-        let mut series = Series::new("undecided-edges");
-        for r in 0..120u64 {
-            if r > 0 {
-                graph = Adversary::next_graph(&mut adv, r, &graph);
-                intersection = intersection.intersection(&graph);
-            }
-            let report = sim.step(&graph);
-            // Count intersection-graph edges with both endpoints undecided.
-            let undecided: Vec<bool> = report
-                .outputs
-                .iter()
-                .map(|o| o.map(|s| s == MisOutput::Undecided).unwrap_or(true))
-                .collect();
-            let count = intersection
-                .edges()
-                .filter(|e| undecided[e.u.index()] && undecided[e.v.index()])
-                .count();
-            series.push(count as f64);
-            if count == 0 {
+        let mut probe = DecayProbe {
+            intersection: None,
+            series: Series::new("undecided-edges"),
+            done: false,
+        };
+        let mut runner = Scenario::new(n)
+            .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+            .adversary(FlipChurnAdversary::new(&footprint, churn, 303))
+            .seed(5)
+            .rounds(120)
+            .runner();
+        while runner.step(&mut [&mut probe]) {
+            if probe.done {
                 break;
             }
-            // Verify the deterministic packing claim as we go.
-            let out: Vec<MisOutput> = report
-                .outputs
-                .iter()
-                .map(|o| o.unwrap_or(MisOutput::Undecided))
-                .collect();
-            assert_eq!(independence_violations(&intersection, &out), 0);
         }
-        let ratios = series.decay_ratios(2);
+        let ratios = probe.series.decay_ratios(2);
         let s = Summary::of(&ratios);
         decay.push_row(vec![
             "ER d̄=12, n=1024".to_string(),
@@ -331,10 +385,14 @@ pub fn e7_smis_scaling() -> Vec<Table> {
                 10.0,
                 &mut experiment_rng(seed, &format!("e7-{n}")),
             );
-            let factory = move |v: NodeId| SMis::new(v, n);
-            let mut sim = Simulator::new(n, factory, AllAtStart, SimConfig::sequential(seed));
-            let mut adv = StaticAdversary::new(g);
-            let r = rounds_until_done(&mut sim, &mut adv, 600, |o: &MisOutput| o.is_decided());
+            let r = rounds_until_done(
+                Scenario::new(n)
+                    .algorithm(move |v: NodeId| SMis::new(v, n))
+                    .adversary(StaticAdversary::new(g))
+                    .seed(seed)
+                    .rounds(600),
+                |o: &MisOutput| o.is_decided(),
+            );
             rounds.push(r as f64);
         }
         let s = Summary::of(&rounds);

@@ -1,54 +1,59 @@
 //! Guarantee experiments for the combined algorithms (Theorem 1.1 /
 //! Corollaries 1.2 and 1.3): per-round T-dynamic validity under churn,
 //! conflict-resolution latency, locally-static stability, asynchronous
-//! wake-up, and the effect of choosing the window too small.
+//! wake-up, and the effect of choosing the window too small. All runs stream
+//! through `Scenario` observers; nothing materializes full executions.
 
 use dynnet::core::coloring::max_color_used;
 use dynnet::metrics::{fmt2, fmt_pct, Summary, Table};
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use std::collections::HashMap;
 
-fn collect<O: Clone>(record: &ExecutionRecord<O>) -> (Vec<Graph>, Vec<Vec<Option<O>>>) {
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs = (0..record.num_rounds())
-        .map(|r| record.outputs_at(r).to_vec())
-        .collect();
-    (graphs, outputs)
+/// Streaming observer measuring the longest per-edge conflict duration
+/// (after `from`): for every edge, the longest streak of consecutive rounds
+/// in which the edge is present in the current graph *and* both endpoints
+/// output the same color. This is the quantity Corollary 1.2 bounds by `T`:
+/// a newly inserted edge's conflict is resolved within one window.
+struct EdgeConflictStreak {
+    from: u64,
+    streaks: HashMap<Edge, usize>,
+    longest: usize,
 }
 
-/// Longest per-edge conflict duration (after warm-up): for every edge, the
-/// longest streak of consecutive rounds in which the edge is present in the
-/// current graph *and* both endpoints output the same color. This is the
-/// quantity Corollary 1.2 bounds by `T`: a newly inserted edge's conflict is
-/// resolved within one window.
-fn longest_conflict_streak(record: &ExecutionRecord<ColorOutput>, from: usize) -> usize {
-    use std::collections::HashMap;
-    let mut streaks: HashMap<Edge, usize> = HashMap::new();
-    let mut longest = 0usize;
-    for r in from..record.num_rounds() {
-        let g = record.graph_at(r);
-        let out: Vec<ColorOutput> = record
-            .outputs_at(r)
+impl EdgeConflictStreak {
+    fn new(from: usize) -> Self {
+        EdgeConflictStreak {
+            from: from as u64,
+            streaks: HashMap::new(),
+            longest: 0,
+        }
+    }
+}
+
+impl RoundObserver<ColorOutput> for EdgeConflictStreak {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        if view.round < self.from {
+            return;
+        }
+        let g = view.current_graph();
+        let out: Vec<ColorOutput> = view
+            .outputs
             .iter()
             .map(|o| o.unwrap_or(ColorOutput::Undecided))
             .collect();
-        let mut conflicting: Vec<Edge> = Vec::new();
+        let mut next: HashMap<Edge, usize> = HashMap::new();
         for e in g.edges() {
             if let (Some(a), Some(b)) = (out[e.u.index()].color(), out[e.v.index()].color()) {
                 if a == b {
-                    conflicting.push(e);
+                    let len = self.streaks.get(&e).copied().unwrap_or(0) + 1;
+                    self.longest = self.longest.max(len);
+                    next.insert(e, len);
                 }
             }
         }
-        let mut next: HashMap<Edge, usize> = HashMap::new();
-        for e in conflicting {
-            let len = streaks.get(&e).copied().unwrap_or(0) + 1;
-            longest = longest.max(len);
-            next.insert(e, len);
-        }
-        streaks = next;
+        self.streaks = next;
     }
-    longest
 }
 
 /// E4: the combined coloring under a churn-rate sweep.
@@ -68,24 +73,35 @@ pub fn e4_combined_coloring_under_churn() -> Vec<Table> {
         ],
     );
     for churn in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1] {
-        let footprint =
-            generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(4, "e4"));
-        let mut adv = FlipChurnAdversary::new(&footprint, churn, 400 + (churn * 1e4) as u64);
-        let mut sim =
-            Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(4));
-        let record = run(&mut sim, &mut adv, rounds);
-        let (graphs, outputs) = collect(&record);
-        let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
-        let streak = longest_conflict_streak(&record, window);
-        let final_out: Vec<ColorOutput> = outputs[rounds - 1]
+        let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(4, "e4"));
+        let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
+        let mut streak = EdgeConflictStreak::new(window);
+        let mut recorder = TraceRecorder::graphs_only();
+        let runner = Scenario::new(n)
+            .algorithm(dynamic_coloring(window))
+            .adversary(FlipChurnAdversary::new(
+                &footprint,
+                churn,
+                400 + (churn * 1e4) as u64,
+            ))
+            .seed(4)
+            .rounds(rounds)
+            .run(&mut [&mut verifier, &mut streak, &mut recorder]);
+        let summary = verifier.into_summary();
+        let final_out: Vec<ColorOutput> = runner
+            .outputs()
             .iter()
             .map(|o| o.unwrap_or(ColorOutput::Undecided))
             .collect();
         table.push_row(vec![
             format!("{churn}"),
-            fmt2(record.trace.total_edge_changes() as f64 / rounds as f64),
+            fmt2(recorder.trace().total_edge_changes() as f64 / rounds as f64),
             format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
-            format!("{streak} ({})", if streak < window { "yes" } else { "NO" }),
+            format!(
+                "{} ({})",
+                streak.longest,
+                if streak.longest < window { "yes" } else { "NO" }
+            ),
             max_color_used(&final_out).to_string(),
             (footprint.max_degree() + 1).to_string(),
         ]);
@@ -99,7 +115,11 @@ pub fn e5_locally_static_coloring() -> Vec<Table> {
     let window = recommended_window(n);
     let rounds = 5 * window;
     let base = generators::grid(16, 16);
-    let seeds: Vec<NodeId> = vec![NodeId::new(8 * 16 + 8), NodeId::new(4 * 16 + 4), NodeId::new(12 * 16 + 11)];
+    let seeds: Vec<NodeId> = vec![
+        NodeId::new(8 * 16 + 8),
+        NodeId::new(4 * 16 + 4),
+        NodeId::new(12 * 16 + 11),
+    ];
     let mut table = Table::new(
         format!("E5 — Locally-static stability (Corollary 1.2), 16×16 grid, T = {window}, churn 0.3 outside the protected region"),
         &[
@@ -110,31 +130,31 @@ pub fn e5_locally_static_coloring() -> Vec<Table> {
             "mean churn of unprotected nodes (changes/node)",
         ],
     );
-    let mut adv = LocallyStaticAdversary::new(base, seeds.clone(), 2, 0.3, 5);
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
-    let record = run(&mut sim, &mut adv, rounds);
-    let (_, outputs) = collect(&record);
+    let mut churn = ChurnStats::new();
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(LocallyStaticAdversary::new(base, seeds.clone(), 2, 0.3, 5))
+        .seed(5)
+        .rounds(rounds)
+        .run(&mut [&mut churn]);
     // Mean number of output changes of unprotected nodes (they keep churning).
-    let unprotected: Vec<NodeId> = (0..n)
+    let unprotected_changes: Vec<f64> = (0..n)
         .map(NodeId::new)
         .filter(|v| !seeds.contains(v))
+        .map(|v| churn.per_node()[v.index()] as f64)
         .collect();
-    let churn_per_node: Vec<f64> = unprotected
-        .iter()
-        .map(|&v| {
-            (1..rounds)
-                .filter(|&r| outputs[r][v.index()] != outputs[r - 1][v.index()])
-                .count() as f64
-        })
-        .collect();
-    let unprotected_churn = Summary::of(&churn_per_node).mean;
+    let unprotected_churn = Summary::of(&unprotected_changes).mean;
     for &v in &seeds {
-        let last_change = dynnet::core::last_change_round(&outputs, v).unwrap_or(0);
+        let last_change = churn.last_change_round(v).unwrap_or(0);
         table.push_row(vec![
             format!("{v}"),
             last_change.to_string(),
             (2 * window).to_string(),
-            if last_change <= 2 * window { "yes".into() } else { "NO".into() },
+            if last_change <= 2 * window {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             fmt2(unprotected_churn),
         ]);
     }
@@ -157,15 +177,28 @@ pub fn e8_combined_mis_under_churn() -> Vec<Table> {
         ],
     );
     let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(8, "e8"));
-    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let workloads: Vec<(String, Box<dyn OutputAdversary<MisOutput>>)> = vec![
-        ("static".into(), Box::new(StaticAdversary::new(footprint.clone()))),
-        ("flip churn p=0.01".into(), Box::new(FlipChurnAdversary::new(&footprint, 0.01, 81))),
-        ("flip churn p=0.05".into(), Box::new(FlipChurnAdversary::new(&footprint, 0.05, 82))),
+        (
+            "static".into(),
+            Box::new(StaticAdversary::new(footprint.clone())),
+        ),
+        (
+            "flip churn p=0.01".into(),
+            Box::new(FlipChurnAdversary::new(&footprint, 0.01, 81)),
+        ),
+        (
+            "flip churn p=0.05".into(),
+            Box::new(FlipChurnAdversary::new(&footprint, 0.05, 82)),
+        ),
         (
             "mobility (random waypoint)".into(),
             Box::new(MobilityAdversary::new(
-                MobilityConfig { n, radius: 0.08, min_speed: 0.002, max_speed: 0.01 },
+                MobilityConfig {
+                    n,
+                    radius: 0.08,
+                    min_speed: 0.002,
+                    max_speed: 0.01,
+                },
                 83,
             )),
         ),
@@ -174,21 +207,26 @@ pub fn e8_combined_mis_under_churn() -> Vec<Table> {
             Box::new(NodeChurnAdversary::new(footprint.clone(), 0.02, 0.1, 84)),
         ),
     ];
-    for (name, mut adv) in workloads {
-        let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(8));
-        let record = run(&mut sim, adv.as_mut(), rounds);
-        let (graphs, outputs) = collect(&record);
-        let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
-        let final_out: Vec<MisOutput> = outputs[rounds - 1]
+    for (name, adv) in workloads {
+        let mut verifier = TDynamicVerifier::new(MisProblem, window);
+        let mut churn = ChurnStats::new();
+        let mut recorder = TraceRecorder::graphs_only();
+        let runner = Scenario::new(n)
+            .algorithm(dynamic_mis(n, window))
+            .adversary(adv)
+            .seed(8)
+            .rounds(rounds)
+            .run(&mut [&mut verifier, &mut churn, &mut recorder]);
+        let summary = verifier.into_summary();
+        let final_out: Vec<MisOutput> = runner
+            .outputs()
             .iter()
             .map(|o| o.unwrap_or(MisOutput::Undecided))
             .collect();
-        let churn_series = dynnet::core::output_churn_series(&outputs, &nodes);
-        let steady_churn =
-            churn_series[2 * window..].iter().sum::<usize>() as f64 / (rounds - 2 * window) as f64;
+        let steady_churn = churn.total_from(2 * window) as f64 / (rounds - 2 * window) as f64;
         table.push_row(vec![
             name,
-            fmt2(record.trace.total_edge_changes() as f64 / rounds as f64),
+            fmt2(recorder.trace().total_edge_changes() as f64 / rounds as f64),
             format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
             dynnet::core::mis::mis_size(&final_out).to_string(),
             fmt2(steady_churn),
@@ -215,38 +253,32 @@ pub fn e10_asynchronous_wakeup() -> Vec<Table> {
     let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(10, "e10"));
     let schedules: Vec<(String, Vec<u64>)> = vec![
         ("all at round 0".into(), vec![0; n]),
-        (
-            "uniform over [0, 2T]".into(),
-            {
-                let w = RandomWakeup::new(n, 2 * window as u64, 55);
-                (0..n).map(|i| w.wake_round(NodeId::new(i))).collect()
-            },
-        ),
+        ("uniform over [0, 2T]".into(), {
+            let w = RandomWakeup::new(n, 2 * window as u64, 55);
+            (0..n).map(|i| w.wake_round(NodeId::new(i))).collect()
+        }),
         (
             "staggered (stride 1)".into(),
             (0..n).map(|i| (i as u64).min(3 * window as u64)).collect(),
         ),
     ];
     for (name, wake_rounds) in schedules {
-        let wake = dynnet::runtime::ScriptedWakeup { rounds: wake_rounds.clone() };
-        let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 101);
-        let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(10));
-        let record = run(&mut sim, &mut adv, rounds);
-        let (graphs, outputs) = collect(&record);
-        // Rounds from wake-up until the node's output is first decided.
-        let mut latency = Vec::new();
-        for i in 0..n {
-            let wake_round = wake_rounds[i] as usize;
-            let first_decided = (wake_round..rounds).find(|&r| {
-                outputs[r][i].map(|o: ColorOutput| o.is_decided()).unwrap_or(false)
-            });
-            if let Some(r) = first_decided {
-                latency.push((r - wake_round) as f64);
-            }
-        }
-        let s = Summary::of(&latency);
         let warmup = wake_rounds.iter().map(|&w| w as usize).max().unwrap_or(0) + window;
-        let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, warmup);
+        let mut tracker = ConvergenceTracker::new(|o: &ColorOutput| o.is_decided());
+        let mut verifier = TDynamicVerifier::new(ColoringProblem, window).check_from(warmup);
+        Scenario::new(n)
+            .algorithm(dynamic_coloring(window))
+            .adversary(FlipChurnAdversary::new(&footprint, 0.01, 101))
+            .wakeup(dynnet::runtime::ScriptedWakeup {
+                rounds: wake_rounds,
+            })
+            .seed(10)
+            .rounds(rounds)
+            .run(&mut [&mut tracker, &mut verifier]);
+        // Rounds from wake-up until the node's output is first decided.
+        let latency: Vec<f64> = tracker.latencies().iter().map(|&l| l as f64).collect();
+        let s = Summary::of(&latency);
+        let summary = verifier.into_summary();
         table.push_row(vec![
             name,
             fmt2(s.mean),
@@ -264,23 +296,40 @@ pub fn e12_window_size_sweep() -> Vec<Table> {
     let recommended = recommended_window(n);
     let rounds = 4 * recommended;
     let mut table = Table::new(
-        format!("E12 — Window-size sweep, combined coloring, n = {n} (recommended T = {recommended})"),
-        &["window T", "T-dynamic valid fraction", "undecided node-rounds", "verdict"],
+        format!(
+            "E12 — Window-size sweep, combined coloring, n = {n} (recommended T = {recommended})"
+        ),
+        &[
+            "window T",
+            "T-dynamic valid fraction",
+            "undecided node-rounds",
+            "verdict",
+        ],
     );
     let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(12, "e12"));
     for window in [3usize, 6, 12, recommended / 2, recommended] {
-        let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 120 + window as u64);
-        let mut sim =
-            Simulator::new(n, dynamic_coloring(window.max(2)), AllAtStart, SimConfig::sequential(12));
-        let record = run(&mut sim, &mut adv, rounds);
-        let (graphs, outputs) = collect(&record);
-        let summary =
-            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window.max(2), window.max(2));
+        let mut verifier =
+            TDynamicVerifier::new(ColoringProblem, window.max(2)).check_from(window.max(2));
+        Scenario::new(n)
+            .algorithm(dynamic_coloring(window.max(2)))
+            .adversary(FlipChurnAdversary::new(
+                &footprint,
+                0.01,
+                120 + window as u64,
+            ))
+            .seed(12)
+            .rounds(rounds)
+            .run(&mut [&mut verifier]);
+        let summary = verifier.into_summary();
         table.push_row(vec![
             window.to_string(),
             fmt_pct(summary.valid_fraction()),
             summary.total_undecided.to_string(),
-            if summary.valid_fraction() > 0.999 { "holds".into() } else { "fails (T too small)".into() },
+            if summary.valid_fraction() > 0.999 {
+                "holds".into()
+            } else {
+                "fails (T too small)".into()
+            },
         ]);
     }
     vec![table]

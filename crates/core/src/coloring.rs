@@ -85,7 +85,13 @@ mod tests {
 
     fn colored(cs: &[usize]) -> Vec<ColorOutput> {
         cs.iter()
-            .map(|&c| if c == 0 { ColorOutput::Undecided } else { ColorOutput::Colored(c) })
+            .map(|&c| {
+                if c == 0 {
+                    ColorOutput::Undecided
+                } else {
+                    ColorOutput::Colored(c)
+                }
+            })
             .collect()
     }
 

@@ -232,7 +232,12 @@ where
     DF: DynamicAlgorithmFactory<D>,
 {
     fn create(&self, v: NodeId) -> Concat<S, D, DF> {
-        Concat::new(v, self.t1, self.sfactory.create(v), Arc::clone(&self.dfactory))
+        Concat::new(
+            v,
+            self.t1,
+            self.sfactory.create(v),
+            Arc::clone(&self.dfactory),
+        )
     }
 }
 
@@ -290,11 +295,19 @@ mod tests {
     fn toy_concat_factory(
         t1: usize,
         delay: u64,
-    ) -> ConcatFactory<ToyStatic, ToyDynamic, impl StaticAlgorithmFactory<ToyStatic>, impl DynamicAlgorithmFactory<ToyDynamic>>
-    {
+    ) -> ConcatFactory<
+        ToyStatic,
+        ToyDynamic,
+        impl StaticAlgorithmFactory<ToyStatic>,
+        impl DynamicAlgorithmFactory<ToyDynamic>,
+    > {
         ConcatFactory::new(
             t1,
-            move |v: NodeId| ToyStatic { node: v, rounds: 0, delay },
+            move |v: NodeId| ToyStatic {
+                node: v,
+                rounds: 0,
+                delay,
+            },
             |v: NodeId, input: Option<u32>| ToyDynamic {
                 node: v,
                 from_input: input.is_some(),
@@ -329,8 +342,13 @@ mod tests {
             last = Some(sim.step(&g));
         }
         let outputs = last.unwrap().outputs;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..4 {
-            assert_eq!(outputs[i], Some(Some(i as u32)), "backbone value propagated");
+            assert_eq!(
+                outputs[i],
+                Some(Some(i as u32)),
+                "backbone value propagated"
+            );
         }
         // The oldest instance at this point was created from a decided φ.
         let node = sim.node(NodeId::new(1)).unwrap();
@@ -361,7 +379,11 @@ mod tests {
         let _ = Concat::new(
             NodeId::new(0),
             1,
-            ToyStatic { node: NodeId::new(0), rounds: 0, delay: 0 },
+            ToyStatic {
+                node: NodeId::new(0),
+                rounds: 0,
+                delay: 0,
+            },
             Arc::new(|v: NodeId, input: Option<u32>| ToyDynamic {
                 node: v,
                 from_input: input.is_some(),

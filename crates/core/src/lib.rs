@@ -15,7 +15,8 @@
 //! * [`concat`] — Algorithm 1: combining a network-static and a dynamic
 //!   algorithm into one that satisfies Theorem 1.1.
 //! * [`verify`] — execution-level verification harnesses for both parts of
-//!   Theorem 1.1, used by tests and experiments.
+//!   Theorem 1.1, used by tests and experiments; [`TDynamicVerifier`] is the
+//!   streaming (`RoundObserver`) form holding only `O(window)` graphs.
 
 #![warn(missing_docs)]
 
@@ -28,14 +29,16 @@ pub mod tdynamic;
 pub mod verify;
 
 pub use coloring::ColoringProblem;
-pub use concat::{Concat, ConcatFactory, ConcatMsg, DynamicAlgorithmFactory, StaticAlgorithmFactory};
+pub use concat::{
+    Concat, ConcatFactory, ConcatMsg, DynamicAlgorithmFactory, StaticAlgorithmFactory,
+};
 pub use mis::MisProblem;
 pub use output::{Color, ColorOutput, HasBottom, MisOutput};
 pub use problem::DynamicProblem;
 pub use tdynamic::{check_t_dynamic, TDynamicReport};
 pub use verify::{
     last_change_round, output_churn_series, verify_locally_static, verify_t_dynamic_run,
-    VerificationSummary,
+    TDynamicVerifier, VerificationSummary,
 };
 
 /// Recommended window size `T = Θ(log n)` for the paper's algorithms.

@@ -102,7 +102,10 @@ mod tests {
         let bad = states("MMDD");
         assert!(!p.partial_packing_ok_at(&g, NodeId::new(0), &bad));
         assert!(!p.partial_packing_ok_at(&g, NodeId::new(1), &bad));
-        assert!(p.partial_packing_ok_at(&g, NodeId::new(2), &bad), "dominated node never violates packing");
+        assert!(
+            p.partial_packing_ok_at(&g, NodeId::new(2), &bad),
+            "dominated node never violates packing"
+        );
     }
 
     #[test]
@@ -153,7 +156,10 @@ mod tests {
         let g = path4();
         let p = MisProblem;
         let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
-        assert!(p.is_partial_solution(&g, &states("M.D."), &nodes) == false, "dominated node 2 has no MIS neighbor");
+        assert!(
+            !p.is_partial_solution(&g, &states("M.D."), &nodes),
+            "dominated node 2 has no MIS neighbor"
+        );
         assert!(p.is_partial_solution(&g, &states("MD.."), &nodes));
         assert_eq!(p.name(), "maximal independent set");
     }

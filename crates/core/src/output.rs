@@ -6,8 +6,6 @@
 //! notion generically so the `Concat` combiner and the checkers can treat any
 //! problem's output uniformly.
 
-use serde::{Deserialize, Serialize};
-
 /// A color; valid colors are `1, 2, …` (the paper's `[k] = {1, …, k}`).
 pub type Color = usize;
 
@@ -26,9 +24,10 @@ pub trait HasBottom: Clone + PartialEq {
 }
 
 /// Output of the (degree+1)-coloring problem at one node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum ColorOutput {
     /// `⊥` — no color chosen yet.
+    #[default]
     Undecided,
     /// A permanently chosen color (≥ 1).
     Colored(Color),
@@ -54,17 +53,12 @@ impl HasBottom for ColorOutput {
     }
 }
 
-impl Default for ColorOutput {
-    fn default() -> Self {
-        ColorOutput::Undecided
-    }
-}
-
 /// Output of the MIS problem at one node (the paper's set notation
 /// `(M, D, U)` translated to per-node states).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum MisOutput {
     /// `⊥` — the node is still undecided (`U`).
+    #[default]
     Undecided,
     /// The node is in the independent set `M` (output `1`).
     InMis,
@@ -86,12 +80,6 @@ impl HasBottom for MisOutput {
 
     fn is_bottom(&self) -> bool {
         matches!(self, MisOutput::Undecided)
-    }
-}
-
-impl Default for MisOutput {
-    fn default() -> Self {
-        MisOutput::Undecided
     }
 }
 
@@ -140,10 +128,11 @@ mod tests {
     }
 
     #[test]
-    fn outputs_serialize() {
-        let c: ColorOutput = serde_json::from_str(&serde_json::to_string(&ColorOutput::Colored(2)).unwrap()).unwrap();
-        assert_eq!(c, ColorOutput::Colored(2));
-        let m: MisOutput = serde_json::from_str(&serde_json::to_string(&MisOutput::InMis).unwrap()).unwrap();
-        assert_eq!(m, MisOutput::InMis);
+    fn outputs_roundtrip_via_clone_and_eq() {
+        let c = ColorOutput::Colored(2);
+        assert_eq!(c, c.clone());
+        let m = MisOutput::InMis;
+        assert_eq!(m, m.clone());
+        assert_ne!(ColorOutput::Colored(2), ColorOutput::Colored(3));
     }
 }

@@ -111,18 +111,34 @@ mod tests {
 
     #[test]
     fn densify_replaces_none_with_bottom() {
-        let outs = vec![Some(ColorOutput::Colored(1)), None, Some(ColorOutput::Undecided)];
+        let outs = vec![
+            Some(ColorOutput::Colored(1)),
+            None,
+            Some(ColorOutput::Undecided),
+        ];
         let dense = densify_outputs(&outs);
         assert_eq!(
             dense,
-            vec![ColorOutput::Colored(1), ColorOutput::Undecided, ColorOutput::Undecided]
+            vec![
+                ColorOutput::Colored(1),
+                ColorOutput::Undecided,
+                ColorOutput::Undecided
+            ]
         );
     }
 
     #[test]
     fn counting_helpers() {
-        let prev = vec![ColorOutput::Undecided, ColorOutput::Colored(1), ColorOutput::Colored(2)];
-        let cur = vec![ColorOutput::Colored(3), ColorOutput::Colored(1), ColorOutput::Colored(1)];
+        let prev = vec![
+            ColorOutput::Undecided,
+            ColorOutput::Colored(1),
+            ColorOutput::Colored(2),
+        ];
+        let cur = vec![
+            ColorOutput::Colored(3),
+            ColorOutput::Colored(1),
+            ColorOutput::Colored(1),
+        ];
         let nodes: Vec<NodeId> = (0..3).map(NodeId::new).collect();
         assert_eq!(count_decided(&prev, &nodes), 2);
         assert_eq!(count_decided(&cur, &nodes), 3);

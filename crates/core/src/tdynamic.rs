@@ -124,7 +124,10 @@ mod tests {
         ];
         let report = check_t_dynamic(&p, &w, &conflict);
         assert!(!report.is_solution());
-        assert_eq!(report.packing_violations, vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            report.packing_violations,
+            vec![NodeId::new(1), NodeId::new(2)]
+        );
     }
 
     #[test]

@@ -50,30 +50,62 @@ impl VerificationSummary {
     }
 }
 
-/// Verifies the T-dynamic property (Theorem 1.1, part 1) over an execution.
+/// Streaming T-dynamic verifier (Theorem 1.1, part 1).
 ///
-/// * `graphs` — the dynamic graph sequence `G_0, G_1, …` (one per round);
-/// * `outputs` — per round, the simulator's outputs (`None` = asleep);
-/// * `window` — the window size `T`;
-/// * `check_from` — first round (0-based) at which the guarantee is asserted
-///   (use `T - 1` for synchronous starts, or later to allow a warm-up).
-pub fn verify_t_dynamic_run<P: DynamicProblem>(
-    problem: &P,
-    graphs: &[Graph],
-    outputs: &[Vec<Option<P::Output>>],
-    window: usize,
+/// Observes an execution round by round — either through the
+/// [`dynnet_runtime::RoundObserver`] hook from a
+/// `dynnet_adversary::Scenario`, or by feeding rounds directly via
+/// [`TDynamicVerifier::observe`] — and maintains the same
+/// [`VerificationSummary`] that the batch [`verify_t_dynamic_run`] computes.
+///
+/// Memory: an `O(window)` ring of graphs (inside [`GraphWindow`]) plus the
+/// aggregate counters. The execution itself is never materialized, so
+/// verification no longer bounds the scenario sizes that can be checked.
+pub struct TDynamicVerifier<P: DynamicProblem> {
+    problem: P,
+    window_size: usize,
     check_from: usize,
-) -> VerificationSummary {
-    assert_eq!(graphs.len(), outputs.len(), "one output snapshot per round");
-    let n = graphs.first().map_or(0, |g| g.num_nodes());
-    let mut w = GraphWindow::new(n, window);
-    let mut summary = VerificationSummary::default();
-    for (r, g) in graphs.iter().enumerate() {
-        w.push(g);
-        if r < check_from {
-            continue;
+    window: Option<GraphWindow>,
+    round: usize,
+    summary: VerificationSummary,
+}
+
+impl<P: DynamicProblem> TDynamicVerifier<P> {
+    /// Creates a verifier for `problem` with window size `window` (the
+    /// paper's `T`). Checking starts at round `T - 1` (the first round with
+    /// a full window, right for synchronous starts); use
+    /// [`TDynamicVerifier::check_from`] to allow a longer warm-up.
+    pub fn new(problem: P, window: usize) -> Self {
+        assert!(window >= 1, "window size T must be at least 1");
+        TDynamicVerifier {
+            problem,
+            window_size: window,
+            check_from: window - 1,
+            window: None,
+            round: 0,
+            summary: VerificationSummary::default(),
         }
-        let report: TDynamicReport = check_t_dynamic(problem, &w, &outputs[r]);
+    }
+
+    /// Sets the first round (0-based) at which the guarantee is asserted.
+    pub fn check_from(mut self, round: usize) -> Self {
+        self.check_from = round;
+        self
+    }
+
+    /// Feeds the next round (graph + output snapshot) into the verifier.
+    pub fn observe(&mut self, graph: &Graph, outputs: &[Option<P::Output>]) {
+        let w = self
+            .window
+            .get_or_insert_with(|| GraphWindow::new(graph.num_nodes(), self.window_size));
+        w.push(graph);
+        let r = self.round;
+        self.round += 1;
+        if r < self.check_from {
+            return;
+        }
+        let report: TDynamicReport = check_t_dynamic(&self.problem, w, outputs);
+        let summary = &mut self.summary;
         summary.rounds_checked += 1;
         summary.total_packing_violations += report.packing_violations.len();
         summary.total_covering_violations += report.covering_violations.len();
@@ -90,7 +122,50 @@ pub fn verify_t_dynamic_run<P: DynamicProblem>(
             summary.invalid_rounds.push(r);
         }
     }
-    summary
+
+    /// Number of rounds observed so far.
+    pub fn rounds_observed(&self) -> usize {
+        self.round
+    }
+
+    /// The verification summary accumulated so far.
+    pub fn summary(&self) -> &VerificationSummary {
+        &self.summary
+    }
+
+    /// Consumes the verifier into its summary.
+    pub fn into_summary(self) -> VerificationSummary {
+        self.summary
+    }
+}
+
+impl<P: DynamicProblem> dynnet_runtime::RoundObserver<P::Output> for TDynamicVerifier<P> {
+    fn on_round(&mut self, view: &dynnet_runtime::RoundView<'_, P::Output>) {
+        self.observe(view.current_graph(), view.outputs);
+    }
+}
+
+/// Verifies the T-dynamic property (Theorem 1.1, part 1) over a fully
+/// materialized execution — a batch convenience over [`TDynamicVerifier`].
+///
+/// * `graphs` — the dynamic graph sequence `G_0, G_1, …` (one per round);
+/// * `outputs` — per round, the simulator's outputs (`None` = asleep);
+/// * `window` — the window size `T`;
+/// * `check_from` — first round (0-based) at which the guarantee is asserted
+///   (use `T - 1` for synchronous starts, or later to allow a warm-up).
+pub fn verify_t_dynamic_run<P: DynamicProblem + Clone>(
+    problem: &P,
+    graphs: &[Graph],
+    outputs: &[Vec<Option<P::Output>>],
+    window: usize,
+    check_from: usize,
+) -> VerificationSummary {
+    assert_eq!(graphs.len(), outputs.len(), "one output snapshot per round");
+    let mut verifier = TDynamicVerifier::new(problem.clone(), window).check_from(check_from);
+    for (g, outs) in graphs.iter().zip(outputs) {
+        verifier.observe(g, outs);
+    }
+    verifier.into_summary()
 }
 
 /// Returns the last round in which node `v`'s output differs from its output
@@ -158,7 +233,13 @@ mod tests {
 
     fn colored(cs: &[usize]) -> Vec<Option<ColorOutput>> {
         cs.iter()
-            .map(|&c| Some(if c == 0 { ColorOutput::Undecided } else { ColorOutput::Colored(c) }))
+            .map(|&c| {
+                Some(if c == 0 {
+                    ColorOutput::Undecided
+                } else {
+                    ColorOutput::Colored(c)
+                })
+            })
             .collect()
     }
 
@@ -184,7 +265,12 @@ mod tests {
     #[test]
     fn check_from_skips_warmup() {
         let graphs = vec![g(2, &[(0, 1)]); 4];
-        let outputs = vec![colored(&[0, 0]), colored(&[0, 0]), colored(&[1, 2]), colored(&[1, 2])];
+        let outputs = vec![
+            colored(&[0, 0]),
+            colored(&[0, 0]),
+            colored(&[1, 2]),
+            colored(&[1, 2]),
+        ];
         let p = ColoringProblem;
         let summary = verify_t_dynamic_run(&p, &graphs, &outputs, 2, 2);
         assert!(summary.all_valid());
@@ -203,7 +289,10 @@ mod tests {
         let v1 = NodeId::new(1);
         assert!(verify_locally_static(&outputs, v0, 1, 3));
         assert!(!verify_locally_static(&outputs, v0, 0, 3), "⊥ at the start");
-        assert!(!verify_locally_static(&outputs, v1, 1, 3), "changes in round 3");
+        assert!(
+            !verify_locally_static(&outputs, v1, 1, 3),
+            "changes in round 3"
+        );
         assert!(verify_locally_static(&outputs, v1, 0, 2));
         assert!(!verify_locally_static(&outputs, v0, 2, 5), "out of range");
         assert_eq!(last_change_round(&outputs, v0), Some(1));
@@ -212,7 +301,12 @@ mod tests {
 
     #[test]
     fn churn_series() {
-        let outputs = vec![colored(&[0, 0]), colored(&[1, 0]), colored(&[1, 2]), colored(&[1, 2])];
+        let outputs = vec![
+            colored(&[0, 0]),
+            colored(&[1, 0]),
+            colored(&[1, 2]),
+            colored(&[1, 2]),
+        ];
         let nodes: Vec<NodeId> = (0..2).map(NodeId::new).collect();
         assert_eq!(output_churn_series(&outputs, &nodes), vec![0, 1, 1, 0]);
     }

@@ -14,6 +14,10 @@
 //!
 //! ## Quick example
 //!
+//! One `Scenario` wires the whole execution — algorithm, adversary, wake-up,
+//! seed, rounds — and streams every round to pluggable observers (here the
+//! streaming T-dynamic verifier, which holds only `O(window)` graphs):
+//!
 //! ```
 //! use dynnet::prelude::*;
 //!
@@ -22,20 +26,19 @@
 //! let window = recommended_window(n);
 //! let footprint = generators::random_geometric(
 //!     n, 0.3, &mut dynnet::runtime::rng::experiment_rng(1, "doc"));
-//! let mut adversary = FlipChurnAdversary::new(&footprint, 0.02, 7);
 //!
-//! // The combined dynamic coloring algorithm of Corollary 1.2.
-//! let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart,
-//!                              SimConfig::sequential(42));
-//! let record = dynnet::adversary::run(&mut sim, &mut adversary, 3 * window);
-//!
-//! // Verify that every round (after the first window) carries a T-dynamic coloring.
-//! let graphs: Vec<_> = record.trace.iter().collect();
-//! let outputs: Vec<_> = (0..record.num_rounds())
-//!     .map(|r| record.outputs_at(r).to_vec())
-//!     .collect();
-//! let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
-//! assert!(summary.all_valid());
+//! // Verify that every round (after the first window) carries a T-dynamic
+//! // coloring, while the execution streams by.
+//! let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
+//! let runner = Scenario::new(n)
+//!     .algorithm(dynamic_coloring(window))      // Corollary 1.2
+//!     .adversary(FlipChurnAdversary::new(&footprint, 0.02, 7))
+//!     .wakeup(AllAtStart)
+//!     .seed(42)
+//!     .rounds(3 * window)
+//!     .run(&mut [&mut verifier]);
+//! assert!(verifier.summary().all_valid());
+//! assert!(runner.outputs().iter().all(|o| o.is_some()));
 //! ```
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
@@ -54,7 +57,7 @@ pub mod prelude {
         run, Adversary, BurstAdversary, ConflictSeekingAdversary, ExecutionRecord,
         FlipChurnAdversary, GrowthAdversary, LocallyStaticAdversary, MarkovChurnAdversary,
         MobilityAdversary, MobilityConfig, NodeChurnAdversary, OutputAdversary, PhaseAdversary,
-        RateChurnAdversary, ScriptedAdversary, StaticAdversary,
+        RateChurnAdversary, Runner, Scenario, ScriptedAdversary, StaticAdversary,
     };
     pub use dynnet_algorithms::apps::tdma;
     pub use dynnet_algorithms::coloring::{
@@ -66,12 +69,13 @@ pub mod prelude {
     pub use dynnet_core::{
         check_t_dynamic, recommended_window, verify_locally_static, verify_t_dynamic_run,
         ColorOutput, ColoringProblem, DynamicProblem, HasBottom, MisOutput, MisProblem,
-        TDynamicReport, VerificationSummary,
+        TDynamicReport, TDynamicVerifier, VerificationSummary,
     };
     pub use dynnet_graph::{generators, Edge, Graph, GraphWindow, NodeId};
     pub use dynnet_metrics::{log_fit, Series, Summary, Table};
     pub use dynnet_runtime::{
-        AllAtStart, NodeAlgorithm, RandomWakeup, SimConfig, Simulator, Staggered, WakeupSchedule,
+        AllAtStart, ChurnStats, ConvergenceTracker, NodeAlgorithm, RandomWakeup, RoundObserver,
+        RoundView, SimConfig, Simulator, Staggered, TraceRecorder, WakeupSchedule,
     };
 }
 

@@ -147,9 +147,8 @@ pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
 /// Returns `true` if `set` dominates every active node of `g`: each active
 /// node is in the set or has a neighbor in the set.
 pub fn is_dominating_set(g: &Graph, set: &[bool]) -> bool {
-    g.active_nodes().all(|v| {
-        set[v.index()] || g.neighbors(v).any(|w| set[w.index()])
-    })
+    g.active_nodes()
+        .all(|v| set[v.index()] || g.neighbors(v).any(|w| set[w.index()]))
 }
 
 /// Returns `true` if `set` is a *maximal* independent set of `g` (independent
@@ -237,7 +236,10 @@ mod tests {
         assert!(!is_proper_coloring(&g, &colors));
         assert_eq!(coloring_conflicts(&g, &colors), vec![Edge::of(0, 1)]);
         let partial = vec![1, 0, 1];
-        assert!(is_proper_coloring(&g, &partial), "uncolored node can't conflict");
+        assert!(
+            is_proper_coloring(&g, &partial),
+            "uncolored node can't conflict"
+        );
     }
 
     #[test]
@@ -274,7 +276,7 @@ mod tests {
     fn maximal_matching_is_maximal() {
         let g = cycle(6);
         let m = greedy_maximal_matching(&g);
-        let mut matched = vec![false; 6];
+        let mut matched = [false; 6];
         for e in &m {
             assert!(!matched[e.u.index()] && !matched[e.v.index()], "matching");
             matched[e.u.index()] = true;

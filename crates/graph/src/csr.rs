@@ -8,13 +8,12 @@
 
 use crate::graph::Graph;
 use crate::node::{Edge, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// An immutable CSR (compressed sparse row) snapshot of an undirected graph.
 ///
 /// Neighbor lists are stored in one contiguous vector; `offsets[v]..offsets[v+1]`
 /// delimits the neighbors of node `v`, sorted ascending.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     n: usize,
     offsets: Vec<u32>,
@@ -115,7 +114,10 @@ impl CsrGraph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|i| self.degree(NodeId::new(i))).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.degree(NodeId::new(i)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Converts the snapshot back into a mutable [`Graph`].
@@ -144,7 +146,15 @@ mod tests {
     use super::*;
 
     fn sample() -> Graph {
-        Graph::from_edges(5, [Edge::of(0, 1), Edge::of(0, 2), Edge::of(2, 3), Edge::of(3, 4)])
+        Graph::from_edges(
+            5,
+            [
+                Edge::of(0, 1),
+                Edge::of(0, 2),
+                Edge::of(2, 3),
+                Edge::of(3, 4),
+            ],
+        )
     }
 
     #[test]

@@ -73,8 +73,16 @@ pub fn from_edge_list(s: &str) -> Result<Graph, String> {
 
 /// Serializes the graph to a JSON document (`{"n": .., "edges": [[u, v], ..]}`).
 pub fn to_json(g: &Graph) -> String {
-    let edges: Vec<[u32; 2]> = g.edges().map(|e| [e.u.0, e.v.0]).collect();
-    serde_json::json!({ "n": g.num_nodes(), "edges": edges }).to_string()
+    let mut out = String::new();
+    let _ = write!(out, "{{\"n\":{},\"edges\":[", g.num_nodes());
+    for (i, e) in g.edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", e.u.0, e.v.0);
+    }
+    out.push_str("]}");
+    out
 }
 
 #[cfg(test)]
@@ -120,8 +128,7 @@ mod tests {
     #[test]
     fn json_shape() {
         let j = to_json(&sample());
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["n"], 4);
-        assert_eq!(v["edges"].as_array().unwrap().len(), 3);
+        assert_eq!(j, "{\"n\":4,\"edges\":[[0,1],[1,2],[2,3]]}");
+        assert_eq!(to_json(&Graph::new(2)), "{\"n\":2,\"edges\":[]}");
     }
 }

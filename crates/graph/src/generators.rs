@@ -109,7 +109,9 @@ pub fn erdos_renyi_avg_degree<R: Rng + ?Sized>(n: usize, avg_degree: f64, rng: &
 
 /// Positions of `n` points placed uniformly at random in the unit square.
 pub fn random_positions<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(f64, f64)> {
-    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
 }
 
 /// Unit-disk graph over the given positions: nodes are adjacent iff their
@@ -189,7 +191,7 @@ pub fn random_regular_ish<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> G
 }
 
 /// Named graph families, used by the experiment configuration files.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum GraphFamily {
     /// Empty graph.
     Empty,

@@ -9,7 +9,6 @@
 //! universe (Section 2).
 
 use crate::node::{Edge, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// An undirected simple graph on a fixed universe of `n` potential nodes.
@@ -17,7 +16,7 @@ use std::collections::BTreeSet;
 /// Adjacency is stored as a sorted set per node (`BTreeSet`), which gives
 /// deterministic iteration order — important for reproducible simulations —
 /// at `O(log deg)` insertion/removal cost.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     adj: Vec<BTreeSet<NodeId>>,
@@ -119,7 +118,10 @@ impl Graph {
     /// Inserting an edge implicitly activates both endpoints.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         assert!(u != v, "self-loops are not allowed");
-        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "node out of range"
+        );
         let added = self.adj[u.index()].insert(v);
         if added {
             self.adj[v.index()].insert(u);
@@ -317,7 +319,10 @@ mod tests {
     fn insert_and_remove_edges() {
         let mut g = Graph::new(4);
         assert!(g.insert_edge(NodeId::new(0), NodeId::new(1)));
-        assert!(!g.insert_edge(NodeId::new(1), NodeId::new(0)), "duplicate insert is a no-op");
+        assert!(
+            !g.insert_edge(NodeId::new(1), NodeId::new(0)),
+            "duplicate insert is a no-op"
+        );
         assert_eq!(g.num_edges(), 1);
         assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
         assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
@@ -341,7 +346,10 @@ mod tests {
         assert_eq!(g.degree(NodeId::new(1)), 2);
         assert_eq!(g.degree(NodeId::new(0)), 1);
         assert_eq!(g.max_degree(), 2);
-        assert_eq!(g.neighbors_vec(NodeId::new(1)), vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(
+            g.neighbors_vec(NodeId::new(1)),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
         assert!((g.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
     }
 
@@ -377,7 +385,10 @@ mod tests {
         let gi = g1.intersection(&g2);
         let gu = g1.union(&g2);
         assert_eq!(gi.edge_vec(), vec![Edge::of(1, 2)]);
-        assert_eq!(gu.edge_vec(), vec![Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3)]);
+        assert_eq!(
+            gu.edge_vec(),
+            vec![Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3)]
+        );
     }
 
     #[test]

@@ -41,64 +41,88 @@ pub use node::{Edge, NodeId};
 pub use window::GraphWindow;
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+mod randomized_tests {
+    //! Seeded randomized property checks (previously proptest-based; rewritten
+    //! over the workspace RNG so they run in the offline build environment).
 
-    /// Strategy producing a small random graph as (n, edge list).
-    fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-        (2usize..max_n).prop_flat_map(|n| {
-            proptest::collection::vec((0..n, 0..n), 0..(2 * n)).prop_map(move |pairs| {
-                let mut g = Graph::new(n);
-                for (a, b) in pairs {
-                    if a != b {
-                        g.insert_edge(NodeId::new(a), NodeId::new(b));
-                    }
-                }
-                g
-            })
-        })
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    const CASES: usize = 64;
+
+    /// A small random graph over 2..max_n nodes with up to 2n random edges.
+    fn random_graph(max_n: usize, rng: &mut ChaCha8Rng) -> Graph {
+        let n = rng.gen_range(2..max_n);
+        let mut g = Graph::new(n);
+        for _ in 0..rng.gen_range(0..2 * n) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                g.insert_edge(NodeId::new(a), NodeId::new(b));
+            }
+        }
+        g
     }
 
-    proptest! {
-        #[test]
-        fn edge_count_consistent_with_iteration(g in arb_graph(20)) {
-            prop_assert_eq!(g.edges().count(), g.num_edges());
+    #[test]
+    fn edge_count_consistent_with_iteration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..CASES {
+            let g = random_graph(20, &mut rng);
+            assert_eq!(g.edges().count(), g.num_edges());
             let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
-            prop_assert_eq!(degree_sum, 2 * g.num_edges());
+            assert_eq!(degree_sum, 2 * g.num_edges());
         }
+    }
 
-        #[test]
-        fn csr_snapshot_equivalent(g in arb_graph(20)) {
+    #[test]
+    fn csr_snapshot_equivalent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..CASES {
+            let g = random_graph(20, &mut rng);
             let c = CsrGraph::from_graph(&g);
-            prop_assert_eq!(c.num_edges(), g.num_edges());
+            assert_eq!(c.num_edges(), g.num_edges());
             for v in g.nodes() {
-                prop_assert_eq!(c.degree(v), g.degree(v));
+                assert_eq!(c.degree(v), g.degree(v));
             }
-            prop_assert_eq!(c.to_graph(), g);
+            assert_eq!(c.to_graph(), g);
         }
+    }
 
-        #[test]
-        fn greedy_coloring_proper_and_bounded(g in arb_graph(20)) {
+    #[test]
+    fn greedy_coloring_proper_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..CASES {
+            let g = random_graph(20, &mut rng);
             let colors = algo::greedy_coloring(&g);
-            prop_assert!(algo::is_proper_coloring(&g, &colors));
+            assert!(algo::is_proper_coloring(&g, &colors));
             for v in g.active_nodes() {
-                prop_assert!(colors[v.index()] >= 1);
-                prop_assert!(colors[v.index()] <= g.degree(v) + 1);
+                assert!(colors[v.index()] >= 1);
+                assert!(colors[v.index()] <= g.degree(v) + 1);
             }
         }
+    }
 
-        #[test]
-        fn greedy_mis_maximal(g in arb_graph(20)) {
+    #[test]
+    fn greedy_mis_maximal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..CASES {
+            let g = random_graph(20, &mut rng);
             let mis = algo::greedy_mis(&g);
-            prop_assert!(algo::is_maximal_independent_set(&g, &mis));
+            assert!(algo::is_maximal_independent_set(&g, &mis));
         }
+    }
 
-        #[test]
-        fn window_incremental_matches_bruteforce(
-            graphs in proptest::collection::vec(arb_graph(10), 1..8),
-            window in 1usize..5,
-        ) {
+    #[test]
+    fn window_incremental_matches_bruteforce() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..CASES {
+            let num_graphs = rng.gen_range(1..8);
+            let window = rng.gen_range(1..5usize);
+            let graphs: Vec<Graph> = (0..num_graphs)
+                .map(|_| random_graph(10, &mut rng))
+                .collect();
             // All graphs must share a universe; re-map them onto the max n.
             let n = graphs.iter().map(|g| g.num_nodes()).max().unwrap();
             let mut w = GraphWindow::new(n, window);
@@ -108,21 +132,26 @@ mod proptests {
                     resized.insert_edge(e.u, e.v);
                 }
                 w.push(&resized);
-                prop_assert_eq!(
+                assert_eq!(
                     w.intersection_graph().edge_vec(),
                     w.intersection_graph_bruteforce().edge_vec()
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     w.union_graph().edge_vec(),
                     w.union_graph_bruteforce().edge_vec()
                 );
             }
         }
+    }
 
-        #[test]
-        fn union_contains_intersection(
-            graphs in proptest::collection::vec(arb_graph(10), 1..6),
-        ) {
+    #[test]
+    fn union_contains_intersection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..CASES {
+            let num_graphs = rng.gen_range(1..6);
+            let graphs: Vec<Graph> = (0..num_graphs)
+                .map(|_| random_graph(10, &mut rng))
+                .collect();
             let n = graphs.iter().map(|g| g.num_nodes()).max().unwrap();
             let mut w = GraphWindow::new(n, 4);
             for g in &graphs {
@@ -135,44 +164,61 @@ mod proptests {
             let inter = w.intersection_graph();
             let uni = w.union_graph();
             for e in inter.edges() {
-                prop_assert!(uni.has_edge(e.u, e.v), "G^∩T ⊆ G^∪T must hold");
+                assert!(uni.has_edge(e.u, e.v), "G^∩T ⊆ G^∪T must hold");
             }
             // Current graph lies between them edge-wise.
             let cur = w.current().unwrap();
             for e in inter.edges() {
-                prop_assert!(cur.has_edge(e.u, e.v), "G^∩T ⊆ G_r");
+                assert!(cur.has_edge(e.u, e.v), "G^∩T ⊆ G_r");
             }
             for e in cur.edges() {
-                prop_assert!(uni.has_edge(e.u, e.v), "G_r ⊆ G^∪T");
+                assert!(uni.has_edge(e.u, e.v), "G_r ⊆ G^∪T");
             }
         }
+    }
 
-        #[test]
-        fn delta_roundtrip(g1 in arb_graph(15), g2 in arb_graph(15)) {
+    #[test]
+    fn delta_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..CASES {
+            let g1 = random_graph(15, &mut rng);
+            let g2 = random_graph(15, &mut rng);
             let n = g1.num_nodes().max(g2.num_nodes());
             let mut a = Graph::new(n);
-            for e in g1.edges() { a.insert_edge(e.u, e.v); }
+            for e in g1.edges() {
+                a.insert_edge(e.u, e.v);
+            }
             let mut b = Graph::new(n);
-            for e in g2.edges() { b.insert_edge(e.u, e.v); }
+            for e in g2.edges() {
+                b.insert_edge(e.u, e.v);
+            }
             let d = GraphDelta::between(&a, &b);
             let mut x = a.clone();
             d.apply(&mut x);
-            prop_assert_eq!(x.edge_vec(), b.edge_vec());
+            assert_eq!(x.edge_vec(), b.edge_vec());
         }
+    }
 
-        #[test]
-        fn greedy_extension_of_valid_partial_is_proper(
-            g in arb_graph(15),
-            mask in proptest::collection::vec(any::<bool>(), 15),
-        ) {
-            // Build a partial coloring from the greedy coloring restricted by the mask.
+    #[test]
+    fn greedy_extension_of_valid_partial_is_proper() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..CASES {
+            let g = random_graph(15, &mut rng);
+            // Build a partial coloring from the greedy coloring restricted by
+            // a random mask.
             let full = algo::greedy_coloring(&g);
             let partial: Vec<Option<usize>> = (0..g.num_nodes())
-                .map(|i| if *mask.get(i).unwrap_or(&false) { Some(full[i]).filter(|&c| c != 0) } else { None })
+                .map(|i| {
+                    if rng.gen_bool(0.5) {
+                        Some(full[i]).filter(|&c| c != 0)
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             let ext = algo::greedy_extend_coloring(&g, &partial)
                 .expect("restriction of a proper coloring is extendable");
-            prop_assert!(algo::is_proper_coloring(&g, &ext));
+            assert!(algo::is_proper_coloring(&g, &ext));
         }
     }
 }

@@ -108,7 +108,10 @@ mod tests {
         let ball = neighborhood(&g, NodeId::new(2), 2);
         assert_eq!(
             ball,
-            vec![0, 1, 2, 3, 4].into_iter().map(NodeId::new).collect::<Vec<_>>()
+            vec![0, 1, 2, 3, 4]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
         );
         let ball0 = neighborhood(&g, NodeId::new(2), 0);
         assert_eq!(ball0, vec![NodeId::new(2)]);
@@ -130,7 +133,10 @@ mod tests {
         assert_eq!(distance(&g, NodeId::new(0), NodeId::new(4)), Some(4));
         assert_eq!(distance(&g, NodeId::new(2), NodeId::new(2)), Some(0));
         let disconnected = Graph::from_edges(4, [Edge::of(0, 1)]);
-        assert_eq!(distance(&disconnected, NodeId::new(0), NodeId::new(3)), None);
+        assert_eq!(
+            distance(&disconnected, NodeId::new(0), NodeId::new(3)),
+            None
+        );
     }
 
     #[test]
@@ -143,7 +149,15 @@ mod tests {
 
     #[test]
     fn local_view_is_induced_subgraph() {
-        let g = Graph::from_edges(5, [Edge::of(0, 1), Edge::of(1, 2), Edge::of(2, 3), Edge::of(3, 4)]);
+        let g = Graph::from_edges(
+            5,
+            [
+                Edge::of(0, 1),
+                Edge::of(1, 2),
+                Edge::of(2, 3),
+                Edge::of(3, 4),
+            ],
+        );
         let view = local_view(&g, NodeId::new(0), 2);
         assert_eq!(view.edge_vec(), vec![Edge::of(0, 1), Edge::of(1, 2)]);
     }

@@ -5,7 +5,6 @@
 //! [`NodeId`] in the range `0..n`, which lets every per-node data structure be
 //! a flat vector indexed by the id.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node in the potential node universe `V`.
@@ -13,7 +12,7 @@ use std::fmt;
 /// Node ids are dense (`0..n`), which makes them usable as vector indices via
 /// [`NodeId::index`]. The upper bound `n` is globally known to all nodes, as
 /// assumed by the paper (Section 2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -59,7 +58,7 @@ impl From<u32> for NodeId {
 /// Canonicalization makes `Edge` usable as a hash-map key without worrying
 /// about the orientation in which the edge was created, and guarantees
 /// `Edge::new(u, v) == Edge::new(v, u)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Edge {
     /// The smaller endpoint.
     pub u: NodeId,

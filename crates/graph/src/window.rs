@@ -214,7 +214,9 @@ impl GraphWindow {
     /// This is the premise of property B.2 (Definition 3.3) and of the
     /// "locally static" clauses of Corollaries 1.2 and 1.3.
     pub fn locally_static(&self, v: NodeId, alpha: usize) -> bool {
-        let Some(cur) = self.current() else { return false };
+        let Some(cur) = self.current() else {
+            return false;
+        };
         let ball = crate::neighborhood::neighborhood(cur, v, alpha);
         let first = self.history.front().expect("non-empty history");
         for g in self.history.iter().skip(1) {

@@ -2,10 +2,8 @@
 //! for `y = a + b·x`, applied with `x = log₂ n` to check `O(log n)` runtime
 //! claims, plus the coefficient of determination `R²`.
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted line `y = intercept + slope · x`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinearFit {
     /// Intercept `a`.
     pub intercept: f64,
@@ -30,7 +28,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     if sxx == 0.0 {
         return None;
     }
-    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
@@ -39,8 +41,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
         .zip(ys)
         .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(LinearFit { intercept, slope, r_squared })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    })
 }
 
 /// Fits `y = a + b · log₂(n)` — the shape check for the paper's `O(log n)`

@@ -1,10 +1,9 @@
 //! Per-round time series of measurements and convergence detection.
 
 use crate::stats::Summary;
-use serde::{Deserialize, Serialize};
 
 /// A named per-round time series of `f64` measurements.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Series {
     /// Name of the measured quantity.
     pub name: String,
@@ -15,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), values: Vec::new() }
+        Series {
+            name: name.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Appends one round's value.
@@ -93,17 +95,26 @@ mod tests {
 
     #[test]
     fn convergence_detection() {
-        let s = Series { name: "x".into(), values: vec![5.0, 0.0, 3.0, 0.0, 0.0] };
+        let s = Series {
+            name: "x".into(),
+            values: vec![5.0, 0.0, 3.0, 0.0, 0.0],
+        };
         assert_eq!(s.converged_at_or_below(0.0), Some(3));
         assert_eq!(s.converged_at_or_below(10.0), Some(0));
-        let never = Series { name: "y".into(), values: vec![1.0, 2.0] };
+        let never = Series {
+            name: "y".into(),
+            values: vec![1.0, 2.0],
+        };
         assert_eq!(never.converged_at_or_below(0.0), None);
         assert_eq!(Series::new("z").converged_at_or_below(0.0), None);
     }
 
     #[test]
     fn decay_ratios() {
-        let s = Series { name: "edges".into(), values: vec![90.0, 60.0, 40.0, 0.0] };
+        let s = Series {
+            name: "edges".into(),
+            values: vec![90.0, 60.0, 40.0, 0.0],
+        };
         let r1 = s.decay_ratios(1);
         assert_eq!(r1.len(), 3);
         assert!((r1[0] - 2.0 / 3.0).abs() < 1e-12);

@@ -1,10 +1,8 @@
 //! Summary statistics over samples: mean, standard deviation, quantiles, and
 //! min/max, used to aggregate per-seed experiment results.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample of `f64` values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -27,7 +25,15 @@ impl Summary {
     /// empty slice.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0, median: 0.0, p95: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
         }
         let count = values.len();
         let mean = values.iter().sum::<f64>() / count as f64;

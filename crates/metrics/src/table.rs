@@ -1,10 +1,8 @@
 //! Table rendering: Markdown and CSV writers used by the experiment harness
 //! to print the result tables recorded in EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple rectangular table of strings with a header row.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
     /// Table title (printed above the table).
     pub title: String,
@@ -57,7 +55,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -127,7 +132,7 @@ mod tests {
 
     #[test]
     fn helpers() {
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(3.46159), "3.46");
         assert_eq!(fmt_pct(0.5), "50.0%");
         assert_eq!(sample().len(), 2);
         assert!(!sample().is_empty());

@@ -14,16 +14,23 @@
 //!   output per round).
 //! * [`Simulator`] — drives one algorithm over a dynamic graph; sequential or
 //!   rayon-parallel per-node phases with bit-identical results.
+//! * [`observer`] — streaming [`RoundObserver`]s fed a borrowed [`RoundView`]
+//!   per round (trace recording, churn stats, convergence tracking) instead
+//!   of materializing `O(n · rounds)` report vectors.
 //! * [`rng`] — deterministic per-(seed, node, round) randomness.
 //! * [`wakeup`] — asynchronous wake-up schedules.
 
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod observer;
 pub mod rng;
 pub mod simulator;
 pub mod wakeup;
 
 pub use algorithm::{AlgorithmFactory, Incoming, NodeAlgorithm, NodeContext};
-pub use simulator::{RoundReport, SimConfig, Simulator};
+pub use observer::{
+    ChurnStats, ConvergenceTracker, ExecutionRecord, RoundObserver, RoundView, TraceRecorder,
+};
+pub use simulator::{RoundReport, SimConfig, Simulator, StepSummary};
 pub use wakeup::{AllAtStart, RandomWakeup, ScriptedWakeup, Staggered, WakeupSchedule};

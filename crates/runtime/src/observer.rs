@@ -1,0 +1,442 @@
+//! Streaming round observers.
+//!
+//! The paper's guarantees are statements about *whole executions*; the
+//! original API forced callers to materialize every round (`Vec<RoundReport>`
+//! with a full graph + output clone per round, `O(n · rounds)` memory) and
+//! run verification as a post-hoc pass. A [`RoundObserver`] instead receives
+//! a borrowed [`RoundView`] right after each round executes, so metrics,
+//! T-dynamic verification, and trace recording run *while* the execution
+//! streams by, each keeping only the state it actually needs (an `O(window)`
+//! ring of graphs for verification, `O(n)` for churn tracking, deltas for
+//! trace recording).
+//!
+//! Built-in observers:
+//!
+//! * [`TraceRecorder`] — records the dynamic graph sequence (and, unless
+//!   constructed with [`TraceRecorder::graphs_only`], the per-round reports)
+//!   into an [`ExecutionRecord`].
+//! * [`ChurnStats`] — per-round and per-node output-change counters.
+//! * [`ConvergenceTracker`] — per-node wake-up and first-decision rounds.
+//!
+//! The streaming T-dynamic verifier lives in `dynnet-core`
+//! (`TDynamicVerifier`) because it needs the problem definitions.
+
+use crate::simulator::RoundReport;
+use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, NodeId};
+use std::cell::OnceCell;
+use std::sync::Arc;
+
+/// Borrowed view of one executed round, handed to [`RoundObserver::on_round`].
+pub struct RoundView<'a, O> {
+    /// The round that was executed (0-based).
+    pub round: u64,
+    /// The effective communication graph `G_r` over `V_r` (shared snapshot;
+    /// clone the `Arc` to retain it beyond the callback).
+    pub graph: &'a Arc<CsrGraph>,
+    /// Output of every node at the end of the round (`None` = still asleep).
+    pub outputs: &'a [Option<O>],
+    /// Nodes that woke up in this round.
+    pub newly_awake: &'a [NodeId],
+    /// Number of awake nodes at the end of the round.
+    pub num_awake: usize,
+    /// Round-scoped cache behind [`RoundView::current_graph`]: the adjacency
+    /// [`Graph`] form of `graph` is built at most once per round no matter
+    /// how many observers ask for it. Callers constructing a view supply a
+    /// fresh (empty) cell per round.
+    pub graph_cell: &'a OnceCell<Graph>,
+}
+
+impl<O> RoundView<'_, O> {
+    /// The round's communication graph in mutable-adjacency [`Graph`] form
+    /// (what [`dynnet_graph::GraphWindow::push`] and most checkers take).
+    ///
+    /// The conversion from the CSR snapshot is done lazily on first call and
+    /// shared across all observers of the round, so any number of observers
+    /// cost one conversion total — and rounds nobody inspects cost none.
+    pub fn current_graph(&self) -> &Graph {
+        self.graph_cell.get_or_init(|| self.graph.to_graph())
+    }
+}
+
+/// A streaming consumer of an execution, invoked once per round.
+///
+/// Implementations must not assume the borrowed data outlives the callback;
+/// anything worth keeping must be copied out (cheaply, e.g. by cloning the
+/// graph `Arc`).
+pub trait RoundObserver<O> {
+    /// Called after every executed round with a borrowed view of its results.
+    fn on_round(&mut self, view: &RoundView<'_, O>);
+
+    /// Called once after the last round of the execution.
+    fn finish(&mut self) {}
+}
+
+/// The full record of one execution: the dynamic graph sequence plus
+/// (optionally) the per-round reports. Produced by [`TraceRecorder`].
+pub struct ExecutionRecord<O> {
+    /// The dynamic graph sequence of the execution (effective graphs `G_r`).
+    pub trace: DynamicGraphTrace,
+    /// Per-round reports (same length as the trace; empty if the recorder was
+    /// constructed with [`TraceRecorder::graphs_only`]).
+    pub reports: Vec<RoundReport<O>>,
+}
+
+impl<O> ExecutionRecord<O> {
+    /// Number of executed rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.trace.num_rounds()
+    }
+
+    /// The outputs at the end of round `r`.
+    ///
+    /// Panics if the recorder did not record reports.
+    pub fn outputs_at(&self, r: usize) -> &[Option<O>] {
+        &self.reports[r].outputs
+    }
+
+    /// The communication graph of round `r`.
+    pub fn graph_at(&self, r: usize) -> Graph {
+        self.trace.graph_at(r)
+    }
+}
+
+/// Records the execution into an [`ExecutionRecord`].
+///
+/// By default both the graph sequence and the full per-round reports
+/// (including an `O(n)` output clone per round) are recorded — this is the
+/// legacy "materialize everything" behavior that `adversary::run` exposes.
+/// Use [`TraceRecorder::graphs_only`] to record just the graph sequence
+/// (stored as per-round deltas, so memory is proportional to topology change,
+/// not `n · rounds`).
+pub struct TraceRecorder<O> {
+    trace: Option<DynamicGraphTrace>,
+    reports: Vec<RoundReport<O>>,
+    record_reports: bool,
+}
+
+impl<O: Clone> TraceRecorder<O> {
+    /// Records the graph sequence and every per-round report.
+    pub fn new() -> Self {
+        TraceRecorder {
+            trace: None,
+            reports: Vec::new(),
+            record_reports: true,
+        }
+    }
+
+    /// Records only the graph sequence (no output clones).
+    pub fn graphs_only() -> Self {
+        TraceRecorder {
+            trace: None,
+            reports: Vec::new(),
+            record_reports: false,
+        }
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn num_rounds(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.num_rounds())
+    }
+
+    /// The recorded graph sequence.
+    ///
+    /// Panics if no round was recorded.
+    pub fn trace(&self) -> &DynamicGraphTrace {
+        self.trace.as_ref().expect("no round recorded")
+    }
+
+    /// Consumes the recorder into the graph sequence alone.
+    pub fn into_trace(self) -> DynamicGraphTrace {
+        self.trace.expect("no round recorded")
+    }
+
+    /// Consumes the recorder into an [`ExecutionRecord`].
+    ///
+    /// Panics if no round was recorded.
+    pub fn into_record(self) -> ExecutionRecord<O> {
+        ExecutionRecord {
+            trace: self.trace.expect("no round recorded"),
+            reports: self.reports,
+        }
+    }
+}
+
+impl<O: Clone> Default for TraceRecorder<O> {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl<O: Clone> RoundObserver<O> for TraceRecorder<O> {
+    fn on_round(&mut self, view: &RoundView<'_, O>) {
+        let graph = view.current_graph();
+        match &mut self.trace {
+            Some(t) => t.push(graph),
+            None => self.trace = Some(DynamicGraphTrace::new(graph.clone())),
+        }
+        if self.record_reports {
+            self.reports.push(RoundReport {
+                round: view.round,
+                graph: Arc::clone(view.graph),
+                outputs: view.outputs.to_vec(),
+                newly_awake: view.newly_awake.to_vec(),
+                num_awake: view.num_awake,
+            });
+        }
+    }
+}
+
+/// Streaming output-churn statistics: per round, how many nodes changed their
+/// output relative to the previous round (the series starts with a `0` for
+/// round 0, matching `output_churn_series`), plus per-node change counters
+/// and last-change rounds.
+pub struct ChurnStats<O> {
+    prev: Option<Vec<Option<O>>>,
+    series: Vec<usize>,
+    per_node: Vec<usize>,
+    last_change: Vec<Option<usize>>,
+}
+
+impl<O: Clone + PartialEq> ChurnStats<O> {
+    /// Creates an empty churn tracker.
+    pub fn new() -> Self {
+        ChurnStats {
+            prev: None,
+            series: Vec::new(),
+            per_node: Vec::new(),
+            last_change: Vec::new(),
+        }
+    }
+
+    /// Output changes per round (index 0 is round 0 and always `0`).
+    pub fn series(&self) -> &[usize] {
+        &self.series
+    }
+
+    /// Number of output changes of each node over the whole execution.
+    pub fn per_node(&self) -> &[usize] {
+        &self.per_node
+    }
+
+    /// The last round in which node `v` changed its output, if any.
+    pub fn last_change_round(&self, v: NodeId) -> Option<usize> {
+        self.last_change.get(v.index()).copied().flatten()
+    }
+
+    /// Total output changes from round `from` (inclusive) to the end.
+    pub fn total_from(&self, from: usize) -> usize {
+        self.series.iter().skip(from).sum()
+    }
+
+    /// Mean output changes per round from round `from` (inclusive).
+    pub fn rate_from(&self, from: usize) -> f64 {
+        let rounds = self.series.len().saturating_sub(from);
+        if rounds == 0 {
+            0.0
+        } else {
+            self.total_from(from) as f64 / rounds as f64
+        }
+    }
+}
+
+impl<O: Clone + PartialEq> Default for ChurnStats<O> {
+    fn default() -> Self {
+        ChurnStats::new()
+    }
+}
+
+impl<O: Clone + PartialEq> RoundObserver<O> for ChurnStats<O> {
+    fn on_round(&mut self, view: &RoundView<'_, O>) {
+        if self.per_node.is_empty() {
+            self.per_node = vec![0; view.outputs.len()];
+            self.last_change = vec![None; view.outputs.len()];
+        }
+        let changed = match &self.prev {
+            None => 0,
+            Some(prev) => {
+                let mut count = 0;
+                for (i, (a, b)) in prev.iter().zip(view.outputs).enumerate() {
+                    if a != b {
+                        count += 1;
+                        self.per_node[i] += 1;
+                        self.last_change[i] = Some(view.round as usize);
+                    }
+                }
+                count
+            }
+        };
+        self.series.push(changed);
+        self.prev = Some(view.outputs.to_vec());
+    }
+}
+
+/// Tracks, per node, the round it woke up and the first round its output
+/// satisfied a "decided" predicate, yielding wake-to-decision latencies and
+/// the round in which the whole network was first done.
+pub struct ConvergenceTracker<O> {
+    decided: Box<dyn Fn(&O) -> bool + Send>,
+    wake_round: Vec<Option<u64>>,
+    decided_round: Vec<Option<u64>>,
+    all_done_round: Option<u64>,
+}
+
+impl<O> ConvergenceTracker<O> {
+    /// Creates a tracker with the given "is this output decided?" predicate.
+    pub fn new(decided: impl Fn(&O) -> bool + Send + 'static) -> Self {
+        ConvergenceTracker {
+            decided: Box::new(decided),
+            wake_round: Vec::new(),
+            decided_round: Vec::new(),
+            all_done_round: None,
+        }
+    }
+
+    /// The round in which node `v` woke, if observed.
+    pub fn wake_round(&self, v: NodeId) -> Option<u64> {
+        self.wake_round.get(v.index()).copied().flatten()
+    }
+
+    /// The first round in which node `v`'s output was decided, if any.
+    pub fn decided_round(&self, v: NodeId) -> Option<u64> {
+        self.decided_round.get(v.index()).copied().flatten()
+    }
+
+    /// The first round after which every node (the whole universe) was awake
+    /// and decided, if that ever happened.
+    pub fn all_done_round(&self) -> Option<u64> {
+        self.all_done_round
+    }
+
+    /// Wake-to-first-decision latency (in rounds) of every node that reached
+    /// a decision.
+    pub fn latencies(&self) -> Vec<u64> {
+        self.wake_round
+            .iter()
+            .zip(&self.decided_round)
+            .filter_map(|(w, d)| Some(d.as_ref()? - w.as_ref()?))
+            .collect()
+    }
+}
+
+impl<O> RoundObserver<O> for ConvergenceTracker<O> {
+    fn on_round(&mut self, view: &RoundView<'_, O>) {
+        if self.wake_round.is_empty() {
+            self.wake_round = vec![None; view.outputs.len()];
+            self.decided_round = vec![None; view.outputs.len()];
+        }
+        for v in view.newly_awake {
+            self.wake_round[v.index()] = Some(view.round);
+        }
+        let mut all_done = true;
+        for (i, out) in view.outputs.iter().enumerate() {
+            match out {
+                Some(o) if (self.decided)(o) => {
+                    if self.decided_round[i].is_none() {
+                        self.decided_round[i] = Some(view.round);
+                    }
+                }
+                _ => all_done = false,
+            }
+        }
+        if all_done && self.all_done_round.is_none() {
+            self.all_done_round = Some(view.round);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynnet_graph::{Edge, Graph};
+
+    fn send_round(
+        obs: &mut dyn RoundObserver<u32>,
+        round: u64,
+        graph: &Arc<CsrGraph>,
+        outputs: &[Option<u32>],
+        newly_awake: &[NodeId],
+    ) {
+        let graph_cell = OnceCell::new();
+        obs.on_round(&RoundView {
+            round,
+            graph,
+            outputs,
+            newly_awake,
+            num_awake: outputs.len(),
+            graph_cell: &graph_cell,
+        });
+    }
+
+    #[test]
+    fn trace_recorder_builds_record() {
+        let g0 = Arc::new(CsrGraph::from_graph(&Graph::from_edges(
+            3,
+            [Edge::of(0, 1)],
+        )));
+        let g1 = Arc::new(CsrGraph::from_graph(&Graph::from_edges(
+            3,
+            [Edge::of(1, 2)],
+        )));
+        let mut rec = TraceRecorder::new();
+        send_round(&mut rec, 0, &g0, &[Some(1), None, None], &[NodeId::new(0)]);
+        send_round(
+            &mut rec,
+            1,
+            &g1,
+            &[Some(1), Some(2), None],
+            &[NodeId::new(1)],
+        );
+        rec.finish();
+        assert_eq!(rec.num_rounds(), 2);
+        let record = rec.into_record();
+        assert_eq!(record.num_rounds(), 2);
+        assert_eq!(record.graph_at(1).edge_vec(), vec![Edge::of(1, 2)]);
+        assert_eq!(record.outputs_at(1)[1], Some(2));
+        assert_eq!(record.reports[0].newly_awake, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn graphs_only_skips_reports() {
+        let g0 = Arc::new(CsrGraph::from_graph(&Graph::from_edges(
+            2,
+            [Edge::of(0, 1)],
+        )));
+        let mut rec: TraceRecorder<u32> = TraceRecorder::graphs_only();
+        send_round(&mut rec, 0, &g0, &[Some(1), Some(2)], &[]);
+        let record = rec.into_record();
+        assert_eq!(record.trace.num_rounds(), 1);
+        assert!(record.reports.is_empty());
+    }
+
+    #[test]
+    fn churn_stats_counts_changes() {
+        let g = Arc::new(CsrGraph::from_graph(&Graph::new(2)));
+        let mut churn = ChurnStats::new();
+        send_round(&mut churn, 0, &g, &[Some(0), Some(0)], &[]);
+        send_round(&mut churn, 1, &g, &[Some(1), Some(0)], &[]);
+        send_round(&mut churn, 2, &g, &[Some(1), Some(2)], &[]);
+        send_round(&mut churn, 3, &g, &[Some(1), Some(2)], &[]);
+        assert_eq!(churn.series(), &[0, 1, 1, 0]);
+        assert_eq!(churn.total_from(0), 2);
+        assert_eq!(churn.total_from(2), 1);
+        assert_eq!(churn.per_node(), &[1, 1]);
+        assert_eq!(churn.last_change_round(NodeId::new(0)), Some(1));
+        assert_eq!(churn.last_change_round(NodeId::new(1)), Some(2));
+        assert!(churn.rate_from(0) > 0.49 && churn.rate_from(0) < 0.51);
+    }
+
+    #[test]
+    fn convergence_tracker_latencies() {
+        let g = Arc::new(CsrGraph::from_graph(&Graph::new(2)));
+        let mut conv = ConvergenceTracker::new(|&o: &u32| o > 0);
+        send_round(&mut conv, 0, &g, &[Some(0), None], &[NodeId::new(0)]);
+        send_round(&mut conv, 1, &g, &[Some(5), Some(0)], &[NodeId::new(1)]);
+        assert_eq!(conv.all_done_round(), None);
+        send_round(&mut conv, 2, &g, &[Some(5), Some(7)], &[]);
+        assert_eq!(conv.wake_round(NodeId::new(1)), Some(1));
+        assert_eq!(conv.decided_round(NodeId::new(0)), Some(1));
+        assert_eq!(conv.decided_round(NodeId::new(1)), Some(2));
+        assert_eq!(conv.all_done_round(), Some(2));
+        assert_eq!(conv.latencies(), vec![1, 1]);
+    }
+}

@@ -15,7 +15,10 @@ use rand_chacha::ChaCha8Rng;
 pub fn mix(words: &[u64]) -> u64 {
     let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
     for &w in words {
-        acc ^= w.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(acc << 6).wrapping_add(acc >> 2);
+        acc ^= w
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(acc << 6)
+            .wrapping_add(acc >> 2);
         // SplitMix64 finalizer.
         let mut z = acc;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -93,6 +96,9 @@ mod tests {
         for _ in 0..1000 {
             seen[r.gen_range(0..10)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "1000 draws should hit all of 0..10");
+        assert!(
+            seen.iter().all(|&s| s),
+            "1000 draws should hit all of 0..10"
+        );
     }
 }

@@ -21,6 +21,7 @@ use crate::rng::node_round_rng;
 use crate::wakeup::WakeupSchedule;
 use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, NodeId};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Simulator configuration.
 #[derive(Clone, Debug)]
@@ -47,25 +48,53 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Sequential execution with the given seed.
     pub fn sequential(seed: u64) -> Self {
-        SimConfig { seed, parallel: false, ..Default::default() }
+        SimConfig {
+            seed,
+            parallel: false,
+            ..Default::default()
+        }
     }
 
     /// Rayon-parallel execution with the given seed.
     pub fn parallel(seed: u64) -> Self {
-        SimConfig { seed, parallel: true, ..Default::default() }
+        SimConfig {
+            seed,
+            parallel: true,
+            ..Default::default()
+        }
     }
 }
 
-/// The result of executing one round.
+/// The result of executing one round, including a full clone of the output
+/// vector (the legacy "materialize everything" shape; streaming consumers use
+/// [`Simulator::step_streaming`] + [`crate::observer::RoundObserver`] and
+/// avoid the per-round `O(n)` output copy).
 #[derive(Clone, Debug)]
 pub struct RoundReport<O> {
     /// The round that was executed (0-based).
     pub round: u64,
-    /// Snapshot of the communication graph `G_r` used in this round.
-    pub graph: CsrGraph,
+    /// Snapshot of the communication graph `G_r` used in this round (shared,
+    /// not cloned: every consumer of the same round sees the same `Arc`).
+    pub graph: Arc<CsrGraph>,
     /// Output of every node (`None` for nodes that have not woken up yet —
     /// the paper's nodes outside `V_r`).
     pub outputs: Vec<Option<O>>,
+    /// Nodes that woke up in this round.
+    pub newly_awake: Vec<NodeId>,
+    /// Number of awake nodes at the end of the round.
+    pub num_awake: usize,
+}
+
+/// The lightweight result of [`Simulator::step_streaming`]: everything a
+/// [`crate::observer::RoundObserver`] needs that is not borrowed directly
+/// from the simulator. Outputs are *not* cloned — observers read them through
+/// [`crate::observer::RoundView::outputs`].
+#[derive(Clone, Debug)]
+pub struct StepSummary {
+    /// The round that was executed (0-based).
+    pub round: u64,
+    /// Snapshot of the effective communication graph `G_r` over `V_r`.
+    pub graph: Arc<CsrGraph>,
     /// Nodes that woke up in this round.
     pub newly_awake: Vec<NodeId>,
     /// Number of awake nodes at the end of the round.
@@ -88,6 +117,9 @@ where
     outputs: Vec<Option<A::Output>>,
     /// Round in which each node actually woke (None = still asleep).
     woke_at: Vec<Option<u64>>,
+    /// Incrementally maintained count of awake nodes (avoids the per-round
+    /// `O(n)` rescans of `woke_at` in the send/receive phases).
+    num_awake: usize,
     next_round: u64,
 }
 
@@ -107,6 +139,7 @@ where
             nodes: (0..n).map(|_| None).collect(),
             outputs: vec![None; n],
             woke_at: vec![None; n],
+            num_awake: 0,
             next_round: 0,
         }
     }
@@ -136,6 +169,11 @@ where
         &self.outputs
     }
 
+    /// Number of nodes that have woken up so far.
+    pub fn num_awake(&self) -> usize {
+        self.num_awake
+    }
+
     /// Immutable access to a node's algorithm instance (testing/inspection).
     pub fn node(&self, v: NodeId) -> Option<&A> {
         self.nodes[v.index()].as_ref()
@@ -150,32 +188,58 @@ where
     /// graph reported in [`RoundReport::graph`] and used for message
     /// delivery.
     pub fn step(&mut self, graph: &Graph) -> RoundReport<A::Output> {
+        let summary = self.step_streaming(graph);
+        RoundReport {
+            round: summary.round,
+            graph: summary.graph,
+            outputs: self.outputs.clone(),
+            newly_awake: summary.newly_awake,
+            num_awake: summary.num_awake,
+        }
+    }
+
+    /// Executes one round like [`Simulator::step`], but without cloning the
+    /// output vector into the result: consumers read the outputs in place via
+    /// [`Simulator::outputs`]. This is the round primitive behind the
+    /// `Scenario`/`RoundObserver` streaming execution path.
+    pub fn step_streaming(&mut self, graph: &Graph) -> StepSummary {
         assert_eq!(graph.num_nodes(), self.n, "graph universe mismatch");
         let round = self.next_round;
 
         // 1. Wake-up: a node wakes in the first round where it is active in
-        //    the adversary's graph and its wake-up schedule permits.
+        //    the adversary's graph and its wake-up schedule permits. Once
+        //    everyone is awake the scan is skipped entirely.
         let mut newly_awake = Vec::new();
-        for i in 0..self.n {
-            let v = NodeId::new(i);
-            if self.woke_at[i].is_none()
-                && graph.is_active(v)
-                && round >= self.wakeup.wake_round(v)
-            {
-                self.woke_at[i] = Some(round);
-                newly_awake.push(v);
+        if self.num_awake < self.n {
+            for i in 0..self.n {
+                let v = NodeId::new(i);
+                if self.woke_at[i].is_none()
+                    && graph.is_active(v)
+                    && round >= self.wakeup.wake_round(v)
+                {
+                    self.woke_at[i] = Some(round);
+                    newly_awake.push(v);
+                }
             }
+            self.num_awake += newly_awake.len();
         }
 
         // 2. Effective communication graph: prune nodes outside V_r (asleep),
-        //    then snapshot it for the parallel phases.
-        let mut effective = graph.clone();
-        for i in 0..self.n {
-            if self.woke_at[i].is_none() {
-                effective.deactivate(NodeId::new(i));
+        //    then snapshot it for the parallel phases. With everyone awake
+        //    the adversary's graph already equals the effective graph, so the
+        //    prune (and its graph clone) is skipped.
+        let csr = if self.num_awake == self.n {
+            CsrGraph::from_graph(graph)
+        } else {
+            let mut effective = graph.clone();
+            for i in 0..self.n {
+                if self.woke_at[i].is_none() {
+                    effective.deactivate(NodeId::new(i));
+                }
             }
-        }
-        let csr = CsrGraph::from_graph(&effective);
+            CsrGraph::from_graph(&effective)
+        };
+        let csr = Arc::new(csr);
 
         // 3. Instantiate algorithms for the newly awake nodes.
         for &v in &newly_awake {
@@ -199,12 +263,11 @@ where
         }
 
         self.next_round += 1;
-        RoundReport {
+        StepSummary {
             round,
             graph: csr,
-            outputs: self.outputs.clone(),
             newly_awake,
-            num_awake: self.woke_at.iter().filter(|w| w.is_some()).count(),
+            num_awake: self.num_awake,
         }
     }
 
@@ -242,7 +305,7 @@ where
     }
 
     fn run_send_phase(&mut self, round: u64, csr: &CsrGraph) -> Vec<Option<A::Msg>> {
-        let awake = self.woke_at.iter().filter(|w| w.is_some()).count();
+        let awake = self.num_awake;
         let seed = self.config.seed;
         let n = self.n;
         let woke_at = &self.woke_at;
@@ -268,6 +331,7 @@ where
                 .collect()
         } else {
             let mut out = Vec::with_capacity(self.n);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..self.n {
                 let msg = self.nodes[i].as_mut().map(|alg| {
                     let v = NodeId::new(i);
@@ -289,7 +353,7 @@ where
     }
 
     fn run_receive_phase(&mut self, round: u64, csr: &CsrGraph, messages: &[Option<A::Msg>]) {
-        let awake = self.woke_at.iter().filter(|w| w.is_some()).count();
+        let awake = self.num_awake;
         let seed = self.config.seed;
         let n = self.n;
         let woke_at = &self.woke_at;
@@ -317,6 +381,7 @@ where
                 }
             });
         } else {
+            #[allow(clippy::needless_range_loop)]
             for i in 0..self.n {
                 if let Some(alg) = self.nodes[i].as_mut() {
                     let v = NodeId::new(i);
@@ -385,7 +450,7 @@ mod tests {
         type Msg = ();
         type Output = u64;
 
-        fn send(&mut self, ctx: &mut NodeContext<'_>) -> () {
+        fn send(&mut self, ctx: &mut NodeContext<'_>) {
             self.last = ctx.rng.gen();
         }
 
@@ -414,7 +479,9 @@ mod tests {
     fn outputs_are_none_before_wakeup() {
         let n = 3;
         let g = generators::complete(n);
-        let wake = ScriptedWakeup { rounds: vec![0, 2, 5] };
+        let wake = ScriptedWakeup {
+            rounds: vec![0, 2, 5],
+        };
         let mut sim = Simulator::new(n, max_flood_factory, wake, SimConfig::sequential(0));
         let r0 = sim.step(&g);
         assert!(r0.outputs[0].is_some());
@@ -449,13 +516,21 @@ mod tests {
             n,
             |_v| RandomDraw { last: 0 },
             AllAtStart,
-            SimConfig { seed: 9, parallel: false, parallel_threshold: 0 },
+            SimConfig {
+                seed: 9,
+                parallel: false,
+                parallel_threshold: 0,
+            },
         );
         let mut par = Simulator::new(
             n,
             |_v| RandomDraw { last: 0 },
             AllAtStart,
-            SimConfig { seed: 9, parallel: true, parallel_threshold: 0 },
+            SimConfig {
+                seed: 9,
+                parallel: true,
+                parallel_threshold: 0,
+            },
         );
         for _ in 0..5 {
             let a = seq.step(&g);

@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn staggered_caps_at_max() {
-        let s = Staggered { stride: 3, max_round: 10 };
+        let s = Staggered {
+            stride: 3,
+            max_round: 10,
+        };
         assert_eq!(s.wake_round(NodeId::new(0)), 0);
         assert_eq!(s.wake_round(NodeId::new(2)), 6);
         assert_eq!(s.wake_round(NodeId::new(100)), 10);

@@ -1,80 +1,118 @@
 //! Churn stress test: sweep the per-round edge-churn probability from "almost
 //! static" to "extremely dynamic" and compare the combined algorithm of
 //! Corollary 1.2 against the restart-from-scratch strawman on identical
-//! schedules. Also demonstrates asynchronous wake-up: half the nodes join
-//! the network late.
+//! schedules. Also demonstrates asynchronous wake-up (half the nodes join the
+//! network late) and a custom streaming `RoundObserver` (the conflict-streak
+//! tracker below).
 //!
 //! ```text
 //! cargo run --release -p dynnet --example churn_stress
 //! ```
 
-use dynnet::core::output_churn_series;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+
+/// Custom observer: longest streak of consecutive rounds (after `from`) with
+/// at least one conflict on the current graph — Corollary 1.2 bounds this by
+/// the window size `T`.
+struct ConflictStreak {
+    from: u64,
+    current: usize,
+    longest: usize,
+}
+
+impl ConflictStreak {
+    fn new(from: usize) -> Self {
+        ConflictStreak {
+            from: from as u64,
+            current: 0,
+            longest: 0,
+        }
+    }
+}
+
+impl RoundObserver<ColorOutput> for ConflictStreak {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        if view.round < self.from {
+            return;
+        }
+        let g = view.current_graph();
+        let out: Vec<ColorOutput> = view
+            .outputs
+            .iter()
+            .map(|o| o.unwrap_or(ColorOutput::Undecided))
+            .collect();
+        if dynnet::core::coloring::conflict_edges(&g, &out) > 0 {
+            self.current += 1;
+            self.longest = self.longest.max(self.current);
+        } else {
+            self.current = 0;
+        }
+    }
+}
 
 fn main() {
     let n = 120;
     let window = recommended_window(n);
     let rounds = 5 * window;
     let footprint = generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(5, "stress"));
-    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     // Half the nodes wake up only after one full window.
     let wake = RandomWakeup::new(n, window as u64, 31);
 
     println!("churn stress test: n = {n}, T = {window}, {rounds} rounds, asynchronous wake-up\n");
     println!(
         "{:>7} | {:>14} {:>14} {:>12} | {:>14} {:>12}",
-        "churn", "combined valid", "combined churn", "max conflict", "restart valid", "restart churn"
+        "churn",
+        "combined valid",
+        "combined churn",
+        "max conflict",
+        "restart valid",
+        "restart churn"
     );
 
     for churn in [0.0, 0.005, 0.01, 0.02, 0.05, 0.10] {
-        // Combined algorithm run (records the schedule).
-        let mut adv = FlipChurnAdversary::new(&footprint, churn, 1000 + (churn * 1e4) as u64);
-        let mut sim = Simulator::new(n, dynamic_coloring(window), wake.clone(), SimConfig::sequential(1));
-        let record = run(&mut sim, &mut adv, rounds);
-        let graphs: Vec<Graph> = record.trace.iter().collect();
-        let outputs: Vec<Vec<Option<ColorOutput>>> =
-            (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
-        let combined = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, 2 * window);
-        let combined_churn: usize = output_churn_series(&outputs, &nodes)[2 * window..].iter().sum();
-
-        // Longest streak of rounds with a conflict on the current graph.
-        let mut longest = 0usize;
-        let mut cur = 0usize;
-        for r in 2 * window..rounds {
-            let g = record.graph_at(r);
-            let out: Vec<ColorOutput> = outputs[r].iter().map(|o| o.unwrap_or(ColorOutput::Undecided)).collect();
-            if dynnet::core::coloring::conflict_edges(&g, &out) > 0 {
-                cur += 1;
-                longest = longest.max(cur);
-            } else {
-                cur = 0;
-            }
-        }
+        // Combined algorithm run: verifier + churn stats + conflict-streak
+        // tracker stream over the execution; only the graph sequence is
+        // retained (as deltas) so the restart baseline can replay it.
+        let mut verifier = TDynamicVerifier::new(ColoringProblem, window).check_from(2 * window);
+        let mut churn_stats = ChurnStats::new();
+        let mut streak = ConflictStreak::new(2 * window);
+        let mut recorder = TraceRecorder::graphs_only();
+        Scenario::new(n)
+            .algorithm(dynamic_coloring(window))
+            .adversary(FlipChurnAdversary::new(
+                &footprint,
+                churn,
+                1000 + (churn * 1e4) as u64,
+            ))
+            .wakeup(wake.clone())
+            .seed(1)
+            .rounds(rounds)
+            .run(&mut [&mut verifier, &mut churn_stats, &mut streak, &mut recorder]);
+        let combined = verifier.into_summary();
+        let combined_churn = churn_stats.total_from(2 * window);
 
         // Restart baseline on the identical schedule.
-        let mut replay = ScriptedAdversary::new(record.trace.clone());
         let period = window as u64;
-        let mut sim = Simulator::new(
-            n,
-            move |v: NodeId| RestartColoring::new(v, period),
-            wake.clone(),
-            SimConfig::sequential(2),
-        );
-        let record_restart = run(&mut sim, &mut replay, rounds);
-        let outputs_restart: Vec<Vec<Option<ColorOutput>>> =
-            (0..rounds).map(|r| record_restart.outputs_at(r).to_vec()).collect();
-        let restart =
-            verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs_restart, window, 2 * window);
-        let restart_churn: usize =
-            output_churn_series(&outputs_restart, &nodes)[2 * window..].iter().sum();
+        let mut restart_verifier =
+            TDynamicVerifier::new(ColoringProblem, window).check_from(2 * window);
+        let mut restart_stats = ChurnStats::new();
+        Scenario::new(n)
+            .algorithm(move |v: NodeId| RestartColoring::new(v, period))
+            .adversary(ScriptedAdversary::new(recorder.into_trace()))
+            .wakeup(wake.clone())
+            .seed(2)
+            .rounds(rounds)
+            .run(&mut [&mut restart_verifier, &mut restart_stats]);
+        let restart = restart_verifier.into_summary();
+        let restart_churn = restart_stats.total_from(2 * window);
 
         println!(
             "{:>6.1}% | {:>13.1}% {:>14} {:>12} | {:>13.1}% {:>12}",
             100.0 * churn,
             100.0 * combined.valid_fraction(),
             combined_churn,
-            longest,
+            streak.longest,
             100.0 * restart.valid_fraction(),
             restart_churn
         );

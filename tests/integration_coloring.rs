@@ -1,40 +1,98 @@
 //! Integration tests for Corollary 1.2 (dynamic (degree+1)-coloring):
 //! conflict-resolution latency after adversarial edge insertions, color-range
-//! bounds under churn, and behaviour under mobility.
+//! bounds under churn, and behaviour under mobility — driven through the
+//! `Scenario` API with streaming observers.
 
+use dynnet::algorithms::apps::tdma;
 use dynnet::core::coloring::{conflict_edges, max_color_used};
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+
+/// Streaming observer: longest streak of consecutive rounds (from `from` on)
+/// with at least one conflict on the current graph.
+struct ConflictStreak {
+    from: u64,
+    current: usize,
+    longest: usize,
+}
+
+impl RoundObserver<ColorOutput> for ConflictStreak {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        if view.round < self.from {
+            return;
+        }
+        let g = view.current_graph();
+        let out: Vec<ColorOutput> = view
+            .outputs
+            .iter()
+            .map(|o| o.unwrap_or(ColorOutput::Undecided))
+            .collect();
+        if conflict_edges(&g, &out) > 0 {
+            self.current += 1;
+            self.longest = self.longest.max(self.current);
+        } else {
+            self.current = 0;
+        }
+    }
+}
 
 #[test]
 fn injected_conflicts_resolve_within_one_window() {
     let n = 49;
     let window = recommended_window(n);
     let base = generators::grid(7, 7);
-    let mut adv = BurstAdversary::new(base, (2 * window) as u64, (10 * window) as u64, 5, 2);
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(1));
     let rounds = 5 * window;
-    let record = run(&mut sim, &mut adv, rounds);
 
     // Longest consecutive run of rounds with at least one conflict on the
     // current graph must stay below the window size T.
-    let mut longest = 0usize;
-    let mut current = 0usize;
-    for r in window..rounds {
-        let g = record.graph_at(r);
-        let out: Vec<ColorOutput> = record
-            .outputs_at(r)
-            .iter()
-            .map(|o| o.unwrap_or(ColorOutput::Undecided))
-            .collect();
-        if conflict_edges(&g, &out) > 0 {
-            current += 1;
-            longest = longest.max(current);
-        } else {
-            current = 0;
+    let mut streak = ConflictStreak {
+        from: window as u64,
+        current: 0,
+        longest: 0,
+    };
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(BurstAdversary::new(
+            base,
+            (2 * window) as u64,
+            (10 * window) as u64,
+            5,
+            2,
+        ))
+        .seed(1)
+        .rounds(rounds)
+        .run(&mut [&mut streak]);
+    assert!(
+        streak.longest < window,
+        "conflicts persisted {} ≥ T = {window} rounds",
+        streak.longest
+    );
+}
+
+/// Streaming observer: asserts the covering bound per round against the
+/// window's union degree, keeping only an O(window) graph ring.
+struct UnionDegreeBound {
+    window: GraphWindow,
+    check_from: u64,
+}
+
+impl RoundObserver<ColorOutput> for UnionDegreeBound {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        self.window.push(view.current_graph());
+        if view.round < self.check_from {
+            return;
+        }
+        for (i, o) in view.outputs.iter().enumerate() {
+            if let Some(ColorOutput::Colored(c)) = o {
+                let bound = self.window.union_degree(NodeId::new(i)) + 1;
+                assert!(
+                    *c <= bound,
+                    "round {}: node {i} has color {c} > d^∪T+1 = {bound}",
+                    view.round
+                );
+            }
         }
     }
-    assert!(longest < window, "conflicts persisted {longest} ≥ T = {window} rounds");
 }
 
 #[test]
@@ -42,28 +100,22 @@ fn colors_stay_within_union_degree_bound_under_heavy_churn() {
     let n = 40;
     let window = recommended_window(n);
     let footprint = generators::erdos_renyi_avg_degree(n, 6.0, &mut experiment_rng(1, "icol"));
-    let mut adv = FlipChurnAdversary::new(&footprint, 0.10, 3);
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(2));
     let rounds = 3 * window;
-    let record = run(&mut sim, &mut adv, rounds);
 
-    // Check the covering bound per round against the window's union degree.
-    let mut w = GraphWindow::new(n, window);
-    for r in 0..rounds {
-        w.push(&record.graph_at(r));
-        if r < window - 1 {
-            continue;
-        }
-        for (i, o) in record.outputs_at(r).iter().enumerate() {
-            if let Some(ColorOutput::Colored(c)) = o {
-                let bound = w.union_degree(NodeId::new(i)) + 1;
-                assert!(*c <= bound, "round {r}: node {i} has color {c} > d^∪T+1 = {bound}");
-            }
-        }
-    }
+    let mut bound = UnionDegreeBound {
+        window: GraphWindow::new(n, window),
+        check_from: (window - 1) as u64,
+    };
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(FlipChurnAdversary::new(&footprint, 0.10, 3))
+        .seed(2)
+        .rounds(rounds)
+        .run(&mut [&mut bound]);
+
     // And the palette never explodes: far fewer colors than n are in use.
-    let final_out: Vec<ColorOutput> = record
-        .outputs_at(rounds - 1)
+    let final_out: Vec<ColorOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(ColorOutput::Undecided))
         .collect();
@@ -74,18 +126,28 @@ fn colors_stay_within_union_degree_bound_under_heavy_churn() {
 fn mobility_workload_keeps_t_dynamic_coloring() {
     let n = 50;
     let window = recommended_window(n);
-    let mut adv = MobilityAdversary::new(
-        MobilityConfig { n, radius: 0.22, min_speed: 0.002, max_speed: 0.012 },
-        5,
-    );
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(3));
     let rounds = 3 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs: Vec<Vec<Option<ColorOutput>>> =
-        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
-    let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
-    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+    let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(MobilityAdversary::new(
+            MobilityConfig {
+                n,
+                radius: 0.22,
+                min_speed: 0.002,
+                max_speed: 0.012,
+            },
+            5,
+        ))
+        .seed(3)
+        .rounds(rounds)
+        .run(&mut [&mut verifier]);
+    let summary = verifier.into_summary();
+    assert!(
+        summary.all_valid(),
+        "invalid rounds: {:?}",
+        summary.invalid_rounds
+    );
 }
 
 #[test]
@@ -96,24 +158,28 @@ fn adaptive_conflict_seeking_adversary_cannot_break_validity() {
     let n = 36;
     let window = recommended_window(n);
     let footprint = generators::grid(6, 6);
-    let mut adv: ConflictSeekingAdversary<ColorOutput, _> = ConflictSeekingAdversary::new(
+    let adv: ConflictSeekingAdversary<ColorOutput, _> = ConflictSeekingAdversary::new(
         footprint,
-        |a: &ColorOutput, b: &ColorOutput| {
-            matches!((a, b), (ColorOutput::Colored(x), ColorOutput::Colored(y)) if x == y)
-        },
+        |a: &ColorOutput, b: &ColorOutput| matches!((a, b), (ColorOutput::Colored(x), ColorOutput::Colored(y)) if x == y),
         3,
         0.02,
         (2 * window) as u64,
         7,
     );
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(4));
     let rounds = 4 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs: Vec<Vec<Option<ColorOutput>>> =
-        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
-    let summary = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
-    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+    let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(adv)
+        .seed(4)
+        .rounds(rounds)
+        .run(&mut [&mut verifier]);
+    let summary = verifier.into_summary();
+    assert!(
+        summary.all_valid(),
+        "invalid rounds: {:?}",
+        summary.invalid_rounds
+    );
 }
 
 #[test]
@@ -123,12 +189,15 @@ fn tdma_application_has_collision_free_frames_once_stable() {
     let n = 30;
     let window = recommended_window(n);
     let g = generators::random_geometric(n, 0.3, &mut experiment_rng(2, "tdma"));
-    let mut adv = StaticAdversary::new(g.clone());
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
     let rounds = 3 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let out: Vec<ColorOutput> = record
-        .outputs_at(rounds - 1)
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(StaticAdversary::new(g.clone()))
+        .seed(5)
+        .rounds(rounds)
+        .run(&mut []);
+    let out: Vec<ColorOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(ColorOutput::Undecided))
         .collect();

@@ -1,17 +1,10 @@
 //! Integration tests for the framework layer: Theorem 1.1's two guarantees
 //! verified end-to-end for both problems on shared adversarial schedules,
-//! plus determinism of the simulator across execution modes.
+//! plus determinism of the simulator across execution modes — all through
+//! the unified `Scenario` API with streaming observers.
 
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
-
-fn collect<O: Clone>(record: &ExecutionRecord<O>) -> (Vec<Graph>, Vec<Vec<Option<O>>>) {
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs = (0..record.num_rounds())
-        .map(|r| record.outputs_at(r).to_vec())
-        .collect();
-    (graphs, outputs)
-}
 
 #[test]
 fn theorem_1_1_part1_coloring_and_mis_on_identical_schedules() {
@@ -21,27 +14,49 @@ fn theorem_1_1_part1_coloring_and_mis_on_identical_schedules() {
     let window = recommended_window(n);
     let rounds = 3 * window;
     let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(1, "itf"));
-    let mut churn = MarkovChurnAdversary::new(&footprint, 0.05, 0.05, true, 11);
 
-    // Coloring run (records the trace).
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(5));
-    let record = run(&mut sim, &mut churn, rounds);
-    let (graphs, outputs) = collect(&record);
-    let col = verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, window - 1);
-    assert!(col.all_valid(), "coloring invalid rounds: {:?}", col.invalid_rounds);
+    // Coloring run (records the trace for replay; verifies while streaming).
+    let mut col_verifier = TDynamicVerifier::new(ColoringProblem, window);
+    let mut recorder = TraceRecorder::graphs_only();
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(MarkovChurnAdversary::new(&footprint, 0.05, 0.05, true, 11))
+        .seed(5)
+        .rounds(rounds)
+        .run(&mut [&mut col_verifier, &mut recorder]);
+    let col = col_verifier.into_summary();
+    assert!(
+        col.all_valid(),
+        "coloring invalid rounds: {:?}",
+        col.invalid_rounds
+    );
 
     // MIS run on the *identical* schedule via trace replay.
-    let mut replay = ScriptedAdversary::new(record.trace.clone());
-    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(6));
-    let record2 = run(&mut sim, &mut replay, rounds);
-    let (graphs2, outputs2) = collect(&record2);
+    let trace = recorder.into_trace();
+    let mut mis_verifier = TDynamicVerifier::new(MisProblem, window);
+    let mut replay_recorder = TraceRecorder::graphs_only();
+    Scenario::new(n)
+        .algorithm(dynamic_mis(n, window))
+        .adversary(ScriptedAdversary::new(trace.clone()))
+        .seed(6)
+        .rounds(rounds)
+        .run(&mut [&mut mis_verifier, &mut replay_recorder]);
+    let replayed = replay_recorder.into_trace();
     assert_eq!(
-        graphs.iter().map(|g| g.num_edges()).collect::<Vec<_>>(),
-        graphs2.iter().map(|g| g.num_edges()).collect::<Vec<_>>(),
+        (0..rounds)
+            .map(|r| trace.graph_at(r).num_edges())
+            .collect::<Vec<_>>(),
+        (0..rounds)
+            .map(|r| replayed.graph_at(r).num_edges())
+            .collect::<Vec<_>>(),
         "replay must reproduce the schedule"
     );
-    let mis = verify_t_dynamic_run(&MisProblem, &graphs2, &outputs2, window, window - 1);
-    assert!(mis.all_valid(), "MIS invalid rounds: {:?}", mis.invalid_rounds);
+    let mis = mis_verifier.into_summary();
+    assert!(
+        mis.all_valid(),
+        "MIS invalid rounds: {:?}",
+        mis.invalid_rounds
+    );
 }
 
 #[test]
@@ -52,27 +67,54 @@ fn theorem_1_1_part2_locally_static_stability_for_both_problems() {
     let base = generators::grid(8, 8);
     let seeds = vec![NodeId::new(27), NodeId::new(36)];
 
-    // Coloring.
-    let mut adv = LocallyStaticAdversary::new(base.clone(), seeds.clone(), 2, 0.25, 3);
-    let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, SimConfig::sequential(7));
-    let record = run(&mut sim, &mut adv, rounds);
-    let (_, outputs) = collect(&record);
+    // Coloring: the protected nodes' outputs must be decided and must not
+    // change after round 2T (streaming check via ChurnStats).
+    let mut churn = ChurnStats::new();
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(LocallyStaticAdversary::new(
+            base.clone(),
+            seeds.clone(),
+            2,
+            0.25,
+            3,
+        ))
+        .seed(7)
+        .rounds(rounds)
+        .run(&mut [&mut churn]);
     for &v in &seeds {
         assert!(
-            verify_locally_static(&outputs, v, 2 * window, rounds - 1),
-            "coloring output of protected node {v} not stable after 2T rounds"
+            runner.outputs()[v.index()]
+                .map(|o: ColorOutput| o.is_decided())
+                .unwrap_or(false),
+            "coloring output of protected node {v} undecided at the end"
+        );
+        let last = churn.last_change_round(v);
+        assert!(
+            last.is_none_or(|r| r < 2 * window),
+            "coloring output of protected node {v} changed in round {last:?} >= 2T"
         );
     }
 
     // MIS.
-    let mut adv = LocallyStaticAdversary::new(base, seeds.clone(), 2, 0.25, 4);
-    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(8));
-    let record = run(&mut sim, &mut adv, rounds);
-    let (_, outputs) = collect(&record);
+    let mut churn = ChurnStats::new();
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_mis(n, window))
+        .adversary(LocallyStaticAdversary::new(base, seeds.clone(), 2, 0.25, 4))
+        .seed(8)
+        .rounds(rounds)
+        .run(&mut [&mut churn]);
     for &v in &seeds {
         assert!(
-            verify_locally_static(&outputs, v, 2 * window, rounds - 1),
-            "MIS output of protected node {v} not stable after 2T rounds"
+            runner.outputs()[v.index()]
+                .map(|o: MisOutput| o.is_decided())
+                .unwrap_or(false),
+            "MIS output of protected node {v} undecided at the end"
+        );
+        let last = churn.last_change_round(v);
+        assert!(
+            last.is_none_or(|r| r < 2 * window),
+            "MIS output of protected node {v} changed in round {last:?} >= 2T"
         );
     }
 }
@@ -85,11 +127,19 @@ fn sequential_and_parallel_execution_produce_identical_results() {
     let footprint = generators::random_geometric(n, 0.22, &mut experiment_rng(2, "det"));
 
     let run_mode = |parallel: bool| {
-        let config = SimConfig { seed: 99, parallel, parallel_threshold: 0 };
-        let mut adv = FlipChurnAdversary::new(&footprint, 0.03, 21);
-        let mut sim = Simulator::new(n, dynamic_coloring(window), AllAtStart, config);
-        let record = run(&mut sim, &mut adv, rounds);
-        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect::<Vec<_>>()
+        let mut recorder = TraceRecorder::new();
+        Scenario::new(n)
+            .algorithm(dynamic_coloring(window))
+            .adversary(FlipChurnAdversary::new(&footprint, 0.03, 21))
+            .seed(99)
+            .parallel(parallel)
+            .parallel_threshold(0)
+            .rounds(rounds)
+            .run(&mut [&mut recorder]);
+        let record = recorder.into_record();
+        (0..rounds)
+            .map(|r| record.outputs_at(r).to_vec())
+            .collect::<Vec<_>>()
     };
 
     assert_eq!(run_mode(false), run_mode(true));
@@ -110,7 +160,10 @@ fn window_checker_agrees_with_bruteforce_window_views() {
             w.intersection_graph().edge_vec(),
             w.intersection_graph_bruteforce().edge_vec()
         );
-        assert_eq!(w.union_graph().edge_vec(), w.union_graph_bruteforce().edge_vec());
+        assert_eq!(
+            w.union_graph().edge_vec(),
+            w.union_graph_bruteforce().edge_vec()
+        );
         g = Adversary::next_graph(&mut adv, r, &g);
     }
 }
@@ -122,10 +175,17 @@ fn growth_adversary_with_combined_algorithms_stays_valid() {
     let window = recommended_window(n);
     let rounds = 3 * window;
     let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(4, "growth"));
-    let mut adv = GrowthAdversary::new(footprint, 4, 2);
-    let mut sim = Simulator::new(n, dynamic_mis(n, window), AllAtStart, SimConfig::sequential(9));
-    let record = run(&mut sim, &mut adv, rounds);
-    let (graphs, outputs) = collect(&record);
-    let summary = verify_t_dynamic_run(&MisProblem, &graphs, &outputs, window, window - 1);
-    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+    let mut verifier = TDynamicVerifier::new(MisProblem, window);
+    Scenario::new(n)
+        .algorithm(dynamic_mis(n, window))
+        .adversary(GrowthAdversary::new(footprint, 4, 2))
+        .seed(9)
+        .rounds(rounds)
+        .run(&mut [&mut verifier]);
+    let summary = verifier.into_summary();
+    assert!(
+        summary.all_valid(),
+        "invalid rounds: {:?}",
+        summary.invalid_rounds
+    );
 }

@@ -1,29 +1,59 @@
 //! Integration tests for asynchronous wake-up (Section 2 / Section 7.2):
 //! all algorithms use a single uniform round type, so nodes may join the
-//! execution at arbitrary times without a shared round counter.
+//! execution at arbitrary times without a shared round counter — driven
+//! through the `Scenario` API with streaming observers.
 
 use dynnet::core::coloring::conflict_edges;
 use dynnet::core::mis::{domination_violations, independence_violations};
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
+use dynnet::runtime::ScriptedWakeup;
 
 #[test]
 fn staggered_wakeup_still_yields_a_proper_coloring() {
     let n = 36;
     let window = recommended_window(n);
     let g = generators::grid(6, 6);
-    let wake = Staggered { stride: 2, max_round: (2 * window) as u64 };
-    let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(1));
-    let mut adv = StaticAdversary::new(g.clone());
     let rounds = 6 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let out: Vec<ColorOutput> = record
-        .outputs_at(rounds - 1)
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(StaticAdversary::new(g.clone()))
+        .wakeup(Staggered {
+            stride: 2,
+            max_round: (2 * window) as u64,
+        })
+        .seed(1)
+        .rounds(rounds)
+        .run(&mut []);
+    let out: Vec<ColorOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(ColorOutput::Undecided))
         .collect();
-    assert!(out.iter().all(|o| o.is_decided()), "everyone eventually colored");
+    assert!(
+        out.iter().all(|o| o.is_decided()),
+        "everyone eventually colored"
+    );
     assert_eq!(conflict_edges(&g, &out), 0);
+}
+
+/// Streaming observer: in every round, the decided part of the output must be
+/// consistent with the sliding window (a partial solution: proper on the
+/// intersection graph, degree-bounded on the union graph).
+struct PartialSolutionEveryRound {
+    window: GraphWindow,
+}
+
+impl RoundObserver<ColorOutput> for PartialSolutionEveryRound {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        self.window.push(view.current_graph());
+        let report = check_t_dynamic(&ColoringProblem, &self.window, view.outputs);
+        assert!(
+            report.is_partial_solution(),
+            "window-inconsistent decided output in round {}: {report:?}",
+            view.round
+        );
+    }
 }
 
 #[test]
@@ -37,28 +67,26 @@ fn random_wakeup_with_churn_keeps_window_solutions_consistent() {
     let n = 40;
     let window = recommended_window(n);
     let footprint = generators::erdos_renyi_avg_degree(n, 5.0, &mut experiment_rng(1, "wake"));
-    let wake = RandomWakeup::new(n, (2 * window) as u64, 77);
-    let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(2));
-    let mut adv = FlipChurnAdversary::new(&footprint, 0.03, 3);
     let rounds = 5 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let mut w = GraphWindow::new(n, window);
-    for r in 0..rounds {
-        w.push(&record.graph_at(r));
-        let report = check_t_dynamic(&ColoringProblem, &w, record.outputs_at(r));
-        assert!(
-            report.is_partial_solution(),
-            "window-inconsistent decided output in round {r}: {report:?}"
-        );
-    }
+    let mut partial = PartialSolutionEveryRound {
+        window: GraphWindow::new(n, window),
+    };
     // Once every node has been awake for a full window, full solutions are
     // required and present.
-    let graphs: Vec<Graph> = record.trace.iter().collect();
-    let outputs: Vec<Vec<Option<ColorOutput>>> =
-        (0..rounds).map(|r| record.outputs_at(r).to_vec()).collect();
-    let summary =
-        verify_t_dynamic_run(&ColoringProblem, &graphs, &outputs, window, 3 * window);
-    assert!(summary.all_valid(), "invalid rounds: {:?}", summary.invalid_rounds);
+    let mut verifier = TDynamicVerifier::new(ColoringProblem, window).check_from(3 * window);
+    Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(FlipChurnAdversary::new(&footprint, 0.03, 3))
+        .wakeup(RandomWakeup::new(n, (2 * window) as u64, 77))
+        .seed(2)
+        .rounds(rounds)
+        .run(&mut [&mut partial, &mut verifier]);
+    let summary = verifier.into_summary();
+    assert!(
+        summary.all_valid(),
+        "invalid rounds: {:?}",
+        summary.invalid_rounds
+    );
 }
 
 #[test]
@@ -66,19 +94,58 @@ fn mis_with_staggered_wakeup_converges_to_a_maximal_independent_set() {
     let n = 30;
     let window = recommended_window(n);
     let g = generators::random_geometric(n, 0.3, &mut experiment_rng(2, "wake-mis"));
-    let wake = Staggered { stride: 3, max_round: (2 * window) as u64 };
-    let mut sim = Simulator::new(n, dynamic_mis(n, window), wake, SimConfig::sequential(3));
-    let mut adv = StaticAdversary::new(g.clone());
     let rounds = 7 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    let out: Vec<MisOutput> = record
-        .outputs_at(rounds - 1)
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_mis(n, window))
+        .adversary(StaticAdversary::new(g.clone()))
+        .wakeup(Staggered {
+            stride: 3,
+            max_round: (2 * window) as u64,
+        })
+        .seed(3)
+        .rounds(rounds)
+        .run(&mut []);
+    let out: Vec<MisOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(MisOutput::Undecided))
         .collect();
     assert!(out.iter().all(|o| o.is_decided()));
     assert_eq!(independence_violations(&g, &out), 0);
     assert_eq!(domination_violations(&g, &out), 0);
+}
+
+/// Streaming observer: snapshots the given nodes' outputs at round
+/// `snapshot_at` and asserts they never change afterwards.
+struct StableAfter {
+    snapshot_at: u64,
+    nodes: Vec<NodeId>,
+    snapshot: Option<Vec<Option<ColorOutput>>>,
+}
+
+impl RoundObserver<ColorOutput> for StableAfter {
+    fn on_round(&mut self, view: &RoundView<'_, ColorOutput>) {
+        if view.round == self.snapshot_at {
+            let snap: Vec<Option<ColorOutput>> =
+                self.nodes.iter().map(|v| view.outputs[v.index()]).collect();
+            for (v, o) in self.nodes.iter().zip(&snap) {
+                assert!(
+                    o.map(|o| o.is_decided()).unwrap_or(false),
+                    "node {v} undecided at snapshot round"
+                );
+            }
+            self.snapshot = Some(snap);
+        } else if let Some(snap) = &self.snapshot {
+            for (v, expected) in self.nodes.iter().zip(snap) {
+                assert_eq!(
+                    view.outputs[v.index()],
+                    *expected,
+                    "interior node {v} changed output in round {} after late wake-ups",
+                    view.round
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -91,33 +158,30 @@ fn late_wakers_join_without_disturbing_stable_neighbors() {
     let mut wake_rounds = vec![0u64; n];
     wake_rounds[0] = (3 * window) as u64;
     wake_rounds[n - 1] = (3 * window) as u64;
-    let wake = ScriptedWakeup { rounds: wake_rounds };
-    let mut sim = Simulator::new(n, dynamic_coloring(window), wake, SimConfig::sequential(4));
-    let mut adv = StaticAdversary::new(g.clone());
     let rounds = 6 * window;
-    let record = run(&mut sim, &mut adv, rounds);
-    // Snapshot of the "deep interior" (distance ≥ 2 from the late wakers,
-    // so their 2-neighborhood never changes) just before the late wake-up.
-    let before = 3 * window - 1;
-    for i in 3..n - 3 {
-        let stable = record.outputs_at(before)[i];
-        assert!(stable.unwrap().is_decided());
-        for r in before..rounds {
-            assert_eq!(
-                record.outputs_at(r)[i],
-                stable,
-                "interior node {i} changed output in round {r} after late wake-ups"
-            );
-        }
-    }
+    // "Deep interior" nodes (distance ≥ 2 from the late wakers, so their
+    // 2-neighborhood never changes) must be frozen from just before the late
+    // wake-up to the end.
+    let mut stable = StableAfter {
+        snapshot_at: (3 * window - 1) as u64,
+        nodes: (3..n - 3).map(NodeId::new).collect(),
+        snapshot: None,
+    };
+    let runner = Scenario::new(n)
+        .algorithm(dynamic_coloring(window))
+        .adversary(StaticAdversary::new(g.clone()))
+        .wakeup(ScriptedWakeup {
+            rounds: wake_rounds,
+        })
+        .seed(4)
+        .rounds(rounds)
+        .run(&mut [&mut stable]);
     // The late wakers themselves end up properly colored.
-    let final_out: Vec<ColorOutput> = record
-        .outputs_at(rounds - 1)
+    let final_out: Vec<ColorOutput> = runner
+        .outputs()
         .iter()
         .map(|o| o.unwrap_or(ColorOutput::Undecided))
         .collect();
     assert!(final_out.iter().all(|o| o.is_decided()));
     assert_eq!(conflict_edges(&g, &final_out), 0);
 }
-
-use dynnet::runtime::ScriptedWakeup;

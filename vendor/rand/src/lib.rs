@@ -1,0 +1,342 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the workspace vendors a minimal, dependency-free
+//! implementation of exactly the `rand` surface it uses: [`RngCore`],
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! and [`seq::SliceRandom`] (`choose`, `shuffle`). Swap the `[patch]`-style
+//! path dependency for the real crate when a registry is available — no call
+//! site needs to change.
+//!
+//! Distribution quality notes: integer ranges use the widening-multiply
+//! (Lemire) method, floats use the standard 53-bit mantissa-fill in `[0, 1)`.
+//! Sequences are NOT bit-compatible with the real `rand` crate, but are
+//! deterministic and platform-independent, which is what the workspace's
+//! reproducibility guarantees require.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their full value range
+/// (the `Standard` distribution of the real crate).
+pub trait SampleStandard {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleStandard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that support uniform sampling from half-open / inclusive ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as u128).wrapping_add(draw as u128) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                if low as u128 == 0 && high as u128 == u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = (high as u128).wrapping_sub(low as u128) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as u128).wrapping_add(draw as u128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                let span = (high as i128 - low as i128) as u64;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as i128 + draw as i128) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                let span = (high as i128 - low as i128) as u64 as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        let unit = f64::sample_standard(rng);
+        low + (high - low) * unit
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        low + (high - low) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded internally).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Random operations on slices (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// `choose` / `choose_multiple` / `shuffle` on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Returns `amount` distinct elements sampled without replacement
+        /// (all elements if `amount >= len`), in random order.
+        fn choose_multiple<R: Rng + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: Rng + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            // Partial Fisher–Yates over an index permutation.
+            let amount = amount.min(self.len());
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<&T>>()
+                .into_iter()
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the high bits (used by range sampling) vary.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(7);
+        for _ in 0..2000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = r.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = r.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_all_values() {
+        let mut r = Counter(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Counter(3);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_in_slice() {
+        let mut r = Counter(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        let c = *v.choose(&mut r).unwrap();
+        assert!(c < 50);
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn works_through_unsized_generic_bounds() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> (u64, usize, bool) {
+            (rng.gen(), rng.gen_range(0..4), rng.gen_bool(0.5))
+        }
+        let mut r = Counter(11);
+        let (_, k, _) = draw(&mut r);
+        assert!(k < 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `rand_chacha`, providing [`ChaCha8Rng`] on top of the
+//! vendored `rand` traits.
+//!
+//! This is a faithful ChaCha8 keystream generator (RFC 8439 block function
+//! with 8 rounds): deterministic, platform-independent, `Clone`, and fast.
+//! Seeding via [`rand::SeedableRng::seed_from_u64`] expands the 64-bit seed
+//! into the 256-bit key with SplitMix64, mirroring what the real crate's
+//! `seed_from_u64` does in spirit. Output sequences are not bit-compatible
+//! with the real `rand_chacha` crate, but the workspace only requires
+//! self-consistency across runs and platforms.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A ChaCha stream cipher based RNG with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// 256-bit key (words 4..12 of the ChaCha state).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12..14).
+    counter: u64,
+    /// Current keystream block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer` (16 = exhausted).
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            // "expand 32-byte k" constants.
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0, // nonce (unused: one stream per seed)
+            0,
+        ];
+        let initial = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buffer[i] = state[i].wrapping_add(initial[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit key.
+        let mut x = state;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let w = next();
+            key[2 * i] = w as u32;
+            key[2 * i + 1] = (w >> 32) as u32;
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        // Crude sanity: bit frequency of 64k words stays near half.
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut ones = 0u64;
+        for _ in 0..65_536 {
+            ones += r.next_u32().count_ones() as u64;
+        }
+        let expected = 65_536u64 * 16;
+        let dev = ones.abs_diff(expected);
+        assert!(
+            dev < expected / 100,
+            "bit bias too large: {ones} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn drives_high_level_rng_api() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let x: f64 = r.gen();
+        assert!((0.0..1.0).contains(&x));
+        let k: usize = r.gen_range(10..20);
+        assert!((10..20).contains(&k));
+    }
+}

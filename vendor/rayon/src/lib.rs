@@ -1,0 +1,297 @@
+//! Offline stand-in for the `rayon` parallel-iterator API subset used by the
+//! dynnet workspace (`par_iter_mut().enumerate().map(..).collect()` and
+//! `par_iter_mut().enumerate().for_each(..)` over slices/vectors).
+//!
+//! Implements real data parallelism with `std::thread::scope`: the slice is
+//! split into one contiguous chunk per available core and each chunk is
+//! processed on its own scoped thread. Results of `map` are concatenated in
+//! index order, so the observable behavior (and, for the deterministic
+//! per-item closures the simulator uses, the exact output) matches rayon.
+//! Swap the path dependency for the real crate when a registry is available.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out to (1 disables threading). The
+/// `DYNNET_RAYON_THREADS` environment variable overrides the detected core
+/// count (used by tests to exercise the threaded path on single-core hosts).
+fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("DYNNET_RAYON_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(offset, chunk)` over contiguous chunks of `slice` in parallel.
+fn for_each_chunk<T, F>(slice: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = num_threads();
+    let len = slice.len();
+    if threads <= 1 || len < 2 {
+        f(0, slice);
+        return;
+    }
+    let chunk_size = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut offset = 0;
+        for chunk in slice.chunks_mut(chunk_size) {
+            let start = offset;
+            offset += chunk.len();
+            let f = &f;
+            scope.spawn(move || f(start, chunk));
+        }
+    });
+}
+
+/// Maps `f(offset + i, item)` over the slice in parallel, preserving order.
+fn map_chunks<T, R, F>(slice: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = num_threads();
+    let len = slice.len();
+    if threads <= 1 || len < 2 {
+        return slice
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk_size = len.div_ceil(threads);
+    let mut pieces: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut offset = 0;
+        for chunk in slice.chunks_mut(chunk_size) {
+            let start = offset;
+            offset += chunk.len();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, item)| f(start + i, item))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            pieces.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for piece in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+/// The rayon-compatible entry points.
+pub mod prelude {
+    use super::{for_each_chunk, map_chunks};
+
+    /// `par_iter_mut` on mutable slice-like collections.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item yielded by the parallel iterator.
+        type Item: 'data;
+        /// The parallel iterator type.
+        type Iter;
+        /// Starts a parallel iteration over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = ParIterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = ParIterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    /// Parallel iterator over `&mut [T]`.
+    pub struct ParIterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParIterMut<'a, T> {
+        /// Pairs every item with its index.
+        pub fn enumerate(self) -> ParEnumerate<'a, T> {
+            ParEnumerate { slice: self.slice }
+        }
+
+        /// Applies `f` to every item in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut T) + Sync,
+        {
+            for_each_chunk(self.slice, |_, chunk| {
+                for item in chunk.iter_mut() {
+                    f(item);
+                }
+            });
+        }
+
+        /// Maps every item in parallel, preserving order.
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&mut T) -> R + Sync,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// Enumerated parallel iterator.
+    pub struct ParEnumerate<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParEnumerate<'a, T> {
+        /// Applies `f((index, item))` to every item in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut T)) + Sync,
+        {
+            for_each_chunk(self.slice, |offset, chunk| {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f((offset + i, item));
+                }
+            });
+        }
+
+        /// Maps every `(index, item)` in parallel, preserving order.
+        pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn((usize, &mut T)) -> R + Sync,
+        {
+            ParEnumerateMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// Lazy parallel map (unenumerated).
+    pub struct ParMap<'a, T, F> {
+        slice: &'a mut [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParMap<'a, T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        /// Runs the map and collects the results in index order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = self.f;
+            map_chunks(self.slice, |_, item| f(item))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Lazy parallel map over `(index, item)` pairs.
+    pub struct ParEnumerateMap<'a, T, F> {
+        slice: &'a mut [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParEnumerateMap<'a, T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+    {
+        /// Runs the map and collects the results in index order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = self.f;
+            map_chunks(self.slice, |i, item| f((i, item)))
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| *x * 2 + i as u64)
+            .collect();
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn for_each_mutates_every_item() {
+        let mut v: Vec<usize> = vec![0; 5000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
+    }
+
+    #[test]
+    fn unenumerated_variants() {
+        let mut v: Vec<i32> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        let doubled: Vec<i32> = v.par_iter_mut().map(|x| *x * 2).collect();
+        assert_eq!(doubled[0], 2);
+        assert_eq!(doubled[99], 200);
+    }
+
+    #[test]
+    fn threaded_path_matches_sequential_results() {
+        // Force the scoped-thread path even on single-core hosts.
+        std::env::set_var("DYNNET_RAYON_THREADS", "4");
+        let mut v: Vec<u64> = (0..10_001).collect();
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| *x + i as u64)
+            .collect();
+        std::env::remove_var("DYNNET_RAYON_THREADS");
+        assert_eq!(out.len(), 10_001);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, 2 * i as u64, "order must be preserved across chunks");
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_slices() {
+        let mut v: Vec<u8> = vec![];
+        let out: Vec<u8> = v.par_iter_mut().enumerate().map(|(_, x)| *x).collect();
+        assert!(out.is_empty());
+        let mut one = vec![41];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, vec![42]);
+    }
+}
