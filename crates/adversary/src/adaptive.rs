@@ -12,11 +12,12 @@
 //! algorithm appears to rely on.
 
 use crate::traits::OutputAdversary;
-use dynnet_graph::{Edge, Graph, NodeId};
+use dynnet_graph::{Edge, Graph, GraphDelta, NodeId};
 use dynnet_runtime::rng::experiment_rng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
 
 /// An adversary that inserts edges between pairs of nodes whose *published*
 /// outputs conflict according to a user-supplied predicate, and additionally
@@ -76,21 +77,35 @@ where
         self.footprint.clone()
     }
 
-    fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph {
+    /// Delta-native: background churn, expiries, and conflict injections are
+    /// emitted as edge changes against a *virtually* evolving graph (presence
+    /// = `prev` minus removals plus insertions so far) — the previous graph
+    /// is never cloned or mutated.
+    fn next_delta(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> GraphDelta {
         let n = self.footprint.num_nodes();
-        let mut g = prev.clone();
+        let mut delta = GraphDelta::new();
+        let mut removed_set: HashSet<Edge> = HashSet::new();
+        let mut inserted_set: HashSet<Edge> = HashSet::new();
 
         // Background churn on footprint edges.
         for e in self.footprint.edge_vec() {
             if self.background_churn > 0.0 && self.rng.gen_bool(self.background_churn) {
-                g.toggle_edge(e.u, e.v);
+                if prev.has_edge(e.u, e.v) {
+                    delta.removed.push(e);
+                    removed_set.insert(e);
+                } else {
+                    delta.inserted.push(e);
+                    inserted_set.insert(e);
+                }
             }
         }
 
         // Remove expired injected edges.
         for (e, inserted_at) in &self.injected {
-            if round.saturating_sub(*inserted_at) >= self.injected_lifetime {
-                g.remove_edge(e.u, e.v);
+            if round.saturating_sub(*inserted_at) >= self.injected_lifetime
+                && removed_set.insert(*e)
+            {
+                delta.removed.push(*e);
             }
         }
         self.injected
@@ -107,19 +122,40 @@ where
                 if inserted >= self.max_insertions {
                     break 'outer;
                 }
-                if g.has_edge(u, v) {
+                let e = Edge::new(u, v);
+                // Virtual presence mirrors the sequential old path (churn,
+                // then expiry, then injections): a removal recorded this
+                // round wins over an earlier churn insertion.
+                let present =
+                    !removed_set.contains(&e) && (prev.has_edge(u, v) || inserted_set.contains(&e));
+                if present {
                     continue;
                 }
                 if let (Some(ou), Some(ov)) = (&outputs[u.index()], &outputs[v.index()]) {
                     if (self.conflict)(ou, ov) {
-                        g.insert_edge(u, v);
-                        self.injected.push((Edge::new(u, v), round));
+                        if removed_set.remove(&e) {
+                            // Removed earlier in this same round (churn or
+                            // expiry) and now re-injected: cancel the
+                            // removal. If that removal targeted an edge that
+                            // was already absent (expiry of an injection
+                            // churned off in an earlier round), cancelling
+                            // is not enough — a real insertion is needed.
+                            delta.removed.retain(|x| *x != e);
+                            if !prev.has_edge(u, v) && !inserted_set.contains(&e) {
+                                delta.inserted.push(e);
+                                inserted_set.insert(e);
+                            }
+                        } else {
+                            delta.inserted.push(e);
+                            inserted_set.insert(e);
+                        }
+                        self.injected.push((e, round));
                         inserted += 1;
                     }
                 }
             }
         }
-        g
+        delta
     }
 }
 
@@ -150,6 +186,43 @@ mod tests {
         let outputs: Vec<Option<u32>> = (0..6).map(|i| Some(i as u32)).collect();
         let g1 = adv.next_graph(1, &g0, &outputs);
         assert_eq!(g1.num_edges(), g0.num_edges());
+    }
+
+    #[test]
+    fn all_conflicting_pairs_rewired_on_conflict_rounds() {
+        // Alternate all-conflicting and all-clean output rounds. On a clean
+        // round, churned-off injected edges stay absent; when such an edge's
+        // expiry then fires on a conflicting round, the re-injection must
+        // emit a *real* insertion (not merely cancel the expiry removal of
+        // an already-absent edge). With every pair conflicting and an
+        // insertion budget covering all pairs, the graph must be complete
+        // after every conflicting round.
+        for seed in 0..10u64 {
+            let footprint = generators::complete(5);
+            let mut adv: ConflictSeekingAdversary<u32, _> = ConflictSeekingAdversary::new(
+                footprint,
+                |a: &u32, b: &u32| a == b,
+                10,
+                0.5,
+                2,
+                seed,
+            );
+            let conflicting: Vec<Option<u32>> = vec![Some(1); 5];
+            let clean: Vec<Option<u32>> = (0..5).map(|i| Some(i as u32)).collect();
+            let mut g = OutputAdversary::<u32>::initial_graph(&mut adv);
+            for r in 1..60u64 {
+                let outputs = if r % 2 == 0 { &conflicting } else { &clean };
+                let d = adv.next_delta(r, &g, outputs);
+                d.apply(&mut g);
+                if r % 2 == 0 {
+                    assert_eq!(
+                        g.num_edges(),
+                        10,
+                        "seed {seed} round {r}: every conflicting pair must be wired"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! *every* round, so algorithms can never rely on a quiet recovery period.
 
 use crate::traits::Adversary;
-use dynnet_graph::{Edge, Graph, NodeId};
+use dynnet_graph::{Edge, Graph, GraphDelta, NodeId};
 use dynnet_runtime::rng::experiment_rng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -68,8 +68,25 @@ impl Adversary for MarkovChurnAdversary {
         g
     }
 
-    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
+    /// Whole-graph compatibility path: composed over the footprint only
+    /// (edges outside it never exist), so a phase switch from a foreign
+    /// graph resets to the Markov state instead of keeping alien edges.
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        let delta = self.next_delta(round, prev);
         let mut g = Graph::new(self.n);
+        for e in &self.footprint {
+            if prev.has_edge(e.u, e.v) {
+                g.insert_edge(e.u, e.v);
+            }
+        }
+        delta.apply(&mut g);
+        g
+    }
+
+    /// Delta-native: one Markov step per footprint edge, emitting only the
+    /// edges whose presence actually flipped — no per-round graph build.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        let mut delta = GraphDelta::new();
         for e in &self.footprint {
             let present = prev.has_edge(e.u, e.v);
             let keep = if present {
@@ -77,11 +94,17 @@ impl Adversary for MarkovChurnAdversary {
             } else {
                 self.rng.gen_bool(self.p_on)
             };
-            if keep {
-                g.insert_edge(e.u, e.v);
+            match (present, keep) {
+                (true, false) => {
+                    delta.removed.push(*e);
+                }
+                (false, true) => {
+                    delta.inserted.push(*e);
+                }
+                _ => {}
             }
         }
-        g
+        delta
     }
 }
 
@@ -113,14 +136,45 @@ impl Adversary for FlipChurnAdversary {
         Graph::from_edges(self.n, self.footprint.iter().copied())
     }
 
-    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
-        let mut g = prev.clone();
-        for e in &self.footprint {
-            if self.rng.gen_bool(self.p) {
-                g.toggle_edge(e.u, e.v);
-            }
+    /// Delta-native: each flip becomes one inserted or removed edge. The
+    /// flipping edges are located by geometric skip-sampling — the gap to
+    /// the next flipping edge is `Geometric(p)`-distributed — so a round
+    /// costs `O(p·m)` RNG draws (the expected delta size) instead of one
+    /// Bernoulli draw per footprint edge. Each edge still flips
+    /// independently with probability `p`, exactly as before.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        let mut delta = GraphDelta::new();
+        if self.p <= 0.0 {
+            return delta;
         }
-        g
+        let mut flip = |e: &Edge| {
+            if prev.has_edge(e.u, e.v) {
+                delta.removed.push(*e);
+            } else {
+                delta.inserted.push(*e);
+            }
+        };
+        if self.p >= 1.0 {
+            for e in &self.footprint {
+                flip(e);
+            }
+            return delta;
+        }
+        let ln_keep = (1.0 - self.p).ln();
+        let mut i = 0usize;
+        loop {
+            let u: f64 = self.rng.gen();
+            // Number of non-flipping edges before the next flip; saturating
+            // cast and add handle u → 0 (skip to infinity ⇒ no further
+            // flips).
+            i = i.saturating_add((u.ln() / ln_keep) as usize);
+            if i >= self.footprint.len() {
+                break;
+            }
+            flip(&self.footprint[i]);
+            i += 1;
+        }
+        delta
     }
 }
 
@@ -151,25 +205,40 @@ impl Adversary for RateChurnAdversary {
         self.initial.clone()
     }
 
-    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
-        let mut g = prev.clone();
-        let n = g.num_nodes();
-        let edges = g.edge_vec();
+    /// Delta-native: samples removals from the previous edge set and
+    /// insertion candidates against the (virtually) evolving graph, without
+    /// cloning or mutating a `Graph`.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        let mut delta = GraphDelta::new();
+        let n = prev.num_nodes();
+        let edges = prev.edge_vec();
         for e in edges.choose_multiple(&mut self.rng, self.removals.min(edges.len())) {
-            g.remove_edge(e.u, e.v);
+            delta.removed.push(*e);
         }
         let mut inserted = 0;
         let mut attempts = 0;
         while inserted < self.insertions && attempts < 20 * self.insertions.max(1) {
             let a = self.rng.gen_range(0..n);
             let b = self.rng.gen_range(0..n);
-            if a != b && !g.has_edge(NodeId::new(a), NodeId::new(b)) {
-                g.insert_edge(NodeId::new(a), NodeId::new(b));
-                inserted += 1;
+            if a != b {
+                let e = Edge::new(NodeId::new(a), NodeId::new(b));
+                let present = (prev.has_edge(e.u, e.v) && !delta.removed.contains(&e))
+                    || delta.inserted.contains(&e);
+                if !present {
+                    // Re-picking an edge removed earlier this round: cancel
+                    // the removal (net "stays present") instead of emitting
+                    // an insert+remove pair, which would net to absent.
+                    if let Some(pos) = delta.removed.iter().position(|x| *x == e) {
+                        delta.removed.remove(pos);
+                    } else {
+                        delta.inserted.push(e);
+                    }
+                    inserted += 1;
+                }
             }
             attempts += 1;
         }
-        g
+        delta
     }
 }
 
@@ -209,8 +278,19 @@ impl BurstAdversary {
     pub fn injected_log(&self) -> &[(Edge, u64)] {
         &self.injected_log
     }
+}
 
-    fn compose(&self, round: u64) -> Graph {
+impl Adversary for BurstAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        self.base.clone()
+    }
+
+    /// Whole-graph compatibility path: composed from the adversary's own
+    /// state (base + live injections), independent of `prev` — so a
+    /// [`crate::PhaseAdversary`] switching to this adversary resets the
+    /// graph to its base instead of continuing from the foreign `prev`.
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        let _ = self.next_delta(round, prev);
         let mut g = self.base.clone();
         for (e, expiry) in &self.live {
             if *expiry > round {
@@ -219,14 +299,16 @@ impl BurstAdversary {
         }
         g
     }
-}
 
-impl Adversary for BurstAdversary {
-    fn initial_graph(&mut self) -> Graph {
-        self.base.clone()
-    }
-
-    fn next_graph(&mut self, round: u64, _prev: &Graph) -> Graph {
+    /// Delta-native: expired injections become removals, a burst round's new
+    /// injections become insertions — the base graph is never re-composed.
+    fn next_delta(&mut self, round: u64, _prev: &Graph) -> GraphDelta {
+        let mut delta = GraphDelta::new();
+        for (e, expiry) in &self.live {
+            if *expiry <= round {
+                delta.removed.push(*e);
+            }
+        }
         self.live.retain(|(_, expiry)| *expiry > round);
         if round.is_multiple_of(self.period) {
             let n = self.base.num_nodes();
@@ -240,14 +322,25 @@ impl Adversary for BurstAdversary {
                     && !self.base.has_edge(a, b)
                     && !self.live.iter().any(|(e, _)| *e == Edge::new(a, b))
                 {
-                    self.live.push((Edge::new(a, b), round + self.duration));
-                    self.injected_log.push((Edge::new(a, b), round));
+                    let e = Edge::new(a, b);
+                    self.live.push((e, round + self.duration));
+                    self.injected_log.push((e, round));
+                    if self.duration > 0 {
+                        // A just-expired edge re-injected in the same round
+                        // stays present: cancel the removal instead of
+                        // emitting an insert-then-remove pair.
+                        if let Some(pos) = delta.removed.iter().position(|x| *x == e) {
+                            delta.removed.remove(pos);
+                        } else {
+                            delta.inserted.push(e);
+                        }
+                    }
                     added += 1;
                 }
                 attempts += 1;
             }
         }
-        self.compose(round)
+        delta
     }
 }
 
@@ -317,6 +410,27 @@ mod tests {
             "at most insertions + removals changes, got {diff}"
         );
         assert!(diff > 0);
+    }
+
+    #[test]
+    fn rate_churn_delta_never_nets_out_insertions() {
+        // The insertion sampler may re-pick a just-removed edge; that must
+        // cancel the removal (net "stays present"), not emit an
+        // insert+remove pair, which nets to absent under apply order.
+        for seed in 0..20 {
+            let mut adv = RateChurnAdversary::new(generators::complete(5), 4, 4, seed);
+            let mut g = adv.initial_graph();
+            for r in 1..30 {
+                let d = adv.next_delta(r, &g);
+                for e in &d.inserted {
+                    assert!(
+                        !d.removed.contains(e),
+                        "seed {seed} round {r}: insert+remove pair for {e:?}"
+                    );
+                }
+                d.apply(&mut g);
+            }
+        }
     }
 
     #[test]

@@ -40,14 +40,21 @@ where
     let mut recorder = TraceRecorder::new();
     let mut graph = adversary.initial_graph();
     for r in 0..rounds as u64 {
-        if r > 0 {
-            graph = adversary.next_graph(r, &graph, sim.outputs());
-        }
-        let summary = sim.step_streaming(&graph);
+        let summary = if r == 0 {
+            sim.step_streaming(&graph)
+        } else {
+            // Delta-native round loop, exactly as `Scenario`'s runner: the
+            // adversary emits the round's delta, the persistent graph is
+            // patched in place, the simulator patches its effective CSR.
+            let delta = adversary.next_delta(r, &graph, sim.outputs());
+            delta.apply(&mut graph);
+            sim.step_delta(&graph, &delta)
+        };
         let graph_cell = std::cell::OnceCell::new();
         recorder.on_round(&RoundView {
             round: summary.round,
             graph: &summary.graph,
+            delta: summary.delta.as_ref(),
             outputs: sim.outputs(),
             newly_awake: &summary.newly_awake,
             num_awake: summary.num_awake,

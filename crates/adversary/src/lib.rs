@@ -6,7 +6,11 @@
 //!
 //! The paper's dynamic graph is chosen by a worst-case adversary; this crate
 //! provides a spectrum of adversaries ranging from fully static to
-//! output-aware conflict seekers:
+//! output-aware conflict seekers. Adversaries are *delta-native*: the round
+//! loop asks them for the round's [`dynnet_graph::GraphDelta`]
+//! ([`Adversary::next_delta`]) and patches one persistent graph, so a round
+//! costs `O(|δ|)` instead of a full graph build — the whole-graph
+//! `next_graph` interface remains as a default-bridged compatibility path.
 //!
 //! * [`StaticAdversary`], [`ScriptedAdversary`], [`PhaseAdversary`] — static
 //!   graphs, recorded traces, and phase schedules.

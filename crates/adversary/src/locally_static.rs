@@ -7,7 +7,7 @@
 //! algorithm's output at that node must stop changing after `T1 + T2` rounds.
 
 use crate::traits::Adversary;
-use dynnet_graph::{neighborhood, Edge, Graph, NodeId};
+use dynnet_graph::{neighborhood, Edge, Graph, GraphDelta, NodeId};
 use dynnet_runtime::rng::experiment_rng;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -84,17 +84,23 @@ impl Adversary for LocallyStaticAdversary {
         self.base.clone()
     }
 
-    fn next_graph(&mut self, _round: u64, prev: &Graph) -> Graph {
-        let mut g = prev.clone();
+    /// Delta-native: each flipped unprotected footprint edge becomes one
+    /// inserted or removed edge; protected edges never appear in the delta.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        let mut delta = GraphDelta::new();
         for e in self.base.edge_vec() {
             if self.edge_protected(e) {
                 continue;
             }
             if self.rng.gen_bool(self.churn) {
-                g.toggle_edge(e.u, e.v);
+                if prev.has_edge(e.u, e.v) {
+                    delta.removed.push(e);
+                } else {
+                    delta.inserted.push(e);
+                }
             }
         }
-        g
+        delta
     }
 }
 

@@ -9,7 +9,7 @@
 //! static.
 
 use crate::traits::Adversary;
-use dynnet_graph::{generators, Graph};
+use dynnet_graph::{generators, Graph, GraphDelta, NodeId};
 use dynnet_runtime::rng::experiment_rng;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -95,9 +95,72 @@ impl Adversary for MobilityAdversary {
         generators::unit_disk(&self.positions, self.radius)
     }
 
+    /// Whole-graph compatibility path: the unit-disk graph of the advanced
+    /// positions, independent of `prev` (phase switches reset to the
+    /// geometry instead of continuing from a foreign graph).
     fn next_graph(&mut self, _round: u64, _prev: &Graph) -> Graph {
         self.advance();
         generators::unit_disk(&self.positions, self.radius)
+    }
+
+    /// Delta-native round step: advances the waypoint dynamics, then derives
+    /// the edge changes directly from the geometry instead of rebuilding the
+    /// whole unit-disk graph. New edges are found with a uniform grid over
+    /// the unit square (`O(n · k)` for `k` nodes per disk, instead of the
+    /// `O(n²)` all-pairs scan of `generators::unit_disk`); removals are
+    /// found by re-checking the distance of the previous round's edges.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        self.advance();
+        let n = self.positions.len();
+        let r2 = self.radius * self.radius;
+        let within = |i: usize, j: usize| {
+            let dx = self.positions[i].0 - self.positions[j].0;
+            let dy = self.positions[i].1 - self.positions[j].1;
+            dx * dx + dy * dy <= r2
+        };
+        let mut delta = GraphDelta::new();
+
+        // Removed: previous edges whose endpoints drifted out of range.
+        for e in prev.edges() {
+            if !within(e.u.index(), e.v.index()) {
+                delta.removed.push(e);
+            }
+        }
+
+        // Inserted: pairs now within range that were not adjacent before.
+        // Grid cells are at least `radius` wide (but never more than ~√n
+        // cells per axis), so scanning `reach` cells in each direction
+        // covers the communication disk.
+        let cell = self.radius.max(1.0 / (n as f64).sqrt()).min(1.0);
+        let cols = ((1.0 / cell).ceil() as usize).max(1);
+        // The actual cell width is 1/cols (≤ `cell` after the ceil), so the
+        // scan reach must be measured in those units or in-range pairs more
+        // than `reach` cells apart would be missed.
+        let reach = (self.radius * cols as f64).ceil() as usize;
+        let cell_of = |(x, y): (f64, f64)| {
+            let cx = ((x * cols as f64) as usize).min(cols - 1);
+            let cy = ((y * cols as f64) as usize).min(cols - 1);
+            (cx, cy)
+        };
+        let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cols * cols];
+        for (i, &p) in self.positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            grid[cy * cols + cx].push(i as u32);
+        }
+        for (i, &p) in self.positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for gy in cy.saturating_sub(reach)..=(cy + reach).min(cols - 1) {
+                for gx in cx.saturating_sub(reach)..=(cx + reach).min(cols - 1) {
+                    for &j in &grid[gy * cols + gx] {
+                        let j = j as usize;
+                        if j > i && within(i, j) && !prev.has_edge(NodeId::new(i), NodeId::new(j)) {
+                            delta.inserted.push(dynnet_graph::Edge::of(i, j));
+                        }
+                    }
+                }
+            }
+        }
+        delta
     }
 }
 
@@ -147,6 +210,35 @@ mod tests {
             near_diff < far_diff,
             "movement accumulates: {near_diff} vs {far_diff}"
         );
+    }
+
+    #[test]
+    fn delta_matches_unit_disk_at_non_integer_grid_radius() {
+        // radius 0.3 ⇒ cols = 4 with actual cell width 0.25 < radius: pairs
+        // two grid cells apart can still be in range, so the scan reach must
+        // be measured in actual cell widths (regression test).
+        for radius in [0.3, 0.45, 0.7] {
+            let mut adv = MobilityAdversary::new(
+                MobilityConfig {
+                    n: 80,
+                    radius,
+                    min_speed: 0.02,
+                    max_speed: 0.08,
+                },
+                17,
+            );
+            let mut g = adv.initial_graph();
+            for r in 1..20 {
+                let delta = adv.next_delta(r, &g);
+                delta.apply(&mut g);
+                let expected = generators::unit_disk(adv.positions(), radius);
+                assert_eq!(
+                    g.edge_vec(),
+                    expected.edge_vec(),
+                    "radius {radius}, round {r}"
+                );
+            }
+        }
     }
 
     #[test]

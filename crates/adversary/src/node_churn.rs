@@ -6,7 +6,7 @@
 //! runtime's wake-up schedules).
 
 use crate::traits::Adversary;
-use dynnet_graph::{Graph, NodeId};
+use dynnet_graph::{Graph, GraphDelta, NodeId};
 use dynnet_runtime::rng::experiment_rng;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -57,17 +57,47 @@ impl Adversary for NodeChurnAdversary {
         self.compose()
     }
 
-    fn next_graph(&mut self, _round: u64, _prev: &Graph) -> Graph {
+    /// Whole-graph compatibility path: composed from the present-set state,
+    /// independent of `prev` (phase switches reset to this composition).
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        let _ = self.next_delta(round, prev);
+        self.compose()
+    }
+
+    /// Delta-native: a leaver contributes its current incident edges as
+    /// removals, a joiner its footprint edges to now-present neighbors as
+    /// insertions — the graph is never re-composed. The delta is normalized,
+    /// so an edge between two simultaneous joiners (recorded once per
+    /// endpoint) is not double-inserted.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        let mut left = Vec::new();
+        let mut joined = Vec::new();
         for i in 0..self.present.len() {
             if self.present[i] {
                 if self.rng.gen_bool(self.p_leave) {
                     self.present[i] = false;
+                    left.push(NodeId::new(i));
                 }
             } else if self.rng.gen_bool(self.p_join) {
                 self.present[i] = true;
+                joined.push(NodeId::new(i));
             }
         }
-        self.compose()
+        let mut delta = GraphDelta::new();
+        for &v in &left {
+            for u in prev.neighbors(v) {
+                delta.remove(v, u);
+            }
+        }
+        for &v in &joined {
+            for u in self.footprint.neighbors(v) {
+                if self.present[u.index()] && !prev.has_edge(v, u) {
+                    delta.insert(v, u);
+                }
+            }
+        }
+        delta.normalize();
+        delta
     }
 }
 
@@ -111,9 +141,30 @@ impl Adversary for GrowthAdversary {
         self.compose()
     }
 
-    fn next_graph(&mut self, _round: u64, _prev: &Graph) -> Graph {
-        self.joined = (self.joined + self.rate).min(self.footprint.num_nodes());
+    /// Whole-graph compatibility path: composed from the joined-count state,
+    /// independent of `prev` (phase switches reset to this composition).
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        let _ = self.next_delta(round, prev);
         self.compose()
+    }
+
+    /// Delta-native: the rate-many nodes joining this round wake up and
+    /// bring their footprint edges to already-joined neighbors.
+    fn next_delta(&mut self, _round: u64, _prev: &Graph) -> GraphDelta {
+        let old = self.joined.min(self.footprint.num_nodes());
+        self.joined = (self.joined + self.rate).min(self.footprint.num_nodes());
+        let mut delta = GraphDelta::new();
+        for i in old..self.joined {
+            let v = NodeId::new(i);
+            delta.wake(v);
+            for u in self.footprint.neighbors(v) {
+                if u.index() < self.joined {
+                    delta.insert(v, u);
+                }
+            }
+        }
+        delta.normalize();
+        delta
     }
 }
 

@@ -228,8 +228,10 @@ where
     adversary: Adv,
     rounds: usize,
     executed: usize,
-    /// The adversary's raw graph of the previous round (its `next_graph`
-    /// input); `None` before round 0.
+    /// The one persistent adversary graph of the run: round 0's graph,
+    /// patched in place by each round's [`dynnet_graph::GraphDelta`] — the
+    /// adversary never hands back (and the runner never clones) a whole
+    /// graph after round 0. `None` before round 0.
     current_graph: Option<Graph>,
 }
 
@@ -249,14 +251,26 @@ where
             return Advance::Exhausted;
         }
         let round = self.executed as u64;
-        let graph = match self.current_graph.take() {
-            None => self.adversary.initial_graph(),
-            // The adversary sees the previous round's outputs only — never
-            // the current round's randomness (it stays 1-oblivious).
-            Some(prev) => self.adversary.next_graph(round, &prev, self.sim.outputs()),
+        let summary = match &mut self.current_graph {
+            None => {
+                let graph = self.adversary.initial_graph();
+                let summary = self.sim.step_streaming(&graph);
+                self.current_graph = Some(graph);
+                summary
+            }
+            Some(graph) => {
+                // The adversary sees the previous round's outputs only —
+                // never the current round's randomness (it stays
+                // 1-oblivious). It hands back the round's delta, which is
+                // applied to the persistent graph and patched into the
+                // simulator's incremental effective CSR: per-round cost is
+                // O(|δ|) on the sparse-churn path, with no graph clones and
+                // no full CSR rebuilds.
+                let delta = self.adversary.next_delta(round, graph, self.sim.outputs());
+                delta.apply(graph);
+                self.sim.step_delta(graph, &delta)
+            }
         };
-        let summary = self.sim.step_streaming(&graph);
-        self.current_graph = Some(graph);
         self.executed += 1;
         // One adjacency-Graph conversion per round, shared lazily by every
         // observer through `RoundView::current_graph`.
@@ -264,6 +278,7 @@ where
         let view = RoundView {
             round: summary.round,
             graph: &summary.graph,
+            delta: summary.delta.as_ref(),
             outputs: self.sim.outputs(),
             newly_awake: &summary.newly_awake,
             num_awake: summary.num_awake,

@@ -3,7 +3,7 @@
 //! adversaries over time.
 
 use crate::traits::Adversary;
-use dynnet_graph::{DynamicGraphTrace, Graph};
+use dynnet_graph::{DynamicGraphTrace, Graph, GraphDelta};
 
 /// The degenerate "adversary" of a fully static network: the same graph in
 /// every round. Running the dynamic algorithms against it recovers the
@@ -27,6 +27,12 @@ impl Adversary for StaticAdversary {
 
     fn next_graph(&mut self, _round: u64, _prev: &Graph) -> Graph {
         self.graph.clone()
+    }
+
+    /// A static network never changes: the delta is always empty (and the
+    /// per-round graph clone of the legacy path disappears entirely).
+    fn next_delta(&mut self, _round: u64, _prev: &Graph) -> GraphDelta {
+        GraphDelta::new()
     }
 }
 
@@ -52,6 +58,18 @@ impl Adversary for ScriptedAdversary {
     fn next_graph(&mut self, round: u64, _prev: &Graph) -> Graph {
         let r = (round as usize).min(self.trace.num_rounds() - 1);
         self.trace.graph_at(r)
+    }
+
+    /// Replays the recorded per-round deltas directly — no `O(r · changes)`
+    /// reconstruction of the round's graph. Past the end of the trace the
+    /// last graph repeats (empty delta).
+    fn next_delta(&mut self, round: u64, _prev: &Graph) -> GraphDelta {
+        let r = round as usize;
+        if r < self.trace.num_rounds() {
+            self.trace.deltas()[r - 1].clone()
+        } else {
+            GraphDelta::new()
+        }
     }
 }
 
@@ -92,6 +110,18 @@ impl Adversary for PhaseAdversary {
         let i = self.phase_for(round);
         self.phases[i].1.next_graph(round, prev)
     }
+
+    fn next_delta(&mut self, round: u64, prev: &Graph) -> GraphDelta {
+        let i = self.phase_for(round);
+        if round >= 1 && i != self.phase_for(round - 1) {
+            // Phase switch: the incoming adversary's delta contract ("prev is
+            // the graph I produced last round") does not hold across the
+            // boundary, so materialize its first graph and diff explicitly.
+            let next = self.phases[i].1.next_graph(round, prev);
+            return GraphDelta::between(prev, &next);
+        }
+        self.phases[i].1.next_delta(round, prev)
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +153,42 @@ mod tests {
             g1.edge_vec(),
             "repeats last graph"
         );
+    }
+
+    #[test]
+    fn phase_switch_resets_to_state_composed_adversaries() {
+        // Switching into an adversary that composes its graph from internal
+        // state (burst: base + injections) must replace the previous phase's
+        // graph, on the delta path as well as the whole-graph path.
+        use crate::churn::BurstAdversary;
+        let base_a = generators::complete(6);
+        let base_b = generators::path(6);
+        let make = || {
+            PhaseAdversary::new(vec![
+                (
+                    2,
+                    Box::new(StaticAdversary::new(base_a.clone())) as Box<dyn Adversary>,
+                ),
+                (
+                    2,
+                    Box::new(BurstAdversary::new(base_b.clone(), 100, 1, 0, 1)),
+                ),
+            ])
+        };
+        // Whole-graph path.
+        let mut by_graph = make();
+        let mut g = by_graph.initial_graph();
+        g = by_graph.next_graph(1, &g);
+        g = by_graph.next_graph(2, &g);
+        assert_eq!(g.edge_vec(), base_b.edge_vec(), "switch resets to base");
+        // Delta path.
+        let mut by_delta = make();
+        let mut g = by_delta.initial_graph();
+        for r in 1..=3u64 {
+            let d = by_delta.next_delta(r, &g);
+            d.apply(&mut g);
+        }
+        assert_eq!(g.edge_vec(), base_b.edge_vec());
     }
 
     #[test]

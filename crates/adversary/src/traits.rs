@@ -10,21 +10,52 @@
 //! is at least 1-oblivious; the oblivious adversaries ignore outputs
 //! entirely and are therefore also 2-oblivious as required by Lemma 5.2).
 
-use dynnet_graph::Graph;
+use dynnet_graph::{Graph, GraphDelta};
 
 /// An output-oblivious adversary: produces `G_r` from the round number and
 /// the previous graph only.
+///
+/// The round loop is delta-native: the runner keeps one persistent graph and
+/// asks the adversary for the round's [`GraphDelta`] via
+/// [`Adversary::next_delta`]. `next_graph` and `next_delta` are mutually
+/// default-implemented — an implementation must override **at least one** of
+/// them (overriding neither recurses infinitely). Legacy adversaries that
+/// override only `next_graph` keep working (their delta is derived with
+/// [`GraphDelta::between`], `O(n + m)`); delta-native adversaries override
+/// `next_delta` and pay only `O(|δ|)` per round.
 pub trait Adversary: Send {
     /// The graph for round 0.
     fn initial_graph(&mut self) -> Graph;
 
     /// The graph for round `round ≥ 1`, given the previous round's graph.
-    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph;
+    ///
+    /// Default: materializes [`Adversary::next_delta`] onto a copy of `prev`.
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        self.next_delta(round, prev).materialize(prev)
+    }
+
+    /// The change the adversary applies at the beginning of round
+    /// `round ≥ 1`, relative to `prev` (the graph of round `round - 1`).
+    ///
+    /// Default: derived from [`Adversary::next_graph`] with
+    /// [`GraphDelta::between`], so existing whole-graph adversaries keep
+    /// working unchanged.
+    ///
+    /// At most one of `next_graph` / `next_delta` is called per round; an
+    /// adversary that advances internal state (RNG draws, positions) must
+    /// produce the same evolution through either entry point.
+    fn next_delta(&mut self, round: u64, prev: &Graph) -> GraphDelta {
+        let next = self.next_graph(round, prev);
+        GraphDelta::between(prev, &next)
+    }
 }
 
 /// An adversary that may additionally inspect the outputs published by the
 /// nodes at the end of the previous round (adaptive, but still oblivious to
 /// the current round's randomness).
+///
+/// Like [`Adversary`], the graph- and delta-producing entry points are
+/// mutually default-implemented; override at least one of them.
 pub trait OutputAdversary<O>: Send {
     /// The graph for round 0.
     fn initial_graph(&mut self) -> Graph;
@@ -32,7 +63,16 @@ pub trait OutputAdversary<O>: Send {
     /// The graph for round `round ≥ 1`, given the previous graph and the
     /// outputs published at the end of round `round - 1` (`None` for nodes
     /// that have not woken up).
-    fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph;
+    fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph {
+        self.next_delta(round, prev, outputs).materialize(prev)
+    }
+
+    /// The change applied at the beginning of round `round ≥ 1`, relative to
+    /// `prev`, given the outputs published at the end of round `round - 1`.
+    fn next_delta(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> GraphDelta {
+        let next = self.next_graph(round, prev, outputs);
+        GraphDelta::between(prev, &next)
+    }
 }
 
 /// Every output-oblivious adversary is trivially an output-aware adversary
@@ -44,6 +84,10 @@ impl<O, A: Adversary> OutputAdversary<O> for A {
 
     fn next_graph(&mut self, round: u64, prev: &Graph, _outputs: &[Option<O>]) -> Graph {
         Adversary::next_graph(self, round, prev)
+    }
+
+    fn next_delta(&mut self, round: u64, prev: &Graph, _outputs: &[Option<O>]) -> GraphDelta {
+        Adversary::next_delta(self, round, prev)
     }
 }
 
@@ -57,6 +101,10 @@ impl<O> OutputAdversary<O> for Box<dyn OutputAdversary<O> + '_> {
 
     fn next_graph(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> Graph {
         (**self).next_graph(round, prev, outputs)
+    }
+
+    fn next_delta(&mut self, round: u64, prev: &Graph, outputs: &[Option<O>]) -> GraphDelta {
+        (**self).next_delta(round, prev, outputs)
     }
 }
 
@@ -82,5 +130,38 @@ mod tests {
         let g0 = <Freeze as OutputAdversary<u32>>::initial_graph(&mut adv);
         let g1 = <Freeze as OutputAdversary<u32>>::next_graph(&mut adv, 1, &g0, &[None; 4]);
         assert_eq!(g0.edge_vec(), g1.edge_vec());
+    }
+
+    #[test]
+    fn default_next_delta_derives_from_next_graph() {
+        // Freeze only overrides next_graph; the derived delta must be empty.
+        let mut adv = Freeze(generators::cycle(4));
+        let g0 = Adversary::initial_graph(&mut adv);
+        let delta = Adversary::next_delta(&mut adv, 1, &g0);
+        assert!(delta.is_empty());
+    }
+
+    struct DropOneEdge;
+
+    impl Adversary for DropOneEdge {
+        fn initial_graph(&mut self) -> Graph {
+            generators::cycle(4)
+        }
+        // Only next_delta is overridden; next_graph is derived.
+        fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+            let mut delta = GraphDelta::new();
+            if let Some(e) = prev.edges().next() {
+                delta.remove(e.u, e.v);
+            }
+            delta
+        }
+    }
+
+    #[test]
+    fn default_next_graph_derives_from_next_delta() {
+        let mut adv = DropOneEdge;
+        let g0 = Adversary::initial_graph(&mut adv);
+        let g1 = Adversary::next_graph(&mut adv, 1, &g0);
+        assert_eq!(g1.num_edges(), g0.num_edges() - 1);
     }
 }

@@ -1,0 +1,184 @@
+//! Delta-pipeline benchmarks: per-round cost of the legacy whole-graph path
+//! (adversary materializes `G_r`, CSR rebuilt from scratch) versus the
+//! delta-native path (adversary emits a `GraphDelta`, one persistent graph
+//! and one persistent CSR are patched in place), across churn rates.
+//!
+//! At the ISSUE's reference point — 10k nodes, ~0.1% of edges changing per
+//! round — the incremental path must beat the full-rebuild path by ≥5x
+//! (it is typically orders of magnitude faster: `O(|δ|)` vs `O(n + m)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynnet::graph::{CsrGraph, DynamicGraphTrace};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
+
+fn churn_footprint(n: usize) -> Graph {
+    generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(1, "bd"))
+}
+
+/// Graph-pipeline cost per round, adversary included: whole-graph
+/// (`next_graph` + `CsrGraph::from_graph`) vs delta (`next_delta` + patch).
+fn bench_round_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 10_000;
+    // Flip probability ⇒ expected fraction of footprint edges changing per
+    // round; 0.001 is the 0.1%-churn reference point.
+    for &p in &[0.0001f64, 0.001, 0.01] {
+        let footprint = churn_footprint(n);
+
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild_round", p),
+            &footprint,
+            |b, fp| {
+                let mut adv = FlipChurnAdversary::new(fp, p, 7);
+                let mut g = Adversary::initial_graph(&mut adv);
+                let mut r = 1u64;
+                b.iter(|| {
+                    let next = Adversary::next_graph(&mut adv, r, &g);
+                    let csr = CsrGraph::from_graph(&next);
+                    g = next;
+                    r += 1;
+                    csr.num_edges()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_round", p),
+            &footprint,
+            |b, fp| {
+                let mut adv = FlipChurnAdversary::new(fp, p, 7);
+                let mut g = Adversary::initial_graph(&mut adv);
+                let mut csr = CsrGraph::from_graph(&g);
+                let mut r = 1u64;
+                b.iter(|| {
+                    let delta = Adversary::next_delta(&mut adv, r, &g);
+                    delta.apply(&mut g);
+                    csr.apply_delta(&delta);
+                    r += 1;
+                    csr.num_edges()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Full simulator rounds (wake-ups + message phases included):
+/// `step_streaming` on materialized graphs vs `step_delta`.
+fn bench_simulator_rounds(c: &mut Criterion) {
+    #[derive(Clone)]
+    struct Ping;
+    impl NodeAlgorithm for Ping {
+        type Msg = u8;
+        type Output = u8;
+        fn send(&mut self, _ctx: &mut dynnet::runtime::NodeContext<'_>) -> u8 {
+            1
+        }
+        fn receive(
+            &mut self,
+            _ctx: &mut dynnet::runtime::NodeContext<'_>,
+            _inbox: &[dynnet::runtime::Incoming<u8>],
+        ) {
+        }
+        fn output(&self) -> u8 {
+            1
+        }
+    }
+
+    let mut group = c.benchmark_group("delta_simulator");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 10_000;
+    let p = 0.001;
+    let footprint = churn_footprint(n);
+
+    group.bench_with_input(
+        BenchmarkId::new("step_streaming", p),
+        &footprint,
+        |b, fp| {
+            let mut adv = FlipChurnAdversary::new(fp, p, 9);
+            let mut g = Adversary::initial_graph(&mut adv);
+            let mut sim = Simulator::new(n, |_v| Ping, AllAtStart, SimConfig::sequential(1));
+            sim.step_streaming(&g);
+            let mut r = 1u64;
+            b.iter(|| {
+                g = Adversary::next_graph(&mut adv, r, &g);
+                r += 1;
+                sim.step_streaming(&g).num_awake
+            })
+        },
+    );
+
+    group.bench_with_input(BenchmarkId::new("step_delta", p), &footprint, |b, fp| {
+        let mut adv = FlipChurnAdversary::new(fp, p, 9);
+        let mut g = Adversary::initial_graph(&mut adv);
+        let mut sim = Simulator::new(n, |_v| Ping, AllAtStart, SimConfig::sequential(1));
+        sim.step_streaming(&g);
+        let mut r = 1u64;
+        b.iter(|| {
+            let delta = Adversary::next_delta(&mut adv, r, &g);
+            delta.apply(&mut g);
+            r += 1;
+            sim.step_delta(&g, &delta).num_awake
+        })
+    });
+    group.finish();
+}
+
+/// Window maintenance: whole-graph `push` vs `push_delta` on a T=32 window.
+fn bench_window_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_window");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 10_000;
+    let footprint = churn_footprint(n);
+    // Pre-record a churn trace so both variants replay identical rounds.
+    let mut adv = FlipChurnAdversary::new(&footprint, 0.001, 11);
+    let g0 = Adversary::initial_graph(&mut adv);
+    let mut trace = DynamicGraphTrace::new(g0.clone());
+    let mut g = g0.clone();
+    for r in 1..128u64 {
+        let d = Adversary::next_delta(&mut adv, r, &g);
+        d.apply(&mut g);
+        trace.push_delta(d);
+    }
+
+    group.bench_function("push_whole_graph", |b| {
+        let mut w = GraphWindow::new(n, 32);
+        let graphs: Vec<Graph> = trace.iter().collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            w.push(&graphs[i % graphs.len()]);
+            i += 1;
+            w.len()
+        })
+    });
+
+    group.bench_function("push_delta", |b| {
+        let mut w = GraphWindow::new(n, 32);
+        w.push(&g0);
+        let mut i = 0usize;
+        let deltas = trace.deltas();
+        b.iter(|| {
+            w.push_delta(&deltas[i % deltas.len()]);
+            i += 1;
+            w.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_pipeline,
+    bench_simulator_rounds,
+    bench_window_delta
+);
+criterion_main!(benches);

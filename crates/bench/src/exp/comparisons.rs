@@ -253,7 +253,7 @@ impl RoundObserver<ColorOutput> for TdmaProbe {
             .iter()
             .map(|o| o.unwrap_or(ColorOutput::Undecided))
             .collect();
-        let frame = tdma::run_frame(&g, &colors);
+        let frame = tdma::run_frame(g, &colors);
         self.success_rates.push(frame.success_rate());
         self.frame_lengths.push(frame.frame_length as f64);
     }

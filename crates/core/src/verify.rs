@@ -8,7 +8,7 @@
 use crate::output::HasBottom;
 use crate::problem::DynamicProblem;
 use crate::tdynamic::{check_t_dynamic, TDynamicReport};
-use dynnet_graph::{Graph, GraphWindow, NodeId};
+use dynnet_graph::{Graph, GraphDelta, GraphWindow, NodeId};
 
 /// Per-round verification result plus aggregate counters.
 #[derive(Clone, Debug, Default)]
@@ -99,6 +99,24 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
             .window
             .get_or_insert_with(|| GraphWindow::new(graph.num_nodes(), self.window_size));
         w.push(graph);
+        self.check_round(outputs);
+    }
+
+    /// Feeds the next round as a delta relative to the previously observed
+    /// graph — the `O(|δ|)` window-maintenance path of the delta pipeline.
+    /// The first round must have been observed as a whole graph (via
+    /// [`TDynamicVerifier::observe`] or the observer hook).
+    pub fn observe_delta(&mut self, delta: &GraphDelta, outputs: &[Option<P::Output>]) {
+        let w = self
+            .window
+            .as_mut()
+            .expect("observe the initial round as a whole graph before deltas");
+        w.push_delta(delta);
+        self.check_round(outputs);
+    }
+
+    fn check_round(&mut self, outputs: &[Option<P::Output>]) {
+        let w = self.window.as_ref().expect("window initialized");
         let r = self.round;
         self.round += 1;
         if r < self.check_from {
@@ -141,7 +159,11 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
 
 impl<P: DynamicProblem> dynnet_runtime::RoundObserver<P::Output> for TDynamicVerifier<P> {
     fn on_round(&mut self, view: &dynnet_runtime::RoundView<'_, P::Output>) {
-        self.observe(view.current_graph(), view.outputs);
+        match view.delta {
+            // Delta path: O(|δ|) window update, no CSR→Graph conversion.
+            Some(delta) if self.window.is_some() => self.observe_delta(delta, view.outputs),
+            _ => self.observe(view.current_graph(), view.outputs),
+        }
     }
 }
 

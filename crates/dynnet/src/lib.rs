@@ -71,11 +71,13 @@ pub mod prelude {
         ColorOutput, ColoringProblem, DynamicProblem, HasBottom, MisOutput, MisProblem,
         TDynamicReport, TDynamicVerifier, VerificationSummary,
     };
-    pub use dynnet_graph::{generators, Edge, Graph, GraphWindow, NodeId};
+    pub use dynnet_graph::{
+        generators, CsrApplyOutcome, CsrGraph, Edge, Graph, GraphDelta, GraphWindow, NodeId,
+    };
     pub use dynnet_metrics::{log_fit, Series, Summary, Table};
     pub use dynnet_runtime::{
-        AllAtStart, ChurnStats, ConvergenceTracker, NodeAlgorithm, RandomWakeup, RoundObserver,
-        RoundView, SimConfig, Simulator, Staggered, TraceRecorder, WakeupSchedule,
+        AllAtStart, ChurnStats, ConvergenceTracker, DeltaStats, NodeAlgorithm, RandomWakeup,
+        RoundObserver, RoundView, SimConfig, Simulator, Staggered, TraceRecorder, WakeupSchedule,
     };
 }
 

@@ -1,45 +1,111 @@
-//! Compressed sparse row (CSR) snapshots of a [`Graph`].
+//! Compressed sparse row (CSR) snapshots of a [`Graph`], with incremental
+//! in-place delta patching.
 //!
-//! The simulator takes a CSR snapshot of the communication graph once per
-//! round and hands read-only references to all nodes, which makes the
-//! per-round send/receive phases embarrassingly parallel (no locks, pure
-//! reads) and cache friendly. This is the hot data structure of the whole
-//! system.
+//! The simulator hands read-only references to a CSR snapshot of the
+//! communication graph to all nodes each round, which makes the per-round
+//! send/receive phases embarrassingly parallel (no locks, pure reads) and
+//! cache friendly. This is the hot data structure of the whole system.
+//!
+//! Historically a fresh snapshot was rebuilt from the adjacency-set [`Graph`]
+//! every round — `O(n + m)` work even when the adversary flipped three
+//! edges. The structure is now *incremental*: neighbor rows live in one
+//! arena with per-row slack capacity, and [`CsrGraph::apply_delta`] patches
+//! the affected rows in place in `O(|δ| · log deg + shift)` when the delta is
+//! sparse, falling back to a full rebuild only past a density threshold.
 
+use crate::dynamic::GraphDelta;
 use crate::graph::Graph;
 use crate::node::{Edge, NodeId};
 
-/// An immutable CSR (compressed sparse row) snapshot of an undirected graph.
+/// How [`CsrGraph::apply_delta`] executed a delta — used by callers (the
+/// simulator's perf counters, benchmarks) to assert that the steady-state
+/// churn path never degenerates into full rebuilds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrApplyOutcome {
+    /// The delta was sparse; only the affected neighbor rows were patched.
+    Patched,
+    /// The delta was patched in place, and afterwards the arena was
+    /// compacted to reclaim dead slots left by row relocations — amortized
+    /// maintenance, not a rebuild of the snapshot.
+    Compacted,
+    /// The delta was dense; the snapshot was rebuilt from scratch.
+    Rebuilt,
+}
+
+/// A CSR (compressed sparse row) snapshot of an undirected graph, patchable
+/// in place via [`CsrGraph::apply_delta`].
 ///
-/// Neighbor lists are stored in one contiguous vector; `offsets[v]..offsets[v+1]`
-/// delimits the neighbors of node `v`, sorted ascending.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Neighbor rows are stored in one contiguous arena; row `v` occupies
+/// `starts[v] .. starts[v] + caps[v]`, of which the first `lens[v]` slots are
+/// live neighbors, sorted ascending. Rows that outgrow their capacity are
+/// relocated to the end of the arena with doubled capacity (amortized `O(1)`
+/// relocations per row); the dead slots left behind are reclaimed by an
+/// occasional compaction once they dominate the arena.
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     n: usize,
-    offsets: Vec<u32>,
-    neighbors: Vec<NodeId>,
+    starts: Vec<u32>,
+    lens: Vec<u32>,
+    caps: Vec<u32>,
+    arena: Vec<NodeId>,
     active: Vec<bool>,
     num_edges: usize,
+    /// Arena slots abandoned by row relocations (reclaimed on compaction).
+    dead_slots: usize,
 }
 
 impl CsrGraph {
     /// Builds a CSR snapshot from a mutable [`Graph`].
     pub fn from_graph(g: &Graph) -> Self {
-        let n = g.num_nodes();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors = Vec::with_capacity(2 * g.num_edges());
-        offsets.push(0u32);
+        Self::build(
+            g.num_nodes(),
+            |v| g.is_active(v),
+            |v, row| row.extend(g.neighbors(v)),
+        )
+    }
+
+    /// Builds a CSR snapshot of the subgraph of `g` induced by the nodes for
+    /// which `keep` returns `true`: kept nodes retain their activity flag and
+    /// their edges to other kept nodes; dropped nodes become inactive and
+    /// isolated. This is the sleeper-pruning primitive of the simulator — it
+    /// replaces the old "clone the whole `Graph`, deactivate the sleepers,
+    /// snapshot the clone" dance with a single direct construction.
+    pub fn from_graph_filtered(g: &Graph, keep: impl Fn(NodeId) -> bool) -> Self {
+        Self::build(
+            g.num_nodes(),
+            |v| g.is_active(v) && keep(v),
+            |v, row| {
+                if keep(v) {
+                    row.extend(g.neighbors(v).filter(|&u| keep(u)));
+                }
+            },
+        )
+    }
+
+    fn build(
+        n: usize,
+        active: impl Fn(NodeId) -> bool,
+        fill_row: impl Fn(NodeId, &mut Vec<NodeId>),
+    ) -> Self {
+        let mut starts = Vec::with_capacity(n);
+        let mut lens = Vec::with_capacity(n);
+        let mut arena: Vec<NodeId> = Vec::new();
         for i in 0..n {
             let v = NodeId::new(i);
-            neighbors.extend(g.neighbors(v));
-            offsets.push(neighbors.len() as u32);
+            starts.push(arena.len() as u32);
+            fill_row(v, &mut arena);
+            lens.push(arena.len() as u32 - starts[i]);
         }
+        let num_edges = arena.len() / 2;
         CsrGraph {
             n,
-            offsets,
-            neighbors,
-            active: (0..n).map(|i| g.is_active(NodeId::new(i))).collect(),
-            num_edges: g.num_edges(),
+            starts,
+            caps: lens.clone(),
+            lens,
+            arena,
+            active: (0..n).map(|i| active(NodeId::new(i))).collect(),
+            num_edges,
+            dead_slots: 0,
         }
     }
 
@@ -47,10 +113,13 @@ impl CsrGraph {
     pub fn empty(n: usize) -> Self {
         CsrGraph {
             n,
-            offsets: vec![0; n + 1],
-            neighbors: Vec::new(),
+            starts: vec![0; n],
+            lens: vec![0; n],
+            caps: vec![0; n],
+            arena: Vec::new(),
             active: vec![false; n],
             num_edges: 0,
+            dead_slots: 0,
         }
     }
 
@@ -66,7 +135,7 @@ impl CsrGraph {
         self.num_edges
     }
 
-    /// Returns `true` if node `v` was active when the snapshot was taken.
+    /// Returns `true` if node `v` is active in this snapshot.
     #[inline]
     pub fn is_active(&self, v: NodeId) -> bool {
         self.active[v.index()]
@@ -75,15 +144,15 @@ impl CsrGraph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        let i = v.index();
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        self.lens[v.index()] as usize
     }
 
     /// Neighbors of `v` as a sorted slice.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let i = v.index();
-        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let s = self.starts[i] as usize;
+        &self.arena[s..s + self.lens[i] as usize]
     }
 
     /// Returns `true` if the edge `{u, v}` is present (binary search).
@@ -114,10 +183,7 @@ impl CsrGraph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n)
-            .map(|i| self.degree(NodeId::new(i)))
-            .max()
-            .unwrap_or(0)
+        self.lens.iter().map(|&l| l as usize).max().unwrap_or(0)
     }
 
     /// Converts the snapshot back into a mutable [`Graph`].
@@ -133,7 +199,160 @@ impl CsrGraph {
         }
         g
     }
+
+    /// Applies a round's [`GraphDelta`] in place, mirroring
+    /// [`GraphDelta::apply`] on [`Graph`]: woken nodes are activated, edges
+    /// are inserted (activating their endpoints), then removed, then
+    /// deactivated nodes lose their remaining incident edges. Changes that
+    /// are already in effect (inserting a present edge, removing an absent
+    /// one) are no-ops, so loosely-specified deltas are safe.
+    ///
+    /// Sparse deltas patch only the affected rows; a delta whose edge-change
+    /// count exceeds [`CsrGraph::REBUILD_THRESHOLD_FRACTION`] of the live
+    /// entries triggers a full rebuild instead (at that density a rebuild is
+    /// cheaper than per-edge patching). The returned [`CsrApplyOutcome`]
+    /// says which path ran.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> CsrApplyOutcome {
+        let live = 2 * self.num_edges + self.n;
+        if delta.num_edge_changes() * Self::REBUILD_THRESHOLD_FRACTION > live {
+            let mut g = self.to_graph();
+            delta.apply(&mut g);
+            *self = CsrGraph::from_graph(&g);
+            return CsrApplyOutcome::Rebuilt;
+        }
+        for &v in &delta.woken {
+            self.active[v.index()] = true;
+        }
+        for e in &delta.inserted {
+            self.insert_edge(e.u, e.v);
+        }
+        for e in &delta.removed {
+            self.remove_edge(e.u, e.v);
+        }
+        for &v in &delta.deactivated {
+            self.deactivate(v);
+        }
+        if self.dead_slots > self.arena.len() / 2 && self.arena.len() > 4096 {
+            self.compact();
+            return CsrApplyOutcome::Compacted;
+        }
+        CsrApplyOutcome::Patched
+    }
+
+    /// A delta denser than `live_entries / REBUILD_THRESHOLD_FRACTION` edge
+    /// changes is applied by full rebuild rather than per-row patching.
+    pub const REBUILD_THRESHOLD_FRACTION: usize = 4;
+
+    /// Inserts the edge `{u, v}`, activating both endpoints. Returns `true`
+    /// if the edge was newly added.
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        debug_assert!(u != v, "self-loops are not allowed");
+        if self.has_edge(u, v) {
+            return false;
+        }
+        self.insert_into_row(u, v);
+        self.insert_into_row(v, u);
+        self.active[u.index()] = true;
+        self.active[v.index()] = true;
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the edge `{u, v}`. Returns `true` if the edge was present.
+    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.remove_from_row(u, v) {
+            return false;
+        }
+        self.remove_from_row(v, u);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Marks `v` inactive and removes all of its incident edges.
+    fn deactivate(&mut self, v: NodeId) {
+        let neighbors: Vec<NodeId> = self.neighbors(v).to_vec();
+        for u in neighbors {
+            self.remove_from_row(u, v);
+            self.num_edges -= 1;
+        }
+        self.lens[v.index()] = 0;
+        self.active[v.index()] = false;
+    }
+
+    fn insert_into_row(&mut self, row: NodeId, w: NodeId) {
+        let i = row.index();
+        let (len, cap) = (self.lens[i] as usize, self.caps[i] as usize);
+        if len == cap {
+            // Row is full: relocate it to the end of the arena with doubled
+            // capacity, abandoning the old slots.
+            let new_cap = (cap * 2).max(4);
+            let old_start = self.starts[i] as usize;
+            let new_start = self.arena.len();
+            self.arena.extend_from_within(old_start..old_start + len);
+            self.arena.resize(new_start + new_cap, NodeId(u32::MAX));
+            self.starts[i] = new_start as u32;
+            self.caps[i] = new_cap as u32;
+            self.dead_slots += cap;
+        }
+        let start = self.starts[i] as usize;
+        let len = self.lens[i] as usize;
+        let pos = match self.arena[start..start + len].binary_search(&w) {
+            Ok(_) => return, // already present (guarded by the caller)
+            Err(p) => p,
+        };
+        self.arena
+            .copy_within(start + pos..start + len, start + pos + 1);
+        self.arena[start + pos] = w;
+        self.lens[i] += 1;
+    }
+
+    fn remove_from_row(&mut self, row: NodeId, w: NodeId) -> bool {
+        let i = row.index();
+        let start = self.starts[i] as usize;
+        let len = self.lens[i] as usize;
+        let Ok(pos) = self.arena[start..start + len].binary_search(&w) else {
+            return false;
+        };
+        self.arena
+            .copy_within(start + pos + 1..start + len, start + pos);
+        self.lens[i] -= 1;
+        true
+    }
+
+    /// Rewrites the arena without the dead slots left behind by row
+    /// relocations. Row capacities (the slack high-water marks) are kept so
+    /// steady-state churn does not immediately re-trigger relocations.
+    fn compact(&mut self) {
+        let total: usize = self.caps.iter().map(|&c| c as usize).sum();
+        let mut arena = Vec::with_capacity(total);
+        for i in 0..self.n {
+            let start = self.starts[i] as usize;
+            let len = self.lens[i] as usize;
+            let new_start = arena.len();
+            arena.extend_from_slice(&self.arena[start..start + len]);
+            arena.resize(new_start + self.caps[i] as usize, NodeId(u32::MAX));
+            self.starts[i] = new_start as u32;
+        }
+        self.arena = arena;
+        self.dead_slots = 0;
+    }
 }
+
+/// Semantic equality: same universe, same activity flags, same neighbor
+/// rows — independent of arena layout (slack, relocation history).
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.num_edges == other.num_edges
+            && self.active == other.active
+            && (0..self.n).all(|i| {
+                let v = NodeId::new(i);
+                self.neighbors(v) == other.neighbors(v)
+            })
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl From<&Graph> for CsrGraph {
     fn from(g: &Graph) -> Self {
@@ -207,5 +426,98 @@ mod tests {
     fn csr_max_degree() {
         let c = CsrGraph::from_graph(&sample());
         assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn csr_filtered_prunes_nodes() {
+        let g = sample();
+        let keep = |v: NodeId| v.index() != 2;
+        let c = CsrGraph::from_graph_filtered(&g, keep);
+        let mut pruned = g.clone();
+        pruned.deactivate(NodeId::new(2));
+        assert_eq!(c, CsrGraph::from_graph(&pruned));
+        assert!(!c.is_active(NodeId::new(2)));
+        assert_eq!(c.num_edges(), 2);
+    }
+
+    #[test]
+    fn apply_delta_patches_edges() {
+        let g = sample();
+        let mut c = CsrGraph::from_graph(&g);
+        let mut delta = GraphDelta::new();
+        delta.insert(NodeId::new(1), NodeId::new(4));
+        delta.remove(NodeId::new(0), NodeId::new(2));
+        assert_eq!(c.apply_delta(&delta), CsrApplyOutcome::Patched);
+        let expected = delta.materialize(&g);
+        assert_eq!(c, CsrGraph::from_graph(&expected));
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn apply_delta_handles_activity() {
+        let mut g = Graph::new_all_asleep(4);
+        g.insert_edge(NodeId::new(0), NodeId::new(1));
+        let mut c = CsrGraph::from_graph(&g);
+        let mut delta = GraphDelta::new();
+        delta.wake(NodeId::new(2));
+        delta.deactivate(NodeId::new(0));
+        c.apply_delta(&delta);
+        let expected = delta.materialize(&g);
+        assert_eq!(c, CsrGraph::from_graph(&expected));
+        assert!(c.is_active(NodeId::new(2)));
+        assert!(!c.is_active(NodeId::new(0)));
+        assert_eq!(c.num_edges(), 0);
+    }
+
+    #[test]
+    fn apply_delta_is_idempotent_for_noop_changes() {
+        let g = sample();
+        let mut c = CsrGraph::from_graph(&g);
+        let mut delta = GraphDelta::new();
+        delta.insert(NodeId::new(0), NodeId::new(1)); // already present
+        delta.remove(NodeId::new(1), NodeId::new(4)); // already absent
+        c.apply_delta(&delta);
+        assert_eq!(c, CsrGraph::from_graph(&g));
+    }
+
+    #[test]
+    fn dense_delta_triggers_rebuild() {
+        let g = Graph::from_edges(4, [Edge::of(0, 1)]);
+        let mut c = CsrGraph::from_graph(&g);
+        let mut delta = GraphDelta::new();
+        for (a, b) in [(0usize, 2usize), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            delta.insert(NodeId::new(a), NodeId::new(b));
+        }
+        assert_eq!(c.apply_delta(&delta), CsrApplyOutcome::Rebuilt);
+        assert_eq!(c, CsrGraph::from_graph(&delta.materialize(&g)));
+    }
+
+    #[test]
+    fn repeated_patching_matches_from_scratch() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let n = 40;
+        let mut g = Graph::new(n);
+        let mut c = CsrGraph::from_graph(&g);
+        for _ in 0..200 {
+            let mut delta = GraphDelta::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                if g.has_edge(a, b) {
+                    delta.remove(a, b);
+                } else {
+                    delta.insert(a, b);
+                }
+            }
+            delta.apply(&mut g);
+            c.apply_delta(&delta);
+            assert_eq!(c, CsrGraph::from_graph(&g));
+            assert_eq!(c.num_edges(), g.num_edges());
+        }
     }
 }

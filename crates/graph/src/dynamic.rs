@@ -22,6 +22,76 @@ pub struct GraphDelta {
 }
 
 impl GraphDelta {
+    /// Creates an empty delta.
+    pub fn new() -> GraphDelta {
+        GraphDelta::default()
+    }
+
+    /// Records the insertion of the edge `{a, b}` (canonicalized, so
+    /// `insert(u, v)` and `insert(v, u)` record the same change).
+    pub fn insert(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.inserted.push(Edge::new(a, b));
+        self
+    }
+
+    /// Records the removal of the edge `{a, b}` (canonicalized).
+    pub fn remove(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.removed.push(Edge::new(a, b));
+        self
+    }
+
+    /// Records the wake-up (activation) of node `v`.
+    pub fn wake(&mut self, v: NodeId) -> &mut Self {
+        self.woken.push(v);
+        self
+    }
+
+    /// Records the departure (deactivation) of node `v`.
+    pub fn deactivate(&mut self, v: NodeId) -> &mut Self {
+        self.deactivated.push(v);
+        self
+    }
+
+    /// Builds a canonical delta from raw change lists: every edge is stored
+    /// in canonical `{min, max}` order ([`Edge`] enforces this) and each of
+    /// the four lists is sorted and deduplicated, so adversary-produced
+    /// deltas cannot double-insert a change no matter how the endpoints were
+    /// oriented when the change was recorded.
+    ///
+    /// An edge listed in both `inserted` and `removed` is kept in both: by
+    /// the documented [`GraphDelta::apply`] order (insertions before
+    /// removals) it ends up absent.
+    pub fn from_changes(
+        inserted: Vec<Edge>,
+        removed: Vec<Edge>,
+        woken: Vec<NodeId>,
+        deactivated: Vec<NodeId>,
+    ) -> GraphDelta {
+        let mut delta = GraphDelta {
+            inserted,
+            removed,
+            woken,
+            deactivated,
+        };
+        delta.normalize();
+        delta
+    }
+
+    /// Sorts and deduplicates all four change lists in place. [`Edge`]s are
+    /// canonical by construction, so sorting + deduping is sufficient to
+    /// collapse the same change recorded twice (e.g. once per endpoint by a
+    /// node-churn adversary).
+    pub fn normalize(&mut self) {
+        self.inserted.sort_unstable();
+        self.inserted.dedup();
+        self.removed.sort_unstable();
+        self.removed.dedup();
+        self.woken.sort_unstable();
+        self.woken.dedup();
+        self.deactivated.sort_unstable();
+        self.deactivated.dedup();
+    }
+
     /// Computes the delta that transforms `from` into `to`.
     pub fn between(from: &Graph, to: &Graph) -> GraphDelta {
         assert_eq!(from.num_nodes(), to.num_nodes());
@@ -58,6 +128,38 @@ impl GraphDelta {
             g.remove_edge(e.u, e.v);
         }
         for &v in &self.deactivated {
+            g.deactivate(v);
+        }
+    }
+
+    /// Returns the graph obtained by applying this delta to a copy of `prev`
+    /// (the compatibility bridge from the delta-native adversary interface to
+    /// the whole-graph one).
+    pub fn materialize(&self, prev: &Graph) -> Graph {
+        let mut g = prev.clone();
+        self.apply(&mut g);
+        g
+    }
+
+    /// Un-applies this delta in place: `g` must be the graph this delta was
+    /// applied to, and the delta must be *tight* (every listed change really
+    /// happened — no inserting of already-present edges, no removing of
+    /// absent ones; [`GraphDelta::between`] and the window's realized deltas
+    /// are tight by construction). After the call `g` is the pre-delta graph.
+    pub fn unapply(&self, g: &mut Graph) {
+        for e in &self.inserted {
+            g.remove_edge(e.u, e.v);
+        }
+        for e in &self.removed {
+            g.insert_edge(e.u, e.v);
+        }
+        for &v in &self.deactivated {
+            g.activate(v);
+        }
+        for &v in &self.woken {
+            // A node that woke this round was inactive (hence edge-free)
+            // before; its gained edges were listed in `inserted` and are
+            // already gone.
             g.deactivate(v);
         }
     }
@@ -319,6 +421,58 @@ mod tests {
         assert_eq!(d.deactivated, vec![NodeId::new(0)]);
         assert!(!d.is_empty());
         assert!(GraphDelta::between(&g0, &g0).is_empty());
+    }
+
+    #[test]
+    fn constructors_canonicalize_and_dedupe() {
+        // The same edge recorded in both orientations, twice, must collapse
+        // to a single canonical insertion — adversary-produced deltas can't
+        // double-insert.
+        let delta = GraphDelta::from_changes(
+            vec![Edge::of(3, 1), Edge::of(1, 3), Edge::of(1, 3)],
+            vec![Edge::of(2, 0), Edge::of(0, 2)],
+            vec![NodeId::new(2), NodeId::new(2)],
+            vec![NodeId::new(0), NodeId::new(0)],
+        );
+        assert_eq!(delta.inserted, vec![Edge::of(1, 3)]);
+        assert_eq!(delta.removed, vec![Edge::of(0, 2)]);
+        assert_eq!(delta.woken, vec![NodeId::new(2)]);
+        assert_eq!(delta.deactivated, vec![NodeId::new(0)]);
+
+        let mut built = GraphDelta::new();
+        built
+            .insert(NodeId::new(3), NodeId::new(1))
+            .insert(NodeId::new(1), NodeId::new(3))
+            .remove(NodeId::new(2), NodeId::new(0))
+            .wake(NodeId::new(2))
+            .deactivate(NodeId::new(0));
+        built.normalize();
+        assert_eq!(built.inserted, vec![Edge::of(1, 3)]);
+        assert_eq!(built.removed, vec![Edge::of(0, 2)]);
+
+        let g0 = g(4, &[(0, 2)]);
+        let mut applied = g0.clone();
+        delta.apply(&mut applied);
+        assert!(applied.has_edge(NodeId::new(1), NodeId::new(3)));
+        assert!(!applied.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!applied.is_active(NodeId::new(0)));
+    }
+
+    #[test]
+    fn materialize_and_unapply_roundtrip() {
+        let mut g0 = Graph::new_all_asleep(5);
+        g0.insert_edge(NodeId::new(0), NodeId::new(1));
+        g0.insert_edge(NodeId::new(1), NodeId::new(2));
+        g0.activate(NodeId::new(4));
+        let mut g1 = g0.clone();
+        g1.remove_edge(NodeId::new(0), NodeId::new(1));
+        g1.insert_edge(NodeId::new(2), NodeId::new(3));
+        g1.deactivate(NodeId::new(4));
+        let delta = GraphDelta::between(&g0, &g1);
+        assert_eq!(delta.materialize(&g0), g1);
+        let mut back = g1.clone();
+        delta.unapply(&mut back);
+        assert_eq!(back, g0);
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //!   `n` potential nodes, canonical undirected edges (Section 2 of the paper).
 //! * [`Graph`] — the mutable per-round communication graph `G_r`, with node
 //!   activity flags modelling asynchronous wake-up.
-//! * [`CsrGraph`] — immutable compressed-sparse-row snapshots used by the
-//!   simulator's parallel round execution.
-//! * [`GraphWindow`] — incrementally maintained sliding window exposing the
+//! * [`CsrGraph`] — compressed-sparse-row snapshots used by the simulator's
+//!   parallel round execution, patchable in place from a [`GraphDelta`]
+//!   (`O(|δ|)` per round on the sparse-churn path).
+//! * [`GraphWindow`] — delta-native sliding window exposing the
 //!   `T`-intersection graph `G^∩T_r` and `T`-union graph `G^∪T_r`
 //!   (Definition 2.1), plus "locally static" neighborhood checks.
-//! * [`DynamicGraphTrace`] — recorded dynamic graph sequences for replaying
-//!   identical adversarial schedules across algorithms.
+//! * [`GraphDelta`] / [`DynamicGraphTrace`] — the per-round change records
+//!   that are the native currency of the round pipeline, and recorded
+//!   dynamic graph sequences for replaying identical adversarial schedules
+//!   across algorithms.
 //! * [`generators`] — deterministic and random graph families.
 //! * [`algo`] — centralized algorithms and validity predicates used by the
 //!   solution checkers and baselines.
@@ -34,7 +37,7 @@ pub mod neighborhood;
 pub mod node;
 pub mod window;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrApplyOutcome, CsrGraph};
 pub use dynamic::{DynamicGraphTrace, GraphDelta};
 pub use graph::Graph;
 pub use node::{Edge, NodeId};

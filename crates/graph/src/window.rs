@@ -5,14 +5,29 @@
 //! (and the nodes awake throughout them); `G^∪T_r` contains the edges present
 //! in *at least one* of the last `T` rounds, over the same node set `V^∩T_r`.
 //!
-//! [`GraphWindow`] maintains both views incrementally: per edge it stores the
-//! number of rounds (within the window) in which the edge was present, so a
-//! round update costs `O(|E_{r-T}| + |E_r|)` instead of recomputing `T`-fold
-//! intersections and unions from scratch.
+//! [`GraphWindow`] is *delta-native*: after the initial graph it consumes
+//! per-round [`GraphDelta`]s (via [`GraphWindow::push_delta`]) and maintains
+//! run-length state per edge and per node — the round at which the current
+//! presence/absence run started. A round update therefore costs `O(|δ|)`
+//! (amortized, including garbage collection of edges that left the union),
+//! not `O(|E_r|)`: membership in the intersection and union follows from the
+//! run lengths alone, and nothing is recounted when the window slides over
+//! an unchanged edge. [`GraphWindow::push`] remains as the whole-graph
+//! compatibility path (it diffs against the current graph internally).
 
+use crate::dynamic::GraphDelta;
 use crate::graph::Graph;
 use crate::node::{Edge, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One presence run: `on` is the current state, `since` the round at which
+/// this run started (an absent edge with `since = s` was last present in
+/// round `s - 1`).
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    on: bool,
+    since: u64,
+}
 
 /// Incrementally maintained sliding window over the last `T` rounds of a
 /// dynamic graph, exposing the intersection graph `G^∩T_r` and union graph
@@ -21,14 +36,23 @@ use std::collections::{HashMap, VecDeque};
 pub struct GraphWindow {
     n: usize,
     window: usize,
-    /// Graphs of the last ≤ `window` rounds, oldest first.
-    history: VecDeque<Graph>,
-    /// For every edge present in at least one window round: in how many of
-    /// those rounds it was present.
-    edge_counts: HashMap<Edge, usize>,
-    /// For every node: in how many of the window rounds it was awake.
-    active_counts: Vec<usize>,
-    round: Option<u64>,
+    /// Total rounds pushed so far; the current round index is
+    /// `rounds_pushed - 1`.
+    rounds_pushed: u64,
+    /// The most recent graph, materialized.
+    current: Graph,
+    /// Realized (tight) deltas between consecutive window rounds, oldest
+    /// first — at most `T - 1` of them; past rounds are reconstructed by
+    /// un-applying them from `current`.
+    deltas: VecDeque<GraphDelta>,
+    /// Presence run per edge that is present now or was present within the
+    /// window (stale absent entries are garbage-collected lazily).
+    edge_state: HashMap<Edge, Span>,
+    /// Activity run per node.
+    node_state: Vec<Span>,
+    /// `(round_removed, edge)` queue driving the lazy GC of absent edges
+    /// that have slid out of the union.
+    gc_queue: VecDeque<(u64, Edge)>,
 }
 
 impl GraphWindow {
@@ -39,10 +63,18 @@ impl GraphWindow {
         GraphWindow {
             n,
             window,
-            history: VecDeque::with_capacity(window),
-            edge_counts: HashMap::new(),
-            active_counts: vec![0; n],
-            round: None,
+            rounds_pushed: 0,
+            current: Graph::new_all_asleep(n),
+            deltas: VecDeque::new(),
+            edge_state: HashMap::new(),
+            node_state: vec![
+                Span {
+                    on: false,
+                    since: 0
+                };
+                n
+            ],
+            gc_queue: VecDeque::new(),
         }
     }
 
@@ -56,94 +88,256 @@ impl GraphWindow {
     /// pushing round `r`, with rounds counted from the first push).
     #[inline]
     pub fn len(&self) -> usize {
-        self.history.len()
+        (self.rounds_pushed.min(self.window as u64)) as usize
     }
 
     /// Returns `true` if no round has been pushed yet.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.history.is_empty()
+        self.rounds_pushed == 0
     }
 
     /// The last round number pushed, if any.
     #[inline]
     pub fn current_round(&self) -> Option<u64> {
-        self.round
+        self.rounds_pushed.checked_sub(1)
     }
 
-    /// Pushes the communication graph of the next round into the window,
-    /// evicting the oldest graph if the window is full.
+    /// First round inside the window (all runs starting at or before it span
+    /// the whole window). Only meaningful when at least one round was pushed.
+    #[inline]
+    fn start(&self) -> u64 {
+        self.rounds_pushed - self.len() as u64
+    }
+
+    /// Pushes the communication graph of the next round into the window.
+    ///
+    /// Compatibility path: diffs `g` against the current graph (`O(|E|)`)
+    /// and forwards to the delta path. Streaming callers that already hold
+    /// the round's delta should use [`GraphWindow::push_delta`] instead.
     pub fn push(&mut self, g: &Graph) {
         assert_eq!(g.num_nodes(), self.n, "graph universe mismatch");
-        if self.history.len() == self.window {
-            let old = self.history.pop_front().expect("window non-empty");
-            for e in old.edges() {
-                let c = self
-                    .edge_counts
-                    .get_mut(&e)
-                    .expect("evicted edge must be counted");
-                *c -= 1;
-                if *c == 0 {
-                    self.edge_counts.remove(&e);
+        if self.rounds_pushed == 0 {
+            self.current = g.clone();
+            for e in g.edges() {
+                self.edge_state.insert(e, Span { on: true, since: 0 });
+            }
+            for i in 0..self.n {
+                self.node_state[i] = Span {
+                    on: g.is_active(NodeId::new(i)),
+                    since: 0,
+                };
+            }
+            self.rounds_pushed = 1;
+            return;
+        }
+        let delta = GraphDelta::between(&self.current, g);
+        self.push_delta(&delta);
+    }
+
+    /// Pushes the next round as a delta relative to the current graph —
+    /// the `O(|δ|)` streaming path. The delta may be loose (no-op changes
+    /// are tolerated); it is tightened against the current graph while being
+    /// applied.
+    ///
+    /// # Panics
+    /// Panics if no initial graph has been pushed yet (round 0 must be
+    /// supplied as a whole graph via [`GraphWindow::push`]).
+    pub fn push_delta(&mut self, delta: &GraphDelta) {
+        assert!(
+            self.rounds_pushed > 0,
+            "push the round-0 graph via GraphWindow::push before pushing deltas"
+        );
+        let round = self.rounds_pushed;
+        let tight = self.realize(delta);
+
+        for e in &tight.inserted {
+            self.edge_state.insert(
+                *e,
+                Span {
+                    on: true,
+                    since: round,
+                },
+            );
+        }
+        for e in &tight.removed {
+            self.edge_state.insert(
+                *e,
+                Span {
+                    on: false,
+                    since: round,
+                },
+            );
+            self.gc_queue.push_back((round, *e));
+        }
+        for &v in &tight.woken {
+            self.node_state[v.index()] = Span {
+                on: true,
+                since: round,
+            };
+        }
+        for &v in &tight.deactivated {
+            self.node_state[v.index()] = Span {
+                on: false,
+                since: round,
+            };
+        }
+
+        self.deltas.push_back(tight);
+        while self.deltas.len() + 1 > self.window {
+            self.deltas.pop_front();
+        }
+        self.rounds_pushed += 1;
+
+        // GC: absent edges whose removal round slid out of the window are no
+        // longer in the union and can be forgotten.
+        let start = self.start();
+        while let Some(&(r, e)) = self.gc_queue.front() {
+            if r > start {
+                break;
+            }
+            self.gc_queue.pop_front();
+            if let Some(s) = self.edge_state.get(&e) {
+                if !s.on && s.since == r {
+                    self.edge_state.remove(&e);
                 }
             }
-            for v in old.active_nodes() {
-                self.active_counts[v.index()] -= 1;
+        }
+    }
+
+    /// Applies `delta` to the current graph, returning the *tight* delta of
+    /// changes that actually took effect (including edges dropped by node
+    /// deactivation and nodes implicitly woken by edge insertion).
+    fn realize(&mut self, delta: &GraphDelta) -> GraphDelta {
+        let g = &mut self.current;
+        let mut tight = GraphDelta::default();
+        for &v in &delta.woken {
+            if !g.is_active(v) {
+                g.activate(v);
+                tight.woken.push(v);
             }
         }
-        for e in g.edges() {
-            *self.edge_counts.entry(e).or_insert(0) += 1;
+        for e in &delta.inserted {
+            if !g.has_edge(e.u, e.v) {
+                for w in [e.u, e.v] {
+                    if !g.is_active(w) {
+                        tight.woken.push(w);
+                    }
+                }
+                g.insert_edge(e.u, e.v);
+                tight.inserted.push(*e);
+            }
         }
-        for v in g.active_nodes() {
-            self.active_counts[v.index()] += 1;
+        for e in &delta.removed {
+            if g.remove_edge(e.u, e.v) {
+                tight.removed.push(*e);
+            }
         }
-        self.history.push_back(g.clone());
-        self.round = Some(self.round.map_or(0, |r| r + 1));
+        for &v in &delta.deactivated {
+            if g.is_active(v) {
+                for u in g.neighbors_vec(v) {
+                    g.remove_edge(v, u);
+                    tight.removed.push(Edge::new(v, u));
+                }
+                g.deactivate(v);
+                tight.deactivated.push(v);
+            }
+        }
+        // An edge inserted *and* removed by the same delta (insertions apply
+        // first) was never present in any round's final graph: cancel the
+        // pair so the tight delta records the net round transition.
+        if !tight.inserted.is_empty() && !tight.removed.is_empty() {
+            let removed: HashSet<Edge> = tight.removed.iter().copied().collect();
+            let cancelled: HashSet<Edge> = tight
+                .inserted
+                .iter()
+                .filter(|e| removed.contains(e))
+                .copied()
+                .collect();
+            if !cancelled.is_empty() {
+                tight.inserted.retain(|e| !cancelled.contains(e));
+                tight.removed.retain(|e| !cancelled.contains(e));
+            }
+        }
+        tight
     }
 
     /// The most recent graph `G_r`, if any round has been pushed.
     pub fn current(&self) -> Option<&Graph> {
-        self.history.back()
-    }
-
-    /// The oldest graph still inside the window.
-    pub fn oldest(&self) -> Option<&Graph> {
-        self.history.front()
-    }
-
-    /// Returns the graph `i` rounds ago (`0` = current), if in the window.
-    pub fn ago(&self, i: usize) -> Option<&Graph> {
-        if i < self.history.len() {
-            self.history.get(self.history.len() - 1 - i)
+        if self.rounds_pushed > 0 {
+            Some(&self.current)
         } else {
             None
         }
     }
 
+    /// Reconstructs the oldest graph still inside the window.
+    pub fn oldest(&self) -> Option<Graph> {
+        self.ago(self.len().checked_sub(1)?)
+    }
+
+    /// Reconstructs the graph `i` rounds ago (`0` = current), if in the
+    /// window. Costs `O(|G_r|)` for the clone plus the changes un-applied on
+    /// the way back.
+    pub fn ago(&self, i: usize) -> Option<Graph> {
+        if self.rounds_pushed == 0 || i >= self.len() {
+            return None;
+        }
+        let mut g = self.current.clone();
+        for d in self.deltas.iter().rev().take(i) {
+            d.unapply(&mut g);
+        }
+        Some(g)
+    }
+
     /// Node set `V^∩T_r`: nodes that were awake in every round of the window.
     pub fn intersection_nodes(&self) -> Vec<NodeId> {
-        let k = self.history.len();
+        if self.rounds_pushed == 0 {
+            return Vec::new();
+        }
+        let start = self.start();
         (0..self.n)
-            .filter(|&i| k > 0 && self.active_counts[i] == k)
+            .filter(|&i| {
+                let s = self.node_state[i];
+                s.on && s.since <= start
+            })
             .map(NodeId::new)
             .collect()
     }
 
     /// Returns `true` if `v` has been awake for the whole window.
     pub fn node_in_intersection(&self, v: NodeId) -> bool {
-        let k = self.history.len();
-        k > 0 && self.active_counts[v.index()] == k
+        if self.rounds_pushed == 0 {
+            return false;
+        }
+        let s = self.node_state[v.index()];
+        s.on && s.since <= self.start()
     }
 
     /// Returns `true` if the edge was present in every round of the window.
     pub fn edge_in_intersection(&self, e: Edge) -> bool {
-        let k = self.history.len();
-        k > 0 && self.edge_counts.get(&e).copied().unwrap_or(0) == k
+        if self.rounds_pushed == 0 {
+            return false;
+        }
+        matches!(self.edge_state.get(&e), Some(s) if s.on && s.since <= self.start())
     }
 
     /// Returns `true` if the edge was present in at least one window round.
     pub fn edge_in_union(&self, e: Edge) -> bool {
-        self.edge_counts.contains_key(&e)
+        if self.rounds_pushed == 0 {
+            return false;
+        }
+        match self.edge_state.get(&e) {
+            Some(s) => self.span_in_union(s),
+            None => false,
+        }
+    }
+
+    /// Union membership from a presence run: present now, or removed
+    /// recently enough that its last present round is inside the window.
+    #[inline]
+    fn span_in_union(&self, s: &Span) -> bool {
+        s.on || s.since > self.start()
     }
 
     /// Materializes the intersection graph `G^∩T_r`.
@@ -151,18 +345,16 @@ impl GraphWindow {
     /// Only nodes in `V^∩T_r` are active; only edges present in all window
     /// rounds are included.
     pub fn intersection_graph(&self) -> Graph {
-        let k = self.history.len();
         let mut g = Graph::new_all_asleep(self.n);
-        if k == 0 {
+        if self.rounds_pushed == 0 {
             return g;
         }
-        for i in 0..self.n {
-            if self.active_counts[i] == k {
-                g.activate(NodeId::new(i));
-            }
+        let start = self.start();
+        for v in self.intersection_nodes() {
+            g.activate(v);
         }
-        for (&e, &c) in &self.edge_counts {
-            if c == k {
+        for (&e, s) in &self.edge_state {
+            if s.on && s.since <= start {
                 g.insert_edge(e.u, e.v);
             }
         }
@@ -171,18 +363,17 @@ impl GraphWindow {
 
     /// Materializes the union graph `G^∪T_r` (node set `V^∩T_r`, edge union).
     pub fn union_graph(&self) -> Graph {
-        let k = self.history.len();
         let mut g = Graph::new_all_asleep(self.n);
-        if k == 0 {
+        if self.rounds_pushed == 0 {
             return g;
         }
-        for i in 0..self.n {
-            if self.active_counts[i] == k {
-                g.activate(NodeId::new(i));
-            }
+        for v in self.intersection_nodes() {
+            g.activate(v);
         }
-        for &e in self.edge_counts.keys() {
-            g.insert_edge(e.u, e.v);
+        for (&e, s) in &self.edge_state {
+            if self.span_in_union(s) {
+                g.insert_edge(e.u, e.v);
+            }
         }
         g
     }
@@ -191,25 +382,31 @@ impl GraphWindow {
     /// seen in the last `T` rounds — the paper's notion of "degree" for the
     /// (degree+1)-coloring covering constraint in dynamic networks.
     pub fn union_degree(&self, v: NodeId) -> usize {
-        self.edge_counts.keys().filter(|e| e.contains(v)).count()
+        if self.rounds_pushed == 0 {
+            return 0;
+        }
+        self.edge_state
+            .iter()
+            .filter(|(e, s)| e.contains(v) && self.span_in_union(s))
+            .count()
     }
 
     /// Degree of `v` in the intersection graph.
     pub fn intersection_degree(&self, v: NodeId) -> usize {
-        let k = self.history.len();
-        if k == 0 {
+        if self.rounds_pushed == 0 {
             return 0;
         }
-        self.edge_counts
+        let start = self.start();
+        self.edge_state
             .iter()
-            .filter(|(e, &c)| c == k && e.contains(v))
+            .filter(|(e, s)| e.contains(v) && s.on && s.since <= start)
             .count()
     }
 
     /// Returns `true` if the α-neighborhood of `v` (measured in the *current*
-    /// graph) has been static over the whole window: every graph in the window
-    /// induces the same edge set on `N^α(v) ∪ {v}` and the same adjacency for
-    /// each of those nodes.
+    /// graph) has been static over the whole window: no edge incident to a
+    /// node of `N^α(v) ∪ {v}` was inserted or removed within the window
+    /// rounds, so every window graph induces the same adjacency on the ball.
     ///
     /// This is the premise of property B.2 (Definition 3.3) and of the
     /// "locally static" clauses of Corollaries 1.2 and 1.3.
@@ -218,9 +415,20 @@ impl GraphWindow {
             return false;
         };
         let ball = crate::neighborhood::neighborhood(cur, v, alpha);
-        let first = self.history.front().expect("non-empty history");
-        for g in self.history.iter().skip(1) {
-            if !first.same_edges_on(g, &ball) {
+        let start = self.start();
+        // Every edge currently incident to the ball must predate the window…
+        for &w in &ball {
+            for u in cur.neighbors(w) {
+                let s = self.edge_state[&Edge::new(w, u)];
+                if s.since > start {
+                    return false;
+                }
+            }
+        }
+        // …and no edge incident to the ball may have been removed within it.
+        let ball_set: HashSet<NodeId> = ball.into_iter().collect();
+        for (e, s) in &self.edge_state {
+            if !s.on && s.since > start && (ball_set.contains(&e.u) || ball_set.contains(&e.v)) {
                 return false;
             }
         }
@@ -230,40 +438,26 @@ impl GraphWindow {
     /// Brute-force recomputation of the intersection graph (used by tests to
     /// validate the incremental maintenance).
     pub fn intersection_graph_bruteforce(&self) -> Graph {
-        let mut it = self.history.iter();
-        let Some(first) = it.next() else {
+        let k = self.len();
+        if k == 0 {
             return Graph::new_all_asleep(self.n);
-        };
-        let mut acc = first.clone();
-        // Restrict activity to V^∩.
-        for g in self.history.iter() {
-            for i in 0..self.n {
-                if !g.is_active(NodeId::new(i)) && acc.is_active(NodeId::new(i)) {
-                    // Do not remove edges: activity and edges are tracked
-                    // independently in Definition 2.1.
-                }
-            }
         }
-        for g in it {
-            acc = acc.intersection(g);
-        }
-        // `Graph::intersection` already intersects activity; for a single
-        // graph ensure activity equals that graph's activity.
-        if self.history.len() == 1 {
-            return first.clone();
+        let mut acc = self.ago(k - 1).expect("round in window");
+        for i in (0..k - 1).rev() {
+            acc = acc.intersection(&self.ago(i).expect("round in window"));
         }
         acc
     }
 
     /// Brute-force recomputation of the union graph (testing aid).
     pub fn union_graph_bruteforce(&self) -> Graph {
-        let mut it = self.history.iter();
-        let Some(first) = it.next() else {
+        let k = self.len();
+        if k == 0 {
             return Graph::new_all_asleep(self.n);
-        };
-        let mut acc = first.clone();
-        for g in it {
-            acc = acc.union(g);
+        }
+        let mut acc = self.ago(k - 1).expect("round in window");
+        for i in (0..k - 1).rev() {
+            acc = acc.union(&self.ago(i).expect("round in window"));
         }
         acc
     }
@@ -312,6 +506,62 @@ mod tests {
         assert!(w.edge_in_intersection(Edge::of(1, 2)));
         assert!(!w.edge_in_union(Edge::of(0, 1)));
         assert_eq!(w.union_graph().edge_vec(), vec![Edge::of(1, 2)]);
+    }
+
+    #[test]
+    fn push_delta_matches_whole_graph_push() {
+        let seq = [
+            g(5, &[(0, 1), (2, 3)]),
+            g(5, &[(0, 1), (1, 2)]),
+            g(5, &[(1, 2)]),
+            g(5, &[(1, 2), (3, 4), (0, 4)]),
+            g(5, &[(3, 4)]),
+        ];
+        let mut by_graph = GraphWindow::new(5, 3);
+        let mut by_delta = GraphWindow::new(5, 3);
+        let mut prev: Option<Graph> = None;
+        for gr in &seq {
+            by_graph.push(gr);
+            match prev {
+                None => by_delta.push(gr),
+                Some(p) => by_delta.push_delta(&GraphDelta::between(&p, gr)),
+            }
+            prev = Some(gr.clone());
+            assert_eq!(by_graph.intersection_graph(), by_delta.intersection_graph());
+            assert_eq!(by_graph.union_graph(), by_delta.union_graph());
+            assert_eq!(by_graph.len(), by_delta.len());
+        }
+    }
+
+    #[test]
+    fn loose_deltas_are_tolerated() {
+        let mut w = GraphWindow::new(3, 2);
+        w.push(&g(3, &[(0, 1)]));
+        let mut loose = GraphDelta::new();
+        loose.insert(NodeId::new(0), NodeId::new(1)); // already present: no-op
+        loose.remove(NodeId::new(0), NodeId::new(2)); // already absent: no-op
+        loose.insert(NodeId::new(1), NodeId::new(2));
+        // Inserted *and* removed in one delta: net no-op (never present).
+        loose.insert(NodeId::new(0), NodeId::new(2));
+        loose.remove(NodeId::new(0), NodeId::new(2));
+        w.push_delta(&loose);
+        assert_eq!(
+            w.current().unwrap().edge_vec(),
+            vec![Edge::of(0, 1), Edge::of(1, 2)]
+        );
+        assert!(w.edge_in_intersection(Edge::of(0, 1)));
+        assert!(!w.edge_in_intersection(Edge::of(1, 2)));
+        assert!(w.edge_in_union(Edge::of(1, 2)));
+        assert!(!w.edge_in_union(Edge::of(0, 2)));
+        // The previous round reconstructs exactly despite the loose input.
+        assert_eq!(w.ago(1).unwrap().edge_vec(), vec![Edge::of(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "round-0")]
+    fn push_delta_without_initial_graph_panics() {
+        let mut w = GraphWindow::new(3, 2);
+        w.push_delta(&GraphDelta::new());
     }
 
     #[test]
@@ -386,6 +636,22 @@ mod tests {
         assert_eq!(w.ago(1).unwrap().edge_vec(), g0.edge_vec());
         assert!(w.ago(2).is_none());
         assert_eq!(w.current_round(), Some(1));
+        assert_eq!(w.oldest().unwrap().edge_vec(), g0.edge_vec());
+    }
+
+    #[test]
+    fn ago_reconstructs_activity() {
+        let mut w = GraphWindow::new(4, 3);
+        let mut g0 = Graph::new_all_asleep(4);
+        g0.insert_edge(NodeId::new(0), NodeId::new(1));
+        w.push(&g0);
+        let mut g1 = g0.clone();
+        g1.activate(NodeId::new(2));
+        g1.deactivate(NodeId::new(0));
+        w.push(&g1);
+        let back = w.ago(1).unwrap();
+        assert_eq!(back, g0);
+        assert!(w.ago(0).unwrap() == g1);
     }
 
     #[test]

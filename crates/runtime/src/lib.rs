@@ -13,7 +13,10 @@
 //! * [`NodeAlgorithm`] — the per-node algorithm abstraction (send → receive →
 //!   output per round).
 //! * [`Simulator`] — drives one algorithm over a dynamic graph; sequential or
-//!   rayon-parallel per-node phases with bit-identical results.
+//!   rayon-parallel per-node phases with bit-identical results. The
+//!   delta-native round primitive (`Simulator::step_delta`) patches a
+//!   persistent effective CSR in `O(|δ|)` per round; counters
+//!   (`Simulator::delta_stats`) pin the zero-clone/zero-rebuild invariant.
 //! * [`observer`] — streaming [`RoundObserver`]s fed a borrowed [`RoundView`]
 //!   per round (trace recording, churn stats, convergence tracking) instead
 //!   of materializing `O(n · rounds)` report vectors.
@@ -32,5 +35,5 @@ pub use algorithm::{AlgorithmFactory, Incoming, NodeAlgorithm, NodeContext};
 pub use observer::{
     ChurnStats, ConvergenceTracker, ExecutionRecord, RoundObserver, RoundView, TraceRecorder,
 };
-pub use simulator::{RoundReport, SimConfig, Simulator, StepSummary};
+pub use simulator::{DeltaStats, RoundReport, SimConfig, Simulator, StepSummary};
 pub use wakeup::{AllAtStart, RandomWakeup, ScriptedWakeup, Staggered, WakeupSchedule};

@@ -22,7 +22,7 @@
 //! (`TDynamicVerifier`) because it needs the problem definitions.
 
 use crate::simulator::RoundReport;
-use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, NodeId};
+use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, GraphDelta, NodeId};
 use std::cell::OnceCell;
 use std::sync::Arc;
 
@@ -33,6 +33,13 @@ pub struct RoundView<'a, O> {
     /// The effective communication graph `G_r` over `V_r` (shared snapshot;
     /// clone the `Arc` to retain it beyond the callback).
     pub graph: &'a Arc<CsrGraph>,
+    /// The change of the effective graph relative to the previous round,
+    /// when the round was driven by a delta (`None` on round 0 and on
+    /// whole-graph rounds; still `Some`, with valid data, when a dense
+    /// delta fell back to a full CSR rebuild). Delta-aware observers —
+    /// trace recording, window maintenance — consume this instead of
+    /// diffing or converting whole graphs.
+    pub delta: Option<&'a GraphDelta>,
     /// Output of every node at the end of the round (`None` = still asleep).
     pub outputs: &'a [Option<O>],
     /// Nodes that woke up in this round.
@@ -169,10 +176,13 @@ impl<O: Clone> Default for TraceRecorder<O> {
 
 impl<O: Clone> RoundObserver<O> for TraceRecorder<O> {
     fn on_round(&mut self, view: &RoundView<'_, O>) {
-        let graph = view.current_graph();
-        match &mut self.trace {
-            Some(t) => t.push(graph),
-            None => self.trace = Some(DynamicGraphTrace::new(graph.clone())),
+        match (&mut self.trace, view.delta) {
+            // Delta path: record the handed delta as-is — no graph
+            // conversion, no `GraphDelta::between` recomputation.
+            (Some(t), Some(d)) => t.push_delta(d.clone()),
+            // Full-rebuild round mid-trace: fall back to diffing.
+            (Some(t), None) => t.push(view.current_graph()),
+            (None, _) => self.trace = Some(DynamicGraphTrace::new(view.current_graph().clone())),
         }
         if self.record_reports {
             self.reports.push(RoundReport {
@@ -360,6 +370,7 @@ mod tests {
         obs.on_round(&RoundView {
             round,
             graph,
+            delta: None,
             outputs,
             newly_awake,
             num_awake: outputs.len(),

@@ -15,11 +15,17 @@
 //! [`SimConfig::parallel`] enabled they run on rayon. Because node randomness
 //! is derived from `(seed, node, round)` (see [`crate::rng`]), sequential and
 //! parallel execution produce bit-identical results.
+//!
+//! Two round entry points exist: [`Simulator::step_streaming`] takes the
+//! whole graph and rebuilds the effective (awake-restricted) CSR snapshot,
+//! while [`Simulator::step_delta`] takes the round's [`GraphDelta`] and
+//! patches a persistent effective CSR in `O(|δ|)` — the fast path of the
+//! delta-native `Scenario` pipeline. Both paths produce identical executions.
 
 use crate::algorithm::{AlgorithmFactory, NodeAlgorithm, NodeContext};
 use crate::rng::node_round_rng;
 use crate::wakeup::WakeupSchedule;
-use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, NodeId};
+use dynnet_graph::{CsrApplyOutcome, CsrGraph, DynamicGraphTrace, Edge, Graph, GraphDelta, NodeId};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -85,7 +91,8 @@ pub struct RoundReport<O> {
     pub num_awake: usize,
 }
 
-/// The lightweight result of [`Simulator::step_streaming`]: everything a
+/// The lightweight result of [`Simulator::step_streaming`] /
+/// [`Simulator::step_delta`]: everything a
 /// [`crate::observer::RoundObserver`] needs that is not borrowed directly
 /// from the simulator. Outputs are *not* cloned — observers read them through
 /// [`crate::observer::RoundView::outputs`].
@@ -95,10 +102,39 @@ pub struct StepSummary {
     pub round: u64,
     /// Snapshot of the effective communication graph `G_r` over `V_r`.
     pub graph: Arc<CsrGraph>,
+    /// The change of the *effective* graph relative to the previous round —
+    /// `Some` whenever the round went through [`Simulator::step_delta`]
+    /// (valid even when a dense delta fell back to a full CSR rebuild),
+    /// `None` when no previous-round basis exists: round 0 and the
+    /// whole-graph [`Simulator::step_streaming`] entry point.
+    pub delta: Option<GraphDelta>,
     /// Nodes that woke up in this round.
     pub newly_awake: Vec<NodeId>,
     /// Number of awake nodes at the end of the round.
     pub num_awake: usize,
+}
+
+/// Counters for the round pipeline's incremental fast path, exposed through
+/// [`Simulator::delta_stats`]. A steady-state sparse-churn run performs one
+/// full build (round 0) and patches every further round:
+/// `full_csr_builds == 1` and `rounds_patched == rounds - 1`. The simulator
+/// contains no whole-`Graph` clone site at all — sleeper pruning builds the
+/// CSR directly from the adversary graph ([`CsrGraph::from_graph_filtered`])
+/// and the delta path only patches — so "zero graph clones" holds by
+/// construction, and these counters pin the remaining build/copy events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Rounds whose effective CSR was patched in place from a delta.
+    pub rounds_patched: usize,
+    /// Full effective-CSR builds: round 0, whole-graph steps, and
+    /// dense-delta fallbacks.
+    pub full_csr_builds: usize,
+    /// Copy-on-write clones of the effective CSR, forced when an observer
+    /// retained the previous round's snapshot `Arc` across rounds.
+    pub cow_clones: usize,
+    /// Arena compactions of the effective CSR (amortized maintenance after
+    /// many row relocations; the round itself was still patched in place).
+    pub compactions: usize,
 }
 
 /// Drives one [`NodeAlgorithm`] over a dynamic graph, one round per
@@ -120,6 +156,18 @@ where
     /// Incrementally maintained count of awake nodes (avoids the per-round
     /// `O(n)` rescans of `woke_at` in the send/receive phases).
     num_awake: usize,
+    /// Nodes that have not woken yet, ascending. The wake-up scan walks this
+    /// shrinking list instead of all `n` nodes, so rounds late in a run cost
+    /// `O(|sleepers|)` — zero once everyone is awake, and small even when a
+    /// few nodes never wake.
+    pending_sleepers: Vec<NodeId>,
+    /// The effective communication graph of the last executed round (`G_r`
+    /// restricted to awake nodes), maintained incrementally across rounds on
+    /// the delta path. Shared with observers; copy-on-write if retained.
+    effective: Arc<CsrGraph>,
+    /// Whether `effective` reflects the previous round (false before round 0).
+    effective_valid: bool,
+    stats: DeltaStats,
     next_round: u64,
 }
 
@@ -140,6 +188,10 @@ where
             outputs: vec![None; n],
             woke_at: vec![None; n],
             num_awake: 0,
+            pending_sleepers: (0..n).map(NodeId::new).collect(),
+            effective: Arc::new(CsrGraph::empty(n)),
+            effective_valid: false,
+            stats: DeltaStats::default(),
             next_round: 0,
         }
     }
@@ -200,48 +252,161 @@ where
 
     /// Executes one round like [`Simulator::step`], but without cloning the
     /// output vector into the result: consumers read the outputs in place via
-    /// [`Simulator::outputs`]. This is the round primitive behind the
-    /// `Scenario`/`RoundObserver` streaming execution path.
+    /// [`Simulator::outputs`]. The effective graph (the adversary's graph
+    /// restricted to awake nodes) is built directly from `graph` — the old
+    /// per-round "clone the whole `Graph`, deactivate the sleepers" dance is
+    /// gone. Streaming callers that hold the round's [`GraphDelta`] should
+    /// use [`Simulator::step_delta`], which patches the effective graph
+    /// incrementally instead of rebuilding it.
     pub fn step_streaming(&mut self, graph: &Graph) -> StepSummary {
         assert_eq!(graph.num_nodes(), self.n, "graph universe mismatch");
         let round = self.next_round;
+        let newly_awake = self.run_wakeups(graph, round);
+        self.rebuild_effective(graph);
+        self.finish_round(round, newly_awake, None)
+    }
 
-        // 1. Wake-up: a node wakes in the first round where it is active in
-        //    the adversary's graph and its wake-up schedule permits. Once
-        //    everyone is awake the scan is skipped entirely.
-        let mut newly_awake = Vec::new();
-        if self.num_awake < self.n {
-            for i in 0..self.n {
-                let v = NodeId::new(i);
-                if self.woke_at[i].is_none()
-                    && graph.is_active(v)
-                    && round >= self.wakeup.wake_round(v)
-                {
-                    self.woke_at[i] = Some(round);
-                    newly_awake.push(v);
-                }
-            }
-            self.num_awake += newly_awake.len();
+    /// Executes one round on the graph `graph` (the adversary's `G_r`),
+    /// where `delta` is the change from the previous round's adversary graph
+    /// to `graph`. The persistent effective CSR is patched in `O(|δ|)`: the
+    /// adversary's delta is filtered to awake endpoints, the edges of nodes
+    /// waking this round are folded in, and the result is applied in place —
+    /// no `Graph` clone, no full CSR rebuild (unless the delta is dense or
+    /// no previous state exists). This is the round primitive of the
+    /// delta-native `Scenario` pipeline.
+    pub fn step_delta(&mut self, graph: &Graph, delta: &GraphDelta) -> StepSummary {
+        assert_eq!(graph.num_nodes(), self.n, "graph universe mismatch");
+        let round = self.next_round;
+        let newly_awake = self.run_wakeups(graph, round);
+
+        if !self.effective_valid {
+            self.rebuild_effective(graph);
+            return self.finish_round(round, newly_awake, None);
         }
 
-        // 2. Effective communication graph: prune nodes outside V_r (asleep),
-        //    then snapshot it for the parallel phases. With everyone awake
-        //    the adversary's graph already equals the effective graph, so the
-        //    prune (and its graph clone) is skipped.
+        // Translate the adversary's delta into the *effective* delta: the
+        // change of the awake-restricted graph relative to last round.
+        let prev_csr = &self.effective;
+        let awake = |v: NodeId| self.woke_at[v.index()].is_some();
+        let mut eff = GraphDelta::new();
+        // Nodes waking this round join the effective graph with their
+        // current edges to other awake nodes.
+        for &v in &newly_awake {
+            eff.woken.push(v);
+            for u in graph.neighbors(v) {
+                if awake(u) && !prev_csr.has_edge(v, u) {
+                    eff.insert(v, u);
+                }
+            }
+        }
+        // Adversary re-activations of nodes that are already awake.
+        for &v in &delta.woken {
+            if awake(v) {
+                eff.woken.push(v);
+            }
+        }
+        // An edge listed in both `inserted` and `removed` nets to absent
+        // ([`GraphDelta::apply`] inserts before it removes); its insertion
+        // must not leak into the effective delta, where the removal half
+        // would be dropped by the `prev_csr.has_edge` tightening below.
+        let netted_out: Option<std::collections::HashSet<Edge>> =
+            if delta.inserted.is_empty() || delta.removed.is_empty() {
+                None
+            } else {
+                Some(delta.removed.iter().copied().collect())
+            };
+        for e in &delta.inserted {
+            // An insertion implicitly activates both endpoints in the
+            // adversary graph (`Graph::insert_edge` semantics — and the
+            // activation survives even a same-round removal of the edge);
+            // propagate it to awake endpoints even when the edge itself is
+            // filtered out because its other endpoint is still asleep.
+            for w in [e.u, e.v] {
+                if awake(w) && !prev_csr.is_active(w) {
+                    eff.woken.push(w);
+                }
+            }
+            if netted_out.as_ref().is_some_and(|r| r.contains(e)) {
+                continue;
+            }
+            if awake(e.u) && awake(e.v) && !prev_csr.has_edge(e.u, e.v) {
+                eff.inserted.push(*e);
+            }
+        }
+        for e in &delta.removed {
+            if prev_csr.has_edge(e.u, e.v) {
+                eff.removed.push(*e);
+            }
+        }
+        for &v in &delta.deactivated {
+            if prev_csr.is_active(v) {
+                eff.deactivated.push(v);
+            }
+        }
+        eff.normalize();
+
+        if Arc::strong_count(&self.effective) > 1 {
+            // An observer retained last round's snapshot: copy-on-write.
+            self.stats.cow_clones += 1;
+        }
+        let outcome = Arc::make_mut(&mut self.effective).apply_delta(&eff);
+        match outcome {
+            CsrApplyOutcome::Patched => self.stats.rounds_patched += 1,
+            CsrApplyOutcome::Compacted => {
+                self.stats.rounds_patched += 1;
+                self.stats.compactions += 1;
+            }
+            CsrApplyOutcome::Rebuilt => self.stats.full_csr_builds += 1,
+        }
+        self.finish_round(round, newly_awake, Some(eff))
+    }
+
+    /// Wake-up phase: a node wakes in the first round where it is active in
+    /// the adversary's graph and its wake-up schedule permits. Walks the
+    /// shrinking pending-sleepers list, so the scan is `O(|sleepers|)` and
+    /// free once everyone is awake.
+    fn run_wakeups(&mut self, graph: &Graph, round: u64) -> Vec<NodeId> {
+        let mut newly_awake = Vec::new();
+        if !self.pending_sleepers.is_empty() {
+            let woke_at = &mut self.woke_at;
+            let wakeup = &self.wakeup;
+            self.pending_sleepers.retain(|&v| {
+                if graph.is_active(v) && round >= wakeup.wake_round(v) {
+                    woke_at[v.index()] = Some(round);
+                    newly_awake.push(v);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.num_awake += newly_awake.len();
+        }
+        newly_awake
+    }
+
+    /// Full build of the effective CSR (round 0 and the whole-graph path):
+    /// constructed directly from `graph` with asleep nodes filtered out — no
+    /// intermediate `Graph` clone.
+    fn rebuild_effective(&mut self, graph: &Graph) {
         let csr = if self.num_awake == self.n {
             CsrGraph::from_graph(graph)
         } else {
-            let mut effective = graph.clone();
-            for i in 0..self.n {
-                if self.woke_at[i].is_none() {
-                    effective.deactivate(NodeId::new(i));
-                }
-            }
-            CsrGraph::from_graph(&effective)
+            CsrGraph::from_graph_filtered(graph, |v| self.woke_at[v.index()].is_some())
         };
-        let csr = Arc::new(csr);
+        self.effective = Arc::new(csr);
+        self.effective_valid = true;
+        self.stats.full_csr_builds += 1;
+    }
 
-        // 3. Instantiate algorithms for the newly awake nodes.
+    /// Phases 3–7 of the round, common to both step paths: instantiate the
+    /// newly awake nodes, run send/deliver/receive, collect outputs.
+    fn finish_round(
+        &mut self,
+        round: u64,
+        newly_awake: Vec<NodeId>,
+        delta: Option<GraphDelta>,
+    ) -> StepSummary {
+        let csr = Arc::clone(&self.effective);
         for &v in &newly_awake {
             let mut alg = self.factory.create(v);
             let mut ctx = self.context(v, round, &csr, 0);
@@ -249,13 +414,9 @@ where
             self.nodes[v.index()] = Some(alg);
         }
 
-        // 4. Send phase: every awake node broadcasts one message.
         let messages: Vec<Option<A::Msg>> = self.run_send_phase(round, &csr);
-
-        // 5+6. Deliver + receive phase.
         self.run_receive_phase(round, &csr, &messages);
 
-        // 7. Collect outputs.
         for i in 0..self.n {
             if let Some(alg) = &self.nodes[i] {
                 self.outputs[i] = Some(alg.output());
@@ -266,9 +427,15 @@ where
         StepSummary {
             round,
             graph: csr,
+            delta,
             newly_awake,
             num_awake: self.num_awake,
         }
+    }
+
+    /// Perf counters of the incremental round pipeline.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.stats
     }
 
     /// Runs the simulator over every graph of a recorded trace and returns
@@ -553,6 +720,58 @@ mod tests {
         // Node 0 hears 1 in round 0; node 1 hears 2 in round 1; 0 never hears 2.
         assert_eq!(reports[1].outputs[0], Some(1));
         assert_eq!(reports[1].outputs[1], Some(2));
+    }
+
+    #[test]
+    fn step_delta_nets_out_insert_remove_pairs() {
+        // An edge inserted *and* removed by the same delta nets to absent
+        // (apply order); the effective CSR must not keep a phantom edge.
+        let n = 4;
+        let g0 = Graph::from_edges(n, [Edge::of(0, 1)]);
+        let mut sim = Simulator::new(n, max_flood_factory, AllAtStart, SimConfig::sequential(0));
+        sim.step_streaming(&g0);
+        let mut delta = GraphDelta::new();
+        delta.insert(NodeId::new(2), NodeId::new(3));
+        delta.remove(NodeId::new(2), NodeId::new(3));
+        let g1 = delta.materialize(&g0);
+        assert!(!g1.has_edge(NodeId::new(2), NodeId::new(3)));
+        let summary = sim.step_delta(&g1, &delta);
+        assert!(!summary.graph.has_edge(NodeId::new(2), NodeId::new(3)));
+        assert_eq!(*summary.graph, CsrGraph::from_graph(&g1));
+    }
+
+    #[test]
+    fn insertion_reactivates_awake_endpoint_even_when_edge_is_filtered() {
+        // Adversary deactivates node 0, then inserts {0, 2} while node 2 is
+        // still asleep: the edge is pruned from the effective graph, but the
+        // insertion's implicit re-activation of (awake) node 0 must still
+        // reach the incremental CSR — exactly as on the whole-graph path.
+        let n = 3;
+        let wake = ScriptedWakeup {
+            rounds: vec![0, 0, 9],
+        };
+        let g0 = Graph::from_edges(n, [Edge::of(0, 1)]);
+        let mut d1 = GraphDelta::new();
+        d1.remove(NodeId::new(0), NodeId::new(1));
+        d1.deactivate(NodeId::new(0));
+        let mut d2 = GraphDelta::new();
+        d2.insert(NodeId::new(0), NodeId::new(2));
+        let g1 = d1.materialize(&g0);
+        let g2 = d2.materialize(&g1);
+
+        let mut by_delta =
+            Simulator::new(n, max_flood_factory, wake.clone(), SimConfig::sequential(0));
+        by_delta.step_streaming(&g0);
+        by_delta.step_delta(&g1, &d1);
+        let s_delta = by_delta.step_delta(&g2, &d2);
+
+        let mut by_graph = Simulator::new(n, max_flood_factory, wake, SimConfig::sequential(0));
+        by_graph.step_streaming(&g0);
+        by_graph.step_streaming(&g1);
+        let s_ref = by_graph.step_streaming(&g2);
+
+        assert!(s_delta.graph.is_active(NodeId::new(0)));
+        assert_eq!(*s_delta.graph, *s_ref.graph);
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl RoundObserver<ColorOutput> for ConflictStreak {
             .iter()
             .map(|o| o.unwrap_or(ColorOutput::Undecided))
             .collect();
-        if dynnet::core::coloring::conflict_edges(&g, &out) > 0 {
+        if dynnet::core::coloring::conflict_edges(g, &out) > 0 {
             self.current += 1;
             self.longest = self.longest.max(self.current);
         } else {

@@ -38,8 +38,8 @@ impl RoundObserver<ColorOutput> for FrameSampler {
             .iter()
             .map(|o| o.unwrap_or(ColorOutput::Undecided))
             .collect();
-        let frame = tdma::run_frame(&g, &colors);
-        let recovered = tdma::resolve_contention(&g, &colors, &frame, 4, &mut self.contention_rng);
+        let frame = tdma::run_frame(g, &colors);
+        let recovered = tdma::resolve_contention(g, &colors, &frame, 4, &mut self.contention_rng);
         self.worst_success_rate = self.worst_success_rate.min(frame.success_rate());
         self.rows.push((
             view.round,
