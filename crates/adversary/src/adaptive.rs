@@ -37,6 +37,23 @@ pub struct ConflictSeekingAdversary<O, C> {
     _marker: std::marker::PhantomData<fn(&O)>,
 }
 
+/// Cloneable whenever the conflict predicate is (`O` itself need not be):
+/// sweep cells can stamp copies of a configured template adversary.
+impl<O, C: Clone> Clone for ConflictSeekingAdversary<O, C> {
+    fn clone(&self) -> Self {
+        ConflictSeekingAdversary {
+            footprint: self.footprint.clone(),
+            conflict: self.conflict.clone(),
+            max_insertions: self.max_insertions,
+            background_churn: self.background_churn,
+            injected_lifetime: self.injected_lifetime,
+            injected: self.injected.clone(),
+            rng: self.rng.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
 impl<O, C> ConflictSeekingAdversary<O, C>
 where
     C: Fn(&O, &O) -> bool + Send,

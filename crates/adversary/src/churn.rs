@@ -8,9 +8,37 @@
 use crate::traits::Adversary;
 use dynnet_graph::{Edge, Graph, GraphDelta, NodeId};
 use dynnet_runtime::rng::experiment_rng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// The indices `i < len` of the elements flipping under independent
+/// `Bernoulli(p)` trials, located by geometric skip-sampling: the gap to the
+/// next flipping element is `Geometric(p)`-distributed, so the expected
+/// number of RNG draws is the expected number of flips (`p·len`), not `len`.
+/// Returned in ascending order.
+fn geometric_flips(rng: &mut ChaCha8Rng, p: f64, len: usize) -> Vec<usize> {
+    if p <= 0.0 || len == 0 {
+        return Vec::new();
+    }
+    if p >= 1.0 {
+        return (0..len).collect();
+    }
+    let ln_keep = (1.0 - p).ln();
+    let mut flips = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let u: f64 = rng.gen();
+        // Number of non-flipping elements before the next flip; saturating
+        // cast and add handle u → 0 (skip to infinity ⇒ no further flips).
+        i = i.saturating_add((u.ln() / ln_keep) as usize);
+        if i >= len {
+            return flips;
+        }
+        flips.push(i);
+        i += 1;
+    }
+}
 
 /// Per-edge two-state Markov chain over the edges of a *footprint* graph:
 /// a present edge disappears with probability `p_off`, an absent footprint
@@ -19,13 +47,25 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// The stationary presence probability of a footprint edge is
 /// `p_on / (p_on + p_off)`.
+///
+/// Delta-native: the chain state is kept as present/absent edge partitions
+/// and each round's transitions are located by geometric skip-sampling over
+/// the two partitions, so a round costs `O(|δ|)` expected RNG draws and
+/// partition moves — never a scan of all footprint edges.
+#[derive(Clone, Debug)]
 pub struct MarkovChurnAdversary {
-    footprint: Vec<Edge>,
     n: usize,
     p_on: f64,
     p_off: f64,
     start_from_footprint: bool,
     rng: ChaCha8Rng,
+    /// Footprint edges currently present (the chain state). Before
+    /// `initialized`, holds nothing.
+    present: Vec<Edge>,
+    /// Footprint edges currently absent. Before `initialized`, holds the
+    /// whole footprint.
+    absent: Vec<Edge>,
+    initialized: bool,
 }
 
 impl MarkovChurnAdversary {
@@ -42,74 +82,113 @@ impl MarkovChurnAdversary {
     ) -> Self {
         assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
         MarkovChurnAdversary {
-            footprint: footprint.edge_vec(),
             n: footprint.num_nodes(),
             p_on,
             p_off,
             start_from_footprint,
             rng: experiment_rng(seed, "markov-churn"),
+            present: Vec::new(),
+            absent: footprint.edge_vec(),
+            initialized: false,
         }
     }
-}
 
-impl Adversary for MarkovChurnAdversary {
-    fn initial_graph(&mut self) -> Graph {
+    /// Composes the current chain state as a graph.
+    fn compose(&self) -> Graph {
         let mut g = Graph::new(self.n);
-        let stationary = if self.p_on + self.p_off > 0.0 {
-            self.p_on / (self.p_on + self.p_off)
-        } else {
-            1.0
-        };
-        for e in &self.footprint {
-            if self.start_from_footprint || self.rng.gen_bool(stationary) {
-                g.insert_edge(e.u, e.v);
-            }
+        for e in &self.present {
+            g.insert_edge(e.u, e.v);
         }
         g
     }
 
-    /// Whole-graph compatibility path: composed over the footprint only
-    /// (edges outside it never exist), so a phase switch from a foreign
-    /// graph resets to the Markov state instead of keeping alien edges.
-    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
-        let delta = self.next_delta(round, prev);
-        let mut g = Graph::new(self.n);
-        for e in &self.footprint {
-            if prev.has_edge(e.u, e.v) {
-                g.insert_edge(e.u, e.v);
-            }
-        }
-        delta.apply(&mut g);
-        g
-    }
-
-    /// Delta-native: one Markov step per footprint edge, emitting only the
-    /// edges whose presence actually flipped — no per-round graph build.
-    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+    /// One chain step: moves the flipping edges between the partitions and
+    /// records them in the returned delta. Present edges are stepped first,
+    /// then absent edges; both flip sets are drawn against the partitions'
+    /// pre-step lengths, so every edge makes exactly one transition per
+    /// round (an edge turning off cannot turn back on in the same round).
+    fn step(&mut self) -> GraphDelta {
         let mut delta = GraphDelta::new();
-        for e in &self.footprint {
-            let present = prev.has_edge(e.u, e.v);
-            let keep = if present {
-                !self.rng.gen_bool(self.p_off)
-            } else {
-                self.rng.gen_bool(self.p_on)
-            };
-            match (present, keep) {
-                (true, false) => {
-                    delta.removed.push(*e);
-                }
-                (false, true) => {
-                    delta.inserted.push(*e);
-                }
-                _ => {}
-            }
+        let off_flips = geometric_flips(&mut self.rng, self.p_off, self.present.len());
+        let on_flips = geometric_flips(&mut self.rng, self.p_on, self.absent.len());
+        // Descending order keeps the remaining sampled indices valid across
+        // `swap_remove`s (any swapped-in element comes from a higher index).
+        for &i in off_flips.iter().rev() {
+            let e = self.present.swap_remove(i);
+            delta.removed.push(e);
+            self.absent.push(e);
+        }
+        // `on_flips` indices all lie below the pre-step length, so the edges
+        // just appended by the off-pass are never re-flipped this round.
+        for &i in on_flips.iter().rev() {
+            let e = self.absent.swap_remove(i);
+            delta.inserted.push(e);
+            self.present.push(e);
         }
         delta
     }
 }
 
+impl Adversary for MarkovChurnAdversary {
+    fn initial_graph(&mut self) -> Graph {
+        let stationary = if self.p_on + self.p_off > 0.0 {
+            self.p_on / (self.p_on + self.p_off)
+        } else {
+            1.0
+        };
+        let all: Vec<Edge> = self
+            .present
+            .drain(..)
+            .chain(self.absent.drain(..))
+            .collect();
+        for e in all {
+            if self.start_from_footprint || self.rng.gen_bool(stationary) {
+                self.present.push(e);
+            } else {
+                self.absent.push(e);
+            }
+        }
+        self.initialized = true;
+        self.compose()
+    }
+
+    /// Whole-graph compatibility path: advances the chain exactly as
+    /// [`Adversary::next_delta`] would (same RNG draws), then composes the
+    /// graph from the chain state — so a phase switch from a foreign graph
+    /// resets to the Markov state instead of keeping alien edges.
+    fn next_graph(&mut self, round: u64, prev: &Graph) -> Graph {
+        let _ = self.next_delta(round, prev);
+        self.compose()
+    }
+
+    /// Delta-native: geometric skip-sampling over the present/absent
+    /// partitions emits only the edges whose presence actually flipped —
+    /// `O(|δ|)` expected work, no per-footprint-edge draws, no graph build.
+    fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        if !self.initialized {
+            // First call without `initial_graph` (e.g. a mid-run phase
+            // switch): adopt the presence state `prev` implies, once.
+            let all: Vec<Edge> = self
+                .present
+                .drain(..)
+                .chain(self.absent.drain(..))
+                .collect();
+            for e in all {
+                if prev.has_edge(e.u, e.v) {
+                    self.present.push(e);
+                } else {
+                    self.absent.push(e);
+                }
+            }
+            self.initialized = true;
+        }
+        self.step()
+    }
+}
+
 /// Every round, every footprint edge flips its presence independently with
 /// probability `p` — a memoryless "churn rate p" adversary.
+#[derive(Clone, Debug)]
 pub struct FlipChurnAdversary {
     footprint: Vec<Edge>,
     n: usize,
@@ -137,42 +216,19 @@ impl Adversary for FlipChurnAdversary {
     }
 
     /// Delta-native: each flip becomes one inserted or removed edge. The
-    /// flipping edges are located by geometric skip-sampling — the gap to
-    /// the next flipping edge is `Geometric(p)`-distributed — so a round
-    /// costs `O(p·m)` RNG draws (the expected delta size) instead of one
-    /// Bernoulli draw per footprint edge. Each edge still flips
+    /// flipping edges are located by [`geometric_flips`] skip-sampling, so a
+    /// round costs `O(p·m)` RNG draws (the expected delta size) instead of
+    /// one Bernoulli draw per footprint edge. Each edge still flips
     /// independently with probability `p`, exactly as before.
     fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
         let mut delta = GraphDelta::new();
-        if self.p <= 0.0 {
-            return delta;
-        }
-        let mut flip = |e: &Edge| {
+        for i in geometric_flips(&mut self.rng, self.p, self.footprint.len()) {
+            let e = self.footprint[i];
             if prev.has_edge(e.u, e.v) {
-                delta.removed.push(*e);
+                delta.removed.push(e);
             } else {
-                delta.inserted.push(*e);
+                delta.inserted.push(e);
             }
-        };
-        if self.p >= 1.0 {
-            for e in &self.footprint {
-                flip(e);
-            }
-            return delta;
-        }
-        let ln_keep = (1.0 - self.p).ln();
-        let mut i = 0usize;
-        loop {
-            let u: f64 = self.rng.gen();
-            // Number of non-flipping edges before the next flip; saturating
-            // cast and add handle u → 0 (skip to infinity ⇒ no further
-            // flips).
-            i = i.saturating_add((u.ln() / ln_keep) as usize);
-            if i >= self.footprint.len() {
-                break;
-            }
-            flip(&self.footprint[i]);
-            i += 1;
         }
         delta
     }
@@ -181,11 +237,23 @@ impl Adversary for FlipChurnAdversary {
 /// Every round removes up to `removals` random existing edges and inserts up
 /// to `insertions` random new edges between arbitrary node pairs — a
 /// fixed-rate topology churn independent of any footprint.
+///
+/// Delta-native: the evolving edge set is mirrored as an edge vector plus a
+/// position map, so removal sampling and insertion membership checks are
+/// `O(1)` per draw — a round costs `O(insertions + removals)`, never a
+/// `Graph::edge_vec` materialization of all `m` edges.
+#[derive(Clone, Debug)]
 pub struct RateChurnAdversary {
     initial: Graph,
     insertions: usize,
     removals: usize,
     rng: ChaCha8Rng,
+    /// Mirror of the evolving edge set (insertion order irrelevant, sampled
+    /// uniformly by index).
+    edges: Vec<Edge>,
+    /// Position of each mirrored edge in `edges`.
+    pos: HashMap<Edge, usize>,
+    initialized: bool,
 }
 
 impl RateChurnAdversary {
@@ -196,24 +264,67 @@ impl RateChurnAdversary {
             insertions,
             removals,
             rng: experiment_rng(seed, "rate-churn"),
+            edges: Vec::new(),
+            pos: HashMap::new(),
+            initialized: false,
         }
+    }
+
+    /// (Re)builds the mirror from a graph — once at startup, or after a
+    /// phase switch handed us a graph we did not produce.
+    fn sync_mirror(&mut self, g: &Graph) {
+        self.edges = g.edge_vec();
+        self.pos = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i))
+            .collect();
+        self.initialized = true;
+    }
+
+    /// Removes the edge at mirror index `i` in `O(1)`.
+    fn mirror_remove_at(&mut self, i: usize) -> Edge {
+        let e = self.edges.swap_remove(i);
+        self.pos.remove(&e);
+        if i < self.edges.len() {
+            self.pos.insert(self.edges[i], i);
+        }
+        e
+    }
+
+    /// Appends an edge to the mirror.
+    fn mirror_insert(&mut self, e: Edge) {
+        self.pos.insert(e, self.edges.len());
+        self.edges.push(e);
     }
 }
 
 impl Adversary for RateChurnAdversary {
     fn initial_graph(&mut self) -> Graph {
-        self.initial.clone()
+        let g = self.initial.clone();
+        self.sync_mirror(&g);
+        g
     }
 
-    /// Delta-native: samples removals from the previous edge set and
-    /// insertion candidates against the (virtually) evolving graph, without
-    /// cloning or mutating a `Graph`.
+    /// Delta-native: samples removals by index from the mirrored edge set
+    /// and insertion candidates against the position map, without cloning,
+    /// scanning, or mutating a `Graph`.
     fn next_delta(&mut self, _round: u64, prev: &Graph) -> GraphDelta {
+        if !self.initialized || self.edges.len() != prev.num_edges() {
+            // First call without `initial_graph`, or a phase switch handed
+            // us a foreign graph: re-adopt its edge set (one O(m) scan).
+            // The check is an edge-count heuristic — a foreign graph with
+            // exactly as many edges as the mirror goes undetected (no such
+            // caller exists in-repo; the Scenario pipeline always feeds back
+            // the graph built from this adversary's own deltas).
+            self.sync_mirror(prev);
+        }
         let mut delta = GraphDelta::new();
         let n = prev.num_nodes();
-        let edges = prev.edge_vec();
-        for e in edges.choose_multiple(&mut self.rng, self.removals.min(edges.len())) {
-            delta.removed.push(*e);
+        for _ in 0..self.removals.min(self.edges.len()) {
+            let i = self.rng.gen_range(0..self.edges.len());
+            delta.removed.push(self.mirror_remove_at(i));
         }
         let mut inserted = 0;
         let mut attempts = 0;
@@ -222,17 +333,16 @@ impl Adversary for RateChurnAdversary {
             let b = self.rng.gen_range(0..n);
             if a != b {
                 let e = Edge::new(NodeId::new(a), NodeId::new(b));
-                let present = (prev.has_edge(e.u, e.v) && !delta.removed.contains(&e))
-                    || delta.inserted.contains(&e);
-                if !present {
+                if !self.pos.contains_key(&e) {
                     // Re-picking an edge removed earlier this round: cancel
                     // the removal (net "stays present") instead of emitting
                     // an insert+remove pair, which would net to absent.
-                    if let Some(pos) = delta.removed.iter().position(|x| *x == e) {
-                        delta.removed.remove(pos);
+                    if let Some(p) = delta.removed.iter().position(|x| *x == e) {
+                        delta.removed.remove(p);
                     } else {
                         delta.inserted.push(e);
                     }
+                    self.mirror_insert(e);
                     inserted += 1;
                 }
             }
@@ -247,6 +357,7 @@ impl Adversary for RateChurnAdversary {
 /// are then removed again. This is the "conflict injection" workload used to
 /// measure how fast a newly inserted edge's conflict is resolved
 /// (Corollary 1.2's headline guarantee).
+#[derive(Clone, Debug)]
 pub struct BurstAdversary {
     base: Graph,
     period: u64,
@@ -431,6 +542,99 @@ mod tests {
                 d.apply(&mut g);
             }
         }
+    }
+
+    #[test]
+    fn markov_delta_and_graph_paths_agree() {
+        // The whole-graph compatibility path must consume the same RNG
+        // stream and produce the same evolution as the delta path.
+        let footprint = generators::erdos_renyi_avg_degree(
+            60,
+            6.0,
+            &mut dynnet_runtime::rng::experiment_rng(9, "mdg"),
+        );
+        let mut by_graph = MarkovChurnAdversary::new(&footprint, 0.2, 0.3, false, 17);
+        let mut by_delta = by_graph.clone();
+        let mut g1 = by_graph.initial_graph();
+        let mut g2 = by_delta.initial_graph();
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+        for r in 1..40 {
+            g1 = by_graph.next_graph(r, &g1);
+            let d = by_delta.next_delta(r, &g2);
+            d.apply(&mut g2);
+            assert_eq!(g1.edge_vec(), g2.edge_vec(), "round {r}");
+        }
+    }
+
+    #[test]
+    fn markov_partitions_track_presence() {
+        // Every footprint edge is in exactly one partition, and the deltas
+        // are tight: removed edges were present, inserted edges absent.
+        let footprint = generators::complete(12);
+        let m = footprint.num_edges();
+        let mut adv = MarkovChurnAdversary::new(&footprint, 0.4, 0.4, false, 5);
+        let mut g = adv.initial_graph();
+        for r in 1..50 {
+            let d = adv.next_delta(r, &g);
+            for e in &d.removed {
+                assert!(g.has_edge(e.u, e.v), "round {r}: removed absent edge");
+            }
+            for e in &d.inserted {
+                assert!(!g.has_edge(e.u, e.v), "round {r}: inserted present edge");
+            }
+            d.apply(&mut g);
+            assert_eq!(adv.present.len(), g.num_edges());
+            assert_eq!(adv.present.len() + adv.absent.len(), m);
+        }
+    }
+
+    #[test]
+    fn markov_initializes_from_prev_without_initial_graph() {
+        // A phase switch can call next_delta before initial_graph; the chain
+        // must adopt the presence state of the handed graph.
+        let footprint = generators::cycle(8);
+        let mut adv = MarkovChurnAdversary::new(&footprint, 0.0, 0.0, true, 3);
+        let mut partial = Graph::new(8);
+        partial.insert_edge(dynnet_graph::NodeId::new(0), dynnet_graph::NodeId::new(1));
+        let d = adv.next_delta(1, &partial);
+        assert!(d.is_empty(), "p_on = p_off = 0 freezes the adopted state");
+        assert_eq!(adv.present.len(), 1);
+        assert_eq!(adv.absent.len(), 7);
+    }
+
+    #[test]
+    fn rate_churn_mirror_stays_in_sync() {
+        let mut adv = RateChurnAdversary::new(generators::complete(9), 3, 4, 13);
+        let mut g = adv.initial_graph();
+        for r in 1..60 {
+            let d = adv.next_delta(r, &g);
+            for e in &d.removed {
+                assert!(g.has_edge(e.u, e.v), "round {r}: removed absent edge");
+            }
+            for e in &d.inserted {
+                assert!(!g.has_edge(e.u, e.v), "round {r}: inserted present edge");
+            }
+            d.apply(&mut g);
+            assert_eq!(adv.edges.len(), g.num_edges(), "round {r}");
+            for (i, e) in adv.edges.iter().enumerate() {
+                assert!(g.has_edge(e.u, e.v));
+                assert_eq!(adv.pos[e], i);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_flips_extremes_and_coverage() {
+        let mut rng = experiment_rng(1, "gf");
+        assert!(geometric_flips(&mut rng, 0.0, 100).is_empty());
+        assert_eq!(
+            geometric_flips(&mut rng, 1.0, 4),
+            vec![0, 1, 2, 3],
+            "p = 1 flips everything without drawing"
+        );
+        let flips = geometric_flips(&mut rng, 0.5, 1000);
+        assert!(flips.len() > 350 && flips.len() < 650, "{}", flips.len());
+        assert!(flips.windows(2).all(|w| w[0] < w[1]), "ascending, distinct");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use rand_chacha::ChaCha8Rng;
 /// The protected closure is the `protect_radius`-neighborhood of the
 /// `protected` seed nodes in the base graph: protecting the closure at radius
 /// `α` guarantees the `α`-neighborhood of every seed node is static.
+#[derive(Clone, Debug)]
 pub struct LocallyStaticAdversary {
     base: Graph,
     /// Nodes whose α-neighborhood must stay static (the seeds).

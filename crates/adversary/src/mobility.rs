@@ -15,6 +15,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 /// Random-waypoint mobility in the unit square with unit-disk connectivity.
+#[derive(Clone, Debug)]
 pub struct MobilityAdversary {
     positions: Vec<(f64, f64)>,
     waypoints: Vec<(f64, f64)>,

@@ -14,6 +14,7 @@ use rand_chacha::ChaCha8Rng;
 /// Each round, every present node leaves with probability `p_leave` (all its
 /// edges are removed) and every absent node rejoins with probability
 /// `p_join`, reacquiring its edges to present footprint neighbors.
+#[derive(Clone, Debug)]
 pub struct NodeChurnAdversary {
     footprint: Graph,
     p_leave: f64,
@@ -104,6 +105,7 @@ impl Adversary for NodeChurnAdversary {
 /// A growth adversary: nodes join one by one (in id order, `rate` per round)
 /// and connect to their footprint neighbors that have already joined. Models
 /// a network bootstrapping while the algorithm is already running.
+#[derive(Clone, Debug)]
 pub struct GrowthAdversary {
     footprint: Graph,
     rate: usize,

@@ -66,6 +66,23 @@ pub struct Scenario<F, W, Adv> {
     rounds: usize,
 }
 
+/// Scenarios whose parts are cloneable are cloneable — a sweep can hold one
+/// fully configured scenario as a template and stamp out per-cell copies
+/// (changing only the seed, adversary, …) on whichever worker thread runs
+/// the cell.
+impl<F: Clone, W: Clone, Adv: Clone> Clone for Scenario<F, W, Adv> {
+    fn clone(&self) -> Self {
+        Scenario {
+            n: self.n,
+            factory: self.factory.clone(),
+            wakeup: self.wakeup.clone(),
+            adversary: self.adversary.clone(),
+            config: self.config.clone(),
+            rounds: self.rounds,
+        }
+    }
+}
+
 impl Scenario<(), AllAtStart, ()> {
     /// Starts a scenario over a universe of `n` nodes with the defaults:
     /// synchronous start ([`AllAtStart`]), seed 0, sequential execution.

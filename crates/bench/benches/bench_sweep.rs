@@ -1,0 +1,86 @@
+//! Sweep-engine scaling benchmark: wall-clock time of an E2-style seed-grid
+//! sweep (DColor under flip churn, rounds-until-all-colored per cell) as the
+//! worker count grows 1 → N. Cells are independent deterministic scenarios,
+//! so the work is embarrassingly parallel; on a multi-core machine the
+//! 8-thread sweep should finish ≥4× faster than the 1-thread sweep (on
+//! fewer cores, expect scaling to flatten at the core count). The result
+//! tables are byte-identical at every thread count — only time may change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use dynnet::sweep::{SweepEngine, SweepSpec};
+use std::time::Duration;
+
+/// The benched grid: 16 seeds × 2 churn rates of DColor convergence runs at
+/// n = 256 (the shape of E2's scaling grid, sized to finish in seconds).
+fn seed_grid() -> SweepSpec<(f64, u64)> {
+    let seeds: Vec<u64> = (0..16).collect();
+    SweepSpec::grid2("bench-e2-grid", &[0.0f64, 0.05], &seeds, |&p, &s| {
+        (format!("p={p} seed={s}"), (p, s))
+    })
+}
+
+/// One grid cell: rounds until every node is colored.
+fn run_cell(churn: f64, seed: u64) -> usize {
+    let n = 256;
+    let footprint = generators::erdos_renyi_avg_degree(
+        n,
+        10.0,
+        &mut experiment_rng(seed, &format!("bench-sweep-{n}")),
+    );
+    Scenario::new(n)
+        .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
+        .adversary(FlipChurnAdversary::new(&footprint, churn, 100 + seed))
+        .seed(seed)
+        .rounds(400)
+        .run_until(&mut [], |view| {
+            view.outputs
+                .iter()
+                .all(|o| o.map(|c| c.is_decided()).unwrap_or(false))
+        })
+        .rounds_executed()
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    let spec = seed_grid();
+
+    // Reference result (1 thread) to pin determinism across thread counts.
+    let reference = SweepEngine::new(1)
+        .run(&spec, |cell| run_cell(cell.params.0, cell.params.1))
+        .expect("sweep")
+        .into_results();
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    if !thread_counts.contains(&cores) {
+        thread_counts.push(cores);
+    }
+    for &threads in &thread_counts {
+        let engine = SweepEngine::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, _threads| {
+                b.iter(|| {
+                    let results = engine
+                        .run(&spec, |cell| run_cell(cell.params.0, cell.params.1))
+                        .expect("sweep")
+                        .into_results();
+                    assert_eq!(results, reference, "results must not depend on threads");
+                    results.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

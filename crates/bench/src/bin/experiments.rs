@@ -1,22 +1,51 @@
 //! Experiment harness: regenerates every experiment table recorded in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md, running multi-scenario experiments on the sharded
+//! work-stealing sweep engine.
 //!
 //! ```text
 //! cargo run --release -p dynnet-bench --bin experiments -- all
-//! cargo run --release -p dynnet-bench --bin experiments -- e4 e8
+//! cargo run --release -p dynnet-bench --bin experiments -- e4 e8 --threads 8
+//! cargo run --release -p dynnet-bench --bin experiments -- e3 --threads 2 --smoke
 //! cargo run --release -p dynnet-bench --bin experiments -- list
 //! ```
 //!
+//! Flags:
+//!
+//! * `--threads N` — worker threads for the sweep engine (default: all
+//!   available cores). Results are byte-identical for any `N`; only
+//!   wall-clock time changes.
+//! * `--results-dir DIR` — where to write the result files (also settable
+//!   via the `DYNNET_RESULTS_DIR` environment variable; defaults to the
+//!   workspace-root `results/` directory when it exists, falling back to
+//!   `./results`).
+//! * `--smoke` — reduced grids/horizons (CI smoke mode).
+//!
 //! Tables are printed as Markdown on stdout and additionally written to
-//! `results/<id>.md` (and `results/<id>_<table>.csv`) at the workspace root.
+//! `<results-dir>/<id>.md` (and `<results-dir>/<id>_<table>.csv`).
 
-use dynnet_bench::exp::registry;
+use dynnet_bench::exp::{registry, ExpContext};
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+/// Resolves the results directory: `--results-dir` flag, then the
+/// `DYNNET_RESULTS_DIR` environment variable, then the workspace-relative
+/// default. The compile-time `CARGO_MANIFEST_DIR` bakes in a build-machine
+/// path, so it is only trusted if it still exists on this machine;
+/// otherwise a `results/` directory under the current working directory is
+/// used.
+fn results_dir(flag: Option<&str>) -> PathBuf {
+    let dir = flag
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("DYNNET_RESULTS_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| {
+            let baked = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+            if baked.parent().map(|p| p.exists()).unwrap_or(false) {
+                baked
+            } else {
+                PathBuf::from("results")
+            }
+        });
     fs::create_dir_all(&dir).expect("create results directory");
     dir
 }
@@ -25,7 +54,33 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = registry();
 
-    if args.is_empty() || args[0] == "list" {
+    // Parse flags; everything else is an experiment id (or `all` / `list`).
+    let mut threads: Option<usize> = None;
+    let mut results_flag: Option<String> = None;
+    let mut smoke = false;
+    let mut selected_args: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                threads = Some(v.parse().expect("--threads needs an integer"));
+            }
+            "--results-dir" => {
+                results_flag = Some(it.next().expect("--results-dir needs a path"));
+            }
+            "--smoke" => smoke = true,
+            flag if flag.starts_with('-') => {
+                eprintln!(
+                    "unknown flag: {flag} (expected --threads N, --results-dir DIR, --smoke)"
+                );
+                std::process::exit(2);
+            }
+            _ => selected_args.push(arg),
+        }
+    }
+
+    if selected_args.is_empty() || selected_args[0] == "list" {
         println!("Available experiments (run with `experiments all` or a list of ids):\n");
         for e in &experiments {
             println!("  {:<4} {}", e.id, e.description);
@@ -33,20 +88,34 @@ fn main() {
         return;
     }
 
-    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let selected: Vec<&str> = if selected_args.iter().any(|a| a == "all") {
         experiments.iter().map(|e| e.id).collect()
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        selected_args.iter().map(|s| s.as_str()).collect()
     };
 
-    let dir = results_dir();
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let mut ctx = ExpContext::new(threads);
+    ctx.engine = ctx.engine.with_progress(true);
+    ctx.smoke = smoke;
+    eprintln!(
+        "== sweep engine: {threads} thread{} {}",
+        if threads == 1 { "" } else { "s" },
+        if smoke { "(smoke grids)" } else { "" }
+    );
+
+    let dir = results_dir(results_flag.as_deref());
     for e in &experiments {
         if !selected.contains(&e.id) {
             continue;
         }
         eprintln!("== running {} — {}", e.id, e.description);
         let start = Instant::now();
-        let tables = (e.run)();
+        let tables = (e.run)(&ctx);
         let elapsed = start.elapsed();
         let mut md = format!("## {} — {}\n\n", e.id.to_uppercase(), e.description);
         for t in &tables {

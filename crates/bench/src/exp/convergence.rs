@@ -1,15 +1,20 @@
 //! Convergence-time experiments: round complexity of the basic coloring,
 //! DColor, DMis and SMis as a function of `n`, with `O(log n)` shape checks,
-//! plus the per-round progress constants of Lemmas 4.3 and 5.2. All runs are
-//! driven through the `Scenario` API.
+//! plus the per-round progress constants of Lemmas 4.3 and 5.2. Every
+//! experiment declares its grid as a `SweepSpec` and executes on the
+//! harness-wide work-stealing `SweepEngine`; aggregation folds the per-cell
+//! results in grid order, so the tables are identical for any thread count.
 
+use super::ExpContext;
 use dynnet::core::mis::independence_violations;
 use dynnet::metrics::{fmt2, log_fit, Summary, Table};
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
 use dynnet::runtime::AlgorithmFactory;
+use dynnet::sweep::{fold, Aggregator, Cell, CellRows, GroupedSummary, SweepSpec};
 
 const N_SWEEP: &[usize] = &[64, 128, 256, 512, 1024, 2048, 4096];
+const N_SWEEP_SMOKE: &[usize] = &[64, 128, 256];
 
 /// Rounds until every node's output satisfies `done`, or the scenario's
 /// round budget.
@@ -32,119 +37,162 @@ where
         .rounds_executed()
 }
 
-/// E1: basic static coloring (Algorithm 6) — rounds until all nodes colored,
-/// over an `n` sweep on two graph families, with a `log n` fit.
-pub fn e1_basic_coloring_scaling() -> Vec<Table> {
-    let seeds = 10u64;
-    let mut table = Table::new(
-        "E1 — Basic coloring (Algorithm 6): rounds until all nodes colored (static graphs)",
-        &["family", "n", "mean rounds", "max rounds", "mean/log2(n)"],
-    );
-    let mut fits = Table::new(
-        "E1 — O(log n) shape check (least-squares fit of mean rounds)",
-        &["family", "fit", "R²"],
-    );
-    for (name, family) in [
-        (
-            "ER d̄=10",
-            generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
-        ),
-        (
-            "geometric r=4/√n",
-            generators::GraphFamily::Geometric { radius: 0.0 },
-        ),
-    ] {
-        let mut points = Vec::new();
-        for &n in N_SWEEP {
-            let mut rounds = Vec::new();
-            for seed in 0..seeds {
-                let fam = match family {
-                    generators::GraphFamily::Geometric { .. } => {
-                        generators::GraphFamily::Geometric {
-                            radius: 4.0 / (n as f64).sqrt(),
-                        }
-                    }
-                    ref f => f.clone(),
-                };
-                let g = fam.generate(n, &mut experiment_rng(seed, &format!("e1-{name}-{n}")));
-                let r = rounds_until_done(
-                    Scenario::new(n)
-                        .algorithm(BasicColoring::new)
-                        .adversary(StaticAdversary::new(g))
-                        .seed(seed)
-                        .rounds(400),
-                    |o: &ColorOutput| o.is_decided(),
-                );
-                rounds.push(r as f64);
-            }
-            let s = Summary::of(&rounds);
-            points.push((n, s.mean));
-            table.push_row(vec![
-                name.to_string(),
-                n.to_string(),
-                fmt2(s.mean),
-                fmt2(s.max),
-                fmt2(s.mean / (n as f64).log2()),
-            ]);
-        }
-        if let Some(fit) = log_fit(&points) {
-            fits.push_row(vec![
-                name.to_string(),
-                format!("{:.2} + {:.2}·log2(n)", fit.intercept, fit.slope),
-                format!("{:.3}", fit.r_squared),
-            ]);
-        }
-    }
-    vec![table, fits]
+/// The standard scaling row: group label column(s) + mean/max rounds +
+/// normalization by `log2(n)`.
+fn scaling_row(label: String, n: usize, s: &Summary) -> Vec<String> {
+    vec![
+        label,
+        n.to_string(),
+        fmt2(s.mean),
+        fmt2(s.max),
+        fmt2(s.mean / (n as f64).log2()),
+    ]
 }
 
-/// E2: DColor — rounds until all nodes colored under edge churn.
-pub fn e2_dcolor_scaling_under_churn() -> Vec<Table> {
-    let seeds = 5u64;
-    let mut table = Table::new(
-        "E2 — DColor (Algorithm 2): rounds until all nodes colored under per-edge flip churn",
-        &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
-    );
-    let mut fits = Table::new("E2 — O(log n) shape check", &["churn p", "fit", "R²"]);
-    for churn in [0.0, 0.01, 0.05] {
+/// The `O(log n)` shape-check table: one least-squares `log2` fit per outer
+/// group over that group's `(n, mean)` points.
+fn fit_table<K: PartialEq>(
+    title: &str,
+    group_col: &str,
+    groups: &[((K, usize), Summary)],
+    label_of: impl Fn(&K) -> String,
+) -> Table {
+    let mut fits = Table::new(title, &[group_col, "fit", "R²"]);
+    let mut i = 0;
+    while i < groups.len() {
+        let outer = &groups[i].0 .0;
         let mut points = Vec::new();
-        for &n in &[64usize, 256, 1024, 4096] {
-            let mut rounds = Vec::new();
-            for seed in 0..seeds {
-                let footprint = generators::erdos_renyi_avg_degree(
-                    n,
-                    10.0,
-                    &mut experiment_rng(seed, &format!("e2-{n}")),
-                );
-                let r = rounds_until_done(
-                    Scenario::new(n)
-                        .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
-                        .adversary(FlipChurnAdversary::new(&footprint, churn, 100 + seed))
-                        .seed(seed)
-                        .rounds(400),
-                    |o: &ColorOutput| o.is_decided(),
-                );
-                rounds.push(r as f64);
-            }
-            let s = Summary::of(&rounds);
-            points.push((n, s.mean));
-            table.push_row(vec![
-                format!("{churn}"),
-                n.to_string(),
-                fmt2(s.mean),
-                fmt2(s.max),
-                fmt2(s.mean / (n as f64).log2()),
-            ]);
+        while i < groups.len() && groups[i].0 .0 == *outer {
+            points.push((groups[i].0 .1, groups[i].1.mean));
+            i += 1;
         }
         if let Some(fit) = log_fit(&points) {
             fits.push_row(vec![
-                format!("{churn}"),
+                label_of(outer),
                 format!("{:.2} + {:.2}·log2(n)", fit.intercept, fit.slope),
                 format!("{:.3}", fit.r_squared),
             ]);
         }
     }
-    vec![table, fits]
+    fits
+}
+
+/// E1: basic static coloring (Algorithm 6) — rounds until all nodes colored,
+/// over a (family × n × seed) grid on two graph families, with a `log n`
+/// fit.
+pub fn e1_basic_coloring_scaling(ctx: &ExpContext) -> Vec<Table> {
+    let families: &[&str] = &["ER d̄=10", "geometric r=4/√n"];
+    let family_idx: Vec<usize> = (0..families.len()).collect();
+    let n_axis = if ctx.smoke { N_SWEEP_SMOKE } else { N_SWEEP };
+    let seeds: Vec<u64> = (0..if ctx.smoke { 2 } else { 10 }).collect();
+    let spec = SweepSpec::grid3("e1", &family_idx, n_axis, &seeds, |&f, &n, &seed| {
+        (format!("{} n={n} seed={seed}", families[f]), (f, n, seed))
+    });
+    let run = ctx
+        .engine
+        .run(&spec, |cell| {
+            let (f, n, seed) = cell.params;
+            let name = families[f];
+            let fam = if f == 1 {
+                generators::GraphFamily::Geometric {
+                    radius: 4.0 / (n as f64).sqrt(),
+                }
+            } else {
+                generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 }
+            };
+            let g = fam.generate(n, &mut experiment_rng(seed, &format!("e1-{name}-{n}")));
+            rounds_until_done(
+                Scenario::new(n)
+                    .algorithm(BasicColoring::new)
+                    .adversary(StaticAdversary::new(g))
+                    .seed(seed)
+                    .rounds(400),
+                |o: &ColorOutput| o.is_decided(),
+            ) as f64
+        })
+        .expect("e1 sweep");
+    let mut agg = fold(
+        &spec,
+        run,
+        GroupedSummary::new(
+            "E1 — Basic coloring (Algorithm 6): rounds until all nodes colored (static graphs)",
+            &["family", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+            |c: &Cell<(usize, usize, u64)>| (c.params.0, c.params.1),
+            |_c: &Cell<(usize, usize, u64)>, r: &f64| *r,
+            |k: &(usize, usize), s: &Summary| scaling_row(families[k.0].to_string(), k.1, s),
+        ),
+    );
+    let mut tables = Aggregator::<(usize, usize, u64), f64>::finish(&mut agg);
+    tables.push(fit_table(
+        "E1 — O(log n) shape check (least-squares fit of mean rounds)",
+        "family",
+        agg.groups(),
+        |&f| families[f].to_string(),
+    ));
+    tables
+}
+
+/// E2: DColor — rounds until all nodes colored under edge churn, over a
+/// (churn × n × seed) grid.
+pub fn e2_dcolor_scaling_under_churn(ctx: &ExpContext) -> Vec<Table> {
+    let churns: &[f64] = &[0.0, 0.01, 0.05];
+    let n_axis: &[usize] = if ctx.smoke {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let seeds: Vec<u64> = (0..if ctx.smoke { 2 } else { 5 }).collect();
+    let spec = SweepSpec::grid3("e2", churns, n_axis, &seeds, |&churn, &n, &seed| {
+        (format!("p={churn} n={n} seed={seed}"), (churn, n, seed))
+    });
+    let run = ctx
+        .engine
+        .run(&spec, |cell| {
+            let (churn, n, seed) = cell.params;
+            let footprint = generators::erdos_renyi_avg_degree(
+                n,
+                10.0,
+                &mut experiment_rng(seed, &format!("e2-{n}")),
+            );
+            rounds_until_done(
+                Scenario::new(n)
+                    .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
+                    .adversary(FlipChurnAdversary::new(&footprint, churn, 100 + seed))
+                    .seed(seed)
+                    .rounds(400),
+                |o: &ColorOutput| o.is_decided(),
+            ) as f64
+        })
+        .expect("e2 sweep");
+    let mut agg = fold(
+        &spec,
+        run,
+        GroupedSummary::new(
+            "E2 — DColor (Algorithm 2): rounds until all nodes colored under per-edge flip churn",
+            &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+            |c: &Cell<(f64, usize, u64)>| (c.params.0, c.params.1),
+            |_c: &Cell<(f64, usize, u64)>, r: &f64| *r,
+            |k: &(f64, usize), s: &Summary| scaling_row(format!("{}", k.0), k.1, s),
+        ),
+    );
+    let mut tables = Aggregator::<(f64, usize, u64), f64>::finish(&mut agg);
+    tables.push(fit_table(
+        "E2 — O(log n) shape check",
+        "churn p",
+        agg.groups(),
+        |&p| format!("{p}"),
+    ));
+    tables
+}
+
+/// Per-cell progress counters of the E3 measurement.
+#[derive(Clone, Copy, Default)]
+struct ProgressCounts {
+    observed: usize,
+    colored_events: usize,
+    shrink_events: usize,
+    colored_given_no_shrink: usize,
+    no_shrink: usize,
 }
 
 /// E3: DColor per-round progress events (Lemma 4.3): among nodes that are
@@ -152,81 +200,90 @@ pub fn e2_dcolor_scaling_under_churn() -> Vec<Table> {
 /// colored, how often its palette shrinks by ≥ 1/4, and the conditional
 /// coloring probability when the palette does *not* shrink (claimed ≥ 1/64).
 /// Uses manual `Runner` stepping to inspect per-node algorithm state between
-/// rounds.
-pub fn e3_dcolor_progress() -> Vec<Table> {
-    let mut table = Table::new(
-        "E3 — DColor per-round progress events (Lemma 4.3)",
-        &[
-            "graph",
-            "node-rounds observed",
-            "colored",
-            "palette shrank ≥1/4",
-            "P(colored | no big shrink)",
-            "claimed lower bound",
-        ],
-    );
-    for (name, avg_deg) in [("ER d̄=10", 10.0), ("ER d̄=30", 30.0)] {
-        let n = 512;
-        let g = generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3"));
-        let mut runner = Scenario::new(n)
-            .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
-            .adversary(StaticAdversary::new(g))
-            .seed(3)
-            .rounds(200)
-            .runner();
-        let mut observed = 0usize;
-        let mut colored_events = 0usize;
-        let mut shrink_events = 0usize;
-        let mut colored_given_no_shrink = 0usize;
-        let mut no_shrink = 0usize;
-        let mut prev_state: Vec<Option<(bool, usize)>> = vec![None; n]; // (colored, palette size)
-        while runner.step(&mut []) {
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..n {
-                let node = runner.sim().node(NodeId::new(i)).unwrap();
-                let colored_now = node.output().is_decided();
-                let palette_now = node.palette().len();
-                if let Some((was_colored, old_palette)) = prev_state[i] {
-                    if !was_colored && old_palette > 0 {
-                        observed += 1;
-                        let shrank = palette_now as f64 <= 0.75 * old_palette as f64;
-                        if colored_now {
-                            colored_events += 1;
-                        }
-                        if shrank {
-                            shrink_events += 1;
-                        } else {
-                            no_shrink += 1;
-                            if colored_now {
-                                colored_given_no_shrink += 1;
+/// rounds; each graph configuration is one sweep cell.
+pub fn e3_dcolor_progress(ctx: &ExpContext) -> Vec<Table> {
+    let (n, rounds) = if ctx.smoke { (128, 60) } else { (512, 200) };
+    let graphs: &[(&str, f64)] = &[("ER d̄=10", 10.0), ("ER d̄=30", 30.0)];
+    let spec = SweepSpec::grid1("e3", graphs, |&(name, avg_deg)| {
+        (format!("{name} n={n}"), (name, avg_deg))
+    });
+    ctx.engine
+        .aggregate(
+            &spec,
+            |cell| {
+                let (_, avg_deg) = cell.params;
+                let g =
+                    generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3"));
+                let mut runner = Scenario::new(n)
+                    .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
+                    .adversary(StaticAdversary::new(g))
+                    .seed(3)
+                    .rounds(rounds)
+                    .runner();
+                let mut c = ProgressCounts::default();
+                let mut prev_state: Vec<Option<(bool, usize)>> = vec![None; n]; // (colored, palette size)
+                while runner.step(&mut []) {
+                    #[allow(clippy::needless_range_loop)]
+                    for i in 0..n {
+                        let node = runner.sim().node(NodeId::new(i)).unwrap();
+                        let colored_now = node.output().is_decided();
+                        let palette_now = node.palette().len();
+                        if let Some((was_colored, old_palette)) = prev_state[i] {
+                            if !was_colored && old_palette > 0 {
+                                c.observed += 1;
+                                let shrank = palette_now as f64 <= 0.75 * old_palette as f64;
+                                if colored_now {
+                                    c.colored_events += 1;
+                                }
+                                if shrank {
+                                    c.shrink_events += 1;
+                                } else {
+                                    c.no_shrink += 1;
+                                    if colored_now {
+                                        c.colored_given_no_shrink += 1;
+                                    }
+                                }
                             }
                         }
+                        prev_state[i] = Some((colored_now, palette_now));
                     }
                 }
-                prev_state[i] = Some((colored_now, palette_now));
-            }
-        }
-        let p_cond = if no_shrink > 0 {
-            colored_given_no_shrink as f64 / no_shrink as f64
-        } else {
-            1.0
-        };
-        table.push_row(vec![
-            name.to_string(),
-            observed.to_string(),
-            format!(
-                "{:.1}%",
-                100.0 * colored_events as f64 / observed.max(1) as f64
+                c
+            },
+            CellRows::new(
+                "E3 — DColor per-round progress events (Lemma 4.3)",
+                &[
+                    "graph",
+                    "node-rounds observed",
+                    "colored",
+                    "palette shrank ≥1/4",
+                    "P(colored | no big shrink)",
+                    "claimed lower bound",
+                ],
+                |cell: &Cell<(&str, f64)>, c: ProgressCounts| {
+                    let p_cond = if c.no_shrink > 0 {
+                        c.colored_given_no_shrink as f64 / c.no_shrink as f64
+                    } else {
+                        1.0
+                    };
+                    vec![vec![
+                        cell.params.0.to_string(),
+                        c.observed.to_string(),
+                        format!(
+                            "{:.1}%",
+                            100.0 * c.colored_events as f64 / c.observed.max(1) as f64
+                        ),
+                        format!(
+                            "{:.1}%",
+                            100.0 * c.shrink_events as f64 / c.observed.max(1) as f64
+                        ),
+                        format!("{:.3}", p_cond),
+                        "0.016 (= 1/64)".to_string(),
+                    ]]
+                },
             ),
-            format!(
-                "{:.1}%",
-                100.0 * shrink_events as f64 / observed.max(1) as f64
-            ),
-            format!("{:.3}", p_cond),
-            "0.016 (= 1/64)".to_string(),
-        ]);
-    }
-    vec![table]
+        )
+        .expect("e3 sweep")
 }
 
 /// Streaming probe for the E6 decay measurement: maintains the running
@@ -273,143 +330,181 @@ impl RoundObserver<MisOutput> for DecayProbe {
     }
 }
 
-/// E6: DMis — rounds until every node is decided, over an `n` sweep and
-/// churn levels, plus the per-2-round decay factor of the number of edges
-/// between undecided nodes in the running intersection graph (Lemma 5.2
-/// claims expectation ≤ 2/3).
-pub fn e6_dmis_scaling_and_decay() -> Vec<Table> {
-    let seeds = 5u64;
-    let mut table = Table::new(
-        "E6 — DMis (Algorithm 4): rounds until all nodes decided",
-        &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+/// E6: DMis — rounds until every node is decided, over a (churn × n × seed)
+/// grid, plus the per-2-round decay factor of the number of edges between
+/// undecided nodes in the running intersection graph (Lemma 5.2 claims
+/// expectation ≤ 2/3), measured by a per-cell streaming probe.
+pub fn e6_dmis_scaling_and_decay(ctx: &ExpContext) -> Vec<Table> {
+    let churns: &[f64] = &[0.0, 0.02];
+    let n_axis: &[usize] = if ctx.smoke {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let seeds: Vec<u64> = (0..if ctx.smoke { 2 } else { 5 }).collect();
+    let spec = SweepSpec::grid3("e6", churns, n_axis, &seeds, |&churn, &n, &seed| {
+        (format!("p={churn} n={n} seed={seed}"), (churn, n, seed))
+    });
+    let run = ctx
+        .engine
+        .run(&spec, |cell| {
+            let (churn, n, seed) = cell.params;
+            let footprint = generators::erdos_renyi_avg_degree(
+                n,
+                10.0,
+                &mut experiment_rng(seed, &format!("e6-{n}")),
+            );
+            rounds_until_done(
+                Scenario::new(n)
+                    .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+                    .adversary(FlipChurnAdversary::new(&footprint, churn, 200 + seed))
+                    .seed(seed)
+                    .rounds(400),
+                |o: &MisOutput| o.is_decided(),
+            ) as f64
+        })
+        .expect("e6 sweep");
+    let mut agg = fold(
+        &spec,
+        run,
+        GroupedSummary::new(
+            "E6 — DMis (Algorithm 4): rounds until all nodes decided",
+            &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+            |c: &Cell<(f64, usize, u64)>| (c.params.0, c.params.1),
+            |_c: &Cell<(f64, usize, u64)>, r: &f64| *r,
+            |k: &(f64, usize), s: &Summary| scaling_row(format!("{}", k.0), k.1, s),
+        ),
     );
-    let mut fits = Table::new("E6 — O(log n) shape check", &["churn p", "fit", "R²"]);
-    for churn in [0.0, 0.02] {
-        let mut points = Vec::new();
-        for &n in &[64usize, 256, 1024, 4096] {
-            let mut rounds = Vec::new();
-            for seed in 0..seeds {
-                let footprint = generators::erdos_renyi_avg_degree(
-                    n,
-                    10.0,
-                    &mut experiment_rng(seed, &format!("e6-{n}")),
-                );
-                let r = rounds_until_done(
-                    Scenario::new(n)
-                        .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
-                        .adversary(FlipChurnAdversary::new(&footprint, churn, 200 + seed))
-                        .seed(seed)
-                        .rounds(400),
-                    |o: &MisOutput| o.is_decided(),
-                );
-                rounds.push(r as f64);
-            }
-            let s = Summary::of(&rounds);
-            points.push((n, s.mean));
-            table.push_row(vec![
-                format!("{churn}"),
-                n.to_string(),
-                fmt2(s.mean),
-                fmt2(s.max),
-                fmt2(s.mean / (n as f64).log2()),
-            ]);
-        }
-        if let Some(fit) = log_fit(&points) {
-            fits.push_row(vec![
-                format!("{churn}"),
-                format!("{:.2} + {:.2}·log2(n)", fit.intercept, fit.slope),
-                format!("{:.3}", fit.r_squared),
-            ]);
-        }
-    }
+    let mut tables = Aggregator::<(f64, usize, u64), f64>::finish(&mut agg);
+    tables.push(fit_table(
+        "E6 — O(log n) shape check",
+        "churn p",
+        agg.groups(),
+        |&p| format!("{p}"),
+    ));
 
     // Decay of |E(H_r)| (edges between undecided nodes in the running
-    // intersection graph), measured every 2 rounds via a streaming probe.
-    let mut decay = Table::new(
-        "E6 — Undecided-edge decay per 2 rounds (Lemma 5.2: expected factor ≤ 2/3)",
-        &[
-            "graph",
-            "churn p",
-            "mean decay factor",
-            "p95 decay factor",
-            "samples",
-        ],
-    );
-    for churn in [0.0, 0.05] {
-        let n = 1024;
-        let footprint =
-            generators::erdos_renyi_avg_degree(n, 12.0, &mut experiment_rng(7, "e6-decay"));
-        let mut probe = DecayProbe {
-            intersection: None,
-            series: Series::new("undecided-edges"),
-            done: false,
-        };
-        let mut runner = Scenario::new(n)
-            .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
-            .adversary(FlipChurnAdversary::new(&footprint, churn, 303))
-            .seed(5)
-            .rounds(120)
-            .runner();
-        while runner.step(&mut [&mut probe]) {
-            if probe.done {
-                break;
-            }
-        }
-        let ratios = probe.series.decay_ratios(2);
-        let s = Summary::of(&ratios);
-        decay.push_row(vec![
-            "ER d̄=12, n=1024".to_string(),
-            format!("{churn}"),
-            fmt2(s.mean),
-            fmt2(s.p95),
-            s.count.to_string(),
-        ]);
-    }
-    vec![table, fits, decay]
+    // intersection graph), measured every 2 rounds via a streaming probe —
+    // one sweep cell per churn rate.
+    let decay_n = if ctx.smoke { 256 } else { 1024 };
+    let decay_rounds = if ctx.smoke { 60 } else { 120 };
+    let decay_spec = SweepSpec::grid1("e6-decay", &[0.0f64, 0.05], |&churn| {
+        (format!("decay p={churn}"), churn)
+    });
+    let mut decay_tables = ctx
+        .engine
+        .aggregate(
+            &decay_spec,
+            |cell| {
+                let churn = cell.params;
+                let footprint = generators::erdos_renyi_avg_degree(
+                    decay_n,
+                    12.0,
+                    &mut experiment_rng(7, "e6-decay"),
+                );
+                let mut probe = DecayProbe {
+                    intersection: None,
+                    series: Series::new("undecided-edges"),
+                    done: false,
+                };
+                let mut runner = Scenario::new(decay_n)
+                    .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+                    .adversary(FlipChurnAdversary::new(&footprint, churn, 303))
+                    .seed(5)
+                    .rounds(decay_rounds)
+                    .runner();
+                while runner.step(&mut [&mut probe]) {
+                    if probe.done {
+                        break;
+                    }
+                }
+                probe.series.decay_ratios(2)
+            },
+            CellRows::new(
+                "E6 — Undecided-edge decay per 2 rounds (Lemma 5.2: expected factor ≤ 2/3)",
+                &[
+                    "graph",
+                    "churn p",
+                    "mean decay factor",
+                    "p95 decay factor",
+                    "samples",
+                ],
+                |cell: &Cell<f64>, ratios: Vec<f64>| {
+                    let s = Summary::of(&ratios);
+                    vec![vec![
+                        format!("ER d̄=12, n={decay_n}"),
+                        format!("{}", cell.params),
+                        fmt2(s.mean),
+                        fmt2(s.p95),
+                        s.count.to_string(),
+                    ]]
+                },
+            ),
+        )
+        .expect("e6 decay sweep");
+    tables.append(&mut decay_tables);
+    tables
 }
 
-/// E7: SMis on static graphs — rounds until every node is decided (the
-/// golden-round analysis of Lemma 5.6 predicts O(log n)).
-pub fn e7_smis_scaling() -> Vec<Table> {
-    let seeds = 5u64;
-    let mut table = Table::new(
-        "E7 — SMis (Algorithm 5): rounds until all nodes decided (static graphs)",
-        &["n", "mean rounds", "max rounds", "mean/log2(n)"],
-    );
-    let mut points = Vec::new();
-    for &n in &[64usize, 256, 1024, 4096] {
-        let mut rounds = Vec::new();
-        for seed in 0..seeds {
+/// E7: SMis on static graphs — rounds until every node is decided over an
+/// (n × seed) grid (the golden-round analysis of Lemma 5.6 predicts
+/// O(log n)).
+pub fn e7_smis_scaling(ctx: &ExpContext) -> Vec<Table> {
+    let n_axis: &[usize] = if ctx.smoke {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let seeds: Vec<u64> = (0..if ctx.smoke { 2 } else { 5 }).collect();
+    let spec = SweepSpec::grid2("e7", n_axis, &seeds, |&n, &seed| {
+        (format!("n={n} seed={seed}"), (n, seed))
+    });
+    let run = ctx
+        .engine
+        .run(&spec, |cell| {
+            let (n, seed) = cell.params;
             let g = generators::erdos_renyi_avg_degree(
                 n,
                 10.0,
                 &mut experiment_rng(seed, &format!("e7-{n}")),
             );
-            let r = rounds_until_done(
+            rounds_until_done(
                 Scenario::new(n)
                     .algorithm(move |v: NodeId| SMis::new(v, n))
                     .adversary(StaticAdversary::new(g))
                     .seed(seed)
                     .rounds(600),
                 |o: &MisOutput| o.is_decided(),
-            );
-            rounds.push(r as f64);
-        }
-        let s = Summary::of(&rounds);
-        points.push((n, s.mean));
-        table.push_row(vec![
-            n.to_string(),
-            fmt2(s.mean),
-            fmt2(s.max),
-            fmt2(s.mean / (n as f64).log2()),
-        ]);
-    }
+            ) as f64
+        })
+        .expect("e7 sweep");
+    let mut agg = fold(
+        &spec,
+        run,
+        GroupedSummary::new(
+            "E7 — SMis (Algorithm 5): rounds until all nodes decided (static graphs)",
+            &["n", "mean rounds", "max rounds", "mean/log2(n)"],
+            |c: &Cell<(usize, u64)>| c.params.0,
+            |_c: &Cell<(usize, u64)>, r: &f64| *r,
+            |&n: &usize, s: &Summary| {
+                vec![
+                    n.to_string(),
+                    fmt2(s.mean),
+                    fmt2(s.max),
+                    fmt2(s.mean / (n as f64).log2()),
+                ]
+            },
+        ),
+    );
+    let mut tables = Aggregator::<(usize, u64), f64>::finish(&mut agg);
     let mut fits = Table::new("E7 — O(log n) shape check", &["fit", "R²"]);
+    let points: Vec<(usize, f64)> = agg.groups().iter().map(|(n, s)| (*n, s.mean)).collect();
     if let Some(fit) = log_fit(&points) {
         fits.push_row(vec![
             format!("{:.2} + {:.2}·log2(n)", fit.intercept, fit.slope),
             format!("{:.3}", fit.r_squared),
         ]);
     }
-    vec![table, fits]
+    tables.push(fits);
+    tables
 }

@@ -4,12 +4,65 @@
 //! The experiment ids (E1–E14) and the claims they validate are listed in
 //! DESIGN.md §5. All experiments are deterministic given their hard-coded
 //! seeds and run on a laptop in a few minutes in release mode.
+//!
+//! ## Declaring an experiment as a sweep
+//!
+//! Every multi-scenario experiment declares its grid as a
+//! [`dynnet::sweep::SweepSpec`] and executes it on the harness-wide
+//! [`dynnet::sweep::SweepEngine`] (the `--threads` flag of the `experiments`
+//! binary). The pattern is:
+//!
+//! 1. **Declare the grid** with `SweepSpec::grid1/2/3` — axes in row-major
+//!    order, the innermost axis being the one later summarized over (seeds).
+//!    Each cell's params carry everything the scenario needs (seed, `n`,
+//!    churn rate, window, adversary selector); labels name the grid point
+//!    for progress and failure reports.
+//! 2. **Run one scenario per cell**: the cell closure builds the footprint
+//!    graph, adversary, observers, and `Scenario` *from the cell's params
+//!    alone* (deterministic per-(seed, node, round) RNG), runs it, and
+//!    returns plain data. Cells execute concurrently on the engine's
+//!    work-stealing shards; results come back keyed by grid index.
+//! 3. **Aggregate in grid order** with a [`dynnet::sweep::Aggregator`] —
+//!    [`dynnet::sweep::CellRows`] for one-row-per-cell tables,
+//!    [`dynnet::sweep::GroupedSummary`] for mean/max-over-seeds rows (its
+//!    `groups()` feed the `O(log n)` shape fits).
+//!
+//! Because cells are self-contained and aggregation is keyed by grid
+//! coordinates, the emitted tables are byte-identical for any thread count.
+//! Timing experiments (E14) run on [`ExpContext::serial_engine`] so sibling
+//! cells cannot distort their wall-clock measurements.
 
 pub mod comparisons;
 pub mod convergence;
 pub mod guarantees;
 
 use dynnet::metrics::Table;
+use dynnet::sweep::SweepEngine;
+
+/// Harness-wide execution context handed to every experiment.
+pub struct ExpContext {
+    /// The sweep engine multi-scenario experiments execute on.
+    pub engine: SweepEngine,
+    /// Reduced-grid smoke mode (CI): shrink grids/horizons so a sweep
+    /// finishes in seconds while still exercising every code path.
+    pub smoke: bool,
+}
+
+impl ExpContext {
+    /// A context running sweeps on `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ExpContext {
+            engine: SweepEngine::new(threads),
+            smoke: false,
+        }
+    }
+
+    /// A single-threaded engine for timing-sensitive experiments (E14):
+    /// concurrent sibling cells would distort wall-clock measurements.
+    pub fn serial_engine(&self) -> SweepEngine {
+        self.engine.serial()
+    }
+}
 
 /// A named experiment: id, one-line description, and the function producing
 /// its tables.
@@ -18,8 +71,8 @@ pub struct Experiment {
     pub id: &'static str,
     /// One-line description (which claim of the paper it validates).
     pub description: &'static str,
-    /// Runs the experiment and returns its tables.
-    pub run: fn() -> Vec<Table>,
+    /// Runs the experiment on the given context and returns its tables.
+    pub run: fn(&ExpContext) -> Vec<Table>,
 }
 
 /// The registry of all experiments, in id order.

@@ -50,6 +50,7 @@ pub use dynnet_core as core;
 pub use dynnet_graph as graph;
 pub use dynnet_metrics as metrics;
 pub use dynnet_runtime as runtime;
+pub use dynnet_sweep as sweep;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -74,10 +75,15 @@ pub mod prelude {
     pub use dynnet_graph::{
         generators, CsrApplyOutcome, CsrGraph, Edge, Graph, GraphDelta, GraphWindow, NodeId,
     };
-    pub use dynnet_metrics::{log_fit, Series, Summary, Table};
+    pub use dynnet_metrics::{log_fit, RowSink, Series, Summary, Table};
     pub use dynnet_runtime::{
-        AllAtStart, ChurnStats, ConvergenceTracker, DeltaStats, NodeAlgorithm, RandomWakeup,
-        RoundObserver, RoundView, SimConfig, Simulator, Staggered, TraceRecorder, WakeupSchedule,
+        AllAtStart, ChurnStats, ConvergenceTracker, DeltaStats, NodeAlgorithm, ObserverFactory,
+        RandomWakeup, RoundObserver, RoundView, SimConfig, Simulator, Staggered, TraceRecorder,
+        WakeupSchedule,
+    };
+    pub use dynnet_sweep::{
+        run_observed, Aggregator, Cell, CellRows, GroupedSummary, SweepEngine, SweepError,
+        SweepReport, SweepRun, SweepSpec,
     };
 }
 

@@ -15,4 +15,4 @@ pub mod table;
 pub use fit::{linear_fit, linear_in_n_fit, log_fit, LinearFit};
 pub use series::Series;
 pub use stats::{quantile_sorted, Summary};
-pub use table::{fmt2, fmt_pct, Table};
+pub use table::{fmt2, fmt_pct, RowSink, Table};

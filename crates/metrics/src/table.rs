@@ -82,6 +82,60 @@ impl Table {
     }
 }
 
+/// Deterministic table assembly from keyed rows.
+///
+/// Sweeps and other concurrent producers hand back rows tagged with their
+/// grid index; a `RowSink` collects `(key, rows)` pairs in *any* arrival
+/// order and emits a [`Table`] whose rows are sorted by key — so the
+/// rendered table (and its CSV) depends only on the keys, never on thread
+/// scheduling or completion order.
+#[derive(Clone, Debug)]
+pub struct RowSink {
+    table: Table,
+    keyed: Vec<(usize, Vec<String>)>,
+}
+
+impl RowSink {
+    /// Creates a sink that assembles into a table with the given title and
+    /// headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        RowSink {
+            table: Table::new(title, headers),
+            keyed: Vec::new(),
+        }
+    }
+
+    /// Adds one row under `key`. Rows sharing a key keep their insertion
+    /// order relative to each other (stable sort).
+    pub fn push(&mut self, key: usize, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.table.headers.len(),
+            "row arity mismatch for key {key}"
+        );
+        self.keyed.push((key, row));
+    }
+
+    /// Number of rows collected so far.
+    pub fn len(&self) -> usize {
+        self.keyed.len()
+    }
+
+    /// Returns `true` if no rows were collected.
+    pub fn is_empty(&self) -> bool {
+        self.keyed.is_empty()
+    }
+
+    /// Sorts the collected rows by key and produces the table.
+    pub fn into_table(mut self) -> Table {
+        self.keyed.sort_by_key(|(k, _)| *k);
+        for (_, row) in self.keyed {
+            self.table.rows.push(row);
+        }
+        self.table
+    }
+}
+
 /// Formats a float with 2 decimal digits (helper for table cells).
 pub fn fmt2(x: f64) -> String {
     format!("{x:.2}")
@@ -128,6 +182,25 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn row_sink_orders_by_key_not_arrival() {
+        let mut sink = RowSink::new("t", &["k"]);
+        sink.push(2, vec!["two".into()]);
+        sink.push(0, vec!["zero".into()]);
+        sink.push(1, vec!["one".into()]);
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+        let t = sink.into_table();
+        assert_eq!(t.rows, vec![vec!["zero"], vec!["one"], vec!["two"]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_sink_checks_arity() {
+        let mut sink = RowSink::new("t", &["a", "b"]);
+        sink.push(0, vec!["only-one".into()]);
     }
 
     #[test]

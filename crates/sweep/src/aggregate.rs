@@ -1,0 +1,241 @@
+//! Deterministic aggregation of sweep results into [`Table`]s.
+//!
+//! An [`Aggregator`] folds the `(cell, result)` pairs of a finished sweep —
+//! always in grid order, regardless of which thread finished which cell
+//! first — into one or more [`Table`]s. Two reusable aggregators cover the
+//! common experiment shapes:
+//!
+//! * [`CellRows`] — each cell renders to zero or more table rows (one table
+//!   row per grid point, e.g. a churn-rate sweep).
+//! * [`GroupedSummary`] — consecutive cells sharing a group key (e.g. all
+//!   seeds of one `(family, n)` point) are folded into a [`Summary`] and
+//!   rendered as one row; the per-group summaries remain available for
+//!   second-stage fits (the `O(log n)` shape checks).
+
+use crate::engine::SweepRun;
+use crate::spec::{Cell, SweepSpec};
+use dynnet_metrics::{RowSink, Summary, Table};
+
+/// Folds per-cell results into tables, in deterministic grid order.
+pub trait Aggregator<P, R> {
+    /// Consumes one cell's result. Called once per cell, in grid order.
+    fn fold(&mut self, cell: &Cell<P>, result: R);
+
+    /// Produces the aggregated tables (called once, after the last fold).
+    fn finish(&mut self) -> Vec<Table>;
+}
+
+/// Folds a finished run through `agg` in grid order and returns the
+/// aggregator (so callers can extract secondary products such as fit
+/// points). Most callers use [`SweepEngine::aggregate`] instead.
+///
+/// [`SweepEngine::aggregate`]: crate::SweepEngine::aggregate
+pub fn fold<P, R, A: Aggregator<P, R>>(spec: &SweepSpec<P>, run: SweepRun<R>, mut agg: A) -> A {
+    for (cell, result) in spec.cells().iter().zip(run.into_results()) {
+        agg.fold(cell, result);
+    }
+    agg
+}
+
+impl crate::engine::SweepEngine {
+    /// Runs `spec` and aggregates the results in one step: executes every
+    /// cell (work-stealing across this engine's threads), folds the results
+    /// in grid order through `agg`, and returns the finished tables.
+    pub fn aggregate<P, R, F, A>(
+        &self,
+        spec: &SweepSpec<P>,
+        run_cell: F,
+        agg: A,
+    ) -> Result<Vec<Table>, crate::engine::SweepError>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&Cell<P>) -> R + Sync,
+        A: Aggregator<P, R>,
+    {
+        let run = self.run(spec, run_cell)?;
+        let mut agg = fold(spec, run, agg);
+        Ok(agg.finish())
+    }
+}
+
+/// Renders zero or more table rows per cell into a single table.
+///
+/// Rows are keyed by the cell's grid index through a [`RowSink`], so the
+/// assembled table is deterministic by construction.
+pub struct CellRows<F> {
+    sink: Option<RowSink>,
+    render: F,
+}
+
+impl<F> CellRows<F> {
+    /// Creates an aggregator rendering into a table with the given title and
+    /// headers; `render` maps each `(cell, result)` to the rows it
+    /// contributes.
+    pub fn new(title: impl Into<String>, headers: &[&str], render: F) -> Self {
+        CellRows {
+            sink: Some(RowSink::new(title, headers)),
+            render,
+        }
+    }
+}
+
+impl<P, R, F> Aggregator<P, R> for CellRows<F>
+where
+    F: FnMut(&Cell<P>, R) -> Vec<Vec<String>>,
+{
+    fn fold(&mut self, cell: &Cell<P>, result: R) {
+        let sink = self.sink.as_mut().expect("fold after finish");
+        for row in (self.render)(cell, result) {
+            sink.push(cell.index, row);
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Table> {
+        vec![self.sink.take().expect("finish called twice").into_table()]
+    }
+}
+
+/// Summarizes runs of consecutive cells sharing a group key into one row per
+/// group (the classic "mean/max over seeds" pattern of scaling sweeps).
+///
+/// `key` extracts the group key from a cell (e.g. `(family, n)`), `value`
+/// extracts the sample the cell contributes, and `row` renders one finished
+/// group. Cells of one group must be consecutive in grid order — which the
+/// row-major [`SweepSpec`] grids guarantee when the innermost axis is the
+/// one being summarized over (seeds).
+pub struct GroupedSummary<K, FK, FV, FR> {
+    sink: Option<RowSink>,
+    key: FK,
+    value: FV,
+    row: FR,
+    current: Option<(K, usize, Vec<f64>)>,
+    groups: Vec<(K, Summary)>,
+}
+
+impl<K, FK, FV, FR> GroupedSummary<K, FK, FV, FR> {
+    /// Creates a grouped-summary aggregator rendering into a table with the
+    /// given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str], key: FK, value: FV, row: FR) -> Self {
+        GroupedSummary {
+            sink: Some(RowSink::new(title, headers)),
+            key,
+            value,
+            row,
+            current: None,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The finished `(key, summary)` groups, in grid order. Populated by
+    /// [`Aggregator::finish`]; used for second-stage aggregation such as
+    /// least-squares fits over group means.
+    pub fn groups(&self) -> &[(K, Summary)] {
+        &self.groups
+    }
+}
+
+impl<P, R, K, FK, FV, FR> Aggregator<P, R> for GroupedSummary<K, FK, FV, FR>
+where
+    K: PartialEq + Clone,
+    FK: FnMut(&Cell<P>) -> K,
+    FV: FnMut(&Cell<P>, &R) -> f64,
+    FR: FnMut(&K, &Summary) -> Vec<String>,
+{
+    fn fold(&mut self, cell: &Cell<P>, result: R) {
+        let k = (self.key)(cell);
+        let v = (self.value)(cell, &result);
+        match &mut self.current {
+            Some((cur, _, samples)) if *cur == k => samples.push(v),
+            _ => {
+                self.flush();
+                self.current = Some((k, cell.index, vec![v]));
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Table> {
+        self.flush();
+        vec![self.sink.take().expect("finish called twice").into_table()]
+    }
+}
+
+impl<K, FK, FV, FR> GroupedSummary<K, FK, FV, FR> {
+    fn flush(&mut self)
+    where
+        K: Clone,
+        FR: FnMut(&K, &Summary) -> Vec<String>,
+    {
+        if let Some((k, first_index, samples)) = self.current.take() {
+            let summary = Summary::of(&samples);
+            let row = (self.row)(&k, &summary);
+            self.sink
+                .as_mut()
+                .expect("fold after finish")
+                .push(first_index, row);
+            self.groups.push((k, summary));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SweepEngine;
+
+    #[test]
+    fn cell_rows_in_grid_order() {
+        let spec = SweepSpec::grid2("t", &[1, 2], &[10, 20], |a, b| {
+            (format!("{a}/{b}"), (*a, *b))
+        });
+        let tables = SweepEngine::new(4)
+            .aggregate(
+                &spec,
+                |c| c.params.0 * c.params.1,
+                CellRows::new(
+                    "products",
+                    &["label", "product"],
+                    |c: &Cell<(i32, i32)>, r| vec![vec![c.label.clone(), format!("{r}")]],
+                ),
+            )
+            .unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0].rows,
+            vec![
+                vec!["1/10", "10"],
+                vec!["1/20", "20"],
+                vec!["2/10", "20"],
+                vec!["2/20", "40"],
+            ]
+        );
+    }
+
+    #[test]
+    fn grouped_summary_over_inner_axis() {
+        // Outer axis n, inner axis seed: one row per n, summarizing seeds.
+        let ns = [8usize, 16];
+        let seeds = [0u64, 1, 2, 3];
+        let spec = SweepSpec::grid2("g", &ns, &seeds, |n, s| {
+            (format!("n={n} seed={s}"), (*n, *s))
+        });
+        let run = SweepEngine::new(3)
+            .run(&spec, |c| (c.params.0 as u64 + c.params.1) as f64)
+            .unwrap();
+        let agg = GroupedSummary::new(
+            "per-n",
+            &["n", "mean"],
+            |c: &Cell<(usize, u64)>| c.params.0,
+            |_c: &Cell<(usize, u64)>, r: &f64| *r,
+            |n: &usize, s: &Summary| vec![n.to_string(), format!("{:.2}", s.mean)],
+        );
+        let mut agg = fold(&spec, run, agg);
+        let tables = Aggregator::<(usize, u64), f64>::finish(&mut agg);
+        assert_eq!(tables[0].rows, vec![vec!["8", "9.50"], vec!["16", "17.50"]]);
+        let groups = agg.groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 8);
+        assert_eq!(groups[0].1.count, 4);
+        assert!((groups[1].1.mean - 17.5).abs() < 1e-9);
+    }
+}

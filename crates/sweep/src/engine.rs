@@ -1,0 +1,489 @@
+//! The sharded work-stealing executor behind every sweep.
+//!
+//! A [`SweepEngine`] executes the cells of a [`SweepSpec`] on a fixed pool
+//! of worker threads. The cells are split into one contiguous shard per
+//! worker; a worker drains its own shard front-to-back and, when it runs
+//! dry, steals the back half of the fullest remaining shard — so a shard of
+//! slow cells (large `n`, long horizons) cannot serialize the sweep behind
+//! one thread. Because every cell is a self-contained deterministic
+//! computation (it builds its own adversary, RNG streams, and observers from
+//! its parameters) and results are stored under the cell's grid index, the
+//! sweep's output is byte-identical no matter how many threads execute it or
+//! how the steals interleave.
+//!
+//! A panic in any cell cancels the sweep: the remaining queues are drained,
+//! in-flight cells finish, and the engine reports *which grid cell* failed
+//! ([`SweepError`] carries the cell index and label) instead of tearing down
+//! the process.
+
+use crate::spec::{Cell, SweepSpec};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A sweep failed because a cell panicked (or a worker died).
+#[derive(Clone, Debug)]
+pub struct SweepError {
+    /// Name of the sweep spec that failed.
+    pub sweep: String,
+    /// Grid index of the failing cell.
+    pub cell_index: usize,
+    /// Label of the failing cell.
+    pub cell_label: String,
+    /// The panic message (best-effort extraction from the panic payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep '{}' failed at cell {} [{}]: {}",
+            self.sweep, self.cell_index, self.cell_label, self.message
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Per-shard execution counters, reported after every sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Cells this worker executed (its own plus stolen ones).
+    pub executed: usize,
+    /// Cells this worker stole from other shards.
+    pub stolen: usize,
+}
+
+/// Timing and load-balance report of one executed sweep.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Total number of cells executed.
+    pub cells: usize,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the sweep.
+    pub elapsed: Duration,
+    /// Per-worker counters, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl SweepReport {
+    /// Scenario throughput in cells per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.cells as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The result of a successful sweep: per-cell results in grid order plus the
+/// execution report.
+pub struct SweepRun<R> {
+    pub(crate) results: Vec<R>,
+    report: SweepReport,
+}
+
+impl<R> SweepRun<R> {
+    /// The per-cell results, indexed by grid (cell) index — independent of
+    /// the order in which the cells actually completed.
+    pub fn results(&self) -> &[R] {
+        &self.results
+    }
+
+    /// Consumes the run into the grid-ordered result vector.
+    pub fn into_results(self) -> Vec<R> {
+        self.results
+    }
+
+    /// Timing and per-shard load-balance counters.
+    pub fn report(&self) -> &SweepReport {
+        &self.report
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes [`SweepSpec`]s on a sharded work-stealing thread pool.
+///
+/// The engine is a cheap value (two integers); construct one per harness
+/// invocation and share it by reference. `threads == 1` degenerates to an
+/// in-place sequential loop (no threads are spawned), which is the reference
+/// execution every multi-threaded run must reproduce byte-for-byte.
+#[derive(Clone, Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    progress: bool,
+}
+
+impl Default for SweepEngine {
+    /// One worker per available core, progress reporting off.
+    fn default() -> Self {
+        SweepEngine::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl SweepEngine {
+    /// Creates an engine with the given number of worker threads (min 1).
+    pub fn new(threads: usize) -> Self {
+        SweepEngine {
+            threads: threads.max(1),
+            progress: false,
+        }
+    }
+
+    /// Enables or disables progress/throughput reporting on stderr.
+    pub fn with_progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A single-threaded twin of this engine (same progress setting). Used
+    /// by timing-sensitive sweeps (e.g. throughput experiments) that must
+    /// not share the machine with sibling cells.
+    pub fn serial(&self) -> SweepEngine {
+        SweepEngine {
+            threads: 1,
+            progress: self.progress,
+        }
+    }
+
+    /// Executes every cell of `spec` and returns the results in grid order.
+    ///
+    /// `run_cell` is invoked once per cell, possibly concurrently from many
+    /// worker threads; it must derive everything it needs (graphs, RNGs,
+    /// observers) from the cell's parameters. If any cell panics the sweep
+    /// is cancelled and the failing cell is reported in the [`SweepError`].
+    pub fn run<P, R, F>(&self, spec: &SweepSpec<P>, run_cell: F) -> Result<SweepRun<R>, SweepError>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&Cell<P>) -> R + Sync,
+    {
+        let total = spec.len();
+        let start = Instant::now();
+        if total == 0 {
+            return Ok(SweepRun {
+                results: Vec::new(),
+                report: SweepReport {
+                    cells: 0,
+                    threads: 1,
+                    elapsed: start.elapsed(),
+                    shards: vec![ShardStats::default()],
+                },
+            });
+        }
+        let threads = self.threads.min(total);
+        if threads == 1 {
+            return self.run_serial(spec, run_cell, start);
+        }
+
+        // One contiguous shard of cell indices per worker.
+        let chunk = total.div_ceil(threads);
+        let shards: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+            .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(total)).collect()))
+            .collect();
+        let cancel = AtomicBool::new(false);
+        let failure: Mutex<Option<SweepError>> = Mutex::new(None);
+        let completed = AtomicUsize::new(0);
+        // Report roughly ten times per sweep (always on the final cell).
+        let report_step = (total / 10).max(1);
+
+        let mut worker_outputs: Vec<(Vec<(usize, R)>, ShardStats)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let shards = &shards;
+                let cancel = &cancel;
+                let failure = &failure;
+                let completed = &completed;
+                let run_cell = &run_cell;
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut stats = ShardStats::default();
+                    'work: while !cancel.load(Ordering::Relaxed) {
+                        // Own shard first.
+                        let mut next = shards[w].lock().expect("shard lock").pop_front();
+                        let mut stolen = false;
+                        if next.is_none() {
+                            // Steal the back half of the fullest shard. The
+                            // length scan releases each lock before the
+                            // steal, so the observed victim may be drained
+                            // by the time we re-lock it — in that case retry
+                            // the whole scan (another shard may still hold
+                            // work) instead of exiting; only an all-empty
+                            // scan ends the worker.
+                            let (victim, observed_len) = (0..threads)
+                                .filter(|&v| v != w)
+                                .map(|v| (v, shards[v].lock().expect("shard lock").len()))
+                                .max_by_key(|&(_, len)| len)
+                                .unwrap_or((w, 0));
+                            if observed_len == 0 {
+                                break 'work; // every shard is empty: sweep done
+                            }
+                            let mut q = shards[victim].lock().expect("shard lock");
+                            let keep = q.len() / 2;
+                            let mut loot = q.split_off(keep);
+                            drop(q);
+                            next = loot.pop_front();
+                            if next.is_none() {
+                                continue 'work; // lost the race; rescan
+                            }
+                            stolen = true;
+                            // All looted cells count as stolen, including
+                            // the ones parked in our own shard for later.
+                            stats.stolen += loot.len();
+                            if !loot.is_empty() {
+                                shards[w].lock().expect("shard lock").extend(loot);
+                            }
+                        }
+                        let Some(i) = next else {
+                            break 'work; // own shard empty and nothing to steal
+                        };
+                        if stolen {
+                            stats.stolen += 1;
+                        }
+                        let cell = &spec.cells()[i];
+                        match catch_unwind(AssertUnwindSafe(|| run_cell(cell))) {
+                            Ok(r) => {
+                                out.push((i, r));
+                                stats.executed += 1;
+                                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                                if self.progress
+                                    && (done.is_multiple_of(report_step) || done == total)
+                                {
+                                    let secs = start.elapsed().as_secs_f64();
+                                    eprintln!(
+                                        "  [sweep {}] {done}/{total} cells ({:.0}%) on {threads} threads, {:.1} cells/s",
+                                        spec.name(),
+                                        100.0 * done as f64 / total as f64,
+                                        done as f64 / secs.max(1e-9),
+                                    );
+                                }
+                            }
+                            Err(payload) => {
+                                let mut slot = failure.lock().expect("failure lock");
+                                if slot.is_none() {
+                                    *slot = Some(SweepError {
+                                        sweep: spec.name().to_string(),
+                                        cell_index: cell.index,
+                                        cell_label: cell.label.clone(),
+                                        message: panic_message(payload.as_ref()),
+                                    });
+                                }
+                                cancel.store(true, Ordering::Relaxed);
+                                break 'work;
+                            }
+                        }
+                    }
+                    (out, stats)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(pair) => worker_outputs.push(pair),
+                    Err(payload) => {
+                        // A worker died outside catch_unwind (should not
+                        // happen); surface it as a sweep-level failure.
+                        let mut slot = failure.lock().expect("failure lock");
+                        if slot.is_none() {
+                            *slot = Some(SweepError {
+                                sweep: spec.name().to_string(),
+                                cell_index: usize::MAX,
+                                cell_label: "<worker>".to_string(),
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some(err) = failure.into_inner().expect("failure lock") {
+            return Err(err);
+        }
+        // Assemble results by grid index, independent of completion order.
+        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut shard_stats = Vec::with_capacity(threads);
+        for (pairs, stats) in worker_outputs {
+            shard_stats.push(stats);
+            for (i, r) in pairs {
+                slots[i] = Some(r);
+            }
+        }
+        let results: Vec<R> = slots
+            .into_iter()
+            .map(|s| s.expect("every cell executed exactly once"))
+            .collect();
+        let report = SweepReport {
+            cells: total,
+            threads,
+            elapsed: start.elapsed(),
+            shards: shard_stats,
+        };
+        self.log_report(spec.name(), &report);
+        Ok(SweepRun { results, report })
+    }
+
+    /// The `threads == 1` reference path: a plain in-order loop on the
+    /// calling thread (still panic-isolated per cell).
+    fn run_serial<P, R, F>(
+        &self,
+        spec: &SweepSpec<P>,
+        run_cell: F,
+        start: Instant,
+    ) -> Result<SweepRun<R>, SweepError>
+    where
+        F: Fn(&Cell<P>) -> R,
+    {
+        let mut results = Vec::with_capacity(spec.len());
+        for cell in spec.cells() {
+            match catch_unwind(AssertUnwindSafe(|| run_cell(cell))) {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    return Err(SweepError {
+                        sweep: spec.name().to_string(),
+                        cell_index: cell.index,
+                        cell_label: cell.label.clone(),
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        let report = SweepReport {
+            cells: spec.len(),
+            threads: 1,
+            elapsed: start.elapsed(),
+            shards: vec![ShardStats {
+                executed: spec.len(),
+                stolen: 0,
+            }],
+        };
+        self.log_report(spec.name(), &report);
+        Ok(SweepRun { results, report })
+    }
+
+    fn log_report(&self, name: &str, report: &SweepReport) {
+        if !self.progress {
+            return;
+        }
+        let shards: Vec<String> = report
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("shard {i}: {} cells ({} stolen)", s.executed, s.stolen))
+            .collect();
+        eprintln!(
+            "  [sweep {name}] {} cells on {} threads in {:.2}s ({:.1} cells/s; {})",
+            report.cells,
+            report.threads,
+            report.elapsed.as_secs_f64(),
+            report.throughput(),
+            shards.join(", "),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_spec(n: usize) -> SweepSpec<usize> {
+        let axis: Vec<usize> = (0..n).collect();
+        SweepSpec::grid1("squares", &axis, |&i| (format!("i={i}"), i))
+    }
+
+    #[test]
+    fn results_are_in_grid_order() {
+        let spec = square_spec(97);
+        for threads in [1, 3, 8] {
+            let run = SweepEngine::new(threads)
+                .run(&spec, |c| c.params * c.params)
+                .unwrap();
+            let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+            assert_eq!(run.results(), &expect[..], "threads={threads}");
+            assert_eq!(run.report().cells, 97);
+            let executed: usize = run.report().shards.iter().map(|s| s.executed).sum();
+            assert_eq!(executed, 97);
+        }
+    }
+
+    #[test]
+    fn uneven_cells_get_stolen() {
+        // First shard holds all the slow cells; with 4 workers the others
+        // must steal to finish. We can't assert steal counts (timing), but
+        // the result must still be complete and ordered.
+        let spec = square_spec(64);
+        let run = SweepEngine::new(4)
+            .run(&spec, |c| {
+                if c.params < 16 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                c.params
+            })
+            .unwrap();
+        assert_eq!(run.results().len(), 64);
+        assert!(run.results().iter().enumerate().all(|(i, &r)| i == r));
+        assert_eq!(run.report().threads, 4);
+        assert_eq!(run.report().shards.len(), 4);
+    }
+
+    #[test]
+    fn empty_spec_is_ok() {
+        let spec: SweepSpec<u8> = SweepSpec::new("empty");
+        let run = SweepEngine::new(4).run(&spec, |_| 0u8).unwrap();
+        assert!(run.results().is_empty());
+        assert!(run.report().throughput().is_infinite() || run.report().cells == 0);
+    }
+
+    #[test]
+    fn panic_reports_failing_cell() {
+        let spec = square_spec(12);
+        for threads in [1, 4] {
+            let err = match SweepEngine::new(threads).run(&spec, |c| {
+                if c.params == 7 {
+                    panic!("bad cell seven");
+                }
+                c.params
+            }) {
+                Err(e) => e,
+                Ok(_) => panic!("expected the sweep to fail"),
+            };
+            assert_eq!(err.cell_index, 7, "threads={threads}");
+            assert_eq!(err.cell_label, "i=7");
+            assert!(err.message.contains("bad cell seven"));
+            assert!(err.to_string().contains("squares"));
+        }
+    }
+
+    #[test]
+    fn serial_twin_and_threads_accessor() {
+        let engine = SweepEngine::new(8);
+        assert_eq!(engine.threads(), 8);
+        assert_eq!(engine.serial().threads(), 1);
+        assert_eq!(SweepEngine::new(0).threads(), 1);
+    }
+}

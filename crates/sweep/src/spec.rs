@@ -1,0 +1,195 @@
+//! Declarative sweep specifications: named cartesian grids of scenario
+//! parameters.
+//!
+//! A [`SweepSpec`] is a flat, deterministically ordered list of [`Cell`]s.
+//! The cartesian constructors ([`SweepSpec::grid1`] … [`SweepSpec::grid4`])
+//! materialize the grid in row-major order — the first axis is the
+//! outermost loop — so a spec built from the same axes always enumerates the
+//! same cells in the same order, no matter how many threads later execute
+//! it. Every cell carries its linear `index` (its grid coordinate collapsed
+//! into enumeration order); all sweep results are keyed by that index, never
+//! by completion order.
+
+/// One point of a sweep grid: the cell's parameters plus its identity within
+/// the spec.
+#[derive(Clone, Debug)]
+pub struct Cell<P> {
+    /// Linear index of the cell in grid (row-major) order. This is the key
+    /// under which the cell's result is stored and aggregated.
+    pub index: usize,
+    /// Human-readable label (used in progress output and error reports).
+    pub label: String,
+    /// The cell's parameters (seed, adversary constructor, `n`, churn rate,
+    /// window size, algorithm selector, …).
+    pub params: P,
+}
+
+/// A declarative multi-scenario sweep: a name plus a deterministically
+/// ordered list of grid cells.
+///
+/// Build one with the cartesian constructors or by [`SweepSpec::push`]ing
+/// cells explicitly, then execute it with
+/// [`SweepEngine::run`](crate::SweepEngine::run).
+#[derive(Clone, Debug)]
+pub struct SweepSpec<P> {
+    name: String,
+    cells: Vec<Cell<P>>,
+}
+
+impl<P> SweepSpec<P> {
+    /// Creates an empty spec with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends one cell; its index is its position in insertion order.
+    pub fn push(&mut self, label: impl Into<String>, params: P) -> &mut Self {
+        self.cells.push(Cell {
+            index: self.cells.len(),
+            label: label.into(),
+            params,
+        });
+        self
+    }
+
+    /// Builder-style [`SweepSpec::push`].
+    pub fn cell(mut self, label: impl Into<String>, params: P) -> Self {
+        self.push(label, params);
+        self
+    }
+
+    /// A one-axis grid: one cell per value of `axis`, in slice order.
+    /// `make` maps each axis value to the cell's `(label, params)`.
+    pub fn grid1<A>(name: impl Into<String>, axis: &[A], make: impl Fn(&A) -> (String, P)) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for a in axis {
+            let (label, params) = make(a);
+            spec.push(label, params);
+        }
+        spec
+    }
+
+    /// A two-axis cartesian grid in row-major order (`a` is the outer loop).
+    pub fn grid2<A, B>(
+        name: impl Into<String>,
+        a_axis: &[A],
+        b_axis: &[B],
+        make: impl Fn(&A, &B) -> (String, P),
+    ) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for a in a_axis {
+            for b in b_axis {
+                let (label, params) = make(a, b);
+                spec.push(label, params);
+            }
+        }
+        spec
+    }
+
+    /// A three-axis cartesian grid in row-major order.
+    pub fn grid3<A, B, C>(
+        name: impl Into<String>,
+        a_axis: &[A],
+        b_axis: &[B],
+        c_axis: &[C],
+        make: impl Fn(&A, &B, &C) -> (String, P),
+    ) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for a in a_axis {
+            for b in b_axis {
+                for c in c_axis {
+                    let (label, params) = make(a, b, c);
+                    spec.push(label, params);
+                }
+            }
+        }
+        spec
+    }
+
+    /// A four-axis cartesian grid in row-major order.
+    pub fn grid4<A, B, C, D>(
+        name: impl Into<String>,
+        a_axis: &[A],
+        b_axis: &[B],
+        c_axis: &[C],
+        d_axis: &[D],
+        make: impl Fn(&A, &B, &C, &D) -> (String, P),
+    ) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for a in a_axis {
+            for b in b_axis {
+                for c in c_axis {
+                    for d in d_axis {
+                        let (label, params) = make(a, b, c, d);
+                        spec.push(label, params);
+                    }
+                }
+            }
+        }
+        spec
+    }
+
+    /// The spec's name (shown in progress output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cells in grid order.
+    pub fn cells(&self) -> &[Cell<P>] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the spec has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major() {
+        let spec = SweepSpec::grid2("g", &[1, 2], &["a", "b", "c"], |n, s| {
+            (format!("{n}{s}"), (*n, *s))
+        });
+        let labels: Vec<&str> = spec.cells().iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["1a", "1b", "1c", "2a", "2b", "2c"]);
+        assert_eq!(spec.cells()[4].index, 4);
+        assert_eq!(spec.cells()[4].params, (2, "b"));
+        assert_eq!(spec.len(), 6);
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    fn push_assigns_indices() {
+        let mut spec = SweepSpec::new("s");
+        spec.push("x", 10).push("y", 20);
+        assert_eq!(spec.name(), "s");
+        assert_eq!(spec.cells()[1].index, 1);
+        assert_eq!(spec.cells()[1].params, 20);
+    }
+
+    #[test]
+    fn grid3_and_grid4_order() {
+        let spec = SweepSpec::grid3("g", &[0, 1], &[0, 1], &[0, 1], |a, b, c| {
+            (String::new(), 4 * a + 2 * b + c)
+        });
+        let params: Vec<i32> = spec.cells().iter().map(|c| c.params).collect();
+        assert_eq!(params, (0..8).collect::<Vec<_>>());
+        let spec4 = SweepSpec::grid4("g", &[0, 1], &[0, 1], &[0, 1], &[0, 1], |a, b, c, d| {
+            (String::new(), 8 * a + 4 * b + 2 * c + d)
+        });
+        let params: Vec<i32> = spec4.cells().iter().map(|c| c.params).collect();
+        assert_eq!(params, (0..16).collect::<Vec<_>>());
+    }
+}
