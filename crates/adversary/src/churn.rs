@@ -216,7 +216,7 @@ impl Adversary for FlipChurnAdversary {
     }
 
     /// Delta-native: each flip becomes one inserted or removed edge. The
-    /// flipping edges are located by [`geometric_flips`] skip-sampling, so a
+    /// flipping edges are located by `geometric_flips` skip-sampling, so a
     /// round costs `O(p·m)` RNG draws (the expected delta size) instead of
     /// one Bernoulli draw per footprint edge. Each edge still flips
     /// independently with probability `p`, exactly as before.

@@ -297,6 +297,7 @@ where
             graph: &summary.graph,
             delta: summary.delta.as_ref(),
             outputs: self.sim.outputs(),
+            changed_outputs: Some(&summary.changed_outputs),
             newly_awake: &summary.newly_awake,
             num_awake: summary.num_awake,
             graph_cell: &graph_cell,

@@ -1,0 +1,113 @@
+//! Verification benchmarks: per-checked-round cost of the incremental
+//! T-dynamic verifier (ledger patched from the window's `WindowUpdate` dirty
+//! set + the round's output churn, `O(|δ| + churn)`) versus the full
+//! re-check oracle (window graphs materialized, every node of `V^∩T`
+//! re-evaluated, `O(n + |G^∪T|)`).
+//!
+//! At the ISSUE's reference point — 10k nodes, ~0.1% of edges changing per
+//! round and ~0.1% of nodes changing output per round, `T = 32` — the
+//! incremental checked round must beat the full re-check by ≥10x (it is
+//! typically two to three orders of magnitude faster, the same shape as
+//! `bench_delta`'s round pipeline comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynnet::graph::algo::greedy_coloring;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
+
+const N: usize = 10_000;
+const WINDOW: usize = 32;
+/// 0.1% churn of both kinds per round: ~40 of the ~40k footprint edges flip,
+/// and 10 of the 10k nodes change their output.
+const FLIP_P: f64 = 0.001;
+const OUTPUT_CHURN: usize = N / 1000;
+
+struct VerifyWorkload {
+    g0: Graph,
+    deltas: Vec<GraphDelta>,
+    outputs: Vec<Option<ColorOutput>>,
+}
+
+fn workload() -> VerifyWorkload {
+    let footprint =
+        generators::erdos_renyi_avg_degree(N, 8.0, &mut experiment_rng(1, "bench-verify"));
+    let mut adv = FlipChurnAdversary::new(&footprint, FLIP_P, 7);
+    let g0 = Adversary::initial_graph(&mut adv);
+    let mut g = g0.clone();
+    // Pre-record a long schedule so the benches replay identical rounds
+    // (cycled once the iteration count exceeds it).
+    let deltas: Vec<GraphDelta> = (1..1024u64)
+        .map(|r| {
+            let d = Adversary::next_delta(&mut adv, r, &g);
+            d.apply(&mut g);
+            d
+        })
+        .collect();
+    let outputs: Vec<Option<ColorOutput>> = greedy_coloring(&g0)
+        .into_iter()
+        .map(|c| Some(ColorOutput::Colored(c.max(1))))
+        .collect();
+    VerifyWorkload {
+        g0,
+        deltas,
+        outputs,
+    }
+}
+
+/// One checked verification round, incremental vs full re-check, on
+/// identical delta schedules and identical synthetic output churn.
+fn bench_checked_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_round");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let w = workload();
+
+    for (label, full) in [("full_recheck", true), ("incremental", false)] {
+        group.bench_function(label, |b| {
+            let mut verifier = TDynamicVerifier::new(ColoringProblem, WINDOW);
+            if full {
+                verifier = verifier.full_recheck();
+            }
+            let mut outputs = w.outputs.clone();
+            verifier.observe(&w.g0, &outputs);
+            // Fill the window so every measured round is a checked round.
+            let mut i = 0usize;
+            for _ in 0..WINDOW {
+                verifier
+                    .observe_delta_with_churn(&w.deltas[i % w.deltas.len()], &outputs, Some(&[]))
+                    .unwrap();
+                i += 1;
+            }
+            let mut churn_round = 0usize;
+            b.iter(|| {
+                // 0.1% output churn: OUTPUT_CHURN nodes pick a new color.
+                let mut changed = Vec::with_capacity(OUTPUT_CHURN);
+                for k in 0..OUTPUT_CHURN {
+                    let v = (churn_round * OUTPUT_CHURN + k) % N;
+                    let next = match outputs[v] {
+                        Some(ColorOutput::Colored(c)) => c % 64 + 1,
+                        _ => 1,
+                    };
+                    outputs[v] = Some(ColorOutput::Colored(next));
+                    changed.push(NodeId::new(v));
+                }
+                churn_round += 1;
+                verifier
+                    .observe_delta_with_churn(
+                        &w.deltas[i % w.deltas.len()],
+                        &outputs,
+                        Some(&changed),
+                    )
+                    .unwrap();
+                i += 1;
+                verifier.summary().rounds_checked
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checked_round);
+criterion_main!(benches);

@@ -5,6 +5,15 @@
 //! quantitative claims — see DESIGN.md §5 for the experiment index), plus
 //! Criterion micro-benchmarks of the substrate and the algorithms.
 //!
+//! The E1–E14 experiments ([`exp`]) are declared as `SweepSpec` grids on the
+//! work-stealing `dynnet-sweep` engine and stream their executions through
+//! `RoundObserver`s, so the harness exercises the delta pipeline end to end.
+//! The benches pin its per-round asymptotics: `bench_delta` (adversary →
+//! simulator round, `O(|δ|)` vs full rebuild), `bench_verify` (checked
+//! verification round, `O(|δ| + output churn)` incremental ledger vs full
+//! re-check), `bench_window` (window maintenance), and `bench_sweep`
+//! (1 → N thread scaling).
+//!
 //! Run all experiments:
 //!
 //! ```text

@@ -11,12 +11,17 @@
 //!   and partial-solution predicates (Definitions 3.1/3.2).
 //! * [`coloring`] / [`mis`] — the two concrete problems of the paper.
 //! * [`tdynamic`] — the T-dynamic solution checker (packing on `G^∩T`,
-//!   covering on `G^∪T`).
-//! * [`concat`] — Algorithm 1: combining a network-static and a dynamic
+//!   covering on `G^∪T`), factored into a per-node [`NodeVerdict`] kernel
+//!   shared by the batch and incremental paths.
+//! * [`mod@concat`] — Algorithm 1: combining a network-static and a dynamic
 //!   algorithm into one that satisfies Theorem 1.1.
 //! * [`verify`] — execution-level verification harnesses for both parts of
-//!   Theorem 1.1, used by tests and experiments; [`TDynamicVerifier`] is the
-//!   streaming (`RoundObserver`) form holding only `O(window)` graphs.
+//!   Theorem 1.1, used by tests and experiments. [`TDynamicVerifier`] is the
+//!   streaming (`RoundObserver`) form: it consumes the delta pipeline's
+//!   per-round [`dynnet_graph::WindowUpdate`] dirty sets and output churn,
+//!   re-evaluating only the affected nodes via a [`verify::ViolationLedger`]
+//!   (`O(|δ| + churn)` per checked round); the full re-check remains as its
+//!   [`TDynamicVerifier::full_recheck`] oracle mode.
 
 #![warn(missing_docs)]
 
@@ -35,10 +40,10 @@ pub use concat::{
 pub use mis::MisProblem;
 pub use output::{Color, ColorOutput, HasBottom, MisOutput};
 pub use problem::DynamicProblem;
-pub use tdynamic::{check_t_dynamic, TDynamicReport};
+pub use tdynamic::{check_t_dynamic, node_verdict, NodeVerdict, TDynamicReport};
 pub use verify::{
     last_change_round, output_churn_series, verify_locally_static, verify_t_dynamic_run,
-    TDynamicVerifier, VerificationSummary,
+    TDynamicVerifier, VerificationSummary, VerifyError, ViolationLedger,
 };
 
 /// Recommended window size `T = Θ(log n)` for the paper's algorithms.

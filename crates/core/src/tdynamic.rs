@@ -11,7 +11,7 @@
 
 use crate::output::HasBottom;
 use crate::problem::{densify_outputs, DynamicProblem};
-use dynnet_graph::{GraphWindow, NodeId};
+use dynnet_graph::{Graph, GraphWindow, NodeId};
 
 /// Result of checking one round's output against the window.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,8 +50,74 @@ impl TDynamicReport {
     }
 }
 
+/// The verdict of one node's T-dynamic check: the three facts the round
+/// summary is built from. Produced by [`node_verdict`]; the batch
+/// [`check_t_dynamic`] evaluates it for every node of `V^∩T_r`, the
+/// incremental verifier (`dynnet_core::verify::ViolationLedger`) only for
+/// the round's dirty nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeVerdict {
+    /// The node's output is `⊥` (blocks a *full* T-dynamic solution).
+    pub undecided: bool,
+    /// The packing property holds at the node on `G^∩T_r`. Vacuously `true`
+    /// for undecided nodes — the packing/covering predicates are only
+    /// evaluated on decided outputs.
+    pub packing_ok: bool,
+    /// The covering property holds at the node on `G^∪T_r` (vacuously `true`
+    /// for undecided nodes).
+    pub covering_ok: bool,
+}
+
+impl NodeVerdict {
+    /// The verdict of a node that is not subject to checking at all (outside
+    /// `V^∩T_r`): decided-enough, violating nothing.
+    pub const CLEAR: NodeVerdict = NodeVerdict {
+        undecided: false,
+        packing_ok: true,
+        covering_ok: true,
+    };
+
+    /// Returns `true` if the node contributes nothing against a full
+    /// T-dynamic solution (decided, packing and covering both hold).
+    pub fn is_clean(&self) -> bool {
+        !self.undecided && self.packing_ok && self.covering_ok
+    }
+}
+
+/// Evaluates one node of `V^∩T_r` against materialized window graphs: the
+/// per-node kernel shared by the batch checker and the incremental verifier.
+///
+/// `dense` must be the ⊥-densified output vector (see
+/// [`crate::problem::densify_outputs`]); `intersection` / `union` must carry
+/// the adjacency of `G^∩T_r` / `G^∪T_r`. Cost: `O(deg_union(v))` for the
+/// radius-1 problems of the paper.
+pub fn node_verdict<P: DynamicProblem>(
+    problem: &P,
+    intersection: &Graph,
+    union: &Graph,
+    v: NodeId,
+    dense: &[P::Output],
+) -> NodeVerdict {
+    if dense[v.index()].is_bottom() {
+        return NodeVerdict {
+            undecided: true,
+            packing_ok: true,
+            covering_ok: true,
+        };
+    }
+    NodeVerdict {
+        undecided: false,
+        packing_ok: problem.packing_solution_ok_at(intersection, v, dense),
+        covering_ok: problem.covering_solution_ok_at(union, v, dense),
+    }
+}
+
 /// Checks whether `outputs` (as published by the simulator, `None` = asleep)
-/// is a T-dynamic solution with respect to the given window.
+/// is a T-dynamic solution with respect to the given window — the full
+/// re-check: both window graphs are materialized and every node of `V^∩T_r`
+/// is re-evaluated (`O(n + |G^∪T|)` per call). The streaming
+/// [`crate::TDynamicVerifier`] reaches the same verdicts in
+/// `O(|δ| + output churn)` per round.
 pub fn check_t_dynamic<P: DynamicProblem>(
     problem: &P,
     window: &GraphWindow,
@@ -66,14 +132,15 @@ pub fn check_t_dynamic<P: DynamicProblem>(
     let mut packing_violations = Vec::new();
     let mut covering_violations = Vec::new();
     for &v in &nodes {
-        if dense[v.index()].is_bottom() {
+        let verdict = node_verdict(problem, &inter, &union, v, &dense);
+        if verdict.undecided {
             undecided.push(v);
             continue;
         }
-        if !problem.packing_solution_ok_at(&inter, v, &dense) {
+        if !verdict.packing_ok {
             packing_violations.push(v);
         }
-        if !problem.covering_solution_ok_at(&union, v, &dense) {
+        if !verdict.covering_ok {
             covering_violations.push(v);
         }
     }

@@ -7,11 +7,11 @@
 
 use crate::output::HasBottom;
 use crate::problem::DynamicProblem;
-use crate::tdynamic::{check_t_dynamic, TDynamicReport};
-use dynnet_graph::{Graph, GraphDelta, GraphWindow, NodeId};
+use crate::tdynamic::{check_t_dynamic, node_verdict, NodeVerdict};
+use dynnet_graph::{Graph, GraphDelta, GraphWindow, NodeId, WindowUpdate};
 
 /// Per-round verification result plus aggregate counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VerificationSummary {
     /// Number of rounds that were subject to checking.
     pub rounds_checked: usize,
@@ -50,6 +50,252 @@ impl VerificationSummary {
     }
 }
 
+/// Error returned by the delta observation path of [`TDynamicVerifier`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// [`TDynamicVerifier::observe_delta`] was called before any initial
+    /// whole graph was observed: a delta is a change *relative to the
+    /// previous round*, so round 0 must be supplied via
+    /// [`TDynamicVerifier::observe`] (the `RoundObserver` hook does this
+    /// automatically by falling back to the materialized graph).
+    DeltaBeforeInitialGraph,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::DeltaBeforeInitialGraph => f.write_str(
+                "observe the initial round as a whole graph (TDynamicVerifier::observe) \
+                 before feeding deltas",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Persistent per-node verdict state of the incremental T-dynamic verifier.
+///
+/// The ledger holds materialized copies of the window graphs (`G^∩T_r`
+/// adjacency in `intersection`, `G^∪T_r` adjacency in `union`), the `V^∩T_r`
+/// membership flags, the ⊥-densified output vector, and one [`NodeVerdict`]
+/// bit-triple per node together with the three violation counters the round
+/// summary is built from.
+///
+/// Per round it consumes the window's [`WindowUpdate`] and the round's
+/// output churn, and re-evaluates *only the dirty nodes* — the union of
+///
+/// * nodes incident to a window-membership event (delta endpoints, edges
+///   aging out of the union, runs maturing into the intersection, `V^∩T`
+///   entries/exits), and
+/// * nodes whose densified output changed, plus their `G^∪T` neighbors
+///   (the paper's problems are radius-1 LCLs, so no other node's verdict
+///   can depend on the changed output).
+///
+/// Every other node's verdict is unchanged by construction, which is what
+/// makes a checked round `O((|δ| + churn) · Δ)` instead of `O(n + |G^∪T|)`.
+/// The full re-check ([`check_t_dynamic`], used by the
+/// [`TDynamicVerifier::full_recheck`] oracle mode) remains the reference
+/// the equivalence tests compare against.
+pub struct ViolationLedger<O> {
+    intersection: Graph,
+    union: Graph,
+    in_vcap: Vec<bool>,
+    dense: Vec<O>,
+    verdicts: Vec<NodeVerdict>,
+    undecided_count: usize,
+    packing_count: usize,
+    covering_count: usize,
+    /// Round-stamped dirty marks (`stamp[v] == cur_stamp` ⇔ already queued
+    /// this round), so the dirty set is deduplicated in `O(1)` per mark.
+    stamp: Vec<u64>,
+    cur_stamp: u64,
+    dirty: Vec<NodeId>,
+}
+
+impl<O: HasBottom> ViolationLedger<O> {
+    /// Builds the ledger by materializing the window graphs once and
+    /// evaluating every node of `V^∩T` — the one full check the incremental
+    /// verifier performs (on its first checked round).
+    pub fn init<P>(problem: &P, window: &GraphWindow, outputs: &[Option<P::Output>]) -> Self
+    where
+        P: DynamicProblem<Output = O>,
+    {
+        let n = outputs.len();
+        let mut ledger = ViolationLedger {
+            intersection: window.intersection_graph(),
+            union: window.union_graph(),
+            in_vcap: vec![false; n],
+            dense: crate::problem::densify_outputs(outputs),
+            verdicts: vec![NodeVerdict::CLEAR; n],
+            undecided_count: 0,
+            packing_count: 0,
+            covering_count: 0,
+            stamp: vec![0; n],
+            cur_stamp: 0,
+            dirty: Vec::new(),
+        };
+        for v in window.intersection_nodes() {
+            ledger.in_vcap[v.index()] = true;
+            let verdict = node_verdict(
+                problem,
+                &ledger.intersection,
+                &ledger.union,
+                v,
+                &ledger.dense,
+            );
+            ledger.set_verdict(v, verdict);
+        }
+        ledger
+    }
+
+    /// Applies one round: patches the materialized window graphs and `V^∩T`
+    /// flags from `update`, folds in the round's output churn (`changed`
+    /// when the producer tracked it, otherwise a full diff of `outputs`
+    /// against the stored dense vector), and re-evaluates the dirty nodes.
+    pub fn apply_round<P>(
+        &mut self,
+        problem: &P,
+        update: &WindowUpdate,
+        outputs: &[Option<P::Output>],
+        changed: Option<&[NodeId]>,
+    ) where
+        P: DynamicProblem<Output = O>,
+    {
+        debug_assert!(!update.initial, "initial rounds are handled by init");
+        self.cur_stamp += 1;
+        self.dirty.clear();
+
+        // 1. Structural patch: every membership event dirties its endpoints.
+        for e in &update.inserted {
+            self.union.insert_edge(e.u, e.v);
+            self.mark(e.u);
+            self.mark(e.v);
+        }
+        for e in &update.removed {
+            self.intersection.remove_edge(e.u, e.v);
+            self.mark(e.u);
+            self.mark(e.v);
+        }
+        for e in &update.edges_left_union {
+            self.union.remove_edge(e.u, e.v);
+            self.mark(e.u);
+            self.mark(e.v);
+        }
+        for e in &update.edges_joined_intersection {
+            self.intersection.insert_edge(e.u, e.v);
+            self.mark(e.u);
+            self.mark(e.v);
+        }
+        for &v in &update.deactivated {
+            self.in_vcap[v.index()] = false;
+            self.mark(v);
+        }
+        for &v in &update.woken {
+            self.mark(v);
+        }
+        for &v in &update.nodes_joined_intersection {
+            self.in_vcap[v.index()] = true;
+            self.mark(v);
+        }
+
+        // 2. Output churn: a changed output can flip the verdict of the node
+        // itself and of its G^∪T neighbors (radius-1 LCLs) — nobody else.
+        match changed {
+            Some(list) => {
+                for &v in list {
+                    self.refresh_output(outputs, v);
+                }
+            }
+            None => {
+                for i in 0..self.dense.len() {
+                    self.refresh_output(outputs, NodeId::new(i));
+                }
+            }
+        }
+
+        // 3. Re-evaluate exactly the dirty nodes.
+        for idx in 0..self.dirty.len() {
+            let v = self.dirty[idx];
+            let verdict = if self.in_vcap[v.index()] {
+                node_verdict(problem, &self.intersection, &self.union, v, &self.dense)
+            } else {
+                NodeVerdict::CLEAR
+            };
+            self.set_verdict(v, verdict);
+        }
+    }
+
+    /// Folds node `v`'s current output into the dense vector, dirtying `v`
+    /// and its union neighbors if the densified value actually changed.
+    fn refresh_output(&mut self, outputs: &[Option<O>], v: NodeId) {
+        let new = outputs[v.index()].clone().unwrap_or_else(O::bottom);
+        if new == self.dense[v.index()] {
+            return;
+        }
+        self.dense[v.index()] = new;
+        let ViolationLedger {
+            union,
+            stamp,
+            cur_stamp,
+            dirty,
+            ..
+        } = self;
+        Self::mark_into(stamp, *cur_stamp, dirty, v);
+        for u in union.neighbors(v) {
+            Self::mark_into(stamp, *cur_stamp, dirty, u);
+        }
+    }
+
+    fn mark(&mut self, v: NodeId) {
+        let ViolationLedger {
+            stamp,
+            cur_stamp,
+            dirty,
+            ..
+        } = self;
+        Self::mark_into(stamp, *cur_stamp, dirty, v);
+    }
+
+    fn mark_into(stamp: &mut [u64], cur: u64, dirty: &mut Vec<NodeId>, v: NodeId) {
+        if stamp[v.index()] != cur {
+            stamp[v.index()] = cur;
+            dirty.push(v);
+        }
+    }
+
+    /// Replaces `v`'s stored verdict, keeping the three counters consistent.
+    fn set_verdict(&mut self, v: NodeId, new: NodeVerdict) {
+        let old = &mut self.verdicts[v.index()];
+        fn adjust(count: &mut usize, was_bad: bool, is_bad: bool) {
+            match (was_bad, is_bad) {
+                (false, true) => *count += 1,
+                (true, false) => *count -= 1,
+                _ => {}
+            }
+        }
+        adjust(&mut self.undecided_count, old.undecided, new.undecided);
+        adjust(&mut self.packing_count, !old.packing_ok, !new.packing_ok);
+        adjust(&mut self.covering_count, !old.covering_ok, !new.covering_ok);
+        *old = new;
+    }
+
+    /// Number of undecided nodes in `V^∩T` (as of the last applied round).
+    pub fn undecided_count(&self) -> usize {
+        self.undecided_count
+    }
+
+    /// Number of packing violations on `G^∩T` among `V^∩T`.
+    pub fn packing_violation_count(&self) -> usize {
+        self.packing_count
+    }
+
+    /// Number of covering violations on `G^∪T` among `V^∩T`.
+    pub fn covering_violation_count(&self) -> usize {
+        self.covering_count
+    }
+}
+
 /// Streaming T-dynamic verifier (Theorem 1.1, part 1).
 ///
 /// Observes an execution round by round — either through the
@@ -58,14 +304,25 @@ impl VerificationSummary {
 /// [`TDynamicVerifier::observe`] — and maintains the same
 /// [`VerificationSummary`] that the batch [`verify_t_dynamic_run`] computes.
 ///
-/// Memory: an `O(window)` ring of graphs (inside [`GraphWindow`]) plus the
-/// aggregate counters. The execution itself is never materialized, so
-/// verification no longer bounds the scenario sizes that can be checked.
+/// From its first checked round on, the verifier is *incremental*: a
+/// [`ViolationLedger`] keeps per-node verdicts and only re-evaluates the
+/// nodes a round can actually flip (the window's [`WindowUpdate`] dirty set
+/// plus the output churn and its radius-1 neighborhood), so a checked round
+/// costs `O(|δ| + output churn)` instead of materializing and re-checking
+/// the whole window. [`TDynamicVerifier::full_recheck`] switches to the
+/// materialize-everything oracle path, which the equivalence test suite
+/// pins the incremental path against.
+///
+/// Memory: an `O(window)` ring of deltas (inside [`GraphWindow`]) plus the
+/// `O(n + |G^∪T|)` ledger. The execution itself is never materialized, so
+/// verification does not bound the scenario sizes that can be checked.
 pub struct TDynamicVerifier<P: DynamicProblem> {
     problem: P,
     window_size: usize,
     check_from: usize,
+    full_recheck: bool,
     window: Option<GraphWindow>,
+    ledger: Option<ViolationLedger<P::Output>>,
     round: usize,
     summary: VerificationSummary,
 }
@@ -81,7 +338,9 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
             problem,
             window_size: window,
             check_from: window - 1,
+            full_recheck: false,
             window: None,
+            ledger: None,
             round: 0,
             summary: VerificationSummary::default(),
         }
@@ -93,52 +352,121 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
         self
     }
 
+    /// Switches to the *oracle* mode: every checked round materializes the
+    /// window graphs and re-evaluates all of `V^∩T` via [`check_t_dynamic`]
+    /// instead of patching the incremental [`ViolationLedger`]. Slower by
+    /// construction — it exists as the reference implementation that the
+    /// batch path and the equivalence tests compare the incremental
+    /// summaries against.
+    pub fn full_recheck(mut self) -> Self {
+        self.full_recheck = true;
+        self
+    }
+
     /// Feeds the next round (graph + output snapshot) into the verifier.
+    ///
+    /// On the first call this fixes the universe size and window. Later
+    /// calls are the compatibility path: the graph is diffed against the
+    /// previous round (`O(n + |E|)`) and the outputs are re-scanned
+    /// (`O(n)`); only the *check* stays dirty-set incremental. Streaming
+    /// callers holding the round's delta should use
+    /// [`TDynamicVerifier::observe_delta`] /
+    /// [`TDynamicVerifier::observe_delta_with_churn`], which skip both
+    /// scans.
     pub fn observe(&mut self, graph: &Graph, outputs: &[Option<P::Output>]) {
         let w = self
             .window
             .get_or_insert_with(|| GraphWindow::new(graph.num_nodes(), self.window_size));
-        w.push(graph);
-        self.check_round(outputs);
+        let update = w.push(graph);
+        self.check_round(&update, outputs, None);
     }
 
     /// Feeds the next round as a delta relative to the previously observed
     /// graph — the `O(|δ|)` window-maintenance path of the delta pipeline.
-    /// The first round must have been observed as a whole graph (via
-    /// [`TDynamicVerifier::observe`] or the observer hook).
-    pub fn observe_delta(&mut self, delta: &GraphDelta, outputs: &[Option<P::Output>]) {
-        let w = self
-            .window
-            .as_mut()
-            .expect("observe the initial round as a whole graph before deltas");
-        w.push_delta(delta);
-        self.check_round(outputs);
+    ///
+    /// # Errors
+    /// Returns [`VerifyError::DeltaBeforeInitialGraph`] if no round has been
+    /// observed yet: round 0 must be supplied as a whole graph via
+    /// [`TDynamicVerifier::observe`] (the [`dynnet_runtime::RoundObserver`]
+    /// hook falls back to the materialized graph automatically).
+    pub fn observe_delta(
+        &mut self,
+        delta: &GraphDelta,
+        outputs: &[Option<P::Output>],
+    ) -> Result<(), VerifyError> {
+        self.observe_delta_with_churn(delta, outputs, None)
     }
 
-    fn check_round(&mut self, outputs: &[Option<P::Output>]) {
-        let w = self.window.as_ref().expect("window initialized");
+    /// Like [`TDynamicVerifier::observe_delta`], additionally supplying the
+    /// round's output churn: `changed` must list every node whose output
+    /// differs from the previous round (extra entries are tolerated). With
+    /// it, a checked round costs `O(|δ| + |changed|)`; without it the
+    /// verifier diffs the outputs itself in `O(n)`.
+    pub fn observe_delta_with_churn(
+        &mut self,
+        delta: &GraphDelta,
+        outputs: &[Option<P::Output>],
+        changed: Option<&[NodeId]>,
+    ) -> Result<(), VerifyError> {
+        let Some(w) = self.window.as_mut() else {
+            return Err(VerifyError::DeltaBeforeInitialGraph);
+        };
+        let update = w.push_delta(delta);
+        self.check_round(&update, outputs, changed);
+        Ok(())
+    }
+
+    fn check_round(
+        &mut self,
+        update: &WindowUpdate,
+        outputs: &[Option<P::Output>],
+        changed: Option<&[NodeId]>,
+    ) {
         let r = self.round;
         self.round += 1;
         if r < self.check_from {
             return;
         }
-        let report: TDynamicReport = check_t_dynamic(&self.problem, w, outputs);
+        let w = self.window.as_ref().expect("window initialized");
+        let (undecided, packing, covering) = if self.full_recheck {
+            let report = check_t_dynamic(&self.problem, w, outputs);
+            (
+                report.undecided.len(),
+                report.packing_violations.len(),
+                report.covering_violations.len(),
+            )
+        } else {
+            // First checked round: one full evaluation seeds the ledger.
+            // Every following round is checked too (rounds are consecutive
+            // past `check_from`), so patching from the round's WindowUpdate
+            // keeps the ledger exact.
+            match &mut self.ledger {
+                None => self.ledger = Some(ViolationLedger::init(&self.problem, w, outputs)),
+                Some(ledger) => ledger.apply_round(&self.problem, update, outputs, changed),
+            }
+            let ledger = self.ledger.as_ref().expect("ledger initialized");
+            (
+                ledger.undecided_count(),
+                ledger.packing_violation_count(),
+                ledger.covering_violation_count(),
+            )
+        };
         let summary = &mut self.summary;
         summary.rounds_checked += 1;
-        summary.total_packing_violations += report.packing_violations.len();
-        summary.total_covering_violations += report.covering_violations.len();
-        summary.total_undecided += report.undecided.len();
-        if report.is_partial_solution() {
+        summary.total_packing_violations += packing;
+        summary.total_covering_violations += covering;
+        summary.total_undecided += undecided;
+        if packing == 0 && covering == 0 {
             summary.rounds_partial_valid += 1;
-        }
-        if report.is_solution() {
-            summary.rounds_valid += 1;
-            if summary.first_valid_round.is_none() {
-                summary.first_valid_round = Some(r);
+            if undecided == 0 {
+                summary.rounds_valid += 1;
+                if summary.first_valid_round.is_none() {
+                    summary.first_valid_round = Some(r);
+                }
+                return;
             }
-        } else {
-            summary.invalid_rounds.push(r);
         }
+        summary.invalid_rounds.push(r);
     }
 
     /// Number of rounds observed so far.
@@ -160,8 +488,11 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
 impl<P: DynamicProblem> dynnet_runtime::RoundObserver<P::Output> for TDynamicVerifier<P> {
     fn on_round(&mut self, view: &dynnet_runtime::RoundView<'_, P::Output>) {
         match view.delta {
-            // Delta path: O(|δ|) window update, no CSR→Graph conversion.
-            Some(delta) if self.window.is_some() => self.observe_delta(delta, view.outputs),
+            // Delta path: O(|δ|) window update, no CSR→Graph conversion;
+            // the simulator's churn list makes the check O(|δ| + churn).
+            Some(delta) if self.window.is_some() => self
+                .observe_delta_with_churn(delta, view.outputs, view.changed_outputs)
+                .expect("window initialized"),
             _ => self.observe(view.current_graph(), view.outputs),
         }
     }
@@ -169,6 +500,11 @@ impl<P: DynamicProblem> dynnet_runtime::RoundObserver<P::Output> for TDynamicVer
 
 /// Verifies the T-dynamic property (Theorem 1.1, part 1) over a fully
 /// materialized execution — a batch convenience over [`TDynamicVerifier`].
+///
+/// This is the *oracle* path: every checked round materializes the window
+/// graphs and re-evaluates all of `V^∩T` ([`TDynamicVerifier::full_recheck`]
+/// mode). The equivalence tests assert that the incremental streaming
+/// verifier produces an identical [`VerificationSummary`].
 ///
 /// * `graphs` — the dynamic graph sequence `G_0, G_1, …` (one per round);
 /// * `outputs` — per round, the simulator's outputs (`None` = asleep);
@@ -183,7 +519,9 @@ pub fn verify_t_dynamic_run<P: DynamicProblem + Clone>(
     check_from: usize,
 ) -> VerificationSummary {
     assert_eq!(graphs.len(), outputs.len(), "one output snapshot per round");
-    let mut verifier = TDynamicVerifier::new(problem.clone(), window).check_from(check_from);
+    let mut verifier = TDynamicVerifier::new(problem.clone(), window)
+        .check_from(check_from)
+        .full_recheck();
     for (g, outs) in graphs.iter().zip(outputs) {
         verifier.observe(g, outs);
     }
@@ -331,5 +669,146 @@ mod tests {
         ];
         let nodes: Vec<NodeId> = (0..2).map(NodeId::new).collect();
         assert_eq!(output_churn_series(&outputs, &nodes), vec![0, 1, 1, 0]);
+    }
+
+    // The observe_delta-before-graph error and the window-expiry verdict
+    // flip are covered (against real scenarios) in
+    // tests/verify_incremental.rs alongside the adversary equivalence suite.
+
+    /// Minimal deterministic generator for the randomized equivalence tests
+    /// (the crate has no RNG dependency).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn below(&mut self, m: u64) -> u64 {
+            self.next() % m
+        }
+
+        fn chance(&mut self, percent: u64) -> bool {
+            self.below(100) < percent
+        }
+    }
+
+    /// Drives the incremental verifier (deltas + exact churn lists) and the
+    /// full-recheck oracle (whole graphs) over the same random execution,
+    /// asserting identical summaries after every round.
+    fn assert_equivalence<P, FOut>(
+        problem: P,
+        t: usize,
+        check_from: usize,
+        seed: u64,
+        rand_out: FOut,
+    ) where
+        P: DynamicProblem + Clone,
+        FOut: Fn(&mut Lcg) -> Option<P::Output>,
+    {
+        let n = 10;
+        let mut rng = Lcg(seed);
+        let mut incremental = TDynamicVerifier::new(problem.clone(), t).check_from(check_from);
+        let mut oracle = TDynamicVerifier::new(problem, t)
+            .check_from(check_from)
+            .full_recheck();
+
+        let mut graph = Graph::new_all_asleep(n);
+        for i in 0..n {
+            if rng.chance(70) {
+                graph.activate(NodeId::new(i));
+            }
+        }
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| rand_out(&mut rng)).collect();
+        incremental.observe(&graph, &outputs);
+        oracle.observe(&graph, &outputs);
+
+        for round in 1..40 {
+            let mut next = graph.clone();
+            for _ in 0..rng.below(4) {
+                let a = NodeId::new(rng.below(n as u64) as usize);
+                let b = NodeId::new(rng.below(n as u64) as usize);
+                if a != b && next.is_active(a) && next.is_active(b) {
+                    next.toggle_edge(a, b);
+                }
+            }
+            if rng.chance(25) {
+                let v = NodeId::new(rng.below(n as u64) as usize);
+                if next.is_active(v) {
+                    for u in next.neighbors_vec(v) {
+                        next.remove_edge(v, u);
+                    }
+                    next.deactivate(v);
+                } else {
+                    next.activate(v);
+                }
+            }
+            let delta = GraphDelta::between(&graph, &next);
+            let mut changed = Vec::new();
+            for (i, out) in outputs.iter_mut().enumerate() {
+                if rng.chance(20) {
+                    let o = rand_out(&mut rng);
+                    if o != *out {
+                        *out = o;
+                        changed.push(NodeId::new(i));
+                    }
+                }
+            }
+            incremental
+                .observe_delta_with_churn(&delta, &outputs, Some(&changed))
+                .unwrap();
+            oracle.observe(&next, &outputs);
+            graph = next;
+            assert_eq!(
+                incremental.summary(),
+                oracle.summary(),
+                "T={t} check_from={check_from} seed={seed} diverged at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_coloring_matches_oracle_on_random_runs() {
+        let rand_color = |rng: &mut Lcg| -> Option<ColorOutput> {
+            if rng.chance(10) {
+                None
+            } else if rng.chance(25) {
+                Some(ColorOutput::Undecided)
+            } else {
+                Some(ColorOutput::Colored(1 + rng.below(4) as usize))
+            }
+        };
+        for t in [1usize, 2, 3, 5] {
+            for seed in 0..4u64 {
+                assert_equivalence(ColoringProblem, t, t - 1, seed, rand_color);
+            }
+        }
+        // Early and late check starts exercise ledger creation before the
+        // window is full and after a long warm-up.
+        assert_equivalence(ColoringProblem, 3, 0, 99, rand_color);
+        assert_equivalence(ColoringProblem, 3, 10, 100, rand_color);
+    }
+
+    #[test]
+    fn incremental_mis_matches_oracle_on_random_runs() {
+        use crate::mis::MisProblem;
+        use crate::output::MisOutput;
+        let rand_mis = |rng: &mut Lcg| -> Option<MisOutput> {
+            match rng.below(10) {
+                0 => None,
+                1 | 2 => Some(MisOutput::Undecided),
+                3..=6 => Some(MisOutput::InMis),
+                _ => Some(MisOutput::Dominated),
+            }
+        };
+        for t in [1usize, 2, 4] {
+            for seed in 10..14u64 {
+                assert_equivalence(MisProblem, t, t - 1, seed, rand_mis);
+            }
+        }
     }
 }

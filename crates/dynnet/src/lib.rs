@@ -16,7 +16,9 @@
 //!
 //! One `Scenario` wires the whole execution — algorithm, adversary, wake-up,
 //! seed, rounds — and streams every round to pluggable observers (here the
-//! streaming T-dynamic verifier, which holds only `O(window)` graphs):
+//! streaming T-dynamic verifier, which patches a per-node verdict ledger
+//! from each round's delta and output churn instead of re-checking the
+//! whole window — `O(|δ| + churn)` per checked round):
 //!
 //! ```
 //! use dynnet::prelude::*;
@@ -68,12 +70,14 @@ pub mod prelude {
         dynamic_mis, oracle_mis, DMis, GhaffariMis, LubyMis, RestartMis, SMis,
     };
     pub use dynnet_core::{
-        check_t_dynamic, recommended_window, verify_locally_static, verify_t_dynamic_run,
-        ColorOutput, ColoringProblem, DynamicProblem, HasBottom, MisOutput, MisProblem,
-        TDynamicReport, TDynamicVerifier, VerificationSummary,
+        check_t_dynamic, node_verdict, recommended_window, verify_locally_static,
+        verify_t_dynamic_run, ColorOutput, ColoringProblem, DynamicProblem, HasBottom, MisOutput,
+        MisProblem, NodeVerdict, TDynamicReport, TDynamicVerifier, VerificationSummary,
+        VerifyError, ViolationLedger,
     };
     pub use dynnet_graph::{
         generators, CsrApplyOutcome, CsrGraph, Edge, Graph, GraphDelta, GraphWindow, NodeId,
+        WindowUpdate,
     };
     pub use dynnet_metrics::{log_fit, RowSink, Series, Summary, Table};
     pub use dynnet_runtime::{

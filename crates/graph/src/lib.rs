@@ -14,7 +14,11 @@
 //!   (`O(|δ|)` per round on the sparse-churn path).
 //! * [`GraphWindow`] — delta-native sliding window exposing the
 //!   `T`-intersection graph `G^∩T_r` and `T`-union graph `G^∪T_r`
-//!   (Definition 2.1), plus "locally static" neighborhood checks.
+//!   (Definition 2.1), plus "locally static" neighborhood checks. Every push
+//!   returns a [`WindowUpdate`] — the round's window-membership events
+//!   (tight delta, edges aging out of the union, runs maturing into the
+//!   intersection) that incremental consumers such as the `O(|δ| + churn)`
+//!   T-dynamic verifier in `dynnet-core` patch their state from.
 //! * [`GraphDelta`] / [`DynamicGraphTrace`] — the per-round change records
 //!   that are the native currency of the round pipeline, and recorded
 //!   dynamic graph sequences for replaying identical adversarial schedules
@@ -41,7 +45,7 @@ pub use csr::{CsrApplyOutcome, CsrGraph};
 pub use dynamic::{DynamicGraphTrace, GraphDelta};
 pub use graph::Graph;
 pub use node::{Edge, NodeId};
-pub use window::GraphWindow;
+pub use window::{GraphWindow, WindowUpdate};
 
 #[cfg(test)]
 mod randomized_tests {

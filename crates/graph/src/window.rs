@@ -29,6 +29,97 @@ struct Span {
     since: u64,
 }
 
+/// The window-membership changes produced by pushing one round into a
+/// [`GraphWindow`] — returned by [`GraphWindow::push`] and
+/// [`GraphWindow::push_delta`].
+///
+/// Together the seven lists describe *every* way the window graphs of
+/// Definition 2.1 can change between consecutive rounds, so a delta-aware
+/// consumer (the incremental T-dynamic verifier in `dynnet-core`) can patch
+/// materialized `G^∩T` / `G^∪T` / `V^∩T` state in `O(|update|)` instead of
+/// re-materializing them:
+///
+/// * the tight per-round delta (`inserted`, `removed`, `woken`,
+///   `deactivated`) — `inserted` edges join `G^∪T` and `removed` edges leave
+///   `G^∩T` immediately; `deactivated` nodes leave `V^∩T` immediately (their
+///   dropped edges are listed in `removed`);
+/// * the *window-expiry* events that occur even on rounds with an empty
+///   delta, purely because the window slid: `edges_left_union` (an absent
+///   edge's last present round slid out of the window),
+///   `edges_joined_intersection` and `nodes_joined_intersection` (a
+///   presence/activity run now spans the whole window).
+///
+/// [`WindowUpdate::dirty_nodes`] flattens the lists into the round's *dirty
+/// node set* — exactly the nodes whose incident window-graph structure
+/// changed, hence (beyond output changes) the only nodes whose T-dynamic
+/// verdict can change this round.
+#[derive(Clone, Debug, Default)]
+pub struct WindowUpdate {
+    /// `true` for the round-0 push: every edge and active node of the
+    /// initial graph is listed as new, and consumers holding no prior state
+    /// should initialize from the materialized window graphs instead of
+    /// patching.
+    pub initial: bool,
+    /// Edges inserted into the current graph this round (tight: every listed
+    /// edge was really absent before). They are in `G^∪T` from this round on.
+    pub inserted: Vec<Edge>,
+    /// Edges removed from the current graph this round (tight; includes the
+    /// edges dropped by node deactivations). They leave `G^∩T` immediately
+    /// but remain in `G^∪T` until their last present round ages out.
+    pub removed: Vec<Edge>,
+    /// Nodes that became active this round.
+    pub woken: Vec<NodeId>,
+    /// Nodes deactivated this round — they leave `V^∩T` immediately.
+    pub deactivated: Vec<NodeId>,
+    /// Absent edges whose last present round slid out of the window this
+    /// round: they leave `G^∪T` now, possibly with an empty delta.
+    pub edges_left_union: Vec<Edge>,
+    /// Edges whose presence run now spans the whole window: they join
+    /// `G^∩T` this round (for `T = 1`, insertions mature immediately).
+    pub edges_joined_intersection: Vec<Edge>,
+    /// Nodes whose activity run now spans the whole window: they join
+    /// `V^∩T` this round.
+    pub nodes_joined_intersection: Vec<NodeId>,
+}
+
+impl WindowUpdate {
+    /// Returns `true` if the round changed no window membership at all (the
+    /// intersection graph, union graph, and `V^∩T` are all unchanged).
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty()
+            && self.removed.is_empty()
+            && self.woken.is_empty()
+            && self.deactivated.is_empty()
+            && self.edges_left_union.is_empty()
+            && self.edges_joined_intersection.is_empty()
+            && self.nodes_joined_intersection.is_empty()
+    }
+
+    /// The round's dirty node set: every node incident to a listed edge
+    /// event plus every node with a listed activity/membership event, sorted
+    /// and deduplicated. These are the only nodes whose window-graph
+    /// neighborhood changed this round.
+    pub fn dirty_nodes(&self) -> Vec<NodeId> {
+        let mut dirty: Vec<NodeId> = Vec::new();
+        for e in self
+            .inserted
+            .iter()
+            .chain(&self.removed)
+            .chain(&self.edges_left_union)
+            .chain(&self.edges_joined_intersection)
+        {
+            dirty.push(e.u);
+            dirty.push(e.v);
+        }
+        dirty.extend_from_slice(&self.woken);
+        dirty.extend_from_slice(&self.deactivated);
+        dirty.extend_from_slice(&self.nodes_joined_intersection);
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+}
+
 /// Incrementally maintained sliding window over the last `T` rounds of a
 /// dynamic graph, exposing the intersection graph `G^∩T_r` and union graph
 /// `G^∪T_r` of Definition 2.1.
@@ -53,6 +144,13 @@ pub struct GraphWindow {
     /// `(round_removed, edge)` queue driving the lazy GC of absent edges
     /// that have slid out of the union.
     gc_queue: VecDeque<(u64, Edge)>,
+    /// `(round_inserted, edge)` queue driving the intersection-maturity
+    /// events: an edge inserted in round `q` joins `G^∩T` when the window
+    /// start reaches `q` (round `q + T - 1`), if its presence run survived.
+    edge_maturity_queue: VecDeque<(u64, Edge)>,
+    /// `(round_woken, node)` queue driving the `V^∩T`-maturity events,
+    /// symmetric to `edge_maturity_queue`.
+    node_maturity_queue: VecDeque<(u64, NodeId)>,
 }
 
 impl GraphWindow {
@@ -75,6 +173,8 @@ impl GraphWindow {
                 n
             ],
             gc_queue: VecDeque::new(),
+            edge_maturity_queue: VecDeque::new(),
+            node_maturity_queue: VecDeque::new(),
         }
     }
 
@@ -110,46 +210,66 @@ impl GraphWindow {
         self.rounds_pushed - self.len() as u64
     }
 
-    /// Pushes the communication graph of the next round into the window.
+    /// Pushes the communication graph of the next round into the window and
+    /// returns the round's [`WindowUpdate`].
     ///
     /// Compatibility path: diffs `g` against the current graph (`O(|E|)`)
     /// and forwards to the delta path. Streaming callers that already hold
     /// the round's delta should use [`GraphWindow::push_delta`] instead.
-    pub fn push(&mut self, g: &Graph) {
+    pub fn push(&mut self, g: &Graph) -> WindowUpdate {
         assert_eq!(g.num_nodes(), self.n, "graph universe mismatch");
         if self.rounds_pushed == 0 {
             self.current = g.clone();
+            let mut update = WindowUpdate {
+                initial: true,
+                ..WindowUpdate::default()
+            };
             for e in g.edges() {
                 self.edge_state.insert(e, Span { on: true, since: 0 });
+                update.inserted.push(e);
+                // A one-round window spans the whole (one-round) history.
+                update.edges_joined_intersection.push(e);
             }
             for i in 0..self.n {
-                self.node_state[i] = Span {
-                    on: g.is_active(NodeId::new(i)),
-                    since: 0,
-                };
+                let on = g.is_active(NodeId::new(i));
+                self.node_state[i] = Span { on, since: 0 };
+                if on {
+                    update.woken.push(NodeId::new(i));
+                    update.nodes_joined_intersection.push(NodeId::new(i));
+                }
             }
             self.rounds_pushed = 1;
-            return;
+            return update;
         }
         let delta = GraphDelta::between(&self.current, g);
-        self.push_delta(&delta);
+        self.push_delta(&delta)
     }
 
     /// Pushes the next round as a delta relative to the current graph —
-    /// the `O(|δ|)` streaming path. The delta may be loose (no-op changes
-    /// are tolerated); it is tightened against the current graph while being
-    /// applied.
+    /// the `O(|δ|)` streaming path — and returns the round's
+    /// [`WindowUpdate`] (the tight delta plus the window-expiry events).
+    /// The delta may be loose (no-op changes are tolerated); it is tightened
+    /// against the current graph while being applied.
     ///
     /// # Panics
     /// Panics if no initial graph has been pushed yet (round 0 must be
     /// supplied as a whole graph via [`GraphWindow::push`]).
-    pub fn push_delta(&mut self, delta: &GraphDelta) {
+    pub fn push_delta(&mut self, delta: &GraphDelta) -> WindowUpdate {
         assert!(
             self.rounds_pushed > 0,
             "push the round-0 graph via GraphWindow::push before pushing deltas"
         );
         let round = self.rounds_pushed;
         let tight = self.realize(delta);
+
+        let mut update = WindowUpdate {
+            initial: false,
+            inserted: tight.inserted.clone(),
+            removed: tight.removed.clone(),
+            woken: tight.woken.clone(),
+            deactivated: tight.deactivated.clone(),
+            ..WindowUpdate::default()
+        };
 
         for e in &tight.inserted {
             self.edge_state.insert(
@@ -159,6 +279,7 @@ impl GraphWindow {
                     since: round,
                 },
             );
+            self.edge_maturity_queue.push_back((round, *e));
         }
         for e in &tight.removed {
             self.edge_state.insert(
@@ -175,6 +296,7 @@ impl GraphWindow {
                 on: true,
                 since: round,
             };
+            self.node_maturity_queue.push_back((round, v));
         }
         for &v in &tight.deactivated {
             self.node_state[v.index()] = Span {
@@ -200,9 +322,36 @@ impl GraphWindow {
             if let Some(s) = self.edge_state.get(&e) {
                 if !s.on && s.since == r {
                     self.edge_state.remove(&e);
+                    update.edges_left_union.push(e);
                 }
             }
         }
+        // Maturity: a presence/activity run started in round `r` spans the
+        // whole window once the window start reaches `r` (for `T = 1` that
+        // is this very round). A run superseded by a later event has
+        // `since != r` and is skipped — its own queue entry handles it.
+        while let Some(&(r, e)) = self.edge_maturity_queue.front() {
+            if r > start {
+                break;
+            }
+            self.edge_maturity_queue.pop_front();
+            if let Some(s) = self.edge_state.get(&e) {
+                if s.on && s.since == r {
+                    update.edges_joined_intersection.push(e);
+                }
+            }
+        }
+        while let Some(&(r, v)) = self.node_maturity_queue.front() {
+            if r > start {
+                break;
+            }
+            self.node_maturity_queue.pop_front();
+            let s = self.node_state[v.index()];
+            if s.on && s.since == r {
+                update.nodes_joined_intersection.push(v);
+            }
+        }
+        update
     }
 
     /// Applies `delta` to the current graph, returning the *tight* delta of
@@ -525,7 +674,7 @@ mod tests {
             match prev {
                 None => by_delta.push(gr),
                 Some(p) => by_delta.push_delta(&GraphDelta::between(&p, gr)),
-            }
+            };
             prev = Some(gr.clone());
             assert_eq!(by_graph.intersection_graph(), by_delta.intersection_graph());
             assert_eq!(by_graph.union_graph(), by_delta.union_graph());
@@ -658,5 +807,159 @@ mod tests {
     #[should_panic]
     fn zero_window_rejected() {
         let _ = GraphWindow::new(3, 0);
+    }
+
+    /// Applies a [`WindowUpdate`] to shadow copies of the window graphs —
+    /// exactly what the incremental verifier does with its ledger.
+    fn patch_shadow(
+        u: &WindowUpdate,
+        inter: &mut Graph,
+        union: &mut Graph,
+        vcap: &mut std::collections::BTreeSet<NodeId>,
+    ) {
+        for e in &u.inserted {
+            union.insert_edge(e.u, e.v);
+        }
+        for e in &u.removed {
+            inter.remove_edge(e.u, e.v);
+        }
+        for e in &u.edges_left_union {
+            union.remove_edge(e.u, e.v);
+        }
+        for e in &u.edges_joined_intersection {
+            inter.insert_edge(e.u, e.v);
+        }
+        for v in &u.deactivated {
+            vcap.remove(v);
+        }
+        for v in &u.nodes_joined_intersection {
+            vcap.insert(*v);
+        }
+    }
+
+    #[test]
+    fn window_updates_patch_shadow_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let n = 9;
+        for t in 1..=5usize {
+            let mut w = GraphWindow::new(n, t);
+            let mut inter = Graph::new_all_asleep(n);
+            let mut union = Graph::new_all_asleep(n);
+            let mut vcap = std::collections::BTreeSet::new();
+            let mut cur = Graph::new_all_asleep(n);
+            for _ in 0..6 {
+                if rng.gen_bool(0.8) {
+                    cur.activate(NodeId::new(rng.gen_range(0..n)));
+                }
+            }
+            for round in 0..40 {
+                // Mutate the graph a little (edges only between active nodes
+                // keeps the diff tight); occasionally change node activity.
+                for _ in 0..rng.gen_range(0..4) {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a != b && cur.is_active(NodeId::new(a)) && cur.is_active(NodeId::new(b)) {
+                        cur.toggle_edge(NodeId::new(a), NodeId::new(b));
+                    }
+                }
+                if rng.gen_bool(0.3) {
+                    let v = NodeId::new(rng.gen_range(0..n));
+                    if cur.is_active(v) {
+                        for u in cur.neighbors_vec(v) {
+                            cur.remove_edge(v, u);
+                        }
+                        cur.deactivate(v);
+                    } else {
+                        cur.activate(v);
+                    }
+                }
+                let update = w.push(&cur);
+                if update.initial {
+                    inter = w.intersection_graph();
+                    union = w.union_graph();
+                    vcap = w.intersection_nodes().into_iter().collect();
+                } else {
+                    patch_shadow(&update, &mut inter, &mut union, &mut vcap);
+                }
+                assert_eq!(
+                    inter.edge_vec(),
+                    w.intersection_graph().edge_vec(),
+                    "T={t} round={round} intersection diverged"
+                );
+                assert_eq!(
+                    union.edge_vec(),
+                    w.union_graph().edge_vec(),
+                    "T={t} round={round} union diverged"
+                );
+                let want: std::collections::BTreeSet<NodeId> =
+                    w.intersection_nodes().into_iter().collect();
+                assert_eq!(vcap, want, "T={t} round={round} V^∩T diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn expiry_events_fire_on_empty_deltas() {
+        // T = 3: the edge {0,1} is removed in round 1; it leaves the union
+        // in round 3 (its last present round, 0, slides out) even though the
+        // round-3 delta is empty. The edge {1,2}, inserted in round 1,
+        // matures into the intersection in round 3 the same way.
+        let mut w = GraphWindow::new(3, 3);
+        w.push(&g(3, &[(0, 1)]));
+        let mut d1 = GraphDelta::new();
+        d1.remove(NodeId::new(0), NodeId::new(1));
+        d1.insert(NodeId::new(1), NodeId::new(2));
+        let u1 = w.push_delta(&d1);
+        assert_eq!(u1.removed, vec![Edge::of(0, 1)]);
+        assert_eq!(u1.inserted, vec![Edge::of(1, 2)]);
+        assert!(u1.edges_left_union.is_empty());
+        assert!(u1.edges_joined_intersection.is_empty());
+
+        let u2 = w.push_delta(&GraphDelta::new());
+        assert!(u2.is_empty(), "window not sliding yet: {u2:?}");
+
+        let u3 = w.push_delta(&GraphDelta::new());
+        assert_eq!(u3.edges_left_union, vec![Edge::of(0, 1)]);
+        assert_eq!(u3.edges_joined_intersection, vec![Edge::of(1, 2)]);
+        assert_eq!(
+            u3.dirty_nodes(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+        assert!(!w.edge_in_union(Edge::of(0, 1)));
+        assert!(w.edge_in_intersection(Edge::of(1, 2)));
+    }
+
+    #[test]
+    fn node_maturity_events_track_vcap() {
+        // Node 2 wakes in round 1; with T = 2 it joins V^∩T in round 2.
+        let mut w = GraphWindow::new(3, 2);
+        let mut g0 = Graph::new_all_asleep(3);
+        g0.activate(NodeId::new(0));
+        let u0 = w.push(&g0);
+        assert!(u0.initial);
+        assert_eq!(u0.nodes_joined_intersection, vec![NodeId::new(0)]);
+        let mut d1 = GraphDelta::new();
+        d1.wake(NodeId::new(2));
+        let u1 = w.push_delta(&d1);
+        assert_eq!(u1.woken, vec![NodeId::new(2)]);
+        assert!(u1.nodes_joined_intersection.is_empty());
+        assert!(!w.node_in_intersection(NodeId::new(2)));
+        let u2 = w.push_delta(&GraphDelta::new());
+        assert_eq!(u2.nodes_joined_intersection, vec![NodeId::new(2)]);
+        assert!(w.node_in_intersection(NodeId::new(2)));
+    }
+
+    #[test]
+    fn single_round_window_updates_are_immediate() {
+        // T = 1: insertions mature and removals age out in the same round.
+        let mut w = GraphWindow::new(3, 1);
+        w.push(&g(3, &[(0, 1)]));
+        let mut d = GraphDelta::new();
+        d.remove(NodeId::new(0), NodeId::new(1));
+        d.insert(NodeId::new(1), NodeId::new(2));
+        let u = w.push_delta(&d);
+        assert_eq!(u.edges_left_union, vec![Edge::of(0, 1)]);
+        assert_eq!(u.edges_joined_intersection, vec![Edge::of(1, 2)]);
     }
 }

@@ -4,6 +4,13 @@
 //! per-round time series with convergence/decay detection, least-squares
 //! model fitting (for the `O(log n)` shape checks), and Markdown/CSV table
 //! writers used to regenerate the tables in EXPERIMENTS.md.
+//!
+//! In the delta pipeline this crate sits *downstream* of the streaming
+//! observers: per-round series ([`Series`]) are filled by
+//! `dynnet_runtime::RoundObserver`s as the execution streams by, and sweep
+//! results are folded into [`Table`]s in deterministic grid order via
+//! [`RowSink`] (keyed row assembly, so out-of-order completion from the
+//! work-stealing sweep engine cannot perturb output bytes).
 
 #![warn(missing_docs)]
 

@@ -17,6 +17,10 @@
 //!   delta-native round primitive (`Simulator::step_delta`) patches a
 //!   persistent effective CSR in `O(|δ|)` per round; counters
 //!   (`Simulator::delta_stats`) pin the zero-clone/zero-rebuild invariant.
+//!   Each round's [`StepSummary`] also carries the exact *output churn*
+//!   (`changed_outputs`), tracked at publication time, which downstream
+//!   incremental consumers (the `O(|δ| + churn)` T-dynamic verifier in
+//!   `dynnet-core`) rely on to skip full output scans.
 //! * [`observer`] — streaming [`RoundObserver`]s fed a borrowed [`RoundView`]
 //!   per round (trace recording, churn stats, convergence tracking) instead
 //!   of materializing `O(n · rounds)` report vectors.

@@ -42,6 +42,14 @@ pub struct RoundView<'a, O> {
     pub delta: Option<&'a GraphDelta>,
     /// Output of every node at the end of the round (`None` = still asleep).
     pub outputs: &'a [Option<O>],
+    /// Nodes whose output changed this round (the round's *output churn*),
+    /// when the producer tracked it — the simulator always does
+    /// ([`crate::StepSummary::changed_outputs`]). `None` means "unknown":
+    /// consumers must diff `outputs` themselves. When `Some`, the list is
+    /// exact — every node not listed has the same output as last round — so
+    /// churn-driven consumers (e.g. the incremental T-dynamic verifier) can
+    /// skip the `O(n)` scan.
+    pub changed_outputs: Option<&'a [NodeId]>,
     /// Nodes that woke up in this round.
     pub newly_awake: &'a [NodeId],
     /// Number of awake nodes at the end of the round.
@@ -419,6 +427,7 @@ mod tests {
             graph,
             delta: None,
             outputs,
+            changed_outputs: None,
             newly_awake,
             num_awake: outputs.len(),
             graph_cell: &graph_cell,

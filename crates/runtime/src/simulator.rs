@@ -112,6 +112,14 @@ pub struct StepSummary {
     pub newly_awake: Vec<NodeId>,
     /// Number of awake nodes at the end of the round.
     pub num_awake: usize,
+    /// Nodes whose published output changed this round (ascending), the
+    /// round's *output churn*. A node appears on its wake-up round (its
+    /// output goes from `None` to `Some`) and in every round its algorithm
+    /// returns a different output than before. Tracked at publication time,
+    /// so consumers that only care about the changed nodes — e.g. the
+    /// incremental T-dynamic verifier — run in `O(|churn|)` instead of
+    /// re-scanning all `n` outputs.
+    pub changed_outputs: Vec<NodeId>,
 }
 
 /// Counters for the round pipeline's incremental fast path, exposed through
@@ -417,9 +425,14 @@ where
         let messages: Vec<Option<A::Msg>> = self.run_send_phase(round, &csr);
         self.run_receive_phase(round, &csr, &messages);
 
+        let mut changed_outputs = Vec::new();
         for i in 0..self.n {
             if let Some(alg) = &self.nodes[i] {
-                self.outputs[i] = Some(alg.output());
+                let out = alg.output();
+                if self.outputs[i].as_ref() != Some(&out) {
+                    self.outputs[i] = Some(out);
+                    changed_outputs.push(NodeId::new(i));
+                }
             }
         }
 
@@ -430,6 +443,7 @@ where
             delta,
             newly_awake,
             num_awake: self.num_awake,
+            changed_outputs,
         }
     }
 
