@@ -1,0 +1,115 @@
+//! Worker-pool benchmarks: per-round latency of the parallel executor at
+//! 100k nodes (the pool is persistent — zero thread spawns per round, and
+//! output publication/churn detection is fused into the parallel receive
+//! phase, so no sequential `O(n)` scan remains on the round path), and
+//! sweep × inner-parallelism co-scheduling under the shared thread budget.
+//!
+//! Run with `DYNNET_RAYON_THREADS=k` to measure different budget widths;
+//! the pool stats printed after each group certify that no thread was
+//! spawned while the rounds executed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use std::time::Duration;
+
+/// One parallel round at `n` nodes: persistent simulator, static-footprint
+/// flip churn, DMis per node.
+fn round_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_round");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let n = 100_000;
+    let footprint = generators::erdos_renyi_avg_degree(n, 10.0, &mut experiment_rng(15, "bp"));
+    for (label, parallel) in [("sequential", false), ("parallel", true)] {
+        let config = SimConfig {
+            seed: 15,
+            parallel,
+            parallel_threshold: 0,
+        };
+        let mut sim = Simulator::new(
+            n,
+            |v: NodeId| DMis::new(v, MisOutput::Undecided),
+            AllAtStart,
+            config,
+        );
+        // Warm the pool and wake everyone before measuring.
+        sim.step_streaming(&footprint);
+        let spawned_before = rayon::pool_stats().workers_spawned;
+        let mut rounds = 0u64;
+        group.bench_function(&format!("{label}_round_100k"), |b| {
+            b.iter(|| {
+                rounds += 1;
+                sim.step_streaming(&footprint).num_awake
+            })
+        });
+        let stats = rayon::pool_stats();
+        assert_eq!(
+            stats.workers_spawned, spawned_before,
+            "a round must never spawn a thread"
+        );
+        println!(
+            "  [{label}] {rounds} rounds, pool: {} workers (spawned at init, 0 during rounds), \
+             {} pooled tasks, peak concurrency {} / budget {}",
+            stats.workers_spawned, stats.tasks_pooled, stats.peak_active, stats.budget
+        );
+    }
+    group.finish();
+}
+
+/// A sharded sweep of parallel-enabled cells: the engine claims its worker
+/// count from the thread budget, so `threads(engine) × threads(round)` never
+/// exceeds the budget no matter how many cells run concurrently.
+fn sweep_coscheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_coscheduling");
+    group.sample_size(5);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let seeds: Vec<u64> = (0..4).collect();
+    let spec = SweepSpec::grid1("co", &seeds, |&s| (format!("seed={s}"), s));
+    let run_cell = |seed: u64| {
+        let n = 10_000;
+        let footprint =
+            generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(seed, "bp-co"));
+        Scenario::new(n)
+            .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+            .adversary(FlipChurnAdversary::new(&footprint, 0.01, seed))
+            .seed(seed)
+            .parallel(true)
+            .parallel_threshold(0)
+            .rounds(4)
+            .run(&mut [])
+            .sim()
+            .num_awake()
+    };
+    for engine_threads in [1usize, 2] {
+        let engine = SweepEngine::new(engine_threads);
+        group.bench_function(&format!("4cells_parallel_engine{engine_threads}"), |b| {
+            b.iter(|| {
+                engine
+                    .run(&spec, |cell| run_cell(cell.params))
+                    .expect("sweep")
+                    .into_results()
+                    .len()
+            })
+        });
+    }
+    let stats = rayon::pool_stats();
+    println!(
+        "  [co-scheduling] peak concurrency {} within budget {} (claims throttle inner fan-out)",
+        stats.peak_active, stats.budget
+    );
+    assert!(
+        stats.peak_active <= stats.budget.max(2),
+        "sweep × round parallelism oversubscribed: peak {} budget {}",
+        stats.peak_active,
+        stats.budget
+    );
+    group.finish();
+}
+
+criterion_group!(benches, round_latency, sweep_coscheduling);
+criterion_main!(benches);

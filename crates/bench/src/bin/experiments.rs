@@ -23,6 +23,7 @@
 //! Tables are printed as Markdown on stdout and additionally written to
 //! `<results-dir>/<id>.md` (and `<results-dir>/<id>_<table>.csv`).
 
+use dynnet::sweep::SweepEngine;
 use dynnet_bench::exp::{registry, ExpContext};
 use std::fs;
 use std::path::PathBuf;
@@ -94,11 +95,10 @@ fn main() {
         selected_args.iter().map(|s| s.as_str()).collect()
     };
 
-    let threads = threads.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
+    // Default to the shared thread budget (`DYNNET_RAYON_THREADS` if set,
+    // otherwise the core count), so one knob caps the sweep shards and the
+    // per-round parallelism inside cells alike.
+    let threads = threads.unwrap_or_else(|| SweepEngine::default().threads());
     let mut ctx = ExpContext::new(threads);
     ctx.engine = ctx.engine.with_progress(true);
     ctx.smoke = smoke;

@@ -29,8 +29,114 @@ pub struct VerificationSummary {
     /// First checked round (0-based, absolute) in which the output was a full
     /// T-dynamic solution, if any.
     pub first_valid_round: Option<usize>,
-    /// Rounds (absolute indices) whose output was *not* a full solution.
-    pub invalid_rounds: Vec<usize>,
+    /// Rounds (absolute indices) whose output was *not* a full solution,
+    /// stored run-length encoded with a bounded run count — a
+    /// million-round always-invalid run costs one run, not a million
+    /// entries, and adversarial valid/invalid alternation caps out at
+    /// [`InvalidRounds::MAX_RUNS`] recorded runs (the total count stays
+    /// exact; see [`InvalidRounds::truncated`]).
+    pub invalid_rounds: InvalidRounds,
+}
+
+/// Bounded, run-length-encoded set of invalid round indices.
+///
+/// Verification summaries of unbounded executions must not grow with the
+/// round count: consecutive invalid rounds collapse into one `(start, len)`
+/// run, and the number of *recorded* runs is capped at
+/// [`InvalidRounds::MAX_RUNS`]. Pushes beyond the cap keep the aggregate
+/// counters exact ([`InvalidRounds::len`]) but drop the individual indices
+/// ([`InvalidRounds::truncated`] reports how many). Rounds must be pushed in
+/// strictly increasing order (the verifier's natural order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvalidRounds {
+    /// Maximal runs of consecutive invalid rounds, as `(start, len)`,
+    /// ascending and non-adjacent.
+    runs: Vec<(usize, usize)>,
+    /// Total invalid rounds pushed (recorded or dropped).
+    total: usize,
+    /// Invalid rounds dropped after the run cap was reached.
+    dropped: usize,
+}
+
+impl InvalidRounds {
+    /// Upper bound on the number of *recorded* runs. Memory is
+    /// `O(MAX_RUNS)` regardless of execution length.
+    pub const MAX_RUNS: usize = 1024;
+
+    /// Records `round` as invalid. Rounds arrive in strictly increasing
+    /// order; a round adjacent to the last recorded run extends it in place
+    /// (`O(1)`, no allocation — the always-invalid case stays at one run).
+    pub fn push(&mut self, round: usize) {
+        self.total += 1;
+        if self.dropped == 0 {
+            if let Some(last) = self.runs.last_mut() {
+                debug_assert!(round >= last.0 + last.1, "rounds must be pushed in order");
+                if round == last.0 + last.1 {
+                    last.1 += 1;
+                    return;
+                }
+            }
+            if self.runs.len() < Self::MAX_RUNS {
+                self.runs.push((round, 1));
+                return;
+            }
+        }
+        self.dropped += 1;
+    }
+
+    /// Total number of invalid rounds (exact even past the run cap).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Returns `true` if no round was recorded as invalid.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of invalid rounds whose indices were dropped because the run
+    /// cap was reached (`0` in the overwhelmingly common case).
+    pub fn truncated(&self) -> usize {
+        self.dropped
+    }
+
+    /// The recorded maximal runs as `(start, len)`, ascending.
+    pub fn runs(&self) -> &[(usize, usize)] {
+        &self.runs
+    }
+
+    /// Iterates the recorded invalid round indices in ascending order
+    /// (excludes truncated rounds).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|&(start, len)| start..start + len)
+    }
+
+    /// Returns `true` if `round` is among the recorded invalid rounds.
+    pub fn contains(&self, round: usize) -> bool {
+        match self.runs.binary_search_by_key(&round, |&(start, _)| start) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => {
+                let (start, len) = self.runs[i - 1];
+                round < start + len
+            }
+        }
+    }
+
+    /// Materializes the recorded rounds into a vector (testing/reporting).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// Equality against a plain round list — convenience for tests. Holds only
+/// when nothing was truncated.
+impl PartialEq<Vec<usize>> for InvalidRounds {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.dropped == 0 && self.total == other.len() && self.iter().eq(other.iter().copied())
+    }
 }
 
 impl VerificationSummary {
@@ -657,6 +763,42 @@ mod tests {
         assert!(!verify_locally_static(&outputs, v0, 2, 5), "out of range");
         assert_eq!(last_change_round(&outputs, v0), Some(1));
         assert_eq!(last_change_round(&outputs, v1), Some(3));
+    }
+
+    #[test]
+    fn invalid_rounds_run_length_is_bounded() {
+        // A million-round always-invalid run collapses into a single run.
+        let mut inv = InvalidRounds::default();
+        for r in 0..1_000_000 {
+            inv.push(r);
+        }
+        assert_eq!(inv.len(), 1_000_000);
+        assert_eq!(inv.runs(), &[(0, 1_000_000)]);
+        assert_eq!(inv.truncated(), 0);
+        assert!(inv.contains(999_999) && !inv.contains(1_000_000));
+
+        // Adversarial alternation (no two invalid rounds adjacent) caps the
+        // recorded runs; the total stays exact.
+        let mut alt = InvalidRounds::default();
+        for r in 0..10_000 {
+            alt.push(2 * r);
+        }
+        assert_eq!(alt.len(), 10_000);
+        assert_eq!(alt.runs().len(), InvalidRounds::MAX_RUNS);
+        assert_eq!(alt.truncated(), 10_000 - InvalidRounds::MAX_RUNS);
+        assert!(alt.contains(0) && alt.contains(2 * (InvalidRounds::MAX_RUNS - 1)));
+        assert!(!alt.contains(1));
+
+        // Mixed runs round-trip through the iterator, and Vec equality
+        // works while nothing is truncated.
+        let mut mixed = InvalidRounds::default();
+        for r in [3usize, 4, 5, 9, 12, 13] {
+            mixed.push(r);
+        }
+        assert_eq!(mixed.to_vec(), vec![3, 4, 5, 9, 12, 13]);
+        assert_eq!(mixed, vec![3, 4, 5, 9, 12, 13]);
+        assert_eq!(mixed.runs(), &[(3, 3), (9, 1), (12, 2)]);
+        assert!(!mixed.is_empty());
     }
 
     #[test]

@@ -71,9 +71,9 @@ pub mod prelude {
     };
     pub use dynnet_core::{
         check_t_dynamic, node_verdict, recommended_window, verify_locally_static,
-        verify_t_dynamic_run, ColorOutput, ColoringProblem, DynamicProblem, HasBottom, MisOutput,
-        MisProblem, NodeVerdict, TDynamicReport, TDynamicVerifier, VerificationSummary,
-        VerifyError, ViolationLedger,
+        verify_t_dynamic_run, ColorOutput, ColoringProblem, DynamicProblem, HasBottom,
+        InvalidRounds, MisOutput, MisProblem, NodeVerdict, TDynamicReport, TDynamicVerifier,
+        VerificationSummary, VerifyError, ViolationLedger,
     };
     pub use dynnet_graph::{
         generators, CsrApplyOutcome, CsrGraph, Edge, Graph, GraphDelta, GraphWindow, NodeId,

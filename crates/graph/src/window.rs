@@ -29,6 +29,20 @@ struct Span {
     since: u64,
 }
 
+/// Per-edge window state: the presence run plus this edge's positions in
+/// its endpoints' incidence lists (`pos_u` in `incidence[e.u]`, `pos_v` in
+/// `incidence[e.v]`, with `e` normalized so `u < v`). The stored positions
+/// make garbage-collecting an expired edge `O(1)` — swap-remove and patch
+/// the one entry that moved — instead of a linear scan of the endpoint's
+/// list, which would turn mass expiry at a high-degree node quadratic.
+#[derive(Clone, Copy, Debug)]
+struct EdgeEntry {
+    on: bool,
+    since: u64,
+    pos_u: usize,
+    pos_v: usize,
+}
+
 /// The window-membership changes produced by pushing one round into a
 /// [`GraphWindow`] — returned by [`GraphWindow::push`] and
 /// [`GraphWindow::push_delta`].
@@ -138,7 +152,15 @@ pub struct GraphWindow {
     deltas: VecDeque<GraphDelta>,
     /// Presence run per edge that is present now or was present within the
     /// window (stale absent entries are garbage-collected lazily).
-    edge_state: HashMap<Edge, Span>,
+    edge_state: HashMap<Edge, EdgeEntry>,
+    /// Per-node incidence lists over `edge_state`: `incidence[v]` holds the
+    /// other endpoint of every edge that currently has an `edge_state` entry
+    /// (present, or absent but still inside the union window). Maintained by
+    /// the same insert/GC events as `edge_state`, it lets the degree queries
+    /// ([`GraphWindow::union_degree`], [`GraphWindow::intersection_degree`])
+    /// and [`GraphWindow::locally_static`] touch `O(deg)` entries instead of
+    /// scanning the whole `O(|G^∪T|)` edge map.
+    incidence: Vec<Vec<NodeId>>,
     /// Activity run per node.
     node_state: Vec<Span>,
     /// `(round_removed, edge)` queue driving the lazy GC of absent edges
@@ -165,6 +187,7 @@ impl GraphWindow {
             current: Graph::new_all_asleep(n),
             deltas: VecDeque::new(),
             edge_state: HashMap::new(),
+            incidence: vec![Vec::new(); n],
             node_state: vec![
                 Span {
                     on: false,
@@ -225,7 +248,16 @@ impl GraphWindow {
                 ..WindowUpdate::default()
             };
             for e in g.edges() {
-                self.edge_state.insert(e, Span { on: true, since: 0 });
+                let (pos_u, pos_v) = self.add_incidence(e);
+                self.edge_state.insert(
+                    e,
+                    EdgeEntry {
+                        on: true,
+                        since: 0,
+                        pos_u,
+                        pos_v,
+                    },
+                );
                 update.inserted.push(e);
                 // A one-round window spans the whole (one-round) history.
                 update.edges_joined_intersection.push(e);
@@ -272,23 +304,36 @@ impl GraphWindow {
         };
 
         for e in &tight.inserted {
-            self.edge_state.insert(
-                *e,
-                Span {
-                    on: true,
-                    since: round,
-                },
-            );
+            // A brand-new entry (not a re-insertion of an edge still inside
+            // the union window) joins the incidence lists; re-insertions
+            // keep their stored positions and just flip the run.
+            match self.edge_state.get_mut(e) {
+                Some(entry) => {
+                    entry.on = true;
+                    entry.since = round;
+                }
+                None => {
+                    let (pos_u, pos_v) = self.add_incidence(*e);
+                    self.edge_state.insert(
+                        *e,
+                        EdgeEntry {
+                            on: true,
+                            since: round,
+                            pos_u,
+                            pos_v,
+                        },
+                    );
+                }
+            }
             self.edge_maturity_queue.push_back((round, *e));
         }
         for e in &tight.removed {
-            self.edge_state.insert(
-                *e,
-                Span {
-                    on: false,
-                    since: round,
-                },
-            );
+            let entry = self
+                .edge_state
+                .get_mut(e)
+                .expect("removed edge has a window entry");
+            entry.on = false;
+            entry.since = round;
             self.gc_queue.push_back((round, *e));
         }
         for &v in &tight.woken {
@@ -321,7 +366,8 @@ impl GraphWindow {
             self.gc_queue.pop_front();
             if let Some(s) = self.edge_state.get(&e) {
                 if !s.on && s.since == r {
-                    self.edge_state.remove(&e);
+                    let entry = self.edge_state.remove(&e).expect("entry present");
+                    self.drop_incidence(e, entry);
                     update.edges_left_union.push(e);
                 }
             }
@@ -352,6 +398,47 @@ impl GraphWindow {
             }
         }
         update
+    }
+
+    /// Registers a fresh `edge_state` entry in both endpoints' incidence
+    /// lists, returning its positions `(pos_u, pos_v)` in them.
+    fn add_incidence(&mut self, e: Edge) -> (usize, usize) {
+        let pos_u = self.incidence[e.u.index()].len();
+        self.incidence[e.u.index()].push(e.v);
+        let pos_v = self.incidence[e.v.index()].len();
+        self.incidence[e.v.index()].push(e.u);
+        (pos_u, pos_v)
+    }
+
+    /// Removes a garbage-collected `edge_state` entry from both endpoints'
+    /// incidence lists in `O(1)`: swap-remove at the entry's stored
+    /// positions and patch the stored position of the one edge that moved.
+    fn drop_incidence(&mut self, e: Edge, entry: EdgeEntry) {
+        Self::incidence_swap_remove(&mut self.incidence, &mut self.edge_state, e.u, entry.pos_u);
+        Self::incidence_swap_remove(&mut self.incidence, &mut self.edge_state, e.v, entry.pos_v);
+    }
+
+    fn incidence_swap_remove(
+        incidence: &mut [Vec<NodeId>],
+        edge_state: &mut HashMap<Edge, EdgeEntry>,
+        v: NodeId,
+        pos: usize,
+    ) {
+        let list = &mut incidence[v.index()];
+        list.swap_remove(pos);
+        if pos < list.len() {
+            // The former last entry moved into `pos`: update its edge's
+            // stored position on `v`'s side.
+            let moved_edge = Edge::new(v, list[pos]);
+            let moved = edge_state
+                .get_mut(&moved_edge)
+                .expect("moved incidence entry has a window entry");
+            if moved_edge.u == v {
+                moved.pos_u = pos;
+            } else {
+                moved.pos_v = pos;
+            }
+        }
     }
 
     /// Applies `delta` to the current graph, returning the *tight* delta of
@@ -482,10 +569,10 @@ impl GraphWindow {
         }
     }
 
-    /// Union membership from a presence run: present now, or removed
+    /// Union membership from an edge's presence run: present now, or removed
     /// recently enough that its last present round is inside the window.
     #[inline]
-    fn span_in_union(&self, s: &Span) -> bool {
+    fn span_in_union(&self, s: &EdgeEntry) -> bool {
         s.on || s.since > self.start()
     }
 
@@ -530,25 +617,29 @@ impl GraphWindow {
     /// Degree of `v` in the union graph: the number of *distinct* neighbors
     /// seen in the last `T` rounds — the paper's notion of "degree" for the
     /// (degree+1)-coloring covering constraint in dynamic networks.
+    /// `O(deg^∪T(v))` via the incidence list, not a scan of the edge map.
     pub fn union_degree(&self, v: NodeId) -> usize {
         if self.rounds_pushed == 0 {
             return 0;
         }
-        self.edge_state
+        self.incidence[v.index()]
             .iter()
-            .filter(|(e, s)| e.contains(v) && self.span_in_union(s))
+            .filter(|&&u| self.span_in_union(&self.edge_state[&Edge::new(v, u)]))
             .count()
     }
 
-    /// Degree of `v` in the intersection graph.
+    /// Degree of `v` in the intersection graph (`O(deg^∪T(v))`).
     pub fn intersection_degree(&self, v: NodeId) -> usize {
         if self.rounds_pushed == 0 {
             return 0;
         }
         let start = self.start();
-        self.edge_state
+        self.incidence[v.index()]
             .iter()
-            .filter(|(e, s)| e.contains(v) && s.on && s.since <= start)
+            .filter(|&&u| {
+                let s = self.edge_state[&Edge::new(v, u)];
+                s.on && s.since <= start
+            })
             .count()
     }
 
@@ -565,16 +656,65 @@ impl GraphWindow {
         };
         let ball = crate::neighborhood::neighborhood(cur, v, alpha);
         let start = self.start();
-        // Every edge currently incident to the ball must predate the window…
+        // Walk only the edges incident to the ball (incidence lists), not
+        // the whole edge map. An `edge_state` entry whose run started inside
+        // the window is either an edge inserted within it (`on`) or one
+        // removed within it (`!on` — absent entries whose run predates the
+        // window were garbage-collected when it slid); both break local
+        // staticness. Entries with `since ≤ start` are edges present in
+        // every window round, which is exactly the static case.
         for &w in &ball {
-            for u in cur.neighbors(w) {
-                let s = self.edge_state[&Edge::new(w, u)];
-                if s.since > start {
+            for &u in &self.incidence[w.index()] {
+                if self.edge_state[&Edge::new(w, u)].since > start {
                     return false;
                 }
             }
         }
-        // …and no edge incident to the ball may have been removed within it.
+        true
+    }
+
+    /// The pre-incidence-list `union_degree`: a full scan of the edge map.
+    /// Kept as the reference the equivalence tests compare against.
+    #[cfg(test)]
+    fn union_degree_scan(&self, v: NodeId) -> usize {
+        if self.rounds_pushed == 0 {
+            return 0;
+        }
+        self.edge_state
+            .iter()
+            .filter(|(e, s)| e.contains(v) && self.span_in_union(s))
+            .count()
+    }
+
+    /// The pre-incidence-list `intersection_degree` (full scan, tests only).
+    #[cfg(test)]
+    fn intersection_degree_scan(&self, v: NodeId) -> usize {
+        if self.rounds_pushed == 0 {
+            return 0;
+        }
+        let start = self.start();
+        self.edge_state
+            .iter()
+            .filter(|(e, s)| e.contains(v) && s.on && s.since <= start)
+            .count()
+    }
+
+    /// The pre-incidence-list `locally_static` (full edge-map scan for the
+    /// removed-within-window clause, tests only).
+    #[cfg(test)]
+    fn locally_static_scan(&self, v: NodeId, alpha: usize) -> bool {
+        let Some(cur) = self.current() else {
+            return false;
+        };
+        let ball = crate::neighborhood::neighborhood(cur, v, alpha);
+        let start = self.start();
+        for &w in &ball {
+            for u in cur.neighbors(w) {
+                if self.edge_state[&Edge::new(w, u)].since > start {
+                    return false;
+                }
+            }
+        }
         let ball_set: HashSet<NodeId> = ball.into_iter().collect();
         for (e, s) in &self.edge_state {
             if !s.on && s.since > start && (ball_set.contains(&e.u) || ball_set.contains(&e.v)) {
@@ -895,6 +1035,50 @@ mod tests {
                 let want: std::collections::BTreeSet<NodeId> =
                     w.intersection_nodes().into_iter().collect();
                 assert_eq!(vcap, want, "T={t} round={round} V^∩T diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_degree_queries_match_full_scans() {
+        // Randomized runs across window sizes: after every push, the
+        // incidence-list degree queries and `locally_static` must agree
+        // with the original full-edge-map scans for every node.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = 10;
+        for t in [1usize, 2, 3, 5] {
+            let mut w = GraphWindow::new(n, t);
+            let mut cur = Graph::new(n);
+            for round in 0..50 {
+                for _ in 0..rng.gen_range(0..5) {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a != b {
+                        cur.toggle_edge(NodeId::new(a), NodeId::new(b));
+                    }
+                }
+                w.push(&cur);
+                for i in 0..n {
+                    let v = NodeId::new(i);
+                    assert_eq!(
+                        w.union_degree(v),
+                        w.union_degree_scan(v),
+                        "T={t} round={round} union_degree({i})"
+                    );
+                    assert_eq!(
+                        w.intersection_degree(v),
+                        w.intersection_degree_scan(v),
+                        "T={t} round={round} intersection_degree({i})"
+                    );
+                    for alpha in [0usize, 1, 2] {
+                        assert_eq!(
+                            w.locally_static(v, alpha),
+                            w.locally_static_scan(v, alpha),
+                            "T={t} round={round} locally_static({i}, {alpha})"
+                        );
+                    }
+                }
             }
         }
     }

@@ -407,7 +407,9 @@ where
     }
 
     /// Phases 3–7 of the round, common to both step paths: instantiate the
-    /// newly awake nodes, run send/deliver/receive, collect outputs.
+    /// newly awake nodes, run send/deliver/receive, publish outputs. Output
+    /// publication (and churn detection) is fused into the receive phase —
+    /// per shard on the parallel path — so no separate `O(n)` scan runs.
     fn finish_round(
         &mut self,
         round: u64,
@@ -423,18 +425,7 @@ where
         }
 
         let messages: Vec<Option<A::Msg>> = self.run_send_phase(round, &csr);
-        self.run_receive_phase(round, &csr, &messages);
-
-        let mut changed_outputs = Vec::new();
-        for i in 0..self.n {
-            if let Some(alg) = &self.nodes[i] {
-                let out = alg.output();
-                if self.outputs[i].as_ref() != Some(&out) {
-                    self.outputs[i] = Some(out);
-                    changed_outputs.push(NodeId::new(i));
-                }
-            }
-        }
+        let changed_outputs = self.run_receive_phase(round, &csr, &messages);
 
         self.next_round += 1;
         StepSummary {
@@ -533,7 +524,23 @@ where
         }
     }
 
-    fn run_receive_phase(&mut self, round: u64, csr: &CsrGraph, messages: &[Option<A::Msg>]) {
+    /// Receive phase fused with output publication: every awake node
+    /// consumes its inbox, then its (possibly changed) output is published
+    /// immediately, and the node is appended to the round's churn list if
+    /// the published value differs from last round's.
+    ///
+    /// Returns the round's exact output churn, ascending. On the parallel
+    /// path each worker shard processes an aligned contiguous slice of
+    /// `(nodes, outputs)` and produces its own shard-local changed list;
+    /// the shards are contiguous and in index order, so concatenating the
+    /// per-shard lists is the node-order merge — byte-identical to the
+    /// sequential pass, with no per-round `O(n)` publication scan anywhere.
+    fn run_receive_phase(
+        &mut self,
+        round: u64,
+        csr: &CsrGraph,
+        messages: &[Option<A::Msg>],
+    ) -> Vec<NodeId> {
         let awake = self.num_awake;
         let seed = self.config.seed;
         let n = self.n;
@@ -544,41 +551,50 @@ where
                 .filter_map(|&u| messages[u.index()].clone().map(|m| (u, m)))
                 .collect()
         };
-        if self.use_parallel(awake) {
-            self.nodes.par_iter_mut().enumerate().for_each(|(i, slot)| {
-                if let Some(alg) = slot.as_mut() {
-                    let v = NodeId::new(i);
-                    let inbox = build_inbox(v);
-                    let local_round = round - woke_at[i].expect("awake");
-                    let mut ctx = NodeContext {
-                        node: v,
-                        n,
-                        round,
-                        local_round,
-                        graph: csr,
-                        rng: node_round_rng(seed, v.0, round, 1),
-                    };
-                    alg.receive(&mut ctx, &inbox);
-                }
-            });
-        } else {
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..self.n {
-                if let Some(alg) = self.nodes[i].as_mut() {
-                    let v = NodeId::new(i);
-                    let inbox = build_inbox(v);
-                    let local_round = round - woke_at[i].expect("awake");
-                    let mut ctx = NodeContext {
-                        node: v,
-                        n,
-                        round,
-                        local_round,
-                        graph: csr,
-                        rng: node_round_rng(seed, v.0, round, 1),
-                    };
-                    alg.receive(&mut ctx, &inbox);
+        let receive_and_publish = |i: usize,
+                                   slot: &mut Option<A>,
+                                   out: &mut Option<A::Output>,
+                                   changed: &mut Vec<NodeId>| {
+            if let Some(alg) = slot.as_mut() {
+                let v = NodeId::new(i);
+                let inbox = build_inbox(v);
+                let local_round = round - woke_at[i].expect("awake");
+                let mut ctx = NodeContext {
+                    node: v,
+                    n,
+                    round,
+                    local_round,
+                    graph: csr,
+                    rng: node_round_rng(seed, v.0, round, 1),
+                };
+                alg.receive(&mut ctx, &inbox);
+                let published = alg.output();
+                if out.as_ref() != Some(&published) {
+                    *out = Some(published);
+                    changed.push(v);
                 }
             }
+        };
+        if self.use_parallel(awake) {
+            let shard_lists =
+                rayon::par_zip_shards(&mut self.nodes, &mut self.outputs, |offset, slots, outs| {
+                    let mut changed = Vec::new();
+                    for (k, (slot, out)) in slots.iter_mut().zip(outs.iter_mut()).enumerate() {
+                        receive_and_publish(offset + k, slot, out, &mut changed);
+                    }
+                    changed
+                });
+            let mut changed = Vec::with_capacity(shard_lists.iter().map(Vec::len).sum());
+            for list in shard_lists {
+                changed.extend(list);
+            }
+            changed
+        } else {
+            let mut changed = Vec::new();
+            for (i, (slot, out)) in self.nodes.iter_mut().zip(&mut self.outputs).enumerate() {
+                receive_and_publish(i, slot, out, &mut changed);
+            }
+            changed
         }
     }
 }

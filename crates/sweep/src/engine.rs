@@ -124,6 +124,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// invocation and share it by reference. `threads == 1` degenerates to an
 /// in-place sequential loop (no threads are spawned), which is the reference
 /// execution every multi-threaded run must reproduce byte-for-byte.
+///
+/// The engine is *budget-aware*: a sharded run claims its worker count from
+/// the process-wide thread budget ([`rayon::claim_threads`]), so cells that
+/// enable per-round parallelism (`SimConfig::parallel`) automatically shrink
+/// their fan-out to the budget's remaining share instead of multiplying
+/// threads per cell.
 #[derive(Clone, Debug)]
 pub struct SweepEngine {
     threads: usize,
@@ -131,13 +137,11 @@ pub struct SweepEngine {
 }
 
 impl Default for SweepEngine {
-    /// One worker per available core, progress reporting off.
+    /// One worker per thread of the shared budget ([`rayon::max_threads`]:
+    /// `DYNNET_RAYON_THREADS` if set, otherwise the core count), progress
+    /// reporting off.
     fn default() -> Self {
-        SweepEngine::new(
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        )
+        SweepEngine::new(rayon::max_threads())
     }
 }
 
@@ -200,6 +204,16 @@ impl SweepEngine {
         if threads == 1 {
             return self.run_serial(spec, run_cell, start);
         }
+
+        // Claim the engine's worker count from the shared thread budget for
+        // the duration of the sharded run: while the claim is alive, every
+        // per-round parallel call inside a cell (`SimConfig::parallel`) fans
+        // out to at most `budget / threads` threads, so
+        // `threads(engine) × threads(round) ≤ budget` and a sweep of
+        // parallel-enabled cells cannot oversubscribe the machine. When the
+        // engine uses the whole budget, inner parallelism degrades to
+        // inline sequential execution (results are identical either way).
+        let _budget_claim = rayon::claim_threads(threads);
 
         // One contiguous shard of cell indices per worker.
         let chunk = total.div_ceil(threads);

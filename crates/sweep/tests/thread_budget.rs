@@ -1,0 +1,93 @@
+//! Sweep × per-round-parallelism co-scheduling: a sharded sweep claims its
+//! worker count from the shared rayon thread budget, so cells that enable
+//! `SimConfig::parallel` shrink their inner fan-out instead of multiplying
+//! threads per cell (the E14 oversubscription bug).
+//!
+//! This file is its own test binary (hence its own process) on purpose: the
+//! pool counters asserted here are process-global, and the single `#[test]`
+//! keeps concurrent tests from polluting the peak-concurrency high-water
+//! mark.
+
+use dynnet_adversary::{FlipChurnAdversary, Scenario};
+use dynnet_algorithms::mis::DMis;
+use dynnet_core::MisOutput;
+use dynnet_graph::{generators, NodeId};
+use dynnet_runtime::observer::ChurnStats;
+use dynnet_runtime::rng::experiment_rng;
+use dynnet_sweep::{SweepEngine, SweepSpec};
+
+/// One parallel-enabled scenario per cell: n nodes of flip churn under DMis,
+/// parallel threshold 0 so every round exercises the parallel path.
+fn run_cell(seed: u64) -> Vec<usize> {
+    let n = 600;
+    let footprint = generators::erdos_renyi_avg_degree(n, 6.0, &mut experiment_rng(seed, "budget"));
+    let mut churn = ChurnStats::new();
+    Scenario::new(n)
+        .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+        .adversary(FlipChurnAdversary::new(&footprint, 0.02, seed))
+        .seed(seed)
+        .parallel(true)
+        .parallel_threshold(0)
+        .rounds(12)
+        .run(&mut [&mut churn]);
+    churn.series().to_vec()
+}
+
+#[test]
+fn sweep_of_parallel_cells_stays_within_thread_budget() {
+    let budget = rayon::max_threads();
+    let seeds: Vec<u64> = (0..8).collect();
+    let spec = SweepSpec::grid1("budget", &seeds, |&s| (format!("seed={s}"), s));
+
+    // Reference: serial engine (no claim), cells still parallel inside.
+    let serial = SweepEngine::new(1)
+        .run(&spec, |c| run_cell(c.params))
+        .expect("serial sweep");
+
+    // Sharded engine: 2 workers claim 2 of the budget, so each cell's inner
+    // parallel calls fan out to at most budget/2 threads.
+    let sharded = SweepEngine::new(2)
+        .run(&spec, |c| run_cell(c.params))
+        .expect("sharded sweep");
+
+    // Budget-constrained inner parallelism changes wall-clock only, never
+    // results: per-(seed, node, round) randomness pins the execution.
+    assert_eq!(serial.results(), sharded.results());
+
+    let stats = rayon::pool_stats();
+    // The pool never grows past the budget: all workers were spawned at
+    // pool init, none per round or per cell.
+    assert!(
+        stats.workers_spawned <= budget.saturating_sub(1),
+        "pool spawned {} workers for a budget of {budget}",
+        stats.workers_spawned
+    );
+    // Peak concurrency (pool workers + calling threads executing parallel
+    // work, inline calls included) stays within the budget: the engine's
+    // claim throttles the cells' inner fan-out. On a single-core budget the
+    // 2 sweep workers themselves exceed it by construction, so the strict
+    // bound only holds for budgets that fit the engine.
+    if budget >= 2 {
+        assert!(
+            stats.peak_active <= budget,
+            "peak parallel concurrency {} exceeded the thread budget {budget}",
+            stats.peak_active
+        );
+    }
+
+    // An engine claiming the entire budget degrades inner parallelism to
+    // inline sequential execution: no task reaches the pool at all.
+    let wide_seeds: Vec<u64> = (0..budget.max(2) as u64).collect();
+    let wide_spec = SweepSpec::grid1("budget-wide", &wide_seeds, |&s| (format!("seed={s}"), s));
+    let pooled_before = rayon::pool_stats().tasks_pooled;
+    let wide = SweepEngine::new(budget.max(2))
+        .run(&wide_spec, |c| run_cell(c.params))
+        .expect("full-budget sweep");
+    let overlap = seeds.len().min(wide_seeds.len());
+    assert_eq!(wide.results()[..overlap], serial.results()[..overlap]);
+    assert_eq!(
+        rayon::pool_stats().tasks_pooled,
+        pooled_before,
+        "a full-budget sweep must run cells' inner parallelism inline"
+    );
+}

@@ -1,0 +1,252 @@
+//! Sequential/parallel equivalence of the round pipeline's output-churn
+//! tracking.
+//!
+//! The simulator fuses output publication and churn detection into the
+//! receive phase; on the parallel path each worker shard publishes its
+//! nodes' outputs and emits a shard-local changed list, and the shard lists
+//! are concatenated in node order. This suite pins the contract that makes
+//! the incremental verifier sound on the parallel path: for every built-in
+//! adversary × {MIS, coloring}, `StepSummary::changed_outputs` (observed
+//! through `RoundView::changed_outputs`) and the final outputs are
+//! *byte-identical* between sequential and rayon-parallel execution —
+//! per-(seed, node, round) randomness makes the executions themselves
+//! identical, and the shard merge must not reorder or drop churn entries.
+
+use dynnet::graph::DynamicGraphTrace;
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use dynnet::runtime::AlgorithmFactory;
+
+const N: usize = 24;
+const WINDOW: usize = 4;
+
+fn footprint(seed: u64) -> Graph {
+    generators::erdos_renyi_avg_degree(N, 4.0, &mut experiment_rng(seed, "par-eq"))
+}
+
+/// Collects every round's exact churn list as reported by the simulator.
+struct ChurnCollector {
+    rounds: Vec<Vec<NodeId>>,
+}
+
+impl<O> RoundObserver<O> for ChurnCollector {
+    fn on_round(&mut self, view: &RoundView<'_, O>) {
+        let changed = view
+            .changed_outputs
+            .expect("the simulator always tracks output churn");
+        // The churn list is sorted ascending by construction on both paths.
+        assert!(changed.windows(2).all(|w| w[0] < w[1]), "unsorted churn");
+        self.rounds.push(changed.to_vec());
+    }
+}
+
+/// Runs the same scenario sequentially and parallel (threshold 0, so the
+/// parallel path is exercised regardless of `n`) and asserts identical
+/// per-round churn lists and final outputs. Factory and adversary are
+/// handed in as builders because neither the combined-algorithm factories
+/// nor every adversary is `Clone`; determinism comes from the builders
+/// producing identical values.
+fn assert_seq_par_identical<A, F, Adv>(
+    name: &str,
+    mk_factory: impl Fn() -> F,
+    mk_adversary: impl Fn() -> Adv,
+    rounds: usize,
+) where
+    A: NodeAlgorithm,
+    A::Output: std::fmt::Debug,
+    F: AlgorithmFactory<A>,
+    Adv: OutputAdversary<A::Output>,
+{
+    let run = |parallel: bool| {
+        let mut churn = ChurnCollector { rounds: Vec::new() };
+        let runner = Scenario::new(N)
+            .algorithm(mk_factory())
+            .adversary(mk_adversary())
+            .seed(11)
+            .parallel(parallel)
+            .parallel_threshold(0)
+            .rounds(rounds)
+            .run(&mut [&mut churn]);
+        assert_eq!(churn.rounds.len(), rounds, "{name}: observer missed rounds");
+        (churn.rounds, runner.outputs().to_vec())
+    };
+    let (seq_churn, seq_outputs) = run(false);
+    let (par_churn, par_outputs) = run(true);
+    assert_eq!(seq_churn, par_churn, "{name}: changed_outputs diverged");
+    assert_eq!(seq_outputs, par_outputs, "{name}: final outputs diverged");
+}
+
+/// Runs one adversary against the combined coloring and MIS algorithms.
+/// The adversary argument is an *expression* re-evaluated per run, so it
+/// need not be `Clone`.
+macro_rules! check_both_problems {
+    ($name:expr, $mk_coloring_adv:expr, $mk_mis_adv:expr) => {
+        let rounds = 4 * WINDOW + 8;
+        assert_seq_par_identical(
+            concat!($name, "/coloring"),
+            || dynamic_coloring(WINDOW),
+            || $mk_coloring_adv,
+            rounds,
+        );
+        assert_seq_par_identical(
+            concat!($name, "/mis"),
+            || dynamic_mis(N, WINDOW),
+            || $mk_mis_adv,
+            rounds,
+        );
+    };
+    ($name:expr, $mk_adv:expr) => {
+        check_both_problems!($name, $mk_adv, $mk_adv)
+    };
+}
+
+#[test]
+fn static_adversary() {
+    check_both_problems!("static", StaticAdversary::new(footprint(1)));
+}
+
+#[test]
+fn scripted_adversary() {
+    let rounds = 4 * WINDOW + 8;
+    let mut churn = FlipChurnAdversary::new(&footprint(2), 0.05, 3);
+    let g0 = Adversary::initial_graph(&mut churn);
+    let mut trace = DynamicGraphTrace::new(g0.clone());
+    let mut g = g0;
+    for r in 1..rounds as u64 {
+        let d = Adversary::next_delta(&mut churn, r, &g);
+        d.apply(&mut g);
+        trace.push_delta(d);
+    }
+    check_both_problems!("scripted", ScriptedAdversary::new(trace.clone()));
+}
+
+#[test]
+fn phase_adversary() {
+    let mk = || {
+        PhaseAdversary::new(vec![
+            (
+                0,
+                Box::new(StaticAdversary::new(footprint(4))) as Box<dyn Adversary>,
+            ),
+            (6, Box::new(FlipChurnAdversary::new(&footprint(4), 0.08, 5))),
+            (
+                (2 * WINDOW + 4) as u64,
+                Box::new(RateChurnAdversary::new(footprint(4), 2, 2, 6)),
+            ),
+        ])
+    };
+    check_both_problems!("phase", mk(), mk());
+}
+
+#[test]
+fn markov_churn_adversary() {
+    check_both_problems!(
+        "markov",
+        MarkovChurnAdversary::new(&footprint(7), 0.1, 0.1, true, 8)
+    );
+}
+
+#[test]
+fn flip_churn_adversary() {
+    check_both_problems!("flip", FlipChurnAdversary::new(&footprint(9), 0.08, 10));
+}
+
+#[test]
+fn rate_churn_adversary() {
+    check_both_problems!("rate", RateChurnAdversary::new(footprint(11), 3, 3, 12));
+}
+
+#[test]
+fn burst_adversary() {
+    check_both_problems!(
+        "burst",
+        BurstAdversary::new(
+            footprint(13),
+            (WINDOW + 2) as u64,
+            (WINDOW / 2 + 1) as u64,
+            4,
+            14
+        )
+    );
+}
+
+#[test]
+fn node_churn_adversary() {
+    check_both_problems!(
+        "node-churn",
+        NodeChurnAdversary::new(footprint(15), 0.05, 0.2, 16)
+    );
+}
+
+#[test]
+fn growth_adversary() {
+    check_both_problems!("growth", GrowthAdversary::new(footprint(17), 6, 2));
+}
+
+#[test]
+fn mobility_adversary() {
+    check_both_problems!(
+        "mobility",
+        MobilityAdversary::new(
+            MobilityConfig {
+                n: N,
+                radius: 0.3,
+                ..Default::default()
+            },
+            18,
+        )
+    );
+}
+
+#[test]
+fn locally_static_adversary() {
+    check_both_problems!(
+        "locally-static",
+        LocallyStaticAdversary::new(footprint(19), vec![NodeId::new(0)], 2, 0.2, 20)
+    );
+}
+
+#[test]
+fn conflict_seeking_adversary() {
+    check_both_problems!(
+        "conflict-seeking",
+        ConflictSeekingAdversary::new(
+            footprint(21),
+            |a: &ColorOutput, b: &ColorOutput| {
+                matches!((a, b), (ColorOutput::Colored(x), ColorOutput::Colored(y)) if x == y)
+            },
+            3,
+            0.05,
+            (2 * WINDOW) as u64,
+            22,
+        ),
+        ConflictSeekingAdversary::new(
+            footprint(21),
+            |a: &MisOutput, b: &MisOutput| matches!((a, b), (MisOutput::InMis, MisOutput::InMis)),
+            3,
+            0.05,
+            (2 * WINDOW) as u64,
+            22,
+        )
+    );
+}
+
+/// The incremental T-dynamic verifier consumes the parallel path's churn
+/// lists unchanged: verifying a parallel execution must yield the same
+/// summary as verifying the sequential one.
+#[test]
+fn verifier_summary_identical_across_paths() {
+    let run = |parallel: bool| {
+        let mut verifier = TDynamicVerifier::new(ColoringProblem, WINDOW);
+        Scenario::new(N)
+            .algorithm(dynamic_coloring(WINDOW))
+            .adversary(FlipChurnAdversary::new(&footprint(23), 0.06, 24))
+            .seed(11)
+            .parallel(parallel)
+            .parallel_threshold(0)
+            .rounds(4 * WINDOW + 8)
+            .run(&mut [&mut verifier]);
+        verifier.into_summary()
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,29 +1,400 @@
 //! Offline stand-in for the `rayon` parallel-iterator API subset used by the
 //! dynnet workspace (`par_iter_mut().enumerate().map(..).collect()` and
-//! `par_iter_mut().enumerate().for_each(..)` over slices/vectors).
+//! `par_iter_mut().enumerate().for_each(..)` over slices/vectors, plus the
+//! [`par_zip_shards`] extension the simulator's fused receive+publish pass
+//! uses).
 //!
-//! Implements real data parallelism with `std::thread::scope`: the slice is
-//! split into one contiguous chunk per available core and each chunk is
-//! processed on its own scoped thread. Results of `map` are concatenated in
-//! index order, so the observable behavior (and, for the deterministic
-//! per-item closures the simulator uses, the exact output) matches rayon.
-//! Swap the path dependency for the real crate when a registry is available.
+//! Unlike the original shim — which spawned fresh `std::thread::scope`
+//! threads on *every* call, two spawns per simulated round — this version
+//! implements real data parallelism on a **persistent shared worker pool**:
+//!
+//! * The pool is created lazily on the first parallel call and holds
+//!   `budget - 1` parked workers (the calling thread is the budget's last
+//!   member and always participates). No thread is ever spawned after pool
+//!   initialization; see [`pool_stats`].
+//! * Each call splits its slice into one contiguous chunk per participating
+//!   thread and publishes the chunk set as a single task; parked workers
+//!   claim chunks from it, and results of `map` land directly in their
+//!   index-ordered output slots — the observable behavior (and, for the
+//!   deterministic per-item closures the simulator uses, the exact output)
+//!   matches rayon and the sequential path.
+//! * The **thread budget** is resolved exactly once per process: the
+//!   `DYNNET_RAYON_THREADS` environment variable if set, otherwise the
+//!   detected core count ([`max_threads`]). Changing the variable mid-run
+//!   has no effect — pool size and call widths stay fixed.
+//! * Coarser-grained schedulers (the `dynnet-sweep` engine) coordinate with
+//!   per-round parallelism through the **budget claim API**
+//!   ([`claim_threads`]): while a claim for `c` threads is outstanding,
+//!   every parallel call fans out to at most `max(1, budget / c)` threads,
+//!   so `claimed × per-call width ≤ budget` and a sweep of parallel-enabled
+//!   cells can never oversubscribe the machine. A claim covering the whole
+//!   budget degrades inner parallelism to inline sequential execution (the
+//!   pool is not even woken).
+//!
+//! Swap the path dependency for the real crate when a registry is available
+//! (the budget-claim API then maps onto a configured global thread pool).
 
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of worker threads to fan out to (1 disables threading). The
-/// `DYNNET_RAYON_THREADS` environment variable overrides the detected core
-/// count (used by tests to exercise the threaded path on single-core hosts).
-fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("DYNNET_RAYON_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+// ---------------------------------------------------------------------------
+// Thread budget
+// ---------------------------------------------------------------------------
+
+/// The process-wide thread budget, resolved exactly once: the
+/// `DYNNET_RAYON_THREADS` environment variable if it parses to a positive
+/// integer, otherwise the detected core count. Later env changes are
+/// deliberately ignored (regression-tested): the pool is sized from this
+/// value and a mid-run change must not alter behavior.
+fn budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if let Ok(v) = std::env::var("DYNNET_RAYON_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The resolved thread budget: the maximum number of threads (including the
+/// calling thread) any parallel call may fan out to, and the bound the
+/// worker pool is sized from. Constant for the lifetime of the process.
+pub fn max_threads() -> usize {
+    budget()
+}
+
+/// Threads of the budget currently reserved by outstanding [`BudgetClaim`]s.
+static CLAIMED: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII reservation of part of the thread budget, returned by
+/// [`claim_threads`]. While alive, every parallel call's fan-out width is
+/// reduced so that `claimed × width ≤ budget`; dropping the claim restores
+/// the previous width.
+#[must_use = "the claim reserves budget only while it is alive"]
+pub struct BudgetClaim {
+    n: usize,
+}
+
+impl Drop for BudgetClaim {
+    fn drop(&mut self) {
+        CLAIMED.fetch_sub(self.n, Ordering::SeqCst);
+    }
+}
+
+/// Reserves `n` threads of the budget for an external scheduler (e.g. the
+/// sweep engine's worker shards). While the returned [`BudgetClaim`] is
+/// alive, every parallel call — from any thread — fans out to at most
+/// `max(1, budget / claimed)` threads, so the claimant's `n` threads and the
+/// per-call parallelism they trigger jointly stay within [`max_threads`].
+/// Claims nest (a second claim further shrinks call widths); claiming the
+/// whole budget makes all parallel calls run inline on their caller.
+pub fn claim_threads(n: usize) -> BudgetClaim {
+    let n = n.max(1);
+    CLAIMED.fetch_add(n, Ordering::SeqCst);
+    BudgetClaim { n }
+}
+
+/// Threads currently reserved via [`claim_threads`] (testing/inspection).
+pub fn claimed_threads() -> usize {
+    CLAIMED.load(Ordering::SeqCst)
+}
+
+/// Fan-out width for a parallel call issued now: the full budget when no
+/// claim is outstanding, otherwise `max(1, budget / claimed)` so that
+/// `claimed × width ≤ budget`.
+fn call_width() -> usize {
+    let b = budget();
+    match CLAIMED.load(Ordering::SeqCst) {
+        0 => b,
+        c => (b / c).max(1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool instrumentation
+// ---------------------------------------------------------------------------
+
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+static TASKS_POOLED: AtomicU64 = AtomicU64::new(0);
+static CALLS_INLINE: AtomicU64 = AtomicU64::new(0);
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Counters describing the pool's lifetime behavior, for tests and benches
+/// (e.g. "a parallel round performs zero thread spawns" and "a sweep of
+/// parallel-enabled cells stays within the thread budget").
+#[derive(Clone, Copy, Debug)]
+pub struct PoolStats {
+    /// The resolved thread budget ([`max_threads`]).
+    pub budget: usize,
+    /// Worker threads spawned since process start. At most `budget - 1`,
+    /// all at pool initialization — parallel calls never spawn.
+    pub workers_spawned: usize,
+    /// Parallel calls dispatched through the pool (width > 1).
+    pub tasks_pooled: u64,
+    /// Parallel calls executed inline on the caller (width 1, tiny inputs,
+    /// or the budget fully claimed).
+    pub calls_inline: u64,
+    /// Peak number of threads simultaneously executing parallel work
+    /// (pool workers and calling threads, inline calls included).
+    pub peak_active: usize,
+}
+
+/// A snapshot of the pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        budget: budget(),
+        workers_spawned: WORKERS_SPAWNED.load(Ordering::SeqCst),
+        tasks_pooled: TASKS_POOLED.load(Ordering::SeqCst),
+        calls_inline: CALLS_INLINE.load(Ordering::SeqCst),
+        peak_active: PEAK_ACTIVE.load(Ordering::SeqCst),
+    }
+}
+
+/// Marks the calling thread active for the duration of `f`, maintaining the
+/// peak-concurrency high-water mark. Drop-guarded so a panicking inline
+/// call (which propagates to the caller) still releases its active slot.
+fn tracked<R>(f: impl FnOnce() -> R) -> R {
+    struct Active;
+    impl Drop for Active {
+        fn drop(&mut self) {
+            ACTIVE.fetch_sub(1, Ordering::SeqCst);
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    let now = ACTIVE.fetch_add(1, Ordering::SeqCst) + 1;
+    PEAK_ACTIVE.fetch_max(now, Ordering::SeqCst);
+    let _guard = Active;
+    f()
 }
+
+// ---------------------------------------------------------------------------
+// The shared worker pool
+// ---------------------------------------------------------------------------
+
+/// One in-flight parallel call: a fixed set of chunks claimed by atomic
+/// ticket. Lives on the submitting thread's stack; the queue holds a raw
+/// pointer that is guaranteed valid while the task is queued (the submitter
+/// dequeues it before returning) and while any helper is registered (the
+/// submitter waits for `helpers == 0`).
+struct Task {
+    /// Type-erased chunk executor (`run(i)` processes chunk `i`). The
+    /// `'static` in the pointee type is a lie told to the queue; the
+    /// submitter keeps the closure alive until the task fully drains.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Next chunk ticket.
+    next: AtomicUsize,
+    /// Total number of chunks.
+    chunks: usize,
+    /// Chunks not yet finished executing.
+    unfinished: AtomicUsize,
+    /// Pool workers currently holding a reference to this task.
+    helpers: AtomicUsize,
+    /// Set when any chunk panicked; the submitter re-raises.
+    panicked: AtomicBool,
+    /// Completion latch: the submitter sleeps here until `unfinished == 0`
+    /// and `helpers == 0`.
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Task {
+    /// Claims and executes chunks until none are left. Returns `true` if
+    /// this thread executed at least one chunk.
+    fn execute_chunks(&self) -> bool {
+        let mut counted = false;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.chunks {
+                break;
+            }
+            if !counted {
+                counted = true;
+                let now = ACTIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK_ACTIVE.fetch_max(now, Ordering::SeqCst);
+            }
+            let run = unsafe { &*self.run };
+            if catch_unwind(AssertUnwindSafe(|| run(i))).is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            if self.unfinished.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = self.done.lock().expect("task latch");
+                self.done_cv.notify_all();
+            }
+        }
+        if counted {
+            ACTIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+        counted
+    }
+
+    fn has_unclaimed(&self) -> bool {
+        self.next.load(Ordering::SeqCst) < self.chunks
+    }
+}
+
+/// Raw task pointer made sendable for the queue. Safety contract is
+/// documented on [`Task`]: the pointee outlives both queue membership and
+/// every registered helper.
+#[derive(Clone, Copy)]
+struct TaskRef(*const Task);
+unsafe impl Send for TaskRef {}
+
+struct Pool {
+    queue: Mutex<VecDeque<TaskRef>>,
+    work_cv: Condvar,
+}
+
+/// The lazily initialized global pool. `budget() - 1` workers are spawned
+/// exactly once, here; every later parallel call only enqueues work.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        }));
+        for i in 0..budget().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("dynnet-rayon-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn pool worker");
+            WORKERS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+        }
+        pool
+    })
+}
+
+/// Body of every pool worker: park until a task with unclaimed chunks is
+/// queued, register as a helper (under the queue lock, which guarantees the
+/// task pointer is alive), drain chunks, deregister. Workers never exit and
+/// never panic (chunk panics are caught and re-raised on the submitter).
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().expect("pool queue");
+            loop {
+                if let Some(&tr) = q.iter().find(|tr| unsafe { (*tr.0).has_unclaimed() }) {
+                    // Register while holding the lock: the submitter cannot
+                    // observe `helpers == 0` and free the task in between.
+                    unsafe { (*tr.0).helpers.fetch_add(1, Ordering::SeqCst) };
+                    break tr;
+                }
+                q = pool.work_cv.wait(q).expect("pool queue");
+            }
+        };
+        let task = unsafe { &*task.0 };
+        task.execute_chunks();
+        if task.helpers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = task.done.lock().expect("task latch");
+            task.done_cv.notify_all();
+        }
+    }
+}
+
+/// Runs `run(0..chunks)` on the shared pool: enqueues the chunk set, wakes
+/// the workers, participates from the calling thread, and blocks until every
+/// chunk finished and no worker still references the task. Panics (with the
+/// historical message) if any chunk panicked.
+fn run_on_pool(chunks: usize, run: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(chunks >= 1);
+    TASKS_POOLED.fetch_add(1, Ordering::SeqCst);
+    let task = Task {
+        // Lifetime-erase the closure: `task` never escapes this frame alive.
+        run: unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(run)
+        },
+        next: AtomicUsize::new(0),
+        chunks,
+        unfinished: AtomicUsize::new(chunks),
+        helpers: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    };
+    let pool = pool();
+    {
+        let mut q = pool.queue.lock().expect("pool queue");
+        q.push_back(TaskRef(&task));
+    }
+    // Wake only as many workers as the task can occupy (the submitter takes
+    // one chunk stream itself) instead of the whole pool: on wide budgets a
+    // thundering `notify_all` would have every parked worker lock and scan
+    // the queue twice per simulated round. Busy workers rescan the queue
+    // before parking, so capping the wakeups loses no work.
+    let wake = chunks.saturating_sub(1).min(budget().saturating_sub(1));
+    for _ in 0..wake {
+        pool.work_cv.notify_one();
+    }
+
+    // The submitter is one of the task's executors.
+    task.execute_chunks();
+
+    // All chunks are claimed; pull the task off the queue so no new worker
+    // can pick it up, then wait for in-flight chunks and helpers to drain.
+    {
+        let mut q = pool.queue.lock().expect("pool queue");
+        q.retain(|tr| !std::ptr::eq(tr.0, &task));
+    }
+    {
+        let mut g = task.done.lock().expect("task latch");
+        while task.unfinished.load(Ordering::SeqCst) != 0
+            || task.helpers.load(Ordering::SeqCst) != 0
+        {
+            g = task.done_cv.wait(g).expect("task latch");
+        }
+    }
+    if task.panicked.load(Ordering::SeqCst) {
+        panic!("worker thread panicked");
+    }
+}
+
+/// Pointer wrapper that lets chunk closures share a base pointer across the
+/// pool. Safety: every chunk touches a disjoint index range.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T> Sync for SharedPtr<T> {}
+impl<T> SharedPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// The chunk plan of one parallel call: `chunks` contiguous ranges of
+/// length `chunk_size` (the last one shorter) covering `0..len`.
+struct Plan {
+    chunk_size: usize,
+    chunks: usize,
+    len: usize,
+}
+
+impl Plan {
+    fn new(len: usize, width: usize) -> Plan {
+        let chunk_size = len.div_ceil(width);
+        Plan {
+            chunk_size,
+            chunks: len.div_ceil(chunk_size),
+            len,
+        }
+    }
+
+    #[inline]
+    fn range(&self, i: usize) -> (usize, usize) {
+        let start = i * self.chunk_size;
+        (start, ((i + 1) * self.chunk_size).min(self.len))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice-parallel primitives
+// ---------------------------------------------------------------------------
 
 /// Runs `f(offset, chunk)` over contiguous chunks of `slice` in parallel.
 fn for_each_chunk<T, F>(slice: &mut [T], f: F)
@@ -31,66 +402,104 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let threads = num_threads();
+    let width = call_width();
     let len = slice.len();
-    if threads <= 1 || len < 2 {
-        f(0, slice);
+    if width <= 1 || len < 2 {
+        CALLS_INLINE.fetch_add(1, Ordering::SeqCst);
+        tracked(|| f(0, slice));
         return;
     }
-    let chunk_size = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut offset = 0;
-        for chunk in slice.chunks_mut(chunk_size) {
-            let start = offset;
-            offset += chunk.len();
-            let f = &f;
-            scope.spawn(move || f(start, chunk));
-        }
+    let plan = Plan::new(len, width);
+    let base = SharedPtr(slice.as_mut_ptr());
+    run_on_pool(plan.chunks, &|i| {
+        let (start, end) = plan.range(i);
+        // Disjoint ranges: each chunk index is claimed exactly once.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(start, chunk);
     });
 }
 
 /// Maps `f(offset + i, item)` over the slice in parallel, preserving order.
+/// Results are written straight into their index-ordered output slots — no
+/// per-chunk vectors, no concatenation pass.
 fn map_chunks<T, R, F>(slice: &mut [T], f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, &mut T) -> R + Sync,
 {
-    let threads = num_threads();
+    let width = call_width();
     let len = slice.len();
-    if threads <= 1 || len < 2 {
-        return slice
-            .iter_mut()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
+    if width <= 1 || len < 2 {
+        CALLS_INLINE.fetch_add(1, Ordering::SeqCst);
+        return tracked(|| {
+            slice
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect()
+        });
     }
-    let chunk_size = len.div_ceil(threads);
-    let mut pieces: Vec<Vec<R>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut offset = 0;
-        for chunk in slice.chunks_mut(chunk_size) {
-            let start = offset;
-            offset += chunk.len();
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, item)| f(start + i, item))
-                    .collect::<Vec<R>>()
-            }));
-        }
-        for h in handles {
-            pieces.push(h.join().expect("worker thread panicked"));
+    let plan = Plan::new(len, width);
+    let mut out: Vec<MaybeUninit<R>> = (0..len).map(|_| MaybeUninit::uninit()).collect();
+    let base = SharedPtr(slice.as_mut_ptr());
+    let sink = SharedPtr(out.as_mut_ptr());
+    run_on_pool(plan.chunks, &|ci| {
+        let (start, end) = plan.range(ci);
+        for i in start..end {
+            // Disjoint indices per chunk; on a chunk panic the submitter
+            // re-panics and `out` is dropped without reading any slot
+            // (MaybeUninit never drops payloads — written results leak,
+            // which is safe).
+            unsafe {
+                let item = &mut *base.get().add(i);
+                (*sink.get().add(i)).write(f(i, item));
+            }
         }
     });
-    let mut out = Vec::with_capacity(len);
-    for piece in pieces {
-        out.extend(piece);
+    // Every slot was written exactly once: reinterpret as initialized.
+    let mut out = std::mem::ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, len, out.capacity()) }
+}
+
+/// dynnet extension (not part of rayon's public API): runs
+/// `f(offset, a_chunk, b_chunk)` over *aligned* contiguous shards of two
+/// equal-length slices in parallel and returns the per-shard results in
+/// shard (hence index) order.
+///
+/// This is the primitive behind the simulator's fused receive+publish pass:
+/// each shard updates its node states and output slots together and returns
+/// its shard-local changed-node list; concatenating the returned values in
+/// order yields a result identical to one sequential left-to-right pass.
+pub fn par_zip_shards<T, U, R, F>(a: &mut [T], b: &mut [U], f: F) -> Vec<R>
+where
+    T: Send,
+    U: Send,
+    R: Send,
+    F: Fn(usize, &mut [T], &mut [U]) -> R + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_shards requires equal lengths");
+    let width = call_width();
+    let len = a.len();
+    if width <= 1 || len < 2 {
+        CALLS_INLINE.fetch_add(1, Ordering::SeqCst);
+        return tracked(|| vec![f(0, a, b)]);
     }
-    out
+    let plan = Plan::new(len, width);
+    let mut out: Vec<MaybeUninit<R>> = (0..plan.chunks).map(|_| MaybeUninit::uninit()).collect();
+    let base_a = SharedPtr(a.as_mut_ptr());
+    let base_b = SharedPtr(b.as_mut_ptr());
+    let sink = SharedPtr(out.as_mut_ptr());
+    run_on_pool(plan.chunks, &|i| {
+        let (start, end) = plan.range(i);
+        unsafe {
+            let ca = std::slice::from_raw_parts_mut(base_a.get().add(start), end - start);
+            let cb = std::slice::from_raw_parts_mut(base_b.get().add(start), end - start);
+            (*sink.get().add(i)).write(f(start, ca, cb));
+        }
+    });
+    let mut out = std::mem::ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, plan.chunks, out.capacity()) }
 }
 
 /// The rayon-compatible entry points.
@@ -236,6 +645,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -269,23 +679,6 @@ mod tests {
     }
 
     #[test]
-    fn threaded_path_matches_sequential_results() {
-        // Force the scoped-thread path even on single-core hosts.
-        std::env::set_var("DYNNET_RAYON_THREADS", "4");
-        let mut v: Vec<u64> = (0..10_001).collect();
-        let out: Vec<u64> = v
-            .par_iter_mut()
-            .enumerate()
-            .map(|(i, x)| *x + i as u64)
-            .collect();
-        std::env::remove_var("DYNNET_RAYON_THREADS");
-        assert_eq!(out.len(), 10_001);
-        for (i, &o) in out.iter().enumerate() {
-            assert_eq!(o, 2 * i as u64, "order must be preserved across chunks");
-        }
-    }
-
-    #[test]
     fn tiny_and_empty_slices() {
         let mut v: Vec<u8> = vec![];
         let out: Vec<u8> = v.par_iter_mut().enumerate().map(|(_, x)| *x).collect();
@@ -293,5 +686,108 @@ mod tests {
         let mut one = vec![41];
         one.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn par_zip_shards_matches_sequential_pass() {
+        let n = 25_003;
+        let mut a: Vec<u64> = (0..n as u64).collect();
+        let mut b: Vec<u64> = vec![0; n];
+        let shard_sums = super::par_zip_shards(&mut a, &mut b, |offset, ca, cb| {
+            let mut changed = Vec::new();
+            for (k, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                *y = *x + 1;
+                if (offset + k) % 97 == 0 {
+                    changed.push(offset + k);
+                }
+            }
+            changed
+        });
+        // Shard results concatenate in index order.
+        let merged: Vec<usize> = shard_sums.into_iter().flatten().collect();
+        let expect: Vec<usize> = (0..n).filter(|i| i % 97 == 0).collect();
+        assert_eq!(merged, expect);
+        assert!(b.iter().enumerate().all(|(i, &y)| y == i as u64 + 1));
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_many_calls() {
+        let mut v: Vec<u64> = (0..50_000).collect();
+        let warm: Vec<u64> = v.par_iter_mut().map(|x| *x).collect();
+        assert_eq!(warm.len(), 50_000);
+        let before = pool_stats();
+        for _ in 0..64 {
+            let out: Vec<u64> = v.par_iter_mut().map(|x| *x + 1).collect();
+            assert_eq!(out[17], 18);
+        }
+        let after = pool_stats();
+        // A persistent pool: repeated parallel calls spawn no threads.
+        assert_eq!(before.workers_spawned, after.workers_spawned);
+        assert!(after.workers_spawned <= max_threads().saturating_sub(1));
+    }
+
+    #[test]
+    fn env_override_is_resolved_once() {
+        // Force resolution, then try to change the override mid-run: the
+        // budget (and hence pool behavior) must not move.
+        let resolved = max_threads();
+        std::env::set_var("DYNNET_RAYON_THREADS", "1");
+        assert_eq!(max_threads(), resolved, "env re-read after resolution");
+        std::env::set_var("DYNNET_RAYON_THREADS", "4096");
+        assert_eq!(max_threads(), resolved, "env re-read after resolution");
+        std::env::remove_var("DYNNET_RAYON_THREADS");
+        // And parallel calls still produce correct results.
+        let mut v: Vec<u64> = (0..10_001).collect();
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| *x + i as u64)
+            .collect();
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, 2 * i as u64, "order must be preserved across chunks");
+        }
+    }
+
+    #[test]
+    fn budget_claims_shrink_and_restore() {
+        let base = claimed_threads();
+        let c1 = claim_threads(3);
+        assert_eq!(claimed_threads(), base + 3);
+        let c2 = claim_threads(2);
+        assert_eq!(claimed_threads(), base + 5);
+        drop(c2);
+        drop(c1);
+        assert_eq!(claimed_threads(), base);
+    }
+
+    #[test]
+    fn full_budget_claim_degrades_to_inline() {
+        let _claim = claim_threads(max_threads());
+        let inline_before = pool_stats().calls_inline;
+        let mut v: Vec<u64> = (0..5_000).collect();
+        let out: Vec<u64> = v.par_iter_mut().map(|x| *x * 3).collect();
+        assert!(out.iter().enumerate().all(|(i, &o)| o == 3 * i as u64));
+        // The call ran inline on this thread: the pool was not involved.
+        assert!(pool_stats().calls_inline > inline_before);
+    }
+
+    #[test]
+    fn chunk_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let mut v: Vec<u64> = (0..10_000).collect();
+            v.par_iter_mut().enumerate().for_each(|(i, _x)| {
+                if i == 7_777 {
+                    panic!("bad item");
+                }
+            });
+        });
+        assert!(
+            result.is_err(),
+            "the submitting call must observe the panic"
+        );
+        // The pool survives: the next call still works.
+        let mut v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter_mut().map(|x| *x).collect();
+        assert_eq!(out.len(), 10_000);
     }
 }
