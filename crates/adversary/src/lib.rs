@@ -28,6 +28,7 @@
 //! * [`drive::run`] — the legacy "record everything" entry point, now a thin
 //!   shim over the streaming path.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;

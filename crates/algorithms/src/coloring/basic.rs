@@ -11,7 +11,7 @@
 use dynnet_core::{Color, ColorOutput};
 use dynnet_graph::NodeId;
 use dynnet_runtime::{Incoming, NodeAlgorithm, NodeContext};
-use rand::seq::SliceRandom;
+use rand::Rng;
 use std::collections::BTreeSet;
 
 /// The message broadcast by a node running one of the coloring algorithms.
@@ -62,10 +62,15 @@ impl NodeAlgorithm for BasicColoring {
                 ColorMsg::Fixed(c)
             }
             ColorOutput::Undecided => {
-                let c = *self
-                    .palette
-                    .choose(&mut ctx.rng)
-                    .expect("palette is never empty before the node is colored");
+                if self.palette.is_empty() {
+                    // Cannot happen for valid inputs (the [d+1] palette loses
+                    // at most d colors before the node decides); recover by
+                    // extending the palette rather than panicking mid-round.
+                    self.palette.push(1);
+                }
+                // Same draw sequence as `SliceRandom::choose` on a non-empty
+                // slice, without the unreachable `None` arm.
+                let c = self.palette[ctx.rng.gen_range(0..self.palette.len())];
                 self.tentative = Some(c);
                 ColorMsg::Tentative(c)
             }

@@ -22,7 +22,7 @@ use crate::coloring::basic::ColorMsg;
 use dynnet_core::{Color, ColorOutput};
 use dynnet_graph::NodeId;
 use dynnet_runtime::{Incoming, NodeAlgorithm, NodeContext};
-use rand::seq::SliceRandom;
+use rand::Rng;
 use std::collections::BTreeSet;
 
 /// One DColor instance at one node.
@@ -89,10 +89,9 @@ impl NodeAlgorithm for DColor {
                     // recover by extending to the next free color.
                     self.palette.push(1);
                 }
-                let c = *self
-                    .palette
-                    .choose(&mut ctx.rng)
-                    .expect("non-empty palette");
+                // Same draw sequence as `SliceRandom::choose` on a non-empty
+                // slice, without the unreachable `None` arm.
+                let c = self.palette[ctx.rng.gen_range(0..self.palette.len())];
                 self.tentative = Some(c);
                 ColorMsg::Tentative(c)
             }
@@ -125,10 +124,12 @@ impl NodeAlgorithm for DColor {
         // Restrict to the intersection graph: only neighbors that have been
         // present in every round since the start are heard; the allowed set
         // shrinks to the senders that are still present.
-        let allowed = self
-            .allowed
-            .as_mut()
-            .expect("initialized after start round");
+        let Some(allowed) = self.allowed.as_mut() else {
+            // Initialized in the start round; a receive before it means the
+            // driver skipped the instance's first round — nothing to update.
+            debug_assert!(false, "receive before the instance's start round");
+            return;
+        };
         let mut fixed: BTreeSet<Color> = BTreeSet::new();
         let mut tentative: BTreeSet<Color> = BTreeSet::new();
         let mut still_present: BTreeSet<NodeId> = BTreeSet::new();

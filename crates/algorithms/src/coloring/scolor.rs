@@ -14,7 +14,7 @@ use crate::coloring::basic::ColorMsg;
 use dynnet_core::{Color, ColorOutput};
 use dynnet_graph::NodeId;
 use dynnet_runtime::{Incoming, NodeAlgorithm, NodeContext};
-use rand::seq::SliceRandom;
+use rand::Rng;
 use std::collections::BTreeSet;
 
 /// One SColor node.
@@ -65,10 +65,9 @@ impl NodeAlgorithm for SColor {
                 if self.palette.is_empty() {
                     self.palette.push(1);
                 }
-                let c = *self
-                    .palette
-                    .choose(&mut ctx.rng)
-                    .expect("non-empty palette");
+                // Same draw sequence as `SliceRandom::choose` on a non-empty
+                // slice, without the unreachable `None` arm.
+                let c = self.palette[ctx.rng.gen_range(0..self.palette.len())];
                 self.tentative = Some(c);
                 ColorMsg::Tentative(c)
             }

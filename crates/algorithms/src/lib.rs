@@ -26,6 +26,7 @@
 //! * [`apps::tdma`] — TDMA slot assignment and contention resolution built on
 //!   the coloring output (the paper's motivating application).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Application layer built on the algorithms (TDMA slot assignment).

@@ -85,13 +85,16 @@ impl NodeAlgorithm for DMis {
         // Restrict to the intersection graph since the instance's start: the
         // first round accepts everyone (G^{1∩} = G_j), afterwards only nodes
         // that have been neighbors in every round so far.
-        let first_round = self.allowed.is_none();
         let mut still_present = BTreeSet::new();
         let mut marked = false;
         let mut min_neighbor = f64::INFINITY;
         for (from, msg) in inbox {
-            if !first_round && !self.allowed.as_ref().unwrap().contains(from) {
-                continue;
+            // `allowed` is `None` exactly in the first round, where everyone
+            // is accepted (G^{1∩} = G_j).
+            if let Some(allowed) = self.allowed.as_ref() {
+                if !allowed.contains(from) {
+                    continue;
+                }
             }
             still_present.insert(*from);
             match msg {

@@ -114,6 +114,8 @@ fn main() {
             continue;
         }
         eprintln!("== running {} — {}", e.id, e.description);
+        // TIMING: per-experiment elapsed time goes to stderr progress only;
+        // the generated tables contain no wall-clock values.
         let start = Instant::now();
         let tables = (e.run)(&ctx);
         let elapsed = start.elapsed();

@@ -381,6 +381,8 @@ pub fn e14_simulator_throughput(ctx: &ExpContext) -> Vec<Table> {
             parallel,
             parallel_threshold: 0,
         };
+        // TIMING: this experiment (E13) measures wall-clock speedup; timings
+        // are reported as measurements, not mixed into simulation output.
         let start = Instant::now();
         if combined {
             Scenario::new(n)

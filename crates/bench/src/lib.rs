@@ -20,4 +20,6 @@
 //! cargo run --release -p dynnet-bench --bin experiments -- all
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod exp;

@@ -23,6 +23,7 @@
 //!   (`O(|δ| + churn)` per checked round); the full re-check remains as its
 //!   [`TDynamicVerifier::full_recheck`] oracle mode.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coloring;

@@ -46,6 +46,8 @@
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the experiment harness that regenerates EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub use dynnet_adversary as adversary;
 pub use dynnet_algorithms as algorithms;
 pub use dynnet_core as core;

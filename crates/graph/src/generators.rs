@@ -155,7 +155,9 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R)
         let mut targets = Vec::new();
         let mut tries = 0;
         while targets.len() < m.min(i) && tries < 50 * m {
-            let &cand = endpoints.choose(rng).expect("non-empty");
+            // `endpoints` always holds at least node 0; indexing draws the
+            // same sequence as `SliceRandom::choose` without the `None` arm.
+            let cand = endpoints[rng.gen_range(0..endpoints.len())];
             if cand != i && !targets.contains(&cand) {
                 targets.push(cand);
             }

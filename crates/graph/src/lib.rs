@@ -29,6 +29,7 @@
 //! * [`neighborhood`] — `N^α(v)` balls and local-view comparisons.
 //! * [`export`] — DOT / edge-list / JSON output.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;

@@ -53,9 +53,8 @@ pub fn bfs_distances(g: &Graph, source: NodeId, max_depth: Option<usize>) -> Vec
     let mut dist = vec![None; g.num_nodes()];
     let mut queue = VecDeque::new();
     dist[source.index()] = Some(0);
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let d = dist[u.index()].expect("queued nodes have distances");
+    queue.push_back((source, 0usize));
+    while let Some((u, d)) = queue.pop_front() {
         if let Some(limit) = max_depth {
             if d == limit {
                 continue;
@@ -64,7 +63,7 @@ pub fn bfs_distances(g: &Graph, source: NodeId, max_depth: Option<usize>) -> Vec
         for w in g.neighbors(u) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
-                queue.push_back(w);
+                queue.push_back((w, d + 1));
             }
         }
     }

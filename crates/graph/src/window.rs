@@ -18,7 +18,7 @@
 use crate::dynamic::GraphDelta;
 use crate::graph::Graph;
 use crate::node::{Edge, NodeId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// One presence run: `on` is the current state, `since` the round at which
 /// this run started (an absent edge with `since = s` was last present in
@@ -152,7 +152,12 @@ pub struct GraphWindow {
     deltas: VecDeque<GraphDelta>,
     /// Presence run per edge that is present now or was present within the
     /// window (stale absent entries are garbage-collected lazily).
-    edge_state: HashMap<Edge, EdgeEntry>,
+    ///
+    /// A `BTreeMap` so that iterating it ([`GraphWindow::intersection_graph`],
+    /// [`GraphWindow::union_graph`]) visits edges in `Ord` order — the
+    /// materialized graphs are independent of insertion history by
+    /// construction, not by the downstream `Graph` happening to sort.
+    edge_state: BTreeMap<Edge, EdgeEntry>,
     /// Per-node incidence lists over `edge_state`: `incidence[v]` holds the
     /// other endpoint of every edge that currently has an `edge_state` entry
     /// (present, or absent but still inside the union window). Maintained by
@@ -186,7 +191,7 @@ impl GraphWindow {
             rounds_pushed: 0,
             current: Graph::new_all_asleep(n),
             deltas: VecDeque::new(),
-            edge_state: HashMap::new(),
+            edge_state: BTreeMap::new(),
             incidence: vec![Vec::new(); n],
             node_state: vec![
                 Span {
@@ -420,7 +425,7 @@ impl GraphWindow {
 
     fn incidence_swap_remove(
         incidence: &mut [Vec<NodeId>],
-        edge_state: &mut HashMap<Edge, EdgeEntry>,
+        edge_state: &mut BTreeMap<Edge, EdgeEntry>,
         v: NodeId,
         pos: usize,
     ) {
@@ -1145,5 +1150,58 @@ mod tests {
         let u = w.push_delta(&d);
         assert_eq!(u.edges_left_union, vec![Edge::of(0, 1)]);
         assert_eq!(u.edges_joined_intersection, vec![Edge::of(1, 2)]);
+    }
+
+    #[test]
+    fn materialized_graphs_are_history_independent() {
+        // Two windows that end up holding the same last-T rounds must
+        // materialize identical graphs, regardless of the order edges
+        // entered `edge_state` (initial bulk load vs. one-at-a-time in
+        // reverse) and of pre-window churn that has since slid out. This
+        // pins the `BTreeMap` choice for `edge_state`: with a hash map the
+        // iteration in `union_graph`/`intersection_graph` would depend on
+        // insertion history even when the window contents agree.
+        let final_rounds = [
+            g(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]),
+            g(6, &[(0, 1), (1, 2), (3, 4)]),
+            g(6, &[(0, 1), (1, 2), (3, 4), (2, 3)]),
+        ];
+
+        // History A: the final rounds only, edges bulk-loaded in order.
+        let mut a = GraphWindow::new(6, 3);
+        for r in &final_rounds {
+            a.push(r);
+        }
+
+        // History B: starts from churn (edges inserted one per round, in
+        // reverse order, then removed) that fully slides out of the window
+        // before the final rounds arrive.
+        let mut b = GraphWindow::new(6, 3);
+        b.push(&g(6, &[]));
+        for &(u, v) in &[(4, 5), (2, 3), (0, 1)] {
+            let mut d = GraphDelta::new();
+            d.insert(NodeId::new(u), NodeId::new(v));
+            b.push_delta(&d);
+        }
+        for r in &final_rounds {
+            b.push(r);
+        }
+
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.union_graph().edge_vec(), b.union_graph().edge_vec());
+        assert_eq!(
+            a.intersection_graph().edge_vec(),
+            b.intersection_graph().edge_vec()
+        );
+        // And the materialized order is the canonical sorted one.
+        let mut expected = vec![
+            Edge::of(0, 1),
+            Edge::of(1, 2),
+            Edge::of(2, 3),
+            Edge::of(3, 4),
+            Edge::of(4, 5),
+        ];
+        expected.sort();
+        assert_eq!(a.union_graph().edge_vec(), expected);
     }
 }

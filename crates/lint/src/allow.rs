@@ -1,0 +1,149 @@
+//! The lint allowlist: blessed sites and burn-down budgets, parsed from a
+//! plain-text file (`crates/lint/dynnet-lint.allow` in this workspace).
+//!
+//! Format: one directive per line, `#` starts a comment.
+//!
+//! ```text
+//! # blessed thread-creation sites (rule: thread-spawn)
+//! thread-spawn vendor/rayon/src/lib.rs
+//! # whole-file escapes for the determinism / wall-clock rules
+//! hash-iteration crates/foo/src/bar.rs
+//! wall-clock crates/foo/src/bench_helper.rs
+//! # unwrap()/expect() burn-down: exact per-file counts in non-test code
+//! unwrap-budget crates/graph/src/window.rs 5
+//! # crates exempt from the unwrap rule (binary harnesses, the lint itself)
+//! unwrap-exempt crates/bench
+//! # crate roots allowed #![deny(unsafe_code)] instead of forbid
+//! unsafe-deny-exception crates/foo
+//! ```
+//!
+//! Budgets are exact in both directions: a file with *fewer* sites than its
+//! budget fails too, with a message asking for the budget to be ratcheted
+//! down — that is what makes the allowlist a burn-down list rather than a
+//! creeping ceiling.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parsed allowlist. The default value allows nothing.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// Files allowed to create threads (rule `thread-spawn`).
+    pub thread_spawn: BTreeSet<String>,
+    /// Files exempt from the hash-iteration rule.
+    pub hash_iteration: BTreeSet<String>,
+    /// Files exempt from the wall-clock rule.
+    pub wall_clock: BTreeSet<String>,
+    /// Per-file unwrap()/expect() budgets (exact counts).
+    pub unwrap_budget: BTreeMap<String, usize>,
+    /// Crate directory prefixes (e.g. `crates/bench`) exempt from the
+    /// unwrap rule entirely.
+    pub unwrap_exempt: BTreeSet<String>,
+    /// Crate directory prefixes whose root may use `#![deny(unsafe_code)]`
+    /// instead of `forbid`.
+    pub unsafe_deny_exception: BTreeSet<String>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format. Unknown directives and malformed lines
+    /// are errors: a stale or typo'd allowlist must not silently allow.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut allow = Allowlist::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            let lineno = i + 1;
+            let mut arg = |what: &str| -> Result<String, String> {
+                parts
+                    .next()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("allowlist line {lineno}: missing {what}"))
+            };
+            match directive {
+                "thread-spawn" => {
+                    allow.thread_spawn.insert(arg("path")?);
+                }
+                "hash-iteration" => {
+                    allow.hash_iteration.insert(arg("path")?);
+                }
+                "wall-clock" => {
+                    allow.wall_clock.insert(arg("path")?);
+                }
+                "unwrap-budget" => {
+                    let path = arg("path")?;
+                    let count = arg("count")?;
+                    let count: usize = count
+                        .parse()
+                        .map_err(|_| format!("allowlist line {lineno}: bad count {count:?}"))?;
+                    allow.unwrap_budget.insert(path, count);
+                }
+                "unwrap-exempt" => {
+                    allow.unwrap_exempt.insert(arg("crate path")?);
+                }
+                "unsafe-deny-exception" => {
+                    allow.unsafe_deny_exception.insert(arg("crate path")?);
+                }
+                other => {
+                    return Err(format!(
+                        "allowlist line {lineno}: unknown directive {other:?}"
+                    ));
+                }
+            }
+            if let Some(extra) = parts.next() {
+                return Err(format!(
+                    "allowlist line {lineno}: unexpected trailing {extra:?}"
+                ));
+            }
+        }
+        Ok(allow)
+    }
+
+    /// Loads and parses an allowlist file.
+    pub fn load(path: &std::path::Path) -> Result<Allowlist, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+        Allowlist::parse(&text)
+    }
+
+    /// True if `rel` lives inside a crate listed in `unwrap-exempt`.
+    pub fn is_unwrap_exempt(&self, rel: &str) -> bool {
+        self.unwrap_exempt.iter().any(|p| {
+            rel.strip_prefix(p.as_str())
+                .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_directives() {
+        let a = Allowlist::parse(
+            "# comment\n\
+             thread-spawn vendor/rayon/src/lib.rs  # blessed\n\
+             hash-iteration crates/a/src/b.rs\n\
+             wall-clock crates/a/src/c.rs\n\
+             unwrap-budget crates/a/src/d.rs 7\n\
+             unwrap-exempt crates/bench\n\
+             unsafe-deny-exception crates/x\n",
+        )
+        .expect("parse");
+        assert!(a.thread_spawn.contains("vendor/rayon/src/lib.rs"));
+        assert_eq!(a.unwrap_budget["crates/a/src/d.rs"], 7);
+        assert!(a.is_unwrap_exempt("crates/bench/src/lib.rs"));
+        assert!(!a.is_unwrap_exempt("crates/bench2/src/lib.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Allowlist::parse("frobnicate x").is_err());
+        assert!(Allowlist::parse("unwrap-budget crates/a/src/d.rs").is_err());
+        assert!(Allowlist::parse("unwrap-budget crates/a/src/d.rs seven").is_err());
+        assert!(Allowlist::parse("thread-spawn a b").is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! # dynnet-lint
+//!
+//! Project-specific static analysis for the dynnet workspace. The repo's
+//! headline guarantees — byte-identical sweep output for any `--threads N`
+//! and a zero-spawn persistent worker pool — rest on a small amount of
+//! `unsafe` concurrency code (`vendor/rayon`) and on the absence of
+//! hash-iteration order anywhere near an output path. `dynnet-lint` turns
+//! those from remembered conventions into CI-failing rules:
+//!
+//! * [`rules::safety_comment`] — every `unsafe` site documents its invariant.
+//! * [`rules::unsafe_confined`] — `unsafe` only in `vendor/`; first-party
+//!   crates carry `#![forbid(unsafe_code)]`.
+//! * [`rules::thread_spawn`] — thread creation only at the two blessed
+//!   sites (the worker pool, the sweep engine), so the thread budget stays
+//!   the single source of parallelism.
+//! * [`rules::hash_iteration`] — no `HashMap`/`HashSet` iteration order
+//!   can reach an output path without a `// DETERMINISM:` justification.
+//! * [`rules::wall_clock`] — wall-clock reads only at `// TIMING:`-labelled
+//!   sites.
+//! * [`rules::unwrap_budget`] — `unwrap()`/`expect()` in library crates are
+//!   held to exact per-file burn-down budgets.
+//!
+//! The analyzer is a deterministic, dependency-free lexical pass (no `syn`;
+//! the build environment is offline). Diagnostics are sorted by
+//! `(file, line, rule)` so output is byte-stable across runs and machines.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p dynnet-lint
+//! ```
+//!
+//! The allowlist lives at `crates/lint/dynnet-lint.allow`; see
+//! [`allow::Allowlist`] for the format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod rules;
+pub mod scan;
+
+use allow::Allowlist;
+use scan::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative file path (forward slashes).
+    pub rel: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `safety-comment`).
+    pub rule: &'static str,
+    /// Human-readable message with the suggested fix.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.rel, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// The directories scanned under the workspace root.
+const SCAN_ROOTS: [&str; 4] = ["crates", "vendor", "tests", "examples"];
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// Scans `crates/`, `vendor/`, `tests/`, and `examples/` for `.rs` files in
+/// sorted order (deterministic), skipping lint fixtures
+/// (`tests/fixtures/` subtrees, which violate rules on purpose) and any
+/// `target/` directory.
+pub fn run_lint(root: &Path, allow: &Allowlist) -> Result<LintReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = relative_slash(root, path)?;
+        if rel
+            .split('/')
+            .collect::<Vec<_>>()
+            .windows(2)
+            .any(|w| w == ["tests", "fixtures"])
+        {
+            continue; // lint fixtures violate rules by design
+        }
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let file = SourceFile::scan(&rel, &source);
+        rules::apply_all(&file, allow, &mut diagnostics);
+        files_scanned += 1;
+    }
+    diagnostics.sort();
+    Ok(LintReport {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Recursively collects `.rs` files, in sorted directory order, skipping
+/// `target/` directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relative_slash(root: &Path, path: &Path) -> Result<String, String> {
+    let rel = path
+        .strip_prefix(root)
+        .map_err(|_| format!("{} not under {}", path.display(), root.display()))?;
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    Ok(s)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the lint's default root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// The default allowlist location inside a workspace.
+pub fn default_allowlist_path(root: &Path) -> PathBuf {
+    root.join("crates").join("lint").join("dynnet-lint.allow")
+}

@@ -1,0 +1,97 @@
+//! `dynnet-lint` CLI: runs the workspace lint and exits non-zero on any
+//! violation. See the library docs (`dynnet_lint`) for the rule set.
+
+#![forbid(unsafe_code)]
+
+use dynnet_lint::{allow::Allowlist, default_allowlist_path, find_workspace_root, run_lint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dynnet-lint: project-specific static analysis for the dynnet workspace
+
+USAGE:
+    dynnet-lint [--root <dir>] [--allowlist <file>]
+
+OPTIONS:
+    --root <dir>        Workspace root to scan (default: walk up from the
+                        current directory to the first [workspace] manifest)
+    --allowlist <file>  Allowlist file (default: <root>/crates/lint/dynnet-lint.allow;
+                        an absent default file means an empty allowlist)
+    -h, --help          Show this help
+
+EXIT CODE: 0 clean, 1 violations found, 2 usage or I/O error.
+";
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dynnet-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or("--root requires a value")?));
+            }
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist requires a value")?,
+                ));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml found above the current directory")?
+        }
+    };
+
+    let allow = match allowlist {
+        Some(path) => Allowlist::load(&path)?,
+        None => {
+            let default = default_allowlist_path(&root);
+            if default.is_file() {
+                Allowlist::load(&default)?
+            } else {
+                Allowlist::default()
+            }
+        }
+    };
+
+    let report = run_lint(&root, &allow)?;
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.is_clean() {
+        println!(
+            "dynnet-lint: clean ({} files scanned, 6 rules)",
+            report.files_scanned
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "dynnet-lint: {} violation(s) in {} file(s) scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,546 @@
+//! The six dynnet lint rules. Each rule is a pure function from a scanned
+//! [`SourceFile`] (plus the [`Allowlist`]) to diagnostics; the runner in
+//! [`crate`] applies all of them to every workspace source file.
+//!
+//! | rule id            | invariant                                                        |
+//! |--------------------|------------------------------------------------------------------|
+//! | `safety-comment`   | every `unsafe` site carries a `// SAFETY:` comment               |
+//! | `unsafe-confined`  | `unsafe` only in `vendor/`; first-party crates forbid it         |
+//! | `thread-spawn`     | thread creation only at allowlisted sites (pool, sweep engine)   |
+//! | `hash-iteration`   | no `HashMap`/`HashSet` iteration without `// DETERMINISM:`       |
+//! | `wall-clock`       | no `Instant::now`/`SystemTime` without `// TIMING:`              |
+//! | `unwrap-budget`    | `unwrap()`/`expect()` in library crates match burn-down budgets  |
+
+use crate::allow::Allowlist;
+use crate::scan::{find_word, is_ident_byte, SourceFile};
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+/// How many comment lines above a flagged line a justification comment
+/// (`SAFETY:`/`DETERMINISM:`/`TIMING:`) may sit.
+const JUSTIFY_BACK: usize = 3;
+
+fn diag(file: &SourceFile, line: usize, rule: &'static str, msg: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        rel: file.rel.clone(),
+        line,
+        msg,
+    }
+}
+
+/// True for files that belong to the first-party tree (everything that is
+/// not `vendor/`).
+fn is_first_party(rel: &str) -> bool {
+    rel.starts_with("crates/") || rel.starts_with("tests/") || rel.starts_with("examples/")
+}
+
+/// Rule `safety-comment`: every line containing an `unsafe` token must have
+/// a comment containing `SAFETY:` on the same line, or on the contiguous
+/// run of comment/attribute/empty lines directly above it (a trailing
+/// comment on the first code line above also counts).
+pub fn safety_comment(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if find_word(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut justified = line.comment.contains("SAFETY:");
+        if !justified {
+            for j in (0..idx).rev() {
+                let above = &file.lines[j];
+                if above.comment.contains("SAFETY:") {
+                    justified = true;
+                    break;
+                }
+                let code = above.code.trim();
+                if !(code.is_empty() || code.starts_with("#[")) {
+                    break; // hit real code without a SAFETY comment
+                }
+            }
+        }
+        if !justified {
+            out.push(diag(
+                file,
+                lineno,
+                "safety-comment",
+                "`unsafe` site without a `// SAFETY:` comment stating the invariant it relies on"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Rule `unsafe-confined`: (a) no `unsafe` token outside `vendor/`; (b)
+/// every first-party crate root (`crates/<name>/src/lib.rs`) carries
+/// `#![forbid(unsafe_code)]` (or `deny` with an allowlisted exception).
+pub fn unsafe_confined(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !is_first_party(&file.rel) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !find_word(&line.code, "unsafe").is_empty() {
+            out.push(diag(
+                file,
+                idx + 1,
+                "unsafe-confined",
+                "`unsafe` code outside vendor/ — unsafe is confined to the vendored \
+                 concurrency shims"
+                    .to_string(),
+            ));
+        }
+    }
+    let Some(crate_dir) = crate_root_dir(&file.rel) else {
+        return;
+    };
+    let has = |attr: &str| file.lines.iter().any(|l| l.code.contains(attr));
+    if has("#![forbid(unsafe_code)]") {
+        return;
+    }
+    if has("#![deny(unsafe_code)]") && allow.unsafe_deny_exception.contains(crate_dir) {
+        return;
+    }
+    out.push(diag(
+        file,
+        1,
+        "unsafe-confined",
+        format!(
+            "crate root {} lacks `#![forbid(unsafe_code)]` (or an allowlisted deny exception)",
+            file.rel
+        ),
+    ));
+}
+
+/// For `crates/<name>/src/lib.rs`, returns `crates/<name>`.
+fn crate_root_dir(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let name_len = rest.find('/')?;
+    if &rest[name_len..] == "/src/lib.rs" {
+        Some(&rel[.."crates/".len() + name_len])
+    } else {
+        None
+    }
+}
+
+/// Rule `thread-spawn`: `thread::spawn` / `thread::scope` /
+/// `thread::Builder` may only appear in allowlisted files. The persistent
+/// worker pool (`vendor/rayon`) and the sweep engine are the two blessed
+/// sites in this workspace; everything else must go through them so the
+/// sweep-aware thread budget stays the only source of parallelism.
+pub fn thread_spawn(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if allow.thread_spawn.contains(&file.rel) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+            if line.code.contains(pat) {
+                out.push(diag(
+                    file,
+                    idx + 1,
+                    "thread-spawn",
+                    format!(
+                        "`{pat}` outside the blessed sites (worker pool, sweep engine) — \
+                         route parallelism through the shared thread budget"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Iteration methods whose order reflects the hash function.
+const HASH_ITER_METHODS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Rule `hash-iteration`: iterating a `HashMap`/`HashSet` yields a
+/// hash-ordered sequence; if that order can reach an output path (rows,
+/// changed-output lists, CSV) the byte-identity guarantees break. Flagged
+/// unless a `// DETERMINISM:` comment justifies the site (order provably
+/// does not leak, e.g. the results are sorted or folded commutatively) or
+/// the file is allowlisted. Membership tests and lookups are not flagged.
+pub fn hash_iteration(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !file.rel.starts_with("crates/") || allow.hash_iteration.contains(&file.rel) {
+        return;
+    }
+    // Pass 1: names bound to hash containers anywhere in the file (let
+    // bindings, struct fields, fn parameters).
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        if let Some(name) = hash_bound_name(code) {
+            names.insert(name);
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    // Pass 2: iteration over one of those names.
+    let mut flagged_lines: BTreeSet<usize> = BTreeSet::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        let hit = names
+            .iter()
+            .any(|n| iterates_by_method(code, n) || for_loop_over(code, n));
+        if hit {
+            flagged_lines.insert(idx + 1);
+        }
+    }
+    for lineno in flagged_lines {
+        if file.comment_near(lineno, JUSTIFY_BACK, "DETERMINISM:") {
+            continue;
+        }
+        out.push(diag(
+            file,
+            lineno,
+            "hash-iteration",
+            "iteration over a hash-ordered container — hash order must not reach an \
+             output path; sort the results (or use BTreeMap/BTreeSet) or justify with \
+             a `// DETERMINISM:` comment"
+                .to_string(),
+        ));
+    }
+}
+
+/// Extracts the identifier most plausibly bound to the hash container
+/// mentioned on this line: `let [mut] name(: T)? =`, a struct field or fn
+/// parameter `name: HashMap<..>`, or `name = HashMap::new()`.
+fn hash_bound_name(code: &str) -> Option<String> {
+    let hash_pos = code.find("HashMap").or_else(|| code.find("HashSet"))?;
+    // `let [mut] name` anywhere before the container mention.
+    if let Some(let_pos) = code.find("let ") {
+        if let_pos < hash_pos {
+            let after = code[let_pos + 4..].trim_start();
+            let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+            let name: String = after
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    // `name: HashMap<..>` (field or parameter): identifier directly before
+    // the last `:` that precedes the container mention.
+    let colon = code[..hash_pos].rfind(':')?;
+    let before = code[..colon].trim_end();
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit())).then_some(name)
+}
+
+/// True if `code` calls a hash-order iteration method on `name` (or
+/// `self.name`).
+fn iterates_by_method(code: &str, name: &str) -> bool {
+    for owner in [name.to_string(), format!("self.{name}")] {
+        for m in HASH_ITER_METHODS {
+            let pat = format!("{owner}{m}");
+            let mut from = 0usize;
+            while let Some(off) = code[from..].find(&pat) {
+                let start = from + off;
+                let pre_ok = start == 0 || !is_ident_byte(code.as_bytes()[start - 1]);
+                if pre_ok && (start == 0 || code.as_bytes()[start - 1] != b'.') {
+                    return true;
+                }
+                from = start + 1;
+            }
+        }
+    }
+    false
+}
+
+/// True if `code` contains a `for .. in <name>`-style loop whose iterated
+/// expression starts with `name` or `self.name` (after `&`/`mut`).
+fn for_loop_over(code: &str, name: &str) -> bool {
+    let Some(for_pos) = find_word(code, "for").first().copied() else {
+        return false;
+    };
+    let after_for = &code[for_pos..];
+    let Some(in_rel) = find_word(after_for, "in").first().copied() else {
+        return false;
+    };
+    let mut expr = after_for[in_rel + 2..].trim_start();
+    loop {
+        if let Some(rest) = expr.strip_prefix('&') {
+            expr = rest.trim_start();
+        } else if let Some(rest) = expr.strip_prefix("mut ") {
+            expr = rest.trim_start();
+        } else {
+            break;
+        }
+    }
+    let expr = expr.strip_prefix("self.").unwrap_or(expr);
+    let ident: String = expr
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if ident != name {
+        return false;
+    }
+    // `for x in m` or `for x in m.iter()` etc. — but not `for x in m_vec`.
+    let rest = &expr[ident.len()..];
+    rest.is_empty() || rest.starts_with(|c: char| !(c.is_alphanumeric() || c == '_'))
+}
+
+/// Rule `wall-clock`: `Instant::now` / `SystemTime` reads outside vendored
+/// code must sit in a timing-labelled site (`// TIMING:` comment) or an
+/// allowlisted file — wall-clock reads anywhere else risk feeding
+/// nondeterminism into simulation results.
+pub fn wall_clock(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !file.rel.starts_with("crates/") || allow.wall_clock.contains(&file.rel) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test[idx] {
+            continue;
+        }
+        let hit =
+            line.code.contains("Instant::now") || !find_word(&line.code, "SystemTime").is_empty();
+        if !hit {
+            continue;
+        }
+        let lineno = idx + 1;
+        if file.comment_near(lineno, JUSTIFY_BACK, "TIMING:") {
+            continue;
+        }
+        out.push(diag(
+            file,
+            lineno,
+            "wall-clock",
+            "wall-clock read outside a timing-labelled site — label with `// TIMING:` \
+             (measured durations must never feed simulation outputs)"
+                .to_string(),
+        ));
+    }
+}
+
+/// Rule `unwrap-budget`: `.unwrap()` / `.expect(` call sites in library
+/// crates' non-test code are counted per file and compared against the
+/// allowlist's burn-down budget. Over budget fails (convert to typed errors
+/// or consciously raise the budget); *under* budget also fails, asking for
+/// the budget to be ratcheted down so the count only ever shrinks.
+pub fn unwrap_budget(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !file.rel.starts_with("crates/")
+        || !file.rel.contains("/src/")
+        || allow.is_unwrap_exempt(&file.rel)
+    {
+        return;
+    }
+    let mut sites: Vec<usize> = Vec::new(); // line numbers, one entry per site
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test[idx] {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            let mut from = 0usize;
+            while let Some(off) = line.code[from..].find(pat) {
+                sites.push(idx + 1);
+                from += off + pat.len();
+            }
+        }
+    }
+    sites.sort_unstable();
+    let budget = allow.unwrap_budget.get(&file.rel).copied().unwrap_or(0);
+    match sites.len().cmp(&budget) {
+        std::cmp::Ordering::Greater => {
+            let first_over = sites[budget];
+            out.push(diag(
+                file,
+                first_over,
+                "unwrap-budget",
+                format!(
+                    "{} unwrap()/expect() site(s) in non-test code but the burn-down \
+                     budget is {budget} — convert to typed errors, or raise \
+                     `unwrap-budget {} {}` in the allowlist",
+                    sites.len(),
+                    file.rel,
+                    sites.len(),
+                ),
+            ));
+        }
+        std::cmp::Ordering::Less => {
+            out.push(diag(
+                file,
+                1,
+                "unwrap-budget",
+                format!(
+                    "stale burn-down budget: {budget} allowed but only {} site(s) remain — \
+                     ratchet down to `unwrap-budget {} {}`",
+                    sites.len(),
+                    file.rel,
+                    sites.len(),
+                ),
+            ));
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+}
+
+/// Applies every rule to one scanned file.
+pub fn apply_all(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    safety_comment(file, out);
+    unsafe_confined(file, allow, out);
+    thread_spawn(file, allow, out);
+    hash_iteration(file, allow, out);
+    wall_clock(file, allow, out);
+    unwrap_budget(file, allow, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> SourceFile {
+        SourceFile::scan(rel, src)
+    }
+
+    fn run(rel: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        apply_all(&scan(rel, src), allow, &mut out);
+        out
+    }
+
+    #[test]
+    fn safety_comment_walks_up_through_attributes() {
+        let src = "// SAFETY: disjoint indices.\n#[inline]\nunsafe fn f() {}\n";
+        let mut out = Vec::new();
+        safety_comment(&scan("vendor/x/src/lib.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn safety_comment_required() {
+        let src = "fn g() {}\nunsafe fn f() {}\n";
+        let mut out = Vec::new();
+        safety_comment(&scan("vendor/x/src/lib.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn crate_root_dir_matches_lib_only() {
+        assert_eq!(
+            crate_root_dir("crates/graph/src/lib.rs"),
+            Some("crates/graph")
+        );
+        assert_eq!(crate_root_dir("crates/graph/src/window.rs"), None);
+        assert_eq!(crate_root_dir("vendor/rayon/src/lib.rs"), None);
+    }
+
+    #[test]
+    fn hash_bound_names() {
+        assert_eq!(
+            hash_bound_name("    let mut seen: HashMap<u32, u32> = HashMap::new();"),
+            Some("seen".to_string())
+        );
+        assert_eq!(
+            hash_bound_name("    edge_state: HashMap<Edge, EdgeEntry>,"),
+            Some("edge_state".to_string())
+        );
+        assert_eq!(
+            hash_bound_name("pub fn leaky(m: &HashMap<u32, u32>) -> Vec<u32> {"),
+            Some("m".to_string())
+        );
+    }
+
+    #[test]
+    fn hash_iteration_flags_and_justifies() {
+        let bad = "use std::collections::HashMap;\nfn f(m: &HashMap<u32,u32>) {\n    for (k, _) in m.iter() { drop(k); }\n}\n";
+        let out = run("crates/x/src/a.rs", bad, &Allowlist::default());
+        assert!(
+            out.iter()
+                .any(|d| d.rule == "hash-iteration" && d.line == 3),
+            "{out:?}"
+        );
+
+        let good = "use std::collections::HashMap;\nfn f(m: &HashMap<u32,u32>) {\n    // DETERMINISM: results sorted below.\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n}\n";
+        let out = run("crates/x/src/a.rs", good, &Allowlist::default());
+        assert!(!out.iter().any(|d| d.rule == "hash-iteration"), "{out:?}");
+    }
+
+    #[test]
+    fn membership_is_not_iteration() {
+        let src = "use std::collections::HashSet;\nfn f(s: &HashSet<u32>) -> bool {\n    s.contains(&3)\n}\n";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(!out.iter().any(|d| d.rule == "hash-iteration"), "{out:?}");
+    }
+
+    #[test]
+    fn for_loop_token_boundaries() {
+        assert!(for_loop_over("for x in &mut seen {", "seen"));
+        assert!(for_loop_over("for (k, v) in self.seen.iter() {", "seen"));
+        assert!(!for_loop_over("for x in seen_vec {", "seen"));
+        assert!(!for_loop_over("for x in 0..n {", "seen"));
+    }
+
+    #[test]
+    fn unwrap_budget_exact_over_under() {
+        let src = "#![forbid(unsafe_code)]\nfn f(v: &[u32]) -> u32 { *v.first().unwrap() }\nfn g(v: &[u32]) -> u32 { *v.get(1).expect(\"two\") }\n";
+        let mut allow = Allowlist::default();
+        // budget 0: over
+        let out = run("crates/x/src/lib.rs", src, &allow);
+        assert!(
+            out.iter().any(|d| d.rule == "unwrap-budget" && d.line == 2),
+            "{out:?}"
+        );
+        // exact
+        allow.unwrap_budget.insert("crates/x/src/lib.rs".into(), 2);
+        let out = run("crates/x/src/lib.rs", src, &allow);
+        assert!(!out.iter().any(|d| d.rule == "unwrap-budget"), "{out:?}");
+        // stale
+        allow.unwrap_budget.insert("crates/x/src/lib.rs".into(), 5);
+        let out = run("crates/x/src/lib.rs", src, &allow);
+        assert!(
+            out.iter()
+                .any(|d| d.rule == "unwrap-budget" && d.msg.contains("stale")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_counted() {
+        let src = "#![forbid(unsafe_code)]\nfn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }\nfn g(v: Option<u32>) -> u32 { v.unwrap_or_else(|| 1) }\n";
+        let out = run("crates/x/src/lib.rs", src, &Allowlist::default());
+        assert!(!out.iter().any(|d| d.rule == "unwrap-budget"), "{out:?}");
+    }
+
+    #[test]
+    fn wall_clock_needs_timing_label() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(out.iter().any(|d| d.rule == "wall-clock"), "{out:?}");
+        let src =
+            "// TIMING: progress reporting only.\nfn t() { let _ = std::time::Instant::now(); }\n";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(!out.iter().any(|d| d.rule == "wall-clock"), "{out:?}");
+    }
+
+    #[test]
+    fn vendor_exempt_from_confinement_and_clocks() {
+        let src = "// SAFETY: covered.\nunsafe fn f() { let _ = std::time::Instant::now(); }\n";
+        let out = run("vendor/x/src/lib.rs", src, &Allowlist::default());
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Lexical source model: a line-oriented view of a Rust file with comments
+//! and string/char literal contents separated from code, plus a marking of
+//! `#[cfg(test)]` regions.
+//!
+//! This is deliberately *not* a parser. The rules in [`crate::rules`] only
+//! need to know (a) which tokens appear in code position (not inside a
+//! comment or literal), (b) what the nearby comments say (`// SAFETY:`,
+//! `// DETERMINISM:`, `// TIMING:` justifications), and (c) whether a line
+//! belongs to test code. A hand-rolled scanner covers that exactly, works
+//! offline (no `syn`), and keeps the lint's own behavior trivially
+//! deterministic.
+
+/// One source line, split into its code part (literal contents blanked to
+/// spaces) and the concatenated text of any comments on the line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line with comments removed and string/char literal contents
+    /// replaced by spaces. Token searches run against this.
+    pub code: String,
+    /// Text of line/block comments on this line (without the `//`/`/*`
+    /// markers). Doc comments are included.
+    pub comment: String,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (diagnostic key).
+    pub rel: String,
+    /// The scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// `is_test[i]` is true when line `i + 1` is inside a `#[cfg(test)]`
+    /// item or the whole file is a test target (`tests/` directory).
+    pub is_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `source` into the line model and marks test regions.
+    pub fn scan(rel: &str, source: &str) -> SourceFile {
+        let lines = strip(source);
+        let mut is_test = vec![false; lines.len()];
+        if is_test_path(rel) {
+            is_test.iter_mut().for_each(|t| *t = true);
+        } else {
+            mark_cfg_test_regions(&lines, &mut is_test);
+        }
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+            is_test,
+        }
+    }
+
+    /// True if any comment on lines `line - back ..= line` (1-indexed)
+    /// contains `marker`. Used for the `SAFETY:`/`DETERMINISM:`/`TIMING:`
+    /// justification comments.
+    pub fn comment_near(&self, line: usize, back: usize, marker: &str) -> bool {
+        let lo = line.saturating_sub(back).max(1);
+        (lo..=line.min(self.lines.len())).any(|l| self.lines[l - 1].comment.contains(marker))
+    }
+}
+
+/// Whole-file test targets: integration test directories at the workspace
+/// root or inside a crate.
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+/// Scanner state across lines.
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth is tracked.
+    BlockComment(u32),
+    /// Inside a regular string literal (escapes honored).
+    Str,
+    /// Inside a raw string literal closed by `"` followed by `hashes` `#`s.
+    RawStr(u32),
+    /// Inside a char/byte literal.
+    CharLit,
+}
+
+/// Splits the source into per-line code and comment parts. String and char
+/// literal contents are blanked to spaces in the code part (the delimiters
+/// are dropped too); comment text is collected verbatim.
+fn strip(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+    // True when the previous code char can continue an identifier — used to
+    // tell the raw-string prefix `r"`/`br#"` apart from identifiers ending
+    // in `r`/`b` (e.g. `for`, `slab`).
+    let mut prev_ident = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    cur.code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let is_char = match n1 {
+                        Some('\\') => true,
+                        Some(ch) if ch != '\'' => n2 == Some('\''),
+                        _ => false,
+                    };
+                    if is_char {
+                        state = State::CharLit;
+                        cur.code.push(' ');
+                    } else {
+                        cur.code.push('\'');
+                    }
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw/byte string prefix: r" r#" b" br" br#".
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw_ok = c == 'r' || j > i + 1; // `b` alone + hashes is not a prefix
+                    if raw_ok && chars.get(j) == Some(&'"') && (c == 'r' || hashes > 0 || j > i + 1)
+                    {
+                        state = State::RawStr(hashes);
+                        cur.code.push(' ');
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        state = State::Str;
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        cur.code.push(c);
+                        prev_ident = true;
+                        i += 1;
+                        continue;
+                    }
+                } else {
+                    cur.code.push(c);
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    i += 1;
+                    continue;
+                }
+                prev_ident = false;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (possibly a quote)
+                } else if c == '"' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut k = 0u32;
+                    while k < hashes && chars.get(j) == Some(&'#') {
+                        k += 1;
+                        j += 1;
+                    }
+                    if k == hashes {
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// Marks every line of each `#[cfg(test)]` item (module, fn, impl — the
+/// attribute's target up to its closing brace or terminating semicolon).
+fn mark_cfg_test_regions(lines: &[Line], is_test: &mut [bool]) {
+    // Flatten the code lines into one string with recorded line starts so
+    // brace matching can run across line boundaries.
+    let mut full = String::new();
+    let mut line_starts = Vec::with_capacity(lines.len());
+    for line in lines {
+        line_starts.push(full.len());
+        full.push_str(&line.code);
+        full.push('\n');
+    }
+    let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    };
+
+    let bytes = full.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(off) = full[search_from..].find("#[cfg(test)]") {
+        let attr_start = search_from + off;
+        let mut pos = attr_start + "#[cfg(test)]".len();
+        // Walk to the end of the attributed item: skip further attributes
+        // (`[...]` groups), then match the first `{` to its closing brace,
+        // or stop at a top-level `;` (e.g. `#[cfg(test)] mod tests;`).
+        let mut sq_depth = 0i32;
+        let mut brace_depth = 0i32;
+        let mut end = bytes.len().saturating_sub(1);
+        while pos < bytes.len() {
+            match bytes[pos] {
+                b'[' => sq_depth += 1,
+                b']' => sq_depth -= 1,
+                b'{' if sq_depth == 0 => {
+                    brace_depth += 1;
+                }
+                b'}' if sq_depth == 0 => {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        end = pos;
+                        break;
+                    }
+                }
+                b';' if sq_depth == 0 && brace_depth == 0 => {
+                    end = pos;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        for l in line_of(attr_start)..=line_of(end.min(bytes.len() - 1)) {
+            if l < is_test.len() {
+                is_test[l] = true;
+            }
+        }
+        search_from = attr_start + "#[cfg(test)]".len();
+    }
+}
+
+/// Returns the byte offsets at which `token` occurs in `code` as a whole
+/// word (neither neighbor is an identifier character).
+pub fn find_word(code: &str, token: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(off) = code[from..].find(token) {
+        let start = from + off;
+        let end = start + token.len();
+        let pre_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let post_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if pre_ok && post_ok {
+            hits.push(start);
+        }
+        from = start + 1;
+    }
+    hits
+}
+
+/// True for bytes that can continue a Rust identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = "let x = \"unsafe\"; // unsafe in comment\nlet y = 'u';\n/* unsafe */ let z = 1;";
+        let lines = strip(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe in comment"));
+        assert!(!lines[1].code.contains('u'));
+        assert!(lines[2].comment.contains("unsafe"));
+        assert!(lines[2].code.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "let s = r#\"thread::spawn\"#;\nfn f<'a>(x: &'a str) -> &'a str { x }";
+        let lines = strip(src);
+        assert!(!lines[0].code.contains("spawn"));
+        assert!(lines[1].code.contains("'a"), "lifetimes stay in code");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let a = 1;";
+        let lines = strip(src);
+        assert!(lines[0].code.contains("let a = 1;"));
+        assert!(!lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live2() {}";
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        assert_eq!(f.is_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_fn_and_attr_stacking() {
+        let src =
+            "#[cfg(test)]\n#[allow(dead_code)]\nfn scan_twin() {\n    body();\n}\nfn live() {}";
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        assert_eq!(f.is_test, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_test() {
+        let f = SourceFile::scan("crates/x/tests/it.rs", "fn main() {}");
+        assert!(f.is_test[0]);
+        let f = SourceFile::scan("tests/integration.rs", "fn main() {}");
+        assert!(f.is_test[0]);
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        assert_eq!(find_word("unsafe_code unsafe", "unsafe"), vec![12]);
+        assert_eq!(find_word("an unsafe block", "unsafe"), vec![3]);
+        assert!(find_word("#![forbid(unsafe_code)]", "unsafe").is_empty());
+    }
+
+    #[test]
+    fn char_literal_vs_byte_string() {
+        let src = "let a = b\"HashMap\"; let c = 'H'; let l: &'static str = x;";
+        let lines = strip(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("'static"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a fully conforming first-party crate — zero diagnostics.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Deterministic by construction: `BTreeMap` iteration is ordered.
+pub fn dump(m: &BTreeMap<u32, u32>) -> Vec<(u32, u32)> {
+    m.iter().map(|(k, v)| (*k, *v)).collect()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a first-party crate root missing `#![forbid(unsafe_code)]`.
+//! Must fire exactly one `unsafe-confined` diagnostic (line 1).
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,11 @@
+//! Fixture: an `unsafe` token inside a first-party crate. The crate root
+//! declares forbid (so the attribute check passes) and the site carries a
+//! SAFETY comment (so `safety-comment` passes): exactly one
+//! `unsafe-confined` diagnostic fires, at the token (line 9).
+
+#![forbid(unsafe_code)]
+
+// SAFETY: fixture — never compiled.
+pub unsafe fn poke(p: *mut u32) {
+    *p = 1;
+}

@@ -1,0 +1,9 @@
+//! Fixture: a crate root using `#![deny(unsafe_code)]` instead of forbid.
+//! Fires one `unsafe-confined` diagnostic unless the crate is listed under
+//! `unsafe-deny-exception`.
+
+#![deny(unsafe_code)]
+
+pub fn id(x: u32) -> u32 {
+    x
+}

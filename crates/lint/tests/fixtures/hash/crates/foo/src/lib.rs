@@ -1,0 +1,16 @@
+//! Fixture: iterating a `HashMap` without a `// DETERMINISM:` comment.
+//! Must fire exactly one `hash-iteration` diagnostic (line 9).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn dump(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    m.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+/// The escape hatch: the same iteration, justified.
+pub fn sum(m: &HashMap<u32, u32>) -> u32 {
+    // DETERMINISM: summation is order-independent.
+    m.values().sum()
+}

@@ -1,0 +1,6 @@
+//! Fixture: an unsafe block in vendor code without a `// SAFETY:` comment.
+//! Must fire exactly one `safety-comment` diagnostic (line 5).
+
+pub fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}

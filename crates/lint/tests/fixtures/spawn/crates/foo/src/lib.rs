@@ -1,0 +1,8 @@
+//! Fixture: thread creation outside the blessed sites. Must fire exactly
+//! one `thread-spawn` diagnostic (line 7) unless the file is allowlisted.
+
+#![forbid(unsafe_code)]
+
+pub fn detach() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,14 @@
+//! Fixture: a wall-clock read without a `// TIMING:` comment. Must fire
+//! exactly one `wall-clock` diagnostic (line 7).
+
+#![forbid(unsafe_code)]
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// The escape hatch: the same read, labelled.
+pub fn labelled() -> std::time::Instant {
+    // TIMING: progress reporting only; never reaches simulation output.
+    std::time::Instant::now()
+}

@@ -1,0 +1,22 @@
+//! Fixture: two `unwrap()`/`expect()` sites in library code (lines 8
+//! and 12). With budget 2 the file is clean; with budget 1 the rule fires
+//! at the second site; with budget 3 the budget is reported stale.
+
+#![forbid(unsafe_code)]
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("at least two elements")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_free() {
+        let v = vec![1, 2];
+        assert_eq!(super::first(&v), *v.first().unwrap());
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end tests for `dynnet-lint`: each fixture under `tests/fixtures/`
+//! is a miniature workspace violating exactly one rule. The tests pin that
+//! the rule fires at the expected `file:line`, that the allowlist escapes
+//! behave, that diagnostics come out in stable sorted order — and that the
+//! real workspace is clean under its checked-in allowlist.
+
+use dynnet_lint::allow::Allowlist;
+use dynnet_lint::{run_lint, LintReport};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str, allow: &Allowlist) -> LintReport {
+    run_lint(&fixture_root(name), allow).expect("fixture lint run")
+}
+
+/// Asserts the fixture yields exactly one diagnostic, with the given rule,
+/// file, and line.
+fn assert_single(report: &LintReport, rule: &str, rel: &str, line: usize) {
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "expected exactly one diagnostic, got {:?}",
+        report.diagnostics
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, rule);
+    assert_eq!(d.rel, rel);
+    assert_eq!(d.line, line, "diagnostic moved: {d}");
+}
+
+#[test]
+fn missing_safety_comment_fires() {
+    let r = lint_fixture("safety", &Allowlist::default());
+    assert_single(&r, "safety-comment", "vendor/shim/src/lib.rs", 5);
+}
+
+#[test]
+fn missing_forbid_attr_fires() {
+    let r = lint_fixture("confine_attr", &Allowlist::default());
+    assert_single(&r, "unsafe-confined", "crates/foo/src/lib.rs", 1);
+}
+
+#[test]
+fn first_party_unsafe_fires_even_with_safety_comment() {
+    let r = lint_fixture("confine_unsafe", &Allowlist::default());
+    assert_single(&r, "unsafe-confined", "crates/foo/src/lib.rs", 9);
+}
+
+#[test]
+fn thread_spawn_fires_and_allowlist_blesses() {
+    let r = lint_fixture("spawn", &Allowlist::default());
+    assert_single(&r, "thread-spawn", "crates/foo/src/lib.rs", 7);
+
+    let allow = Allowlist::parse("thread-spawn crates/foo/src/lib.rs\n").expect("parse");
+    let r = lint_fixture("spawn", &allow);
+    assert!(
+        r.is_clean(),
+        "blessed spawn still fired: {:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn hash_iteration_fires_without_determinism_comment() {
+    // The fixture also contains a `// DETERMINISM:`-justified iteration,
+    // which must stay silent: exactly one diagnostic.
+    let r = lint_fixture("hash", &Allowlist::default());
+    assert_single(&r, "hash-iteration", "crates/foo/src/lib.rs", 9);
+}
+
+#[test]
+fn wall_clock_fires_without_timing_comment() {
+    // As above: the `// TIMING:`-labelled read in the same file is silent.
+    let r = lint_fixture("timing", &Allowlist::default());
+    assert_single(&r, "wall-clock", "crates/foo/src/lib.rs", 7);
+}
+
+#[test]
+fn unwrap_budget_is_exact_in_both_directions() {
+    // Budget 1 for 2 sites: fires at the first over-budget site (line 12).
+    let allow = Allowlist::parse("unwrap-budget crates/foo/src/lib.rs 1\n").expect("parse");
+    let r = lint_fixture("unwrap", &allow);
+    assert_single(&r, "unwrap-budget", "crates/foo/src/lib.rs", 12);
+
+    // Exact budget: clean — and the unwrap inside #[cfg(test)] is free.
+    let allow = Allowlist::parse("unwrap-budget crates/foo/src/lib.rs 2\n").expect("parse");
+    let r = lint_fixture("unwrap", &allow);
+    assert!(r.is_clean(), "exact budget fired: {:?}", r.diagnostics);
+
+    // Over-generous budget: stale, must be ratcheted down.
+    let allow = Allowlist::parse("unwrap-budget crates/foo/src/lib.rs 3\n").expect("parse");
+    let r = lint_fixture("unwrap", &allow);
+    assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+    assert_eq!(r.diagnostics[0].rule, "unwrap-budget");
+    assert!(
+        r.diagnostics[0].msg.contains("stale"),
+        "expected a stale-budget message: {}",
+        r.diagnostics[0].msg
+    );
+}
+
+#[test]
+fn deny_exception_requires_allowlisting() {
+    let r = lint_fixture("deny_exception", &Allowlist::default());
+    assert_single(&r, "unsafe-confined", "crates/foo/src/lib.rs", 1);
+
+    let allow = Allowlist::parse("unsafe-deny-exception crates/foo\n").expect("parse");
+    let r = lint_fixture("deny_exception", &allow);
+    assert!(r.is_clean(), "excepted deny fired: {:?}", r.diagnostics);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let r = lint_fixture("clean", &Allowlist::default());
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.files_scanned, 1);
+}
+
+#[test]
+fn diagnostics_are_sorted_and_stable() {
+    // Two runs over the same tree produce byte-identical, sorted output.
+    let a = lint_fixture("unwrap", &Allowlist::default());
+    let b = lint_fixture("unwrap", &Allowlist::default());
+    let render = |r: &LintReport| {
+        r.diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&a), render(&b));
+    let mut sorted = a.diagnostics.clone();
+    sorted.sort();
+    assert_eq!(sorted, a.diagnostics);
+}
+
+#[test]
+fn workspace_is_clean_under_checked_in_allowlist() {
+    // The acceptance gate: the real workspace, linted with the real
+    // allowlist, has zero violations. Any drift (a new unsafe block, a
+    // converted unwrap whose budget was not ratcheted) fails this test the
+    // same way it fails the CI lint step.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let allow = Allowlist::load(&dynnet_lint::default_allowlist_path(&root)).expect("allowlist");
+    let report = run_lint(&root, &allow).expect("workspace lint run");
+    let rendered = report
+        .diagnostics
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        report.is_clean(),
+        "workspace lint found violations:\n{rendered}"
+    );
+    assert!(report.files_scanned > 50, "scanned suspiciously few files");
+}

@@ -12,6 +12,7 @@
 //! [`RowSink`] (keyed row assembly, so out-of-order completion from the
 //! work-stealing sweep engine cannot perturb output bytes).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fit;

@@ -43,7 +43,7 @@ impl Summary {
             0.0
         };
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        sorted.sort_by(f64::total_cmp);
         Summary {
             count,
             mean,

@@ -27,6 +27,7 @@
 //! * [`rng`] — deterministic per-(seed, node, round) randomness.
 //! * [`wakeup`] — asynchronous wake-up schedules.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;

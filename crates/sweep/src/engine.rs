@@ -188,6 +188,8 @@ impl SweepEngine {
         F: Fn(&Cell<P>) -> R + Sync,
     {
         let total = spec.len();
+        // TIMING: wall-clock feeds only the run report (throughput line on
+        // stderr), never the sweep results — output stays deterministic.
         let start = Instant::now();
         if total == 0 {
             return Ok(SweepRun {

@@ -54,6 +54,7 @@
 //! assert_eq!(tables[0].rows.len(), 6); // grid order, not completion order
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

@@ -220,6 +220,10 @@ impl Task {
                 let now = ACTIVE.fetch_add(1, Ordering::SeqCst) + 1;
                 PEAK_ACTIVE.fetch_max(now, Ordering::SeqCst);
             }
+            // SAFETY: `run` points into the submitter's `run_on_pool` frame,
+            // which cannot return while `unfinished > 0` — and every chunk
+            // executed here was claimed via `next.fetch_add` before
+            // `unfinished` could reach zero.
             let run = unsafe { &*self.run };
             if catch_unwind(AssertUnwindSafe(|| run(i))).is_err() {
                 self.panicked.store(true, Ordering::SeqCst);
@@ -245,6 +249,10 @@ impl Task {
 /// every registered helper.
 #[derive(Clone, Copy)]
 struct TaskRef(*const Task);
+// SAFETY: a `TaskRef` only travels through the pool queue, and the submitter
+// removes it from the queue and then waits for `helpers == 0` before the
+// pointee's frame is torn down, so any thread holding the ref sees a live
+// `Task` (all of whose fields are themselves thread-safe).
 unsafe impl Send for TaskRef {}
 
 struct Pool {
@@ -281,15 +289,22 @@ fn worker_loop(pool: &'static Pool) {
         let task = {
             let mut q = pool.queue.lock().expect("pool queue");
             loop {
+                // SAFETY: every `TaskRef` still in the queue points to a live
+                // `Task` — the submitter dequeues it before its frame can end.
                 if let Some(&tr) = q.iter().find(|tr| unsafe { (*tr.0).has_unclaimed() }) {
-                    // Register while holding the lock: the submitter cannot
-                    // observe `helpers == 0` and free the task in between.
+                    // SAFETY: same liveness invariant as above; registering as
+                    // a helper while holding the queue lock means the submitter
+                    // cannot observe `helpers == 0` and free the task in
+                    // between.
                     unsafe { (*tr.0).helpers.fetch_add(1, Ordering::SeqCst) };
                     break tr;
                 }
                 q = pool.work_cv.wait(q).expect("pool queue");
             }
         };
+        // SAFETY: this thread registered as a helper under the queue lock, so
+        // the submitter's `helpers == 0` wait keeps the pointee alive until
+        // the matching `fetch_sub` below.
         let task = unsafe { &*task.0 };
         task.execute_chunks();
         if task.helpers.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -307,7 +322,10 @@ fn run_on_pool(chunks: usize, run: &(dyn Fn(usize) + Sync)) {
     debug_assert!(chunks >= 1);
     TASKS_POOLED.fetch_add(1, Ordering::SeqCst);
     let task = Task {
-        // Lifetime-erase the closure: `task` never escapes this frame alive.
+        // SAFETY: lifetime erasure only — the `'static` is a lie the rest of
+        // this function makes true: `task` never escapes this frame alive
+        // (dequeued below, then the submitter blocks until `unfinished == 0`
+        // and `helpers == 0`), so no reader outlives the real borrow of `run`.
         run: unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(run)
         },
@@ -359,6 +377,9 @@ fn run_on_pool(chunks: usize, run: &(dyn Fn(usize) + Sync)) {
 /// Pointer wrapper that lets chunk closures share a base pointer across the
 /// pool. Safety: every chunk touches a disjoint index range.
 struct SharedPtr<T>(*mut T);
+// SAFETY: the wrapper is only shared between chunk closures of one parallel
+// call, and `Plan::range` hands every chunk a disjoint index range, so no two
+// threads ever dereference the same offset.
 unsafe impl<T> Sync for SharedPtr<T> {}
 impl<T> SharedPtr<T> {
     #[inline]
@@ -413,7 +434,9 @@ where
     let base = SharedPtr(slice.as_mut_ptr());
     run_on_pool(plan.chunks, &|i| {
         let (start, end) = plan.range(i);
-        // Disjoint ranges: each chunk index is claimed exactly once.
+        // SAFETY: `Plan::range` ranges are disjoint and within `slice`, each
+        // chunk index is claimed exactly once, and `slice` is mutably borrowed
+        // for the whole (blocking) call — so this is a unique subslice.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
         f(start, chunk);
     });
@@ -447,7 +470,9 @@ where
     run_on_pool(plan.chunks, &|ci| {
         let (start, end) = plan.range(ci);
         for i in start..end {
-            // Disjoint indices per chunk; on a chunk panic the submitter
+            // SAFETY: indices are disjoint per chunk (`Plan::range`), both
+            // `slice` and `out` live across the blocking call, and each output
+            // slot is written at most once. On a chunk panic the submitter
             // re-panics and `out` is dropped without reading any slot
             // (MaybeUninit never drops payloads — written results leak,
             // which is safe).
@@ -457,8 +482,10 @@ where
             }
         }
     });
-    // Every slot was written exactly once: reinterpret as initialized.
     let mut out = std::mem::ManuallyDrop::new(out);
+    // SAFETY: `run_on_pool` returned without panicking, so all `len` slots
+    // were written exactly once; `MaybeUninit<R>` has `R`'s layout, and
+    // `ManuallyDrop` keeps the original allocation from being freed twice.
     unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, len, out.capacity()) }
 }
 
@@ -492,6 +519,9 @@ where
     let sink = SharedPtr(out.as_mut_ptr());
     run_on_pool(plan.chunks, &|i| {
         let (start, end) = plan.range(i);
+        // SAFETY: shard `i` owns the disjoint range `start..end` of both
+        // slices (mutably borrowed for the whole blocking call) and is the
+        // only writer of output slot `i`.
         unsafe {
             let ca = std::slice::from_raw_parts_mut(base_a.get().add(start), end - start);
             let cb = std::slice::from_raw_parts_mut(base_b.get().add(start), end - start);
@@ -499,6 +529,9 @@ where
         }
     });
     let mut out = std::mem::ManuallyDrop::new(out);
+    // SAFETY: one write per shard covered all `plan.chunks` slots (the pool
+    // call returned panic-free), `MaybeUninit<R>` has `R`'s layout, and
+    // `ManuallyDrop` prevents a double free of the allocation.
     unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, plan.chunks, out.capacity()) }
 }
 
