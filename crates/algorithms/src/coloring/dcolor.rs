@@ -23,7 +23,6 @@ use dynnet_core::{Color, ColorOutput};
 use dynnet_graph::NodeId;
 use dynnet_runtime::{Incoming, NodeAlgorithm, NodeContext};
 use rand::Rng;
-use std::collections::BTreeSet;
 
 /// One DColor instance at one node.
 #[derive(Clone, Debug)]
@@ -32,9 +31,20 @@ pub struct DColor {
     /// Color palette `P_v`; only meaningful once initialized in the start round.
     palette: Vec<Color>,
     /// Neighbors that have been present in *every* round since the instance
-    /// started (the node's view of the intersection graph); `None` until the
-    /// start round's messages have been received.
-    allowed: Option<BTreeSet<NodeId>>,
+    /// started (the node's view of the intersection graph), sorted
+    /// ascending; meaningful only once `started`. A sorted `Vec` instead of
+    /// a `BTreeSet`: the set is rebuilt every round for every awake node,
+    /// and the tree's per-insert allocations dominated the round kernel at
+    /// large `n`.
+    allowed: Vec<NodeId>,
+    /// False exactly until the start round's messages have been received.
+    started: bool,
+    /// Double-buffer for rebuilding `allowed` while reading it.
+    scratch: Vec<NodeId>,
+    /// Reused per-round scratch: fixed colors heard this round.
+    fixed_heard: Vec<Color>,
+    /// Reused per-round scratch: tentative colors heard this round.
+    tentative_heard: Vec<Color>,
     /// Tentative color chosen in the current round.
     tentative: Option<Color>,
 }
@@ -46,7 +56,11 @@ impl DColor {
         DColor {
             output: input,
             palette: Vec::new(),
-            allowed: None,
+            allowed: Vec::new(),
+            started: false,
+            scratch: Vec::new(),
+            fixed_heard: Vec::new(),
+            tentative_heard: Vec::new(),
             tentative: None,
         }
     }
@@ -56,13 +70,14 @@ impl DColor {
         &self.palette
     }
 
-    /// The node's current view of its intersection-graph neighbors.
-    pub fn allowed_neighbors(&self) -> Option<&BTreeSet<NodeId>> {
-        self.allowed.as_ref()
+    /// The node's current view of its intersection-graph neighbors (sorted
+    /// ascending); `None` until the start round's messages arrive.
+    pub fn allowed_neighbors(&self) -> Option<&[NodeId]> {
+        self.started.then_some(self.allowed.as_slice())
     }
 
     fn is_start_round(&self) -> bool {
-        self.allowed.is_none()
+        !self.started
     }
 }
 
@@ -102,65 +117,75 @@ impl NodeAlgorithm for DColor {
         if self.is_start_round() {
             // Receive the neighbors' inputs; initialize the allowed set and
             // the palette P_v = [d_j(v) + 1] \ {φ_w | w ∈ N_{G_j}(v)}.
-            let mut allowed = BTreeSet::new();
-            let mut taken = BTreeSet::new();
+            self.allowed.clear();
+            let taken = &mut self.fixed_heard;
+            taken.clear();
             for (from, msg) in inbox {
-                allowed.insert(*from);
+                self.allowed.push(*from);
                 if let ColorMsg::Input(ColorOutput::Colored(c)) = msg {
-                    taken.insert(*c);
+                    taken.push(*c);
                 }
                 // A neighbor's Fixed/Tentative message can only originate
                 // from a differently-timed instance; DColor instances inside
                 // Concat are aligned, so this does not occur in practice.
             }
+            self.allowed.sort_unstable();
             if self.output == ColorOutput::Undecided {
                 let degree = inbox.len();
                 self.palette = (1..=degree + 1).filter(|c| !taken.contains(c)).collect();
             }
-            self.allowed = Some(allowed);
+            self.started = true;
+            return;
+        }
+
+        // A colored node never changes its output (property A.1) and its
+        // palette and intersection view are never consulted again, so skip
+        // the per-round view maintenance: `allowed` freezes at its
+        // decision-round snapshot. In a converged steady state this makes
+        // receive O(1) for almost every node.
+        if self.output != ColorOutput::Undecided {
             return;
         }
 
         // Restrict to the intersection graph: only neighbors that have been
         // present in every round since the start are heard; the allowed set
         // shrinks to the senders that are still present.
-        let Some(allowed) = self.allowed.as_mut() else {
-            // Initialized in the start round; a receive before it means the
-            // driver skipped the instance's first round — nothing to update.
-            debug_assert!(false, "receive before the instance's start round");
-            return;
-        };
-        let mut fixed: BTreeSet<Color> = BTreeSet::new();
-        let mut tentative: BTreeSet<Color> = BTreeSet::new();
-        let mut still_present: BTreeSet<NodeId> = BTreeSet::new();
+        let fixed = &mut self.fixed_heard;
+        let tentative = &mut self.tentative_heard;
+        fixed.clear();
+        tentative.clear();
+        self.scratch.clear();
         for (from, msg) in inbox {
-            if !allowed.contains(from) {
+            if self.allowed.binary_search(from).is_err() {
                 continue;
             }
-            still_present.insert(*from);
+            self.scratch.push(*from);
             match msg {
                 ColorMsg::Fixed(c) => {
-                    fixed.insert(*c);
+                    fixed.push(*c);
                 }
                 ColorMsg::Tentative(c) => {
-                    tentative.insert(*c);
+                    tentative.push(*c);
                 }
                 ColorMsg::Input(ColorOutput::Colored(c)) => {
                     // An instance-start message from a neighbor whose
                     // instance is aligned: treat a decided input as fixed.
-                    fixed.insert(*c);
+                    fixed.push(*c);
                 }
                 ColorMsg::Input(ColorOutput::Undecided) => {}
             }
         }
-        *allowed = still_present;
+        // Senders arrive in CSR row order, which need not be ascending.
+        self.scratch.sort_unstable();
+        std::mem::swap(&mut self.allowed, &mut self.scratch);
 
         // P_v = P_v \ F_v (colors are never added back — Lemma 4.1 relies on it).
+        let fixed = &self.fixed_heard;
         self.palette.retain(|c| !fixed.contains(c));
 
         if self.output == ColorOutput::Undecided {
             if let Some(c) = self.tentative {
-                if self.palette.contains(&c) && !tentative.contains(&c) {
+                if self.palette.contains(&c) && !self.tentative_heard.contains(&c) {
                     self.output = ColorOutput::Colored(c);
                 }
             }

@@ -17,16 +17,24 @@ use dynnet_core::MisOutput;
 use dynnet_graph::NodeId;
 use dynnet_runtime::{Incoming, NodeAlgorithm, NodeContext};
 use rand::Rng;
-use std::collections::BTreeSet;
 
 /// One DMis instance at one node.
 #[derive(Clone, Debug)]
 pub struct DMis {
     state: MisOutput,
-    /// Neighbors present in every round since the instance started
-    /// (the node's view of the intersection graph); `None` before the first
-    /// round's messages arrive.
-    allowed: Option<BTreeSet<NodeId>>,
+    /// Neighbors present in every round since the instance started (the
+    /// node's view of the intersection graph), sorted ascending; meaningful
+    /// only once `started`. A sorted `Vec` instead of a `BTreeSet`: the set
+    /// is rebuilt every round for every awake node, and the tree's
+    /// per-insert allocations dominated the round kernel at large `n` —
+    /// binary-search membership plus a reused double-buffer does the same
+    /// job with zero steady-state allocation.
+    allowed: Vec<NodeId>,
+    /// False exactly until the first round's messages arrive (where everyone
+    /// is accepted: `G^{1∩} = G_j`).
+    started: bool,
+    /// Double-buffer for rebuilding `allowed` while reading it.
+    scratch: Vec<NodeId>,
     /// The random number drawn this round (undecided nodes only).
     drawn: Option<f64>,
     /// True while a `Dominated` *input* still has to be re-confirmed by a
@@ -53,15 +61,18 @@ impl DMis {
     pub fn new(_v: NodeId, input: MisOutput) -> Self {
         DMis {
             state: input,
-            allowed: None,
+            allowed: Vec::new(),
+            started: false,
+            scratch: Vec::new(),
             drawn: None,
             dominated_unconfirmed: input == MisOutput::Dominated,
         }
     }
 
-    /// The node's current view of its intersection-graph neighborhood.
-    pub fn allowed_neighbors(&self) -> Option<&BTreeSet<NodeId>> {
-        self.allowed.as_ref()
+    /// The node's current view of its intersection-graph neighborhood
+    /// (sorted ascending); `None` before the first round's messages arrive.
+    pub fn allowed_neighbors(&self) -> Option<&[NodeId]> {
+        self.started.then_some(self.allowed.as_slice())
     }
 }
 
@@ -82,28 +93,36 @@ impl NodeAlgorithm for DMis {
     }
 
     fn receive(&mut self, _ctx: &mut NodeContext<'_>, inbox: &[Incoming<LubyMsg>]) {
+        // A decided node's state is final (nodes never leave `M` or `D` —
+        // property A.1) and its intersection view is never consulted again,
+        // so skip the per-round view maintenance: `allowed` freezes at its
+        // decision-round snapshot. In a converged steady state this makes
+        // receive O(1) for almost every node.
+        if self.started && self.state != MisOutput::Undecided && !self.dominated_unconfirmed {
+            return;
+        }
+
         // Restrict to the intersection graph since the instance's start: the
         // first round accepts everyone (G^{1∩} = G_j), afterwards only nodes
         // that have been neighbors in every round so far.
-        let mut still_present = BTreeSet::new();
+        self.scratch.clear();
         let mut marked = false;
         let mut min_neighbor = f64::INFINITY;
         for (from, msg) in inbox {
-            // `allowed` is `None` exactly in the first round, where everyone
-            // is accepted (G^{1∩} = G_j).
-            if let Some(allowed) = self.allowed.as_ref() {
-                if !allowed.contains(from) {
-                    continue;
-                }
+            if self.started && self.allowed.binary_search(from).is_err() {
+                continue;
             }
-            still_present.insert(*from);
+            self.scratch.push(*from);
             match msg {
                 LubyMsg::Mark => marked = true,
                 LubyMsg::Number(x) => min_neighbor = min_neighbor.min(*x),
                 LubyMsg::Silent => {}
             }
         }
-        self.allowed = Some(still_present);
+        // Senders arrive in CSR row order, which need not be ascending.
+        self.scratch.sort_unstable();
+        std::mem::swap(&mut self.allowed, &mut self.scratch);
+        self.started = true;
 
         if self.dominated_unconfirmed {
             // First round of an instance started with a `Dominated` input:

@@ -1,0 +1,175 @@
+//! Round-kernel benchmark: steady-state per-round latency of the simulator's
+//! delta path (`Simulator::step_delta`) at n ∈ {100k, 1M} under 0.1%-per-edge
+//! churn — the ROADMAP's "million-node rounds" metric.
+//!
+//! Two kernels are measured per size:
+//!
+//! * `flood` — a max-flooding probe with `u32` messages and no randomness.
+//!   Its per-node work is a handful of instructions, so the number is the
+//!   round *infrastructure* cost: wake bookkeeping, message-buffer fill,
+//!   CSR-driven inbox scans, output publication, and churn detection.
+//! * `dmis` — one `DMis` instance per node (Luby-style MIS on the
+//!   intersection graph), a realistic algorithm payload.
+//!
+//! Results are printed and merged into `BENCH_round.json` (one record per
+//! n × churn × thread-budget; see `dynnet_bench::report`) so the perf
+//! trajectory is tracked across PRs. Runs honor `DYNNET_RAYON_THREADS`; on a
+//! single-core budget the parallel path degrades to the sequential kernel,
+//! which is exactly the configuration the ≤10 ms acceptance target is
+//! stated for.
+//!
+//! `DYNNET_BENCH_SMOKE=1` shrinks the grid to one 20k-node point (used by
+//! CI's 2-thread smoke job).
+
+use dynnet::prelude::*;
+use dynnet::runtime::rng::experiment_rng;
+use dynnet::runtime::NodeContext;
+use dynnet_bench::report::{mean_ns, median_ns, write_round_bench, RoundBenchRecord};
+use std::time::Instant;
+
+/// Max-flooding probe: every node outputs the largest id heard so far.
+/// Steady state does one inbox scan and an integer compare per node.
+#[derive(Clone)]
+struct Flood {
+    best: u32,
+}
+
+impl NodeAlgorithm for Flood {
+    type Msg = u32;
+    type Output = u32;
+
+    fn send(&mut self, _ctx: &mut NodeContext<'_>) -> u32 {
+        self.best
+    }
+
+    fn receive(&mut self, _ctx: &mut NodeContext<'_>, inbox: &[(NodeId, u32)]) {
+        for (_, m) in inbox {
+            self.best = self.best.max(*m);
+        }
+    }
+
+    fn output(&self) -> u32 {
+        self.best
+    }
+}
+
+struct Measurement {
+    samples_ns: Vec<u128>,
+    stats: dynnet::runtime::simulator::DeltaStats,
+}
+
+/// Drives `warmup + rounds` delta rounds of `FlipChurnAdversary(churn)` on an
+/// Erdős–Rényi footprint of average degree `avg_deg` and times each measured
+/// round.
+fn measure_rounds<A, F>(
+    n: usize,
+    avg_deg: f64,
+    churn: f64,
+    factory: F,
+    warmup: usize,
+    rounds: usize,
+) -> Measurement
+where
+    A: NodeAlgorithm,
+    F: dynnet::runtime::AlgorithmFactory<A>,
+{
+    let footprint = generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(33, "brk"));
+    let mut adv = FlipChurnAdversary::new(&footprint, churn, 34);
+    let config = SimConfig {
+        seed: 35,
+        parallel: true,
+        parallel_threshold: 512,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(n, factory, AllAtStart, config);
+    let mut g = Adversary::initial_graph(&mut adv);
+    sim.step_streaming(&g);
+    let mut round = 1u64;
+    for _ in 0..warmup {
+        let delta = Adversary::next_delta(&mut adv, round, &g);
+        delta.apply(&mut g);
+        sim.step_delta(&g, &delta);
+        round += 1;
+    }
+    let mut samples_ns = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let delta = Adversary::next_delta(&mut adv, round, &g);
+        delta.apply(&mut g);
+        // TIMING: per-round wall-clock is the measurement itself; it feeds
+        // only the printed report and BENCH_round.json, never results.
+        let start = Instant::now();
+        sim.step_delta(&g, &delta);
+        samples_ns.push(start.elapsed().as_nanos());
+        round += 1;
+    }
+    Measurement {
+        samples_ns,
+        stats: sim.delta_stats(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("DYNNET_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    // (n, churn, warmup, measured rounds)
+    let grid: Vec<(usize, f64, usize, usize)> = if smoke {
+        vec![(20_000, 0.001, 2, 8)]
+    } else {
+        vec![
+            (100_000, 0.001, 5, 41),
+            (100_000, 0.01, 5, 41),
+            (1_000_000, 0.001, 3, 15),
+        ]
+    };
+    let threads = rayon::max_threads();
+    let mut records = Vec::new();
+    for &(n, churn, warmup, rounds) in &grid {
+        for kernel in ["flood", "dmis"] {
+            let m = match kernel {
+                "flood" => measure_rounds(
+                    n,
+                    8.0,
+                    churn,
+                    |v: NodeId| Flood { best: v.0 },
+                    warmup,
+                    rounds,
+                ),
+                _ => measure_rounds(
+                    n,
+                    8.0,
+                    churn,
+                    |v: NodeId| DMis::new(v, MisOutput::Undecided),
+                    warmup,
+                    rounds,
+                ),
+            };
+            // Steady-state rounds must ride the incremental CSR: exactly one
+            // full build (round 0), every later round patched.
+            assert_eq!(
+                m.stats.full_csr_builds, 1,
+                "{kernel}/{n}: delta rounds fell back to full CSR rebuilds"
+            );
+            let median = median_ns(&m.samples_ns);
+            let mean = mean_ns(&m.samples_ns);
+            println!(
+                "round_kernel/{kernel}_n{n}_churn{churn}_t{threads}: median {:.3} ms, mean {:.3} ms ({} rounds)",
+                median as f64 / 1e6,
+                mean as f64 / 1e6,
+                m.samples_ns.len(),
+            );
+            records.push(RoundBenchRecord {
+                source: "bench_round_kernel",
+                kernel: kernel.to_string(),
+                n,
+                churn,
+                threads,
+                rounds,
+                median_ns: median,
+                mean_ns: mean,
+            });
+        }
+    }
+    match write_round_bench("bench_round_kernel", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_round.json: {e}"),
+    }
+}

@@ -23,6 +23,7 @@ fn bench_runtime(c: &mut Criterion) {
                             seed: 1,
                             parallel,
                             parallel_threshold: 0,
+                            ..SimConfig::default()
                         };
                         let mut sim = Simulator::new(n, LubyMis::new, AllAtStart, config);
                         sim.run_static(&footprint, 10).len()

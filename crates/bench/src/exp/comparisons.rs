@@ -160,8 +160,13 @@ pub fn e11_concat_vs_restart(ctx: &ExpContext) -> Vec<Table> {
             &spec,
             move |cell| {
                 let (churn, problem) = cell.params;
-                let footprint =
-                    generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(11, "e11"));
+                let footprint = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                    n,
+                    11,
+                    "e11",
+                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(11, "e11")),
+                );
                 if problem == "coloring" {
                     let mut concat_verifier = TDynamicVerifier::new(ColoringProblem, window);
                     let mut concat_churn = ChurnStats::new();
@@ -371,15 +376,24 @@ pub fn e13_tdma_mobility(ctx: &ExpContext) -> Vec<Table> {
 pub fn e14_simulator_throughput(ctx: &ExpContext) -> Vec<Table> {
     let time_per_round = |parallel: bool, n: usize, rounds: usize, combined: bool| -> f64 {
         let window = recommended_window(n);
-        let footprint = generators::erdos_renyi_avg_degree(
+        let footprint = generators::shared_footprint(
+            &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
             n,
-            10.0,
-            &mut experiment_rng(14, &format!("e14-{n}")),
+            14,
+            "e14",
+            || {
+                generators::erdos_renyi_avg_degree(
+                    n,
+                    10.0,
+                    &mut experiment_rng(14, &format!("e14-{n}")),
+                )
+            },
         );
         let config = SimConfig {
             seed: 14,
             parallel,
             parallel_threshold: 0,
+            ..SimConfig::default()
         };
         // TIMING: this experiment (E13) measures wall-clock speedup; timings
         // are reported as measurements, not mixed into simulation output.

@@ -149,10 +149,18 @@ pub fn e2_dcolor_scaling_under_churn(ctx: &ExpContext) -> Vec<Table> {
         .engine
         .run(&spec, |cell| {
             let (churn, n, seed) = cell.params;
-            let footprint = generators::erdos_renyi_avg_degree(
+            let footprint = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
                 n,
-                10.0,
-                &mut experiment_rng(seed, &format!("e2-{n}")),
+                seed,
+                "e2",
+                || {
+                    generators::erdos_renyi_avg_degree(
+                        n,
+                        10.0,
+                        &mut experiment_rng(seed, &format!("e2-{n}")),
+                    )
+                },
             );
             rounds_until_done(
                 Scenario::new(n)
@@ -212,11 +220,18 @@ pub fn e3_dcolor_progress(ctx: &ExpContext) -> Vec<Table> {
             &spec,
             |cell| {
                 let (_, avg_deg) = cell.params;
-                let g =
-                    generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3"));
+                let g = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi {
+                        avg_degree: avg_deg,
+                    },
+                    n,
+                    1,
+                    "e3",
+                    || generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3")),
+                );
                 let mut runner = Scenario::new(n)
                     .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
-                    .adversary(StaticAdversary::new(g))
+                    .adversary(StaticAdversary::new((*g).clone()))
                     .seed(3)
                     .rounds(rounds)
                     .runner();
@@ -349,10 +364,18 @@ pub fn e6_dmis_scaling_and_decay(ctx: &ExpContext) -> Vec<Table> {
         .engine
         .run(&spec, |cell| {
             let (churn, n, seed) = cell.params;
-            let footprint = generators::erdos_renyi_avg_degree(
+            let footprint = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
                 n,
-                10.0,
-                &mut experiment_rng(seed, &format!("e6-{n}")),
+                seed,
+                "e6",
+                || {
+                    generators::erdos_renyi_avg_degree(
+                        n,
+                        10.0,
+                        &mut experiment_rng(seed, &format!("e6-{n}")),
+                    )
+                },
             );
             rounds_until_done(
                 Scenario::new(n)
@@ -397,10 +420,18 @@ pub fn e6_dmis_scaling_and_decay(ctx: &ExpContext) -> Vec<Table> {
             &decay_spec,
             |cell| {
                 let churn = cell.params;
-                let footprint = generators::erdos_renyi_avg_degree(
+                let footprint = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi { avg_degree: 12.0 },
                     decay_n,
-                    12.0,
-                    &mut experiment_rng(7, "e6-decay"),
+                    7,
+                    "e6-decay",
+                    || {
+                        generators::erdos_renyi_avg_degree(
+                            decay_n,
+                            12.0,
+                            &mut experiment_rng(7, "e6-decay"),
+                        )
+                    },
                 );
                 let mut probe = DecayProbe {
                     intersection: None,
@@ -463,15 +494,23 @@ pub fn e7_smis_scaling(ctx: &ExpContext) -> Vec<Table> {
         .engine
         .run(&spec, |cell| {
             let (n, seed) = cell.params;
-            let g = generators::erdos_renyi_avg_degree(
+            let g = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
                 n,
-                10.0,
-                &mut experiment_rng(seed, &format!("e7-{n}")),
+                seed,
+                "e7",
+                || {
+                    generators::erdos_renyi_avg_degree(
+                        n,
+                        10.0,
+                        &mut experiment_rng(seed, &format!("e7-{n}")),
+                    )
+                },
             );
             rounds_until_done(
                 Scenario::new(n)
                     .algorithm(move |v: NodeId| SMis::new(v, n))
-                    .adversary(StaticAdversary::new(g))
+                    .adversary(StaticAdversary::new((*g).clone()))
                     .seed(seed)
                     .rounds(600),
                 |o: &MisOutput| o.is_decided(),

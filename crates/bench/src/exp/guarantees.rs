@@ -76,8 +76,13 @@ pub fn e4_combined_coloring_under_churn(ctx: &ExpContext) -> Vec<Table> {
             &spec,
             |cell| {
                 let churn = cell.params;
-                let footprint =
-                    generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(4, "e4"));
+                let footprint = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                    n,
+                    4,
+                    "e4",
+                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(4, "e4")),
+                );
                 let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
                 let mut streak = EdgeConflictStreak::new(window);
                 let mut recorder = TraceRecorder::graphs_only();
@@ -229,10 +234,15 @@ pub fn e8_combined_mis_under_churn(ctx: &ExpContext) -> Vec<Table> {
             &spec,
             |cell| {
                 let (name, workload) = cell.params;
-                let footprint =
-                    generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(8, "e8"));
+                let footprint = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                    n,
+                    8,
+                    "e8",
+                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(8, "e8")),
+                );
                 let adv: Box<dyn OutputAdversary<MisOutput>> = match workload {
-                    E8Workload::Static => Box::new(StaticAdversary::new(footprint.clone())),
+                    E8Workload::Static => Box::new(StaticAdversary::new((*footprint).clone())),
                     E8Workload::Flip(p, seed) => {
                         Box::new(FlipChurnAdversary::new(&footprint, p, seed))
                     }
@@ -246,7 +256,7 @@ pub fn e8_combined_mis_under_churn(ctx: &ExpContext) -> Vec<Table> {
                         83,
                     )),
                     E8Workload::NodeChurn => {
-                        Box::new(NodeChurnAdversary::new(footprint.clone(), 0.02, 0.1, 84))
+                        Box::new(NodeChurnAdversary::new((*footprint).clone(), 0.02, 0.1, 84))
                     }
                 };
                 let mut verifier = TDynamicVerifier::new(MisProblem, window);
@@ -322,8 +332,13 @@ pub fn e10_asynchronous_wakeup(ctx: &ExpContext) -> Vec<Table> {
             &spec,
             |cell| {
                 let (name, schedule) = cell.params;
-                let footprint =
-                    generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(10, "e10"));
+                let footprint = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                    n,
+                    10,
+                    "e10",
+                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(10, "e10")),
+                );
                 let wake_rounds: Vec<u64> = match schedule {
                     E10Schedule::AllAtZero => vec![0; n],
                     E10Schedule::Uniform => {
@@ -395,8 +410,13 @@ pub fn e12_window_size_sweep(ctx: &ExpContext) -> Vec<Table> {
             &spec,
             |cell| {
                 let window = cell.params;
-                let footprint =
-                    generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(12, "e12"));
+                let footprint = generators::shared_footprint(
+                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                    n,
+                    12,
+                    "e12",
+                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(12, "e12")),
+                );
                 let mut verifier =
                     TDynamicVerifier::new(ColoringProblem, window.max(2)).check_from(window.max(2));
                 Scenario::new(n)

@@ -1,0 +1,152 @@
+//! Machine-readable benchmark results (`BENCH_round.json`).
+//!
+//! The perf-tracking benches (`bench_round_kernel`, `bench_parallel`) append
+//! their medians to one JSON file so the round-kernel perf trajectory can be
+//! compared across PRs without scraping stdout. The file is a JSON array
+//! with exactly one record per line:
+//!
+//! ```text
+//! [
+//! {"source":"bench_round_kernel","kernel":"flood","n":100000,...},
+//! {"source":"bench_parallel","kernel":"dmis-streaming","n":100000,...}
+//! ]
+//! ```
+//!
+//! Each writer owns the records carrying its `source` tag: on write, existing
+//! records from other sources are kept, records from the same source are
+//! replaced. The one-record-per-line shape is what makes that merge a plain
+//! line filter — no JSON parser is needed to maintain the file.
+//!
+//! Location: `$DYNNET_RESULTS_DIR/BENCH_round.json` if the variable is set,
+//! else `BENCH_round.json` in the current working directory. Note that
+//! `cargo bench` runs bench binaries with the *package* directory as cwd
+//! (`crates/bench/`), so set `DYNNET_RESULTS_DIR` to the workspace root to
+//! maintain the checked-in copy.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One measured configuration of a round bench: the median/mean per-round
+/// latency of `rounds` steady-state rounds at `n` nodes and the given
+/// per-edge churn probability, executed under `threads` budget threads.
+#[derive(Clone, Debug)]
+pub struct RoundBenchRecord {
+    /// Which bench produced the record (`"bench_round_kernel"`, …).
+    pub source: &'static str,
+    /// Kernel / algorithm label (`"flood"`, `"dmis"`, …).
+    pub kernel: String,
+    /// Universe size.
+    pub n: usize,
+    /// Per-edge churn probability per round.
+    pub churn: f64,
+    /// Resolved thread budget the run executed under.
+    pub threads: usize,
+    /// Number of measured rounds.
+    pub rounds: usize,
+    /// Median per-round latency in nanoseconds.
+    pub median_ns: u128,
+    /// Mean per-round latency in nanoseconds.
+    pub mean_ns: u128,
+}
+
+impl RoundBenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"source\":\"{}\",\"kernel\":\"{}\",\"n\":{},\"churn\":{},\"threads\":{},\"rounds\":{},\"median_ns_per_round\":{},\"mean_ns_per_round\":{}}}",
+            self.source, self.kernel, self.n, self.churn, self.threads, self.rounds,
+            self.median_ns, self.mean_ns,
+        )
+    }
+}
+
+/// The target path of `BENCH_round.json`.
+pub fn round_bench_path() -> PathBuf {
+    let dir = std::env::var("DYNNET_RESULTS_DIR").unwrap_or_else(|_| ".".to_string());
+    PathBuf::from(dir).join("BENCH_round.json")
+}
+
+/// Merges `records` (all tagged `source`) into `BENCH_round.json`: records
+/// previously written by the same source are replaced, records from other
+/// sources are preserved. Returns the path written.
+pub fn write_round_bench(source: &str, records: &[RoundBenchRecord]) -> std::io::Result<PathBuf> {
+    let path = round_bench_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        let marker = format!("\"source\":\"{source}\"");
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with('{') && !line.contains(&marker) {
+                lines.push(line.to_string());
+            }
+        }
+    }
+    lines.extend(records.iter().map(RoundBenchRecord::to_json));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "[")?;
+    writeln!(f, "{}", lines.join(",\n"))?;
+    writeln!(f, "]")?;
+    Ok(path)
+}
+
+/// Median of a slice of per-round nanosecond samples (0 for an empty slice).
+pub fn median_ns(samples: &[u128]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Mean of a slice of per-round nanosecond samples (0 for an empty slice).
+pub fn mean_ns(samples: &[u128]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.iter().sum::<u128>() / samples.len() as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians_and_means() {
+        assert_eq!(median_ns(&[]), 0);
+        assert_eq!(median_ns(&[5]), 5);
+        assert_eq!(median_ns(&[9, 1, 5]), 5);
+        assert_eq!(mean_ns(&[2, 4, 6]), 4);
+    }
+
+    #[test]
+    fn merge_replaces_own_source_and_keeps_others() {
+        let dir = std::env::temp_dir().join(format!("dynnet-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("DYNNET_RESULTS_DIR", &dir);
+        let rec = |source, n| RoundBenchRecord {
+            source,
+            kernel: "k".to_string(),
+            n,
+            churn: 0.001,
+            threads: 1,
+            rounds: 4,
+            median_ns: 10,
+            mean_ns: 11,
+        };
+        write_round_bench("a", &[rec("a", 1)]).unwrap();
+        write_round_bench("b", &[rec("b", 2)]).unwrap();
+        write_round_bench("a", &[rec("a", 3)]).unwrap();
+        let text = std::fs::read_to_string(round_bench_path()).unwrap();
+        std::env::remove_var("DYNNET_RESULTS_DIR");
+        assert!(text.contains("\"n\":2"), "other source preserved: {text}");
+        assert!(text.contains("\"n\":3"), "own source replaced: {text}");
+        assert!(
+            !text.contains("\"n\":1"),
+            "stale own record dropped: {text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

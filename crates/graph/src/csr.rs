@@ -55,13 +55,54 @@ pub struct CsrGraph {
 }
 
 impl CsrGraph {
+    /// Arena entry count below which full builds and compactions stay
+    /// sequential: smaller arenas fit in cache anyway and the pool dispatch
+    /// would dominate.
+    const PARALLEL_ARENA_MIN: usize = 1 << 15;
+
     /// Builds a CSR snapshot from a mutable [`Graph`].
+    ///
+    /// Degrees are known up front (`Graph::degree` is `O(1)`), so the row
+    /// layout is a prefix sum and large builds fill the arena *shard-local
+    /// in parallel*: the rows are cut into contiguous row-aligned regions
+    /// and each region is written by one worker, never sharing a region (or
+    /// its cache lines) with another. Output is identical to the sequential
+    /// fill — regions are ascending and rows are written in node order.
     pub fn from_graph(g: &Graph) -> Self {
-        Self::build(
-            g.num_nodes(),
-            |v| g.is_active(v),
-            |v, row| row.extend(g.neighbors(v)),
-        )
+        let n = g.num_nodes();
+        let mut starts = Vec::with_capacity(n);
+        let mut lens = Vec::with_capacity(n);
+        let mut total: usize = 0;
+        for i in 0..n {
+            starts.push(total as u32);
+            let d = g.degree(NodeId::new(i));
+            lens.push(d as u32);
+            total += d;
+        }
+        if total < Self::PARALLEL_ARENA_MIN || rayon::effective_width() <= 1 {
+            return Self::build(n, |v| g.is_active(v), |v, row| row.extend(g.neighbors(v)));
+        }
+        let mut arena = vec![NodeId(u32::MAX); total];
+        let (arena_bounds, node_bounds) = region_cuts(lens.iter().map(|&l| l as usize), total);
+        rayon::par_regions(&mut arena, &arena_bounds, |ri, _offset, region| {
+            let mut pos = 0;
+            for i in node_bounds[ri]..node_bounds[ri + 1] {
+                for u in g.neighbors(NodeId::new(i)) {
+                    region[pos] = u;
+                    pos += 1;
+                }
+            }
+        });
+        CsrGraph {
+            n,
+            starts,
+            caps: lens.clone(),
+            lens,
+            arena,
+            active: (0..n).map(|i| g.is_active(NodeId::new(i))).collect(),
+            num_edges: total / 2,
+            dead_slots: 0,
+        }
     }
 
     /// Builds a CSR snapshot of the subgraph of `g` induced by the nodes for
@@ -322,20 +363,78 @@ impl CsrGraph {
     /// Rewrites the arena without the dead slots left behind by row
     /// relocations. Row capacities (the slack high-water marks) are kept so
     /// steady-state churn does not immediately re-trigger relocations.
+    ///
+    /// Large arenas compact *shard-local*: the new layout is cut into
+    /// contiguous row-aligned regions and each region copies its own rows
+    /// from the old arena — no two workers write the same region, and the
+    /// resulting arena is identical to the sequential rewrite.
     fn compact(&mut self) {
         let total: usize = self.caps.iter().map(|&c| c as usize).sum();
-        let mut arena = Vec::with_capacity(total);
-        for i in 0..self.n {
-            let start = self.starts[i] as usize;
-            let len = self.lens[i] as usize;
-            let new_start = arena.len();
-            arena.extend_from_slice(&self.arena[start..start + len]);
-            arena.resize(new_start + self.caps[i] as usize, NodeId(u32::MAX));
-            self.starts[i] = new_start as u32;
+        if total < Self::PARALLEL_ARENA_MIN || rayon::effective_width() <= 1 {
+            let mut arena = Vec::with_capacity(total);
+            for i in 0..self.n {
+                let start = self.starts[i] as usize;
+                let len = self.lens[i] as usize;
+                let new_start = arena.len();
+                arena.extend_from_slice(&self.arena[start..start + len]);
+                arena.resize(new_start + self.caps[i] as usize, NodeId(u32::MAX));
+                self.starts[i] = new_start as u32;
+            }
+            self.arena = arena;
+            self.dead_slots = 0;
+            return;
         }
+        let mut new_starts = Vec::with_capacity(self.n);
+        let mut acc: usize = 0;
+        for &c in &self.caps {
+            new_starts.push(acc as u32);
+            acc += c as usize;
+        }
+        let mut arena = vec![NodeId(u32::MAX); total];
+        let (arena_bounds, node_bounds) = region_cuts(self.caps.iter().map(|&c| c as usize), total);
+        let (old_arena, old_starts) = (&self.arena, &self.starts);
+        let (lens, caps) = (&self.lens, &self.caps);
+        rayon::par_regions(&mut arena, &arena_bounds, |ri, _offset, region| {
+            let mut pos = 0;
+            for i in node_bounds[ri]..node_bounds[ri + 1] {
+                let (s, l) = (old_starts[i] as usize, lens[i] as usize);
+                region[pos..pos + l].copy_from_slice(&old_arena[s..s + l]);
+                // Slack stays the u32::MAX fill from initialization.
+                pos += caps[i] as usize;
+            }
+        });
+        self.starts = new_starts;
         self.arena = arena;
         self.dead_slots = 0;
     }
+}
+
+/// Cuts `n` rows (given by their arena span sizes, summing to `total`) into
+/// contiguous row-aligned regions of roughly
+/// `total / (effective_width × chunk_factor)` arena entries each. Returns
+/// `(arena_bounds, node_bounds)`: region `i` covers arena range
+/// `arena_bounds[i]..arena_bounds[i + 1]` holding rows
+/// `node_bounds[i]..node_bounds[i + 1]` — the shapes [`rayon::par_regions`]
+/// expects. Rows larger than the target get a region of their own.
+fn region_cuts(spans: impl Iterator<Item = usize>, total: usize) -> (Vec<usize>, Vec<usize>) {
+    let regions = rayon::effective_width() * rayon::chunk_factor();
+    let target = total.div_ceil(regions.max(1)).max(1);
+    let mut arena_bounds = vec![0];
+    let mut node_bounds = vec![0];
+    let (mut offset, mut acc, mut n) = (0usize, 0usize, 0usize);
+    for span in spans {
+        if acc >= target {
+            arena_bounds.push(offset);
+            node_bounds.push(n);
+            acc = 0;
+        }
+        offset += span;
+        acc += span;
+        n += 1;
+    }
+    arena_bounds.push(offset);
+    node_bounds.push(n);
+    (arena_bounds, node_bounds)
 }
 
 /// Semantic equality: same universe, same activity flags, same neighbor
@@ -490,6 +589,71 @@ mod tests {
         }
         assert_eq!(c.apply_delta(&delta), CsrApplyOutcome::Rebuilt);
         assert_eq!(c, CsrGraph::from_graph(&delta.materialize(&g)));
+    }
+
+    #[test]
+    fn region_cuts_align_and_cover() {
+        let spans = [5usize, 1, 0, 40, 3, 3, 3, 3, 9];
+        let total: usize = spans.iter().sum();
+        let (ab, nb) = region_cuts(spans.iter().copied(), total);
+        assert_eq!(ab.first(), Some(&0));
+        assert_eq!(ab.last(), Some(&total));
+        assert_eq!(nb.first(), Some(&0));
+        assert_eq!(nb.last(), Some(&spans.len()));
+        assert_eq!(ab.len(), nb.len());
+        assert!(ab.windows(2).all(|w| w[0] <= w[1]));
+        // Every arena bound sits exactly on its node bound's row start.
+        for (k, &row) in nb.iter().enumerate() {
+            let row_start: usize = spans[..row].iter().sum();
+            assert_eq!(ab[k], row_start, "cut {k} is row-aligned");
+        }
+    }
+
+    #[test]
+    fn large_build_matches_sequential_reference() {
+        use rand::SeedableRng;
+        // Big enough to cross PARALLEL_ARENA_MIN, so a multi-thread budget
+        // takes the region-parallel fill; the filtered builder below always
+        // uses the sequential path and serves as the reference.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let g = crate::generators::erdos_renyi_avg_degree(6_000, 12.0, &mut rng);
+        let par = CsrGraph::from_graph(&g);
+        let seq = CsrGraph::from_graph_filtered(&g, |_| true);
+        assert!(par.arena.len() >= CsrGraph::PARALLEL_ARENA_MIN);
+        assert_eq!(par, seq);
+        assert_eq!(
+            par.arena, seq.arena,
+            "identical arena layout, not just semantics"
+        );
+        assert_eq!(par.starts, seq.starts);
+    }
+
+    #[test]
+    fn large_compaction_preserves_rows() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(78);
+        let n = 3_000;
+        let mut g = crate::generators::erdos_renyi_avg_degree(n, 12.0, &mut rng);
+        let mut c = CsrGraph::from_graph(&g);
+        // Force many row relocations, then compact explicitly: the rewritten
+        // arena must preserve every row regardless of the region layout.
+        let mut delta = GraphDelta::new();
+        for _ in 0..n {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !g.has_edge(NodeId::new(a), NodeId::new(b)) {
+                delta.insert(NodeId::new(a), NodeId::new(b));
+            }
+        }
+        delta.apply(&mut g);
+        for e in &delta.inserted {
+            c.insert_edge(e.u, e.v);
+        }
+        c.compact();
+        assert_eq!(c.dead_slots, 0);
+        assert_eq!(c, CsrGraph::from_graph(&g));
+        // Capacities (slack high-water marks) survive compaction.
+        assert!(c.caps.iter().zip(&c.lens).all(|(cap, len)| cap >= len));
     }
 
     #[test]

@@ -8,6 +8,8 @@ use crate::graph::Graph;
 use crate::node::{Edge, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// An empty graph on `n` active nodes.
 pub fn empty(n: usize) -> Graph {
@@ -85,17 +87,57 @@ pub fn balanced_tree(n: usize, arity: usize) -> Graph {
 
 /// Erdős–Rényi graph `G(n, p)`: every potential edge is present independently
 /// with probability `p`.
+///
+/// Sampled with geometric skips over the linearized upper triangle — one
+/// `Geometric(p)` draw per *generated* edge instead of one Bernoulli draw per
+/// *potential* edge — so generation is `O(n + m)` expected, not `O(n²)`. The
+/// dense-sampling cost made million-node footprints unreachable (5·10¹¹ RNG
+/// calls at n = 1M); skip-sampling builds them in under a second. Fully
+/// deterministic per seed, though seeds yield different graphs than the old
+/// dense sampler did.
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut g = Graph::new(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if rng.gen_bool(p) {
+    if n < 2 || p <= 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        for i in 0..n {
+            for j in (i + 1)..n {
                 g.insert_edge(NodeId::new(i), NodeId::new(j));
             }
         }
+        return g;
     }
-    g
+    // Walk the upper triangle (i < j) in row-major order; each Geometric(p)
+    // variate is the gap to the next present edge. The cursor advance across
+    // row ends amortizes to O(n) over the whole walk.
+    let ln_q = (1.0 - p).ln();
+    let (mut i, mut j) = (0usize, 0usize); // cursor sits just *before* (i, j+1)
+    loop {
+        // U ∈ (0, 1]: clamp away 0 so ln(U) is finite; skip ≥ 1 always.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip_f = (u.ln() / ln_q).floor() + 1.0;
+        if skip_f > (n as f64) * (n as f64) {
+            return g; // next edge lies past the triangle; avoid cast overflow
+        }
+        let mut skip = skip_f as usize;
+        while skip > 0 {
+            let row_left = n - 1 - j;
+            if skip <= row_left {
+                j += skip;
+                skip = 0;
+            } else {
+                skip -= row_left;
+                i += 1;
+                j = i;
+                if i >= n - 1 {
+                    return g;
+                }
+            }
+        }
+        g.insert_edge(NodeId::new(i), NodeId::new(j));
+    }
 }
 
 /// Erdős–Rényi graph with a target *average degree* `d̄` (sets `p = d̄/(n-1)`).
@@ -226,6 +268,54 @@ pub enum GraphFamily {
     },
 }
 
+/// Entry cap of the process-wide footprint cache; reaching it clears the
+/// cache (a full sweep grid re-uses far fewer distinct footprints than
+/// this, so eviction only triggers across unrelated experiment suites).
+const FOOTPRINT_CACHE_CAP: usize = 64;
+
+type FootprintKey = (String, usize, u64, String);
+
+fn footprint_cache() -> &'static Mutex<HashMap<FootprintKey, Arc<Graph>>> {
+    static CACHE: OnceLock<Mutex<HashMap<FootprintKey, Arc<Graph>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-wide `Arc`-cached footprint generator, keyed by
+/// `(family, n, seed, label)`.
+///
+/// Dense sweep grids instantiate many cells over the *same* footprint graph
+/// (same family, size, and experiment seed); regenerating it per cell made
+/// footprint construction a dominant cost of grid experiments. This returns
+/// the cached graph when the key was built before and otherwise runs
+/// `build` — under the cache lock, so concurrent cells racing for the same
+/// key build it exactly once and the rest wait for the `Arc`.
+///
+/// The caller's `build` closure must be a pure function of the key (the
+/// usual shape: a generator call seeded from `(seed, label)`); the `label`
+/// component exists precisely so call sites with different RNG streams but
+/// identical family/n/seed stay distinct.
+pub fn shared_footprint(
+    family: &GraphFamily,
+    n: usize,
+    seed: u64,
+    label: &str,
+    build: impl FnOnce() -> Graph,
+) -> Arc<Graph> {
+    let key = (format!("{family:?}"), n, seed, label.to_string());
+    let mut cache = footprint_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(g) = cache.get(&key) {
+        return Arc::clone(g);
+    }
+    if cache.len() >= FOOTPRINT_CACHE_CAP {
+        cache.clear();
+    }
+    let g = Arc::new(build());
+    cache.insert(key, Arc::clone(&g));
+    g
+}
+
 impl GraphFamily {
     /// Instantiates the family with `n` nodes using the provided RNG.
     pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Graph {
@@ -292,6 +382,28 @@ mod tests {
     }
 
     #[test]
+    fn erdos_renyi_skip_sampling_is_deterministic_and_in_range() {
+        let g1 = erdos_renyi(300, 0.02, &mut rng());
+        let g2 = erdos_renyi(300, 0.02, &mut rng());
+        assert_eq!(g1.edge_vec(), g2.edge_vec(), "same seed, same graph");
+        let g3 = erdos_renyi(300, 0.02, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_ne!(g1.edge_vec(), g3.edge_vec(), "different seed, new graph");
+        for e in g1.edges() {
+            let (a, b) = (e.u.index(), e.v.index());
+            assert!(a < 300 && b < 300 && a != b);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_skip_sampling_hits_bernoulli_density() {
+        // 2000 nodes, p = 4/1999: ~4000 expected edges, σ ≈ 63. A ±15%
+        // window is ~9σ — effectively deterministic for a pinned seed.
+        let g = erdos_renyi_avg_degree(2000, 4.0, &mut rng());
+        let m = g.num_edges() as f64;
+        assert!((3400.0..=4600.0).contains(&m), "edge count {m} off target");
+    }
+
+    #[test]
     fn unit_disk_radius_extremes() {
         let pos = vec![(0.0, 0.0), (0.5, 0.0), (1.0, 1.0)];
         let g_small = unit_disk(&pos, 0.1);
@@ -343,5 +455,28 @@ mod tests {
         }
         let k = GraphFamily::Complete.generate(6, &mut r);
         assert_eq!(k.num_edges(), 15);
+    }
+
+    #[test]
+    fn shared_footprint_dedupes_by_key() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fam = GraphFamily::ErdosRenyi { avg_degree: 4.0 };
+        let builds = AtomicUsize::new(0);
+        let build = |seed: u64| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            erdos_renyi(64, 0.05, &mut ChaCha8Rng::seed_from_u64(seed))
+        };
+        let a = shared_footprint(&fam, 64, 900, "sf-test", || build(900));
+        let b = shared_footprint(&fam, 64, 900, "sf-test", || build(900));
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one graph");
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "built exactly once");
+        // A different label (distinct RNG stream) is a distinct key.
+        let c = shared_footprint(&fam, 64, 900, "sf-test-2", || build(901));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+        // Different n and seed are distinct keys too.
+        let d = shared_footprint(&fam, 65, 900, "sf-test", || build(902));
+        let e = shared_footprint(&fam, 64, 901, "sf-test", || build(903));
+        assert!(!Arc::ptr_eq(&a, &d) && !Arc::ptr_eq(&a, &e));
     }
 }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod node_state;
 pub mod observer;
 pub mod rng;
 pub mod simulator;

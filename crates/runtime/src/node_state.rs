@@ -1,0 +1,98 @@
+//! Structure-of-arrays node state for the round kernel.
+//!
+//! The simulator's per-round hot loops (send, receive+publish) touch a small
+//! set of per-node fields for *every* node in index order. Keeping those
+//! fields in separate dense arrays — instead of one array of structs — means
+//! each loop streams exactly the bytes it needs:
+//!
+//! * awake flags: one **bit** per node ([`AwakeSet`]), so the "is this node
+//!   awake" scan of a million nodes reads 128 KiB instead of the 16 MiB the
+//!   old `Vec<Option<u64>>` wake-round layout forced through the cache;
+//! * wake rounds: a plain `u64` array, read only when a [`super::NodeContext`]
+//!   is built for an awake node (never scanned);
+//! * algorithm instances and outputs stay in their own contiguous arenas
+//!   (`Vec<Option<A>>` / `Vec<Option<A::Output>>`) that the phases walk
+//!   linearly, shard by shard.
+//!
+//! Nodes never go back to sleep in the paper's model, so [`AwakeSet`] only
+//! needs insertion; the packed words are also what makes the awake test in
+//! the delta-translation loop branch-predictable.
+
+/// A packed membership bitset over node indices `0..len`, one bit per node.
+///
+/// This is the SoA replacement for `Vec<Option<u64>>`-style "awake?" flags:
+/// 64 nodes per cache-resident word. Monotone — the simulator only ever
+/// inserts (nodes never un-wake).
+#[derive(Clone, Debug)]
+pub struct AwakeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AwakeSet {
+    /// An empty set over indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        AwakeSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of indices the set ranges over (not the member count).
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Tests membership of index `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Inserts index `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Number of members (popcount over the packed words).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = AwakeSet::new(130);
+        assert_eq!(s.universe(), 130);
+        assert_eq!(s.count(), 0);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!s.contains(i));
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.count(), 8);
+        // Re-insertion is idempotent.
+        s.insert(63);
+        assert_eq!(s.count(), 8);
+        assert!(!s.contains(2));
+        assert!(!s.contains(62));
+        assert!(!s.contains(126));
+    }
+
+    #[test]
+    fn word_boundary_universe() {
+        let mut s = AwakeSet::new(64);
+        s.insert(63);
+        assert!(s.contains(63));
+        assert_eq!(s.count(), 1);
+        let empty = AwakeSet::new(0);
+        assert_eq!(empty.count(), 0);
+    }
+}

@@ -16,6 +16,19 @@
 //! is derived from `(seed, node, round)` (see [`crate::rng`]), sequential and
 //! parallel execution produce bit-identical results.
 //!
+//! ## The cache-conscious round kernel
+//!
+//! Node state is laid out structure-of-arrays (see [`crate::node_state`]):
+//! awake flags in a packed bitset, wake rounds in a dense `u64` array, and
+//! the algorithm instances / outputs / round messages in three contiguous
+//! arenas indexed by node. The send phase writes each node's message into a
+//! **persistent** message buffer in place (no per-round allocation); the
+//! receive phase walks `(nodes, outputs)` shard by shard with one reusable
+//! shard-local inbox scratch vector, so the hot loops stream linearly and
+//! parallel shards never bounce cache lines. Work distribution and the
+//! budget-aware parallel threshold are described on
+//! [`SimConfig::budget_aware_threshold`].
+//!
 //! Two round entry points exist: [`Simulator::step_streaming`] takes the
 //! whole graph and rebuilds the effective (awake-restricted) CSR snapshot,
 //! while [`Simulator::step_delta`] takes the round's [`GraphDelta`] and
@@ -23,10 +36,10 @@
 //! delta-native `Scenario` pipeline. Both paths produce identical executions.
 
 use crate::algorithm::{AlgorithmFactory, NodeAlgorithm, NodeContext};
+use crate::node_state::AwakeSet;
 use crate::rng::node_round_rng;
 use crate::wakeup::WakeupSchedule;
 use dynnet_graph::{CsrApplyOutcome, CsrGraph, DynamicGraphTrace, Edge, Graph, GraphDelta, NodeId};
-use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Simulator configuration.
@@ -39,6 +52,20 @@ pub struct SimConfig {
     /// Minimum number of awake nodes before the parallel path is used
     /// (below this the sequential path is faster).
     pub parallel_threshold: usize,
+    /// Scale [`SimConfig::parallel_threshold`] by the thread-budget pressure
+    /// (default `true`).
+    ///
+    /// Per-round parallel setup (chunk planning, pool wakeups, the atomic
+    /// ticket) amortizes over the threads a call actually fans out to.
+    /// When an outer scheduler — e.g. a sharded sweep — has claimed part of
+    /// the budget via `rayon::claim_threads`, the effective width
+    /// (`budget / claimed`) shrinks and the same `parallel_threshold` would
+    /// let cells pay full setup for a fraction of the fan-out. With this
+    /// flag set, the threshold is multiplied by `budget / effective_width`,
+    /// and a width of 1 (budget fully claimed, or a single-core budget)
+    /// skips the parallel path outright. Purely a scheduling decision:
+    /// results are bit-identical either way.
+    pub budget_aware_threshold: bool,
 }
 
 impl Default for SimConfig {
@@ -47,6 +74,7 @@ impl Default for SimConfig {
             seed: 0,
             parallel: false,
             parallel_threshold: 512,
+            budget_aware_threshold: true,
         }
     }
 }
@@ -157,12 +185,22 @@ where
     factory: F,
     wakeup: W,
     config: SimConfig,
+    /// Per-node algorithm instances, a contiguous arena indexed by node
+    /// (`None` = asleep; the niche-optimized `Option` adds no indirection).
     nodes: Vec<Option<A>>,
+    /// Published outputs, dense and indexed by node.
     outputs: Vec<Option<A::Output>>,
-    /// Round in which each node actually woke (None = still asleep).
-    woke_at: Vec<Option<u64>>,
+    /// Persistent send-phase buffer: slot `v` holds the message node `v`
+    /// broadcast this round (`None` while `v` is asleep). Filled in place
+    /// every round — the kernel performs no per-round `O(n)` allocation.
+    messages: Vec<Option<A::Msg>>,
+    /// Awake flags, one packed bit per node (SoA hot field).
+    awake: AwakeSet,
+    /// Round in which each node woke; valid only where the `awake` bit is
+    /// set, read only when a `NodeContext` is built (never scanned).
+    wake_round: Vec<u64>,
     /// Incrementally maintained count of awake nodes (avoids the per-round
-    /// `O(n)` rescans of `woke_at` in the send/receive phases).
+    /// `O(n)` rescans of the awake set in the send/receive phases).
     num_awake: usize,
     /// Nodes that have not woken yet, ascending. The wake-up scan walks this
     /// shrinking list instead of all `n` nodes, so rounds late in a run cost
@@ -194,7 +232,9 @@ where
             config,
             nodes: (0..n).map(|_| None).collect(),
             outputs: vec![None; n],
-            woke_at: vec![None; n],
+            messages: (0..n).map(|_| None).collect(),
+            awake: AwakeSet::new(n),
+            wake_round: vec![0; n],
             num_awake: 0,
             pending_sleepers: (0..n).map(NodeId::new).collect(),
             effective: Arc::new(CsrGraph::empty(n)),
@@ -216,12 +256,13 @@ where
 
     /// Returns `true` if node `v` has woken up.
     pub fn is_awake(&self, v: NodeId) -> bool {
-        self.woke_at[v.index()].is_some()
+        self.awake.contains(v.index())
     }
 
     /// The round in which node `v` woke, if it has.
     pub fn woke_at(&self, v: NodeId) -> Option<u64> {
-        self.woke_at[v.index()]
+        let i = v.index();
+        self.awake.contains(i).then(|| self.wake_round[i])
     }
 
     /// The most recent outputs (as of the last executed round).
@@ -295,7 +336,8 @@ where
         // Translate the adversary's delta into the *effective* delta: the
         // change of the awake-restricted graph relative to last round.
         let prev_csr = &self.effective;
-        let awake = |v: NodeId| self.woke_at[v.index()].is_some();
+        let awake_set = &self.awake;
+        let awake = |v: NodeId| awake_set.contains(v.index());
         let mut eff = GraphDelta::new();
         // Nodes waking this round join the effective graph with their
         // current edges to other awake nodes.
@@ -376,11 +418,13 @@ where
     fn run_wakeups(&mut self, graph: &Graph, round: u64) -> Vec<NodeId> {
         let mut newly_awake = Vec::new();
         if !self.pending_sleepers.is_empty() {
-            let woke_at = &mut self.woke_at;
+            let awake = &mut self.awake;
+            let wake_round = &mut self.wake_round;
             let wakeup = &self.wakeup;
             self.pending_sleepers.retain(|&v| {
                 if graph.is_active(v) && round >= wakeup.wake_round(v) {
-                    woke_at[v.index()] = Some(round);
+                    awake.insert(v.index());
+                    wake_round[v.index()] = round;
                     newly_awake.push(v);
                     false
                 } else {
@@ -399,7 +443,7 @@ where
         let csr = if self.num_awake == self.n {
             CsrGraph::from_graph(graph)
         } else {
-            CsrGraph::from_graph_filtered(graph, |v| self.woke_at[v.index()].is_some())
+            CsrGraph::from_graph_filtered(graph, |v| self.awake.contains(v.index()))
         };
         self.effective = Arc::new(csr);
         self.effective_valid = true;
@@ -424,8 +468,8 @@ where
             self.nodes[v.index()] = Some(alg);
         }
 
-        let messages: Vec<Option<A::Msg>> = self.run_send_phase(round, &csr);
-        let changed_outputs = self.run_receive_phase(round, &csr, &messages);
+        self.run_send_phase(round, &csr);
+        let changed_outputs = self.run_receive_phase(round, &csr);
 
         self.next_round += 1;
         StepSummary {
@@ -461,7 +505,12 @@ where
         csr: &'a CsrGraph,
         stream: u64,
     ) -> NodeContext<'a> {
-        let local_round = self.woke_at[v.index()].map_or(0, |w| round - w);
+        let i = v.index();
+        let local_round = if self.awake.contains(i) {
+            round - self.wake_round[i]
+        } else {
+            0
+        };
         NodeContext {
             node: v,
             n: self.n,
@@ -472,55 +521,68 @@ where
         }
     }
 
+    /// Whether this round's phases run on the pool. Purely a scheduling
+    /// decision — sequential and parallel execution are bit-identical — so
+    /// it may consult the live thread-budget state: with
+    /// [`SimConfig::budget_aware_threshold`] the awake-node threshold scales
+    /// with `budget / effective_width`, and an effective width of 1 (budget
+    /// fully claimed, or a single-core budget) skips parallel setup that
+    /// could never be amortized.
     fn use_parallel(&self, awake: usize) -> bool {
-        self.config.parallel && awake >= self.config.parallel_threshold
+        if !self.config.parallel {
+            return false;
+        }
+        if !self.config.budget_aware_threshold {
+            return awake >= self.config.parallel_threshold;
+        }
+        let width = rayon::effective_width();
+        if width <= 1 {
+            return false;
+        }
+        let pressure = (rayon::max_threads() / width).max(1);
+        awake >= self.config.parallel_threshold.saturating_mul(pressure)
     }
 
-    fn run_send_phase(&mut self, round: u64, csr: &CsrGraph) -> Vec<Option<A::Msg>> {
+    /// Send phase: every awake node's message is written into the persistent
+    /// [`Self::messages`] buffer in place (slot `v` stays `None` while `v`
+    /// sleeps and is overwritten every round once awake — no clears, no
+    /// per-round allocation). The parallel path walks aligned shards of
+    /// `(nodes, messages)`.
+    fn run_send_phase(&mut self, round: u64, csr: &CsrGraph) {
         let awake = self.num_awake;
         let seed = self.config.seed;
         let n = self.n;
-        let woke_at = &self.woke_at;
+        let wake_round = &self.wake_round;
+        let send_one = |i: usize, alg: &mut A| {
+            let v = NodeId::new(i);
+            let mut ctx = NodeContext {
+                node: v,
+                n,
+                round,
+                local_round: round - wake_round[i],
+                graph: csr,
+                rng: node_round_rng(seed, v.0, round, 0),
+            };
+            alg.send(&mut ctx)
+        };
         if self.use_parallel(awake) {
-            self.nodes
-                .par_iter_mut()
-                .enumerate()
-                .map(|(i, slot)| {
-                    slot.as_mut().map(|alg| {
-                        let v = NodeId::new(i);
-                        let local_round = round - woke_at[i].expect("awake");
-                        let mut ctx = NodeContext {
-                            node: v,
-                            n,
-                            round,
-                            local_round,
-                            graph: csr,
-                            rng: node_round_rng(seed, v.0, round, 0),
-                        };
-                        alg.send(&mut ctx)
-                    })
-                })
-                .collect()
+            rayon::par_zip_shards(
+                &mut self.nodes,
+                &mut self.messages,
+                |offset, slots, msgs| {
+                    for (k, (slot, msg)) in slots.iter_mut().zip(msgs.iter_mut()).enumerate() {
+                        if let Some(alg) = slot.as_mut() {
+                            *msg = Some(send_one(offset + k, alg));
+                        }
+                    }
+                },
+            );
         } else {
-            let mut out = Vec::with_capacity(self.n);
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..self.n {
-                let msg = self.nodes[i].as_mut().map(|alg| {
-                    let v = NodeId::new(i);
-                    let local_round = round - woke_at[i].expect("awake");
-                    let mut ctx = NodeContext {
-                        node: v,
-                        n,
-                        round,
-                        local_round,
-                        graph: csr,
-                        rng: node_round_rng(seed, v.0, round, 0),
-                    };
-                    alg.send(&mut ctx)
-                });
-                out.push(msg);
+            for (i, (slot, msg)) in self.nodes.iter_mut().zip(&mut self.messages).enumerate() {
+                if let Some(alg) = slot.as_mut() {
+                    *msg = Some(send_one(i, alg));
+                }
             }
-            out
         }
     }
 
@@ -535,39 +597,39 @@ where
     /// the shards are contiguous and in index order, so concatenating the
     /// per-shard lists is the node-order merge — byte-identical to the
     /// sequential pass, with no per-round `O(n)` publication scan anywhere.
-    fn run_receive_phase(
-        &mut self,
-        round: u64,
-        csr: &CsrGraph,
-        messages: &[Option<A::Msg>],
-    ) -> Vec<NodeId> {
+    ///
+    /// Each shard builds its nodes' inboxes in one reusable shard-local
+    /// scratch vector (cleared per node, capacity retained across the
+    /// shard), so inbox assembly performs no steady-state allocation and the
+    /// scratch stays L2-resident while the shard streams its node range.
+    fn run_receive_phase(&mut self, round: u64, csr: &CsrGraph) -> Vec<NodeId> {
         let awake = self.num_awake;
         let seed = self.config.seed;
         let n = self.n;
-        let woke_at = &self.woke_at;
-        let build_inbox = |v: NodeId| -> Vec<(NodeId, A::Msg)> {
-            csr.neighbors(v)
-                .iter()
-                .filter_map(|&u| messages[u.index()].clone().map(|m| (u, m)))
-                .collect()
-        };
+        let wake_round = &self.wake_round;
+        let messages = &self.messages;
         let receive_and_publish = |i: usize,
                                    slot: &mut Option<A>,
                                    out: &mut Option<A::Output>,
+                                   inbox: &mut Vec<(NodeId, A::Msg)>,
                                    changed: &mut Vec<NodeId>| {
             if let Some(alg) = slot.as_mut() {
                 let v = NodeId::new(i);
-                let inbox = build_inbox(v);
-                let local_round = round - woke_at[i].expect("awake");
+                inbox.clear();
+                inbox.extend(
+                    csr.neighbors(v)
+                        .iter()
+                        .filter_map(|&u| messages[u.index()].clone().map(|m| (u, m))),
+                );
                 let mut ctx = NodeContext {
                     node: v,
                     n,
                     round,
-                    local_round,
+                    local_round: round - wake_round[i],
                     graph: csr,
                     rng: node_round_rng(seed, v.0, round, 1),
                 };
-                alg.receive(&mut ctx, &inbox);
+                alg.receive(&mut ctx, inbox);
                 let published = alg.output();
                 if out.as_ref() != Some(&published) {
                     *out = Some(published);
@@ -579,8 +641,9 @@ where
             let shard_lists =
                 rayon::par_zip_shards(&mut self.nodes, &mut self.outputs, |offset, slots, outs| {
                     let mut changed = Vec::new();
+                    let mut inbox: Vec<(NodeId, A::Msg)> = Vec::new();
                     for (k, (slot, out)) in slots.iter_mut().zip(outs.iter_mut()).enumerate() {
-                        receive_and_publish(offset + k, slot, out, &mut changed);
+                        receive_and_publish(offset + k, slot, out, &mut inbox, &mut changed);
                     }
                     changed
                 });
@@ -591,8 +654,9 @@ where
             changed
         } else {
             let mut changed = Vec::new();
+            let mut inbox: Vec<(NodeId, A::Msg)> = Vec::new();
             for (i, (slot, out)) in self.nodes.iter_mut().zip(&mut self.outputs).enumerate() {
-                receive_and_publish(i, slot, out, &mut changed);
+                receive_and_publish(i, slot, out, &mut inbox, &mut changed);
             }
             changed
         }
@@ -717,6 +781,7 @@ mod tests {
                 seed: 9,
                 parallel: false,
                 parallel_threshold: 0,
+                ..SimConfig::default()
             },
         );
         let mut par = Simulator::new(
@@ -727,6 +792,7 @@ mod tests {
                 seed: 9,
                 parallel: true,
                 parallel_threshold: 0,
+                ..SimConfig::default()
             },
         );
         for _ in 0..5 {

@@ -107,6 +107,18 @@ impl<R> SweepRun<R> {
     }
 }
 
+/// Locks a sweep-internal mutex, recovering from poisoning.
+///
+/// A poisoned lock here means a sibling worker panicked while holding it.
+/// Both guarded structures — the shard queues of cell indices and the
+/// first-failure slot — are plain data whose invariants hold at every
+/// release point, and cell panics are already routed through the cancel
+/// path, so the correct behavior is to keep going and report the *original*
+/// failure as a typed [`SweepError`] instead of aborting on the poison.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -242,7 +254,7 @@ impl SweepEngine {
                     let mut stats = ShardStats::default();
                     'work: while !cancel.load(Ordering::Relaxed) {
                         // Own shard first.
-                        let mut next = shards[w].lock().expect("shard lock").pop_front();
+                        let mut next = lock_recover(&shards[w]).pop_front();
                         let mut stolen = false;
                         if next.is_none() {
                             // Steal the back half of the fullest shard. The
@@ -254,13 +266,13 @@ impl SweepEngine {
                             // scan ends the worker.
                             let (victim, observed_len) = (0..threads)
                                 .filter(|&v| v != w)
-                                .map(|v| (v, shards[v].lock().expect("shard lock").len()))
+                                .map(|v| (v, lock_recover(&shards[v]).len()))
                                 .max_by_key(|&(_, len)| len)
                                 .unwrap_or((w, 0));
                             if observed_len == 0 {
                                 break 'work; // every shard is empty: sweep done
                             }
-                            let mut q = shards[victim].lock().expect("shard lock");
+                            let mut q = lock_recover(&shards[victim]);
                             let keep = q.len() / 2;
                             let mut loot = q.split_off(keep);
                             drop(q);
@@ -273,7 +285,7 @@ impl SweepEngine {
                             // the ones parked in our own shard for later.
                             stats.stolen += loot.len();
                             if !loot.is_empty() {
-                                shards[w].lock().expect("shard lock").extend(loot);
+                                lock_recover(&shards[w]).extend(loot);
                             }
                         }
                         let Some(i) = next else {
@@ -301,7 +313,7 @@ impl SweepEngine {
                                 }
                             }
                             Err(payload) => {
-                                let mut slot = failure.lock().expect("failure lock");
+                                let mut slot = lock_recover(failure);
                                 if slot.is_none() {
                                     *slot = Some(SweepError {
                                         sweep: spec.name().to_string(),
@@ -324,7 +336,7 @@ impl SweepEngine {
                     Err(payload) => {
                         // A worker died outside catch_unwind (should not
                         // happen); surface it as a sweep-level failure.
-                        let mut slot = failure.lock().expect("failure lock");
+                        let mut slot = lock_recover(&failure);
                         if slot.is_none() {
                             *slot = Some(SweepError {
                                 sweep: spec.name().to_string(),
@@ -338,7 +350,10 @@ impl SweepEngine {
             }
         });
 
-        if let Some(err) = failure.into_inner().expect("failure lock") {
+        if let Some(err) = failure
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             return Err(err);
         }
         // Assemble results by grid index, independent of completion order.
@@ -350,10 +365,24 @@ impl SweepEngine {
                 slots[i] = Some(r);
             }
         }
-        let results: Vec<R> = slots
-            .into_iter()
-            .map(|s| s.expect("every cell executed exactly once"))
-            .collect();
+        // Every cell must have produced a result; a hole means a worker
+        // exited without executing its cell — reported as a typed sweep
+        // failure naming the cell, never as a process-aborting panic.
+        let mut results: Vec<R> = Vec::with_capacity(total);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(r) => results.push(r),
+                None => {
+                    return Err(SweepError {
+                        sweep: spec.name().to_string(),
+                        cell_index: i,
+                        cell_label: spec.cells()[i].label.clone(),
+                        message: "cell produced no result (worker exited without executing it)"
+                            .to_string(),
+                    })
+                }
+            }
+        }
         let report = SweepReport {
             cells: total,
             threads,

@@ -35,7 +35,9 @@ fn spec() -> SweepSpec<(Adv, u64)> {
 }
 
 /// Runs the full grid on `threads` workers and renders the one result table.
-fn run_grid(threads: usize) -> Table {
+/// With `parallel_rounds` every cell also runs its rounds on the parallel
+/// executor (threshold 0), stacking sweep-level and round-level parallelism.
+fn run_grid_with(threads: usize, parallel_rounds: bool) -> Table {
     let n = 48;
     let rounds = 40;
     let mut tables = SweepEngine::new(threads)
@@ -64,6 +66,8 @@ fn run_grid(threads: usize) -> Table {
                     .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
                     .adversary(adversary)
                     .seed(seed)
+                    .parallel(parallel_rounds)
+                    .parallel_threshold(0)
                     .rounds(rounds)
                     .run(&mut [&mut churn]);
                 let decided = runner
@@ -90,6 +94,10 @@ fn run_grid(threads: usize) -> Table {
     tables.pop().unwrap()
 }
 
+fn run_grid(threads: usize) -> Table {
+    run_grid_with(threads, false)
+}
+
 #[test]
 fn one_thread_and_eight_threads_produce_byte_identical_csv() {
     let reference = run_grid(1);
@@ -108,6 +116,26 @@ fn one_thread_and_eight_threads_produce_byte_identical_csv() {
             "CSV output must be byte-identical with {threads} threads"
         );
     }
+}
+
+/// Work-stealing chunk granularity is scheduling-only: the same sweep, with
+/// parallel rounds inside every cell, renders a byte-identical CSV whether
+/// the round kernel splits work into 1, 2, or 4 chunks per claimed thread.
+/// (On a 1-thread budget the parallel path degrades to sequential and the
+/// factors are trivially identical; CI's `DYNNET_RAYON_THREADS=2` pass
+/// exercises the real chunked plans.)
+#[test]
+fn chunk_granularity_produces_byte_identical_csv() {
+    let reference = run_grid_with(2, true).to_csv();
+    for factor in [1usize, 2, 4] {
+        rayon::set_chunk_factor(factor);
+        let csv = run_grid_with(2, true).to_csv();
+        assert_eq!(
+            reference, csv,
+            "CSV output must be byte-identical at chunk factor {factor}"
+        );
+    }
+    rayon::set_chunk_factor(rayon::DEFAULT_CHUNK_FACTOR);
 }
 
 #[test]

@@ -16,9 +16,21 @@ use dynnet::graph::DynamicGraphTrace;
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
 use dynnet::runtime::AlgorithmFactory;
+use std::sync::Mutex;
 
 const N: usize = 24;
 const WINDOW: usize = 4;
+
+/// Work-stealing chunk granularities the parallel leg is replayed under:
+/// 1×, 2×, and 4× (the default) chunks per claimed thread. Results must be
+/// byte-identical at every granularity — shards are contiguous index ranges
+/// concatenated in order, so chunking is scheduling-only.
+const CHUNK_FACTORS: [usize; 3] = [1, 2, 4];
+
+/// `rayon::set_chunk_factor` writes a process-wide knob; tests in this
+/// binary run concurrently, so every factor-varying section serializes here
+/// and restores the default before releasing the lock.
+static CHUNK_KNOB: Mutex<()> = Mutex::new(());
 
 fn footprint(seed: u64) -> Graph {
     generators::erdos_renyi_avg_degree(N, 4.0, &mut experiment_rng(seed, "par-eq"))
@@ -71,9 +83,22 @@ fn assert_seq_par_identical<A, F, Adv>(
         (churn.rounds, runner.outputs().to_vec())
     };
     let (seq_churn, seq_outputs) = run(false);
-    let (par_churn, par_outputs) = run(true);
-    assert_eq!(seq_churn, par_churn, "{name}: changed_outputs diverged");
-    assert_eq!(seq_outputs, par_outputs, "{name}: final outputs diverged");
+    let _knob = CHUNK_KNOB
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for factor in CHUNK_FACTORS {
+        rayon::set_chunk_factor(factor);
+        let (par_churn, par_outputs) = run(true);
+        assert_eq!(
+            seq_churn, par_churn,
+            "{name}: changed_outputs diverged at chunk factor {factor}"
+        );
+        assert_eq!(
+            seq_outputs, par_outputs,
+            "{name}: final outputs diverged at chunk factor {factor}"
+        );
+    }
+    rayon::set_chunk_factor(rayon::DEFAULT_CHUNK_FACTOR);
 }
 
 /// Runs one adversary against the combined coloring and MIS algorithms.

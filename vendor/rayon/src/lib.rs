@@ -12,12 +12,17 @@
 //!   `budget - 1` parked workers (the calling thread is the budget's last
 //!   member and always participates). No thread is ever spawned after pool
 //!   initialization; see [`pool_stats`].
-//! * Each call splits its slice into one contiguous chunk per participating
-//!   thread and publishes the chunk set as a single task; parked workers
-//!   claim chunks from it, and results of `map` land directly in their
-//!   index-ordered output slots — the observable behavior (and, for the
-//!   deterministic per-item closures the simulator uses, the exact output)
-//!   matches rayon and the sequential path.
+//! * Each call splits its slice into roughly `width × chunk_factor`
+//!   contiguous chunks (default factor 4, override via
+//!   `DYNNET_RAYON_CHUNK_FACTOR`; a 64-item floor keeps tiny inputs from
+//!   shattering into ticket-overhead-dominated fragments) and publishes the
+//!   chunk set as a single task; parked workers claim chunks by atomic
+//!   ticket, so a thread that finishes its chunk early steals the next one
+//!   instead of idling behind a straggler. Results of `map` land directly in
+//!   their index-ordered output slots — the observable behavior (and, for
+//!   the deterministic per-item closures the simulator uses, the exact
+//!   output) matches rayon and the sequential path *regardless of the chunk
+//!   factor*, because chunks are contiguous and ascending.
 //! * The **thread budget** is resolved exactly once per process: the
 //!   `DYNNET_RAYON_THREADS` environment variable if set, otherwise the
 //!   detected core count ([`max_threads`]). Changing the variable mid-run
@@ -116,6 +121,54 @@ fn call_width() -> usize {
         0 => b,
         c => (b / c).max(1),
     }
+}
+
+/// The fan-out width a parallel call issued right now would use:
+/// [`max_threads`] when no [`claim_threads`] claim is outstanding, otherwise
+/// `max(1, budget / claimed)`. Schedulers use this to decide whether
+/// parallel setup can be amortized at all (width 1 means every parallel call
+/// degrades to inline sequential execution).
+pub fn effective_width() -> usize {
+    call_width()
+}
+
+/// Work-stealing granularity: each parallel call is split into about
+/// `width × chunk_factor` chunks. `0` means "not yet resolved".
+static CHUNK_FACTOR: AtomicUsize = AtomicUsize::new(0);
+
+/// Default chunks-per-thread ratio. Finer than 1 chunk/thread so a thread
+/// that drew a cheap chunk steals the next instead of idling behind a
+/// straggler; coarse enough that the atomic ticket stays negligible.
+/// Default number of chunks per claimed thread when neither the
+/// `DYNNET_RAYON_CHUNK_FACTOR` variable nor `set_chunk_factor` overrides it.
+pub const DEFAULT_CHUNK_FACTOR: usize = 4;
+
+/// Chunks-per-participating-thread ratio for parallel calls, resolved once
+/// from `DYNNET_RAYON_CHUNK_FACTOR` (default 4). Chunk granularity never
+/// affects results — chunks are contiguous and ascending, so outputs and
+/// shard-result concatenation are byte-identical at any factor (regression:
+/// the workspace's chunk-granularity determinism tests).
+pub fn chunk_factor() -> usize {
+    match CHUNK_FACTOR.load(Ordering::SeqCst) {
+        0 => {
+            let f = std::env::var("DYNNET_RAYON_CHUNK_FACTOR")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&f| f >= 1)
+                .unwrap_or(DEFAULT_CHUNK_FACTOR);
+            // Racing resolvers compute the same value (the env var is read,
+            // not written); the CAS just keeps the slot write-once vs `set_`.
+            let _ = CHUNK_FACTOR.compare_exchange(0, f, Ordering::SeqCst, Ordering::SeqCst);
+            CHUNK_FACTOR.load(Ordering::SeqCst)
+        }
+        f => f,
+    }
+}
+
+/// Overrides the chunk factor (testing API — the determinism tests sweep
+/// factors 1/2/4 in-process). Values are clamped to ≥ 1.
+pub fn set_chunk_factor(f: usize) {
+    CHUNK_FACTOR.store(f.max(1), Ordering::SeqCst);
 }
 
 // ---------------------------------------------------------------------------
@@ -396,9 +449,20 @@ struct Plan {
     len: usize,
 }
 
+/// Smallest chunk the planner will cut (except when the whole input is
+/// smaller): below this the per-chunk atomic ticket and cache-line handoff
+/// cost more than the work they distribute.
+const MIN_CHUNK: usize = 64;
+
 impl Plan {
+    /// Plans `≈ width × chunk_factor()` contiguous chunks over `0..len`,
+    /// clamped between [`MIN_CHUNK`] items per chunk (finer helps nobody)
+    /// and one-chunk-per-thread (coarser would idle claimed threads).
     fn new(len: usize, width: usize) -> Plan {
-        let chunk_size = len.div_ceil(width);
+        let width = width.max(1);
+        let per_thread = len.div_ceil(width);
+        let fine = len.div_ceil(width * chunk_factor());
+        let chunk_size = fine.max(MIN_CHUNK).min(per_thread).max(1);
         Plan {
             chunk_size,
             chunks: len.div_ceil(chunk_size),
@@ -533,6 +597,55 @@ where
     // call returned panic-free), `MaybeUninit<R>` has `R`'s layout, and
     // `ManuallyDrop` prevents a double free of the allocation.
     unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, plan.chunks, out.capacity()) }
+}
+
+/// dynnet extension (not part of rayon's public API): runs
+/// `f(region_index, start_offset, region_slice)` over caller-chosen
+/// *uneven* contiguous regions of `slice` in parallel.
+///
+/// `bounds` must be an ascending sequence `[0, b1, …, slice.len()]`; region
+/// `i` is `bounds[i]..bounds[i + 1]`. This is the primitive behind
+/// shard-local CSR row compaction: row boundaries are not equal-sized, so
+/// the caller cuts regions along row starts and each region rewrites its
+/// rows without ever touching (or false-sharing cache lines with) a
+/// neighboring region's arena range.
+///
+/// Regions are claimed by the same atomic ticket as every other pool call;
+/// panics in a region propagate to the caller.
+pub fn par_regions<T, F>(slice: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert!(
+        bounds.first() == Some(&0) && bounds.last() == Some(&slice.len()),
+        "par_regions bounds must start at 0 and end at slice.len()"
+    );
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "par_regions bounds must be ascending"
+    );
+    let regions = bounds.len() - 1;
+    let width = call_width();
+    if width <= 1 || regions <= 1 {
+        CALLS_INLINE.fetch_add(1, Ordering::SeqCst);
+        tracked(|| {
+            for i in 0..regions {
+                f(i, bounds[i], &mut slice[bounds[i]..bounds[i + 1]]);
+            }
+        });
+        return;
+    }
+    let base = SharedPtr(slice.as_mut_ptr());
+    run_on_pool(regions, &|i| {
+        let (start, end) = (bounds[i], bounds[i + 1]);
+        // SAFETY: the ascending-bounds assertion makes the regions disjoint
+        // subranges of `slice`, which stays mutably borrowed for the whole
+        // blocking call, and each region index is claimed exactly once by
+        // the ticket — so this is a unique subslice.
+        let region = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(i, start, region);
+    });
 }
 
 /// The rayon-compatible entry points.
@@ -802,6 +915,67 @@ mod tests {
         assert!(out.iter().enumerate().all(|(i, &o)| o == 3 * i as u64));
         // The call ran inline on this thread: the pool was not involved.
         assert!(pool_stats().calls_inline > inline_before);
+    }
+
+    #[test]
+    fn chunk_factor_changes_granularity_never_results() {
+        let resolved = chunk_factor();
+        assert!(resolved >= 1);
+        let mut outputs = Vec::new();
+        for f in [1, 2, 4, 16] {
+            set_chunk_factor(f);
+            let mut v: Vec<u64> = (0..10_000).collect();
+            let out: Vec<u64> = v
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, x)| *x + i as u64)
+                .collect();
+            outputs.push(out);
+        }
+        set_chunk_factor(resolved);
+        for out in &outputs {
+            assert_eq!(out, &outputs[0], "chunk factor must not change results");
+        }
+    }
+
+    #[test]
+    fn plan_respects_factor_floor_and_width() {
+        // Large input: the factor multiplies the chunk count.
+        let p = Plan::new(100_000, 4);
+        assert!(p.chunks >= 4, "at least one chunk per thread");
+        assert!(p.chunk_size >= MIN_CHUNK);
+        assert_eq!(p.range(p.chunks - 1).1, 100_000, "last chunk ends at len");
+        // Tiny input: the floor caps the chunk count instead.
+        let tiny = Plan::new(100, 8);
+        assert!(tiny.chunk_size >= 100usize.div_ceil(8 * chunk_factor()));
+        assert_eq!(tiny.range(tiny.chunks - 1).1, 100);
+    }
+
+    #[test]
+    fn par_regions_covers_uneven_bounds() {
+        let n = 10_000;
+        let mut v = vec![0u64; n];
+        let bounds = vec![0, 17, 17, 5_000, n];
+        super::par_regions(&mut v, &bounds, |ri, start, region| {
+            for (k, x) in region.iter_mut().enumerate() {
+                *x = ((ri as u64) << 32) | (start + k) as u64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            let expect_region = match i {
+                0..=16 => 0,
+                17..=4_999 => 2,
+                _ => 3,
+            };
+            assert_eq!(x, ((expect_region as u64) << 32) | i as u64, "index {i}");
+        }
+    }
+
+    #[test]
+    fn effective_width_degrades_under_full_claim() {
+        assert!(effective_width() >= 1);
+        let _claim = claim_threads(max_threads());
+        assert_eq!(effective_width(), 1, "a full-budget claim leaves width 1");
     }
 
     #[test]
