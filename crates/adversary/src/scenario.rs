@@ -268,9 +268,13 @@ where
             return Advance::Exhausted;
         }
         let round = self.executed as u64;
+        let _round_span = dynnet_obs::phase_span_arg("round", "round", "round", round);
         let summary = match &mut self.current_graph {
             None => {
-                let graph = self.adversary.initial_graph();
+                let graph = {
+                    let _span = dynnet_obs::phase_span("round", "adv_delta");
+                    self.adversary.initial_graph()
+                };
                 let summary = self.sim.step_streaming(&graph);
                 self.current_graph = Some(graph);
                 summary
@@ -283,8 +287,12 @@ where
                 // simulator's incremental effective CSR: per-round cost is
                 // O(|δ|) on the sparse-churn path, with no graph clones and
                 // no full CSR rebuilds.
-                let delta = self.adversary.next_delta(round, graph, self.sim.outputs());
-                delta.apply(graph);
+                let delta = {
+                    let _span = dynnet_obs::phase_span("round", "adv_delta");
+                    let delta = self.adversary.next_delta(round, graph, self.sim.outputs());
+                    delta.apply(graph);
+                    delta
+                };
                 self.sim.step_delta(graph, &delta)
             }
         };
@@ -302,14 +310,33 @@ where
             num_awake: summary.num_awake,
             graph_cell: &graph_cell,
         };
-        for obs in observers.iter_mut() {
-            obs.on_round(&view);
+        {
+            let _span = dynnet_obs::phase_span("round", "observers");
+            for obs in observers.iter_mut() {
+                obs.on_round(&view);
+            }
         }
         if stop(&view) {
             Advance::Stopped
         } else {
             Advance::Continued
         }
+    }
+
+    /// Mirrors the simulator's [`dynnet_runtime::DeltaStats`] into the
+    /// unified metric registry (`sim.rounds_patched`, `sim.full_csr_builds`,
+    /// `sim.cow_clones`, `sim.compactions`), *adding* this run's counts so
+    /// multi-run processes accumulate. Called by [`Runner::run`] /
+    /// [`Runner::run_until`] at the end of the execution.
+    fn export_delta_stats(&self) {
+        let stats = self.sim.delta_stats();
+        let reg = dynnet_obs::registry();
+        reg.counter("sim.rounds_patched")
+            .add(stats.rounds_patched as u64);
+        reg.counter("sim.full_csr_builds")
+            .add(stats.full_csr_builds as u64);
+        reg.counter("sim.cow_clones").add(stats.cow_clones as u64);
+        reg.counter("sim.compactions").add(stats.compactions as u64);
     }
 
     /// Executes one round, streaming it to `observers`. Returns `false` once
@@ -324,6 +351,7 @@ where
     /// every observer. Returns the total number of rounds executed.
     pub fn run(&mut self, observers: &mut [&mut dyn RoundObserver<A::Output>]) -> usize {
         while let Advance::Continued = self.advance(observers, &mut |_| false) {}
+        self.export_delta_stats();
         for obs in observers.iter_mut() {
             obs.finish();
         }
@@ -339,6 +367,7 @@ where
         mut stop: impl FnMut(&RoundView<'_, A::Output>) -> bool,
     ) -> usize {
         while let Advance::Continued = self.advance(observers, &mut stop) {}
+        self.export_delta_stats();
         for obs in observers.iter_mut() {
             obs.finish();
         }

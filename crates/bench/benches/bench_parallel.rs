@@ -75,7 +75,6 @@ fn round_latency(c: &mut Criterion) {
             kernel: format!("dmis-streaming-{label}"),
             n,
             churn: 0.0,
-            threads: rayon::max_threads(),
             rounds: REPORT_ROUNDS,
             median_ns: median_ns(&samples_ns),
             mean_ns: mean_ns(&samples_ns),

@@ -161,7 +161,6 @@ fn main() {
                 kernel: kernel.to_string(),
                 n,
                 churn,
-                threads,
                 rounds,
                 median_ns: median,
                 mean_ns: mean,

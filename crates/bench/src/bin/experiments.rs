@@ -19,15 +19,48 @@
 //!   workspace-root `results/` directory when it exists, falling back to
 //!   `./results`).
 //! * `--smoke` — reduced grids/horizons (CI smoke mode).
+//! * `--trace-out FILE` — enable phase-span tracing and write a Chrome
+//!   trace-event JSON file (open in Perfetto / `chrome://tracing`) covering
+//!   the selected experiments. Tracing is observational only: results and
+//!   CSVs are byte-identical with or without it.
+//! * `--metrics-out FILE` — stream metric snapshots (JSONL, one per sweep
+//!   progress event plus a final one) from the unified `dynnet-obs`
+//!   registry.
 //!
 //! Tables are printed as Markdown on stdout and additionally written to
 //! `<results-dir>/<id>.md` (and `<results-dir>/<id>_<table>.csv`).
 
+use dynnet::obs::{self, JsonlWriter, ProgressSink};
 use dynnet::sweep::SweepEngine;
 use dynnet_bench::exp::{registry, ExpContext};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A [`ProgressSink`] that appends one registry snapshot to the metrics
+/// JSONL stream per progress/finished event — the `--metrics-out` backend.
+struct JsonlSink(Mutex<JsonlWriter>);
+
+impl JsonlSink {
+    fn write_snapshot(&self) {
+        let snap = obs::registry().snapshot();
+        let mut writer = self.0.lock().expect("metrics writer lock");
+        if let Err(e) = writer.write(&snap) {
+            eprintln!("could not append metrics snapshot: {e}");
+        }
+    }
+}
+
+impl ProgressSink for JsonlSink {
+    fn progress(&self, _scope: &str, _done: u64, _total: u64) {
+        self.write_snapshot();
+    }
+
+    fn finished(&self, _scope: &str, _summary: &str) {
+        self.write_snapshot();
+    }
+}
 
 /// Resolves the results directory: `--results-dir` flag, then the
 /// `DYNNET_RESULTS_DIR` environment variable, then the workspace-relative
@@ -59,6 +92,8 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut results_flag: Option<String> = None;
     let mut smoke = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut selected_args: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -71,9 +106,18 @@ fn main() {
                 results_flag = Some(it.next().expect("--results-dir needs a path"));
             }
             "--smoke" => smoke = true,
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a path")));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().expect("--metrics-out needs a path"),
+                ));
+            }
             flag if flag.starts_with('-') => {
                 eprintln!(
-                    "unknown flag: {flag} (expected --threads N, --results-dir DIR, --smoke)"
+                    "unknown flag: {flag} (expected --threads N, --results-dir DIR, --smoke, \
+                     --trace-out FILE, --metrics-out FILE)"
                 );
                 std::process::exit(2);
             }
@@ -102,6 +146,18 @@ fn main() {
     let mut ctx = ExpContext::new(threads);
     ctx.engine = ctx.engine.with_progress(true);
     ctx.smoke = smoke;
+    if trace_out.is_some() {
+        obs::set_enabled(true);
+    }
+    let metrics_sink: Option<Arc<JsonlSink>> = metrics_out.as_ref().map(|path| {
+        let writer = JsonlWriter::create(path, "experiments").expect("create metrics file");
+        Arc::new(JsonlSink(Mutex::new(writer)))
+    });
+    if let Some(sink) = &metrics_sink {
+        ctx.engine = ctx
+            .engine
+            .add_sink(Arc::clone(sink) as Arc<dyn ProgressSink>);
+    }
     eprintln!(
         "== sweep engine: {threads} thread{} {}",
         if threads == 1 { "" } else { "s" },
@@ -138,5 +194,25 @@ fn main() {
         fs::write(dir.join(format!("{}.md", e.id)), &md).expect("write markdown");
         println!("{md}");
         eprintln!("== {} finished in {:.1}s", e.id, elapsed.as_secs_f64());
+    }
+
+    if let Some(sink) = &metrics_sink {
+        // Final snapshot after all experiments so the stream always ends
+        // with the complete registry state.
+        sink.write_snapshot();
+        if let Some(path) = &metrics_out {
+            eprintln!("== wrote metrics JSONL to {}", path.display());
+        }
+    }
+    if let Some(path) = &trace_out {
+        let events = obs::take_events();
+        let dropped = obs::dropped_events();
+        obs::write_chrome_trace(path, &events).expect("write chrome trace");
+        eprintln!(
+            "== wrote {} trace events to {} ({} dropped at the buffer cap)",
+            events.len(),
+            path.display(),
+            dropped,
+        );
     }
 }

@@ -28,7 +28,12 @@ use std::path::PathBuf;
 
 /// One measured configuration of a round bench: the median/mean per-round
 /// latency of `rounds` steady-state rounds at `n` nodes and the given
-/// per-edge churn probability, executed under `threads` budget threads.
+/// per-edge churn probability.
+///
+/// The thread count is *not* a field: every record is stamped with the
+/// resolved thread budget ([`rayon::max_threads`]) at serialization time, so
+/// rows can never disagree with the budget the process actually ran under
+/// (individual benches used to pass their own — sometimes stale — value).
 #[derive(Clone, Debug)]
 pub struct RoundBenchRecord {
     /// Which bench produced the record (`"bench_round_kernel"`, …).
@@ -39,8 +44,6 @@ pub struct RoundBenchRecord {
     pub n: usize,
     /// Per-edge churn probability per round.
     pub churn: f64,
-    /// Resolved thread budget the run executed under.
-    pub threads: usize,
     /// Number of measured rounds.
     pub rounds: usize,
     /// Median per-round latency in nanoseconds.
@@ -53,7 +56,7 @@ impl RoundBenchRecord {
     fn to_json(&self) -> String {
         format!(
             "{{\"source\":\"{}\",\"kernel\":\"{}\",\"n\":{},\"churn\":{},\"threads\":{},\"rounds\":{},\"median_ns_per_round\":{},\"mean_ns_per_round\":{}}}",
-            self.source, self.kernel, self.n, self.churn, self.threads, self.rounds,
+            self.source, self.kernel, self.n, self.churn, rayon::max_threads(), self.rounds,
             self.median_ns, self.mean_ns,
         )
     }
@@ -131,7 +134,6 @@ mod tests {
             kernel: "k".to_string(),
             n,
             churn: 0.001,
-            threads: 1,
             rounds: 4,
             median_ns: 10,
             mean_ns: 11,

@@ -480,6 +480,7 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
     /// [`TDynamicVerifier::observe_delta_with_churn`], which skip both
     /// scans.
     pub fn observe(&mut self, graph: &Graph, outputs: &[Option<P::Output>]) {
+        let _span = dynnet_obs::phase_span("verify", "observe");
         let w = self
             .window
             .get_or_insert_with(|| GraphWindow::new(graph.num_nodes(), self.window_size));
@@ -517,6 +518,7 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
         let Some(w) = self.window.as_mut() else {
             return Err(VerifyError::DeltaBeforeInitialGraph);
         };
+        let _span = dynnet_obs::phase_span("verify", "observe_delta");
         let update = w.push_delta(delta);
         self.check_round(&update, outputs, changed);
         Ok(())
@@ -588,6 +590,34 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
     /// Consumes the verifier into its summary.
     pub fn into_summary(self) -> VerificationSummary {
         self.summary
+    }
+}
+
+/// Pull-style metric export: the verifier's aggregate ledger counters
+/// (`verify.*`) plus its window's maintenance-queue depths (`window.*`), for
+/// inclusion in a [`dynnet_obs::Snapshot`]. Window metrics appear once the
+/// first round has been observed.
+impl<P: DynamicProblem> dynnet_obs::MetricSource for TDynamicVerifier<P> {
+    fn collect(&self, out: &mut dynnet_obs::Snapshot) {
+        let s = &self.summary;
+        out.set("verify.rounds_checked", s.rounds_checked as u64);
+        out.set("verify.rounds_valid", s.rounds_valid as u64);
+        out.set("verify.rounds_partial_valid", s.rounds_partial_valid as u64);
+        out.set(
+            "verify.packing_violations",
+            s.total_packing_violations as u64,
+        );
+        out.set(
+            "verify.covering_violations",
+            s.total_covering_violations as u64,
+        );
+        out.set("verify.undecided", s.total_undecided as u64);
+        if let Some(w) = &self.window {
+            let depths = w.queue_depths();
+            out.set("window.gc_queue_depth", depths.gc as u64);
+            out.set("window.edge_maturity_depth", depths.edge_maturity as u64);
+            out.set("window.node_maturity_depth", depths.node_maturity as u64);
+        }
     }
 }
 

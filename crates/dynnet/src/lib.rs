@@ -53,6 +53,7 @@ pub use dynnet_algorithms as algorithms;
 pub use dynnet_core as core;
 pub use dynnet_graph as graph;
 pub use dynnet_metrics as metrics;
+pub use dynnet_obs as obs;
 pub use dynnet_runtime as runtime;
 pub use dynnet_sweep as sweep;
 
@@ -82,10 +83,11 @@ pub mod prelude {
         WindowUpdate,
     };
     pub use dynnet_metrics::{log_fit, RowSink, Series, Summary, Table};
+    pub use dynnet_obs::{MetricSource, ProgressSink, Snapshot};
     pub use dynnet_runtime::{
-        AllAtStart, ChurnStats, ConvergenceTracker, DeltaStats, NodeAlgorithm, ObserverFactory,
-        RandomWakeup, RoundObserver, RoundView, SimConfig, Simulator, Staggered, TraceRecorder,
-        WakeupSchedule,
+        AllAtStart, ChurnStats, ConvergenceTracker, DeltaStats, MetricsObserver, NodeAlgorithm,
+        ObserverFactory, RandomWakeup, RoundObserver, RoundView, SimConfig, Simulator, Staggered,
+        TraceRecorder, WakeupSchedule,
     };
     pub use dynnet_sweep::{
         run_observed, Aggregator, Cell, CellRows, GroupedSummary, SweepEngine, SweepError,

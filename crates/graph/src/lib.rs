@@ -46,7 +46,7 @@ pub use csr::{CsrApplyOutcome, CsrGraph};
 pub use dynamic::{DynamicGraphTrace, GraphDelta};
 pub use graph::Graph;
 pub use node::{Edge, NodeId};
-pub use window::{GraphWindow, WindowUpdate};
+pub use window::{GraphWindow, QueueDepths, WindowUpdate};
 
 #[cfg(test)]
 mod randomized_tests {

@@ -333,13 +333,19 @@ impl GraphWindow {
             self.edge_maturity_queue.push_back((round, *e));
         }
         for e in &tight.removed {
-            let entry = self
-                .edge_state
-                .get_mut(e)
-                .expect("removed edge has a window entry");
-            entry.on = false;
-            entry.since = round;
-            self.gc_queue.push_back((round, *e));
+            // `realize` only reports removals of edges present in the
+            // current graph, and every present edge has a window entry; a
+            // miss would mean the incidence bookkeeping already diverged,
+            // so skipping (rather than panicking) keeps the window usable.
+            debug_assert!(
+                self.edge_state.contains_key(e),
+                "removed edge {e:?} untracked"
+            );
+            if let Some(entry) = self.edge_state.get_mut(e) {
+                entry.on = false;
+                entry.since = round;
+                self.gc_queue.push_back((round, *e));
+            }
         }
         for &v in &tight.woken {
             self.node_state[v.index()] = Span {
@@ -369,9 +375,9 @@ impl GraphWindow {
                 break;
             }
             self.gc_queue.pop_front();
-            if let Some(s) = self.edge_state.get(&e) {
-                if !s.on && s.since == r {
-                    let entry = self.edge_state.remove(&e).expect("entry present");
+            if let std::collections::btree_map::Entry::Occupied(occ) = self.edge_state.entry(e) {
+                if !occ.get().on && occ.get().since == r {
+                    let entry = occ.remove();
                     self.drop_incidence(e, entry);
                     update.edges_left_union.push(e);
                 }
@@ -433,15 +439,18 @@ impl GraphWindow {
         list.swap_remove(pos);
         if pos < list.len() {
             // The former last entry moved into `pos`: update its edge's
-            // stored position on `v`'s side.
+            // stored position on `v`'s side. Incidence entries exist only
+            // for tracked edges, so the lookup cannot miss unless the two
+            // structures already diverged — assert in debug, tolerate in
+            // release.
             let moved_edge = Edge::new(v, list[pos]);
-            let moved = edge_state
-                .get_mut(&moved_edge)
-                .expect("moved incidence entry has a window entry");
-            if moved_edge.u == v {
-                moved.pos_u = pos;
-            } else {
-                moved.pos_v = pos;
+            debug_assert!(edge_state.contains_key(&moved_edge));
+            if let Some(moved) = edge_state.get_mut(&moved_edge) {
+                if moved_edge.u == v {
+                    moved.pos_u = pos;
+                } else {
+                    moved.pos_v = pos;
+                }
             }
         }
     }
@@ -732,29 +741,55 @@ impl GraphWindow {
     /// Brute-force recomputation of the intersection graph (used by tests to
     /// validate the incremental maintenance).
     pub fn intersection_graph_bruteforce(&self) -> Graph {
-        let k = self.len();
-        if k == 0 {
-            return Graph::new_all_asleep(self.n);
-        }
-        let mut acc = self.ago(k - 1).expect("round in window");
-        for i in (0..k - 1).rev() {
-            acc = acc.intersection(&self.ago(i).expect("round in window"));
-        }
-        acc
+        self.fold_window_graphs(|acc, g| acc.intersection(g))
     }
 
     /// Brute-force recomputation of the union graph (testing aid).
     pub fn union_graph_bruteforce(&self) -> Graph {
-        let k = self.len();
-        if k == 0 {
-            return Graph::new_all_asleep(self.n);
-        }
-        let mut acc = self.ago(k - 1).expect("round in window");
-        for i in (0..k - 1).rev() {
-            acc = acc.union(&self.ago(i).expect("round in window"));
-        }
-        acc
+        self.fold_window_graphs(|acc, g| acc.union(g))
     }
+
+    /// Folds `combine` over the window's rounds, oldest first (the empty
+    /// window folds to the all-asleep graph). Every `i < len()` is a valid
+    /// [`GraphWindow::ago`] index, so the accumulator is seeded from the
+    /// oldest round without any unwrap.
+    fn fold_window_graphs(&self, combine: impl Fn(Graph, &Graph) -> Graph) -> Graph {
+        let mut acc: Option<Graph> = None;
+        for i in (0..self.len()).rev() {
+            if let Some(g) = self.ago(i) {
+                acc = Some(match acc {
+                    None => g,
+                    Some(a) => combine(a, &g),
+                });
+            }
+        }
+        acc.unwrap_or_else(|| Graph::new_all_asleep(self.n))
+    }
+
+    /// Depths of the window's internal maintenance queues (the lazy union
+    /// GC and the edge/node intersection-maturity queues) — observability
+    /// counters surfaced as the `window.*` metrics.
+    pub fn queue_depths(&self) -> QueueDepths {
+        QueueDepths {
+            gc: self.gc_queue.len(),
+            edge_maturity: self.edge_maturity_queue.len(),
+            node_maturity: self.node_maturity_queue.len(),
+        }
+    }
+}
+
+/// Depths of a [`GraphWindow`]'s internal maintenance queues, reported by
+/// [`GraphWindow::queue_depths`]. Steady-state depths are bounded by the
+/// churn of the last `T` rounds; monotone growth indicates a maintenance
+/// leak.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueDepths {
+    /// Entries in the lazy GC queue of absent edges still inside the union.
+    pub gc: usize,
+    /// Entries in the edge intersection-maturity queue.
+    pub edge_maturity: usize,
+    /// Entries in the node intersection-maturity queue.
+    pub node_maturity: usize,
 }
 
 #[cfg(test)]

@@ -1,0 +1,64 @@
+//! CLI wrapper over [`dynnet_obs::validate`]: checks emitted Chrome-trace
+//! and metrics-JSONL artifacts in CI smoke jobs.
+//!
+//! ```text
+//! obs-validate chrome <trace.json>...
+//! obs-validate jsonl  <metrics.jsonl>...
+//! ```
+//!
+//! Exits 0 when every file validates, 1 otherwise.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs-validate <chrome|jsonl> <path>...");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((kind, paths)) = args.split_first() else {
+        return usage();
+    };
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("obs-validate: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let outcome = match kind.as_str() {
+            "chrome" => dynnet_obs::validate_chrome_trace(&text).map(|report| {
+                let cats: Vec<&str> = report.categories.iter().map(String::as_str).collect();
+                format!(
+                    "{} events, categories: [{}]",
+                    report.events,
+                    cats.join(", ")
+                )
+            }),
+            "jsonl" => dynnet_obs::validate_metrics_jsonl(&text).map(|report| {
+                let scopes: Vec<&str> = report.scopes.iter().map(String::as_str).collect();
+                format!("{} lines, scopes: [{}]", report.lines, scopes.join(", "))
+            }),
+            _ => return usage(),
+        };
+        match outcome {
+            Ok(summary) => println!("obs-validate: {path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("obs-validate: {path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,160 @@
+//! Chrome trace-event JSON export.
+//!
+//! Writes the collected [`TraceEvent`]s in the Trace Event Format's JSON
+//! object form — `{"traceEvents":[…],"displayTimeUnit":"ms"}` with one
+//! complete (`"ph":"X"`) event per span — loadable in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//!
+//! Timestamps are microseconds since the trace epoch, formatted as decimal
+//! numbers with exactly three fractional digits (nanosecond precision).
+//! Formatting goes through integer arithmetic only, so the emitted bytes
+//! are deterministic for given events.
+
+use crate::span::TraceEvent;
+use std::io::Write;
+use std::path::Path;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters).
+pub(crate) fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4, 0] {
+                    let digit = (b >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds rendered as a microsecond decimal (`1234567` → `"1234.567"`).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn event_json(e: &TraceEvent, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    match &e.label {
+        Some(label) => escape_json_into(label, out),
+        None => escape_json_into(e.name, out),
+    }
+    out.push_str("\",\"cat\":\"");
+    escape_json_into(e.cat, out);
+    out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    out.push_str(&e.tid.to_string());
+    out.push_str(",\"ts\":");
+    out.push_str(&micros(e.start_ns));
+    out.push_str(",\"dur\":");
+    out.push_str(&micros(e.dur_ns));
+    if !e.arg_name.is_empty() {
+        out.push_str(",\"args\":{\"");
+        escape_json_into(e.arg_name, out);
+        out.push_str("\":");
+        out.push_str(&e.arg.to_string());
+        out.push('}');
+    } else if e.label.is_some() {
+        // Keep the static phase name reachable when the display name is the
+        // dynamic label.
+        out.push_str(",\"args\":{\"phase\":\"");
+        escape_json_into(e.name, out);
+        out.push_str("\"}");
+    }
+    out.push('}');
+}
+
+/// Renders `events` as one Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        event_json(e, &mut out);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes `events` to `path` as a Chrome trace-event JSON file (see the
+/// module docs for how to open it).
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "round",
+            label: None,
+            start_ns: 1_234_567,
+            dur_ns: 890,
+            tid: 3,
+            arg_name: "",
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn renders_complete_events() {
+        let json = chrome_trace_json(&[event("send")]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"send\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"dur\":0.890"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
+    }
+
+    #[test]
+    fn labels_and_args_are_escaped() {
+        let mut labeled = event("cell");
+        labeled.label = Some(Box::from("n=4 \"p\"=0.1\\x"));
+        let mut with_arg = event("csr_patch");
+        with_arg.arg_name = "delta_edges";
+        with_arg.arg = 12;
+        let json = chrome_trace_json(&[labeled, with_arg]);
+        assert!(json.contains("n=4 \\\"p\\\"=0.1\\\\x"));
+        assert!(json.contains("\"args\":{\"phase\":\"cell\"}"));
+        assert!(json.contains("\"args\":{\"delta_edges\":12}"));
+        crate::validate::validate_chrome_trace(&json).expect("valid trace");
+    }
+
+    #[test]
+    fn control_chars_escape_to_unicode() {
+        let mut out = String::new();
+        escape_json_into("a\u{1}b\tc", &mut out);
+        assert_eq!(out, "a\\u0001b\\tc");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join(format!("dynnet-obs-{}", std::process::id()));
+        let path = dir.join("trace.json");
+        write_chrome_trace(&path, &[event("send")]).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        crate::validate::validate_chrome_trace(&text).expect("valid trace");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

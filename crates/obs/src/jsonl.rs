@@ -1,0 +1,125 @@
+//! Periodic JSONL metrics snapshots.
+//!
+//! A [`JsonlWriter`] appends one JSON object per line to a metrics file:
+//!
+//! ```text
+//! {"scope":"e3","seq":0,"metrics":{"pool.budget":2,"sweep.cells_done":4}}
+//! {"scope":"e3","seq":1,"metrics":{"pool.budget":2,"sweep.cells_done":9}}
+//! ```
+//!
+//! The file uses the same merge idiom as the bench report
+//! (`bench/src/report.rs`): every writer owns the lines carrying its
+//! `scope` tag — opening a writer drops stale lines of the same scope and
+//! preserves everyone else's, so several experiments can share one metrics
+//! file without a JSON parser ever touching it.
+
+use crate::registry::Snapshot;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Appends scope-tagged metric snapshots to a JSONL file. See the module
+/// docs for the line format and the merge semantics.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    path: PathBuf,
+    scope: String,
+    seq: u64,
+}
+
+impl JsonlWriter {
+    /// Opens a writer for `scope` at `path`. Existing lines written under
+    /// the same scope are dropped (this run replaces them); lines of other
+    /// scopes are preserved.
+    pub fn create(path: impl Into<PathBuf>, scope: &str) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut marker = String::from("\"scope\":\"");
+        crate::chrome::escape_json_into(scope, &mut marker);
+        marker.push('"');
+        let mut kept: Vec<String> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                let line = line.trim();
+                if line.starts_with('{') && !line.contains(&marker) {
+                    kept.push(line.to_string());
+                }
+            }
+        }
+        let mut f = std::fs::File::create(&path)?;
+        for line in &kept {
+            writeln!(f, "{line}")?;
+        }
+        Ok(JsonlWriter {
+            path,
+            scope: scope.to_string(),
+            seq: 0,
+        })
+    }
+
+    /// Appends one snapshot line and returns the sequence number it was
+    /// written under (0-based, per writer).
+    pub fn write(&mut self, snapshot: &Snapshot) -> std::io::Result<u64> {
+        let seq = self.seq;
+        let mut line = String::with_capacity(48);
+        line.push_str("{\"scope\":\"");
+        crate::chrome::escape_json_into(&self.scope, &mut line);
+        line.push_str("\",\"seq\":");
+        line.push_str(&seq.to_string());
+        line.push_str(",\"metrics\":");
+        line.push_str(&snapshot.to_json());
+        line.push('}');
+        let mut f = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        writeln!(f, "{line}")?;
+        self.seq += 1;
+        Ok(seq)
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The scope tag on every line this writer emits.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(v: u64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.set("sweep.cells_done", v);
+        s
+    }
+
+    #[test]
+    fn appends_and_merges_by_scope() {
+        let dir = std::env::temp_dir().join(format!("dynnet-jsonl-{}", std::process::id()));
+        let path = dir.join("metrics.jsonl");
+        let mut a = JsonlWriter::create(&path, "a").expect("create a");
+        a.write(&snap(1)).expect("a line");
+        let mut b = JsonlWriter::create(&path, "b").expect("create b");
+        b.write(&snap(2)).expect("b line");
+        // Re-opening scope "a" drops its old lines but keeps scope "b".
+        let mut a2 = JsonlWriter::create(&path, "a").expect("recreate a");
+        assert_eq!(a2.scope(), "a");
+        a2.write(&snap(3)).expect("a2 line 0");
+        assert_eq!(a2.write(&snap(4)).expect("a2 line 1"), 1);
+        let text = std::fs::read_to_string(a2.path()).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"scope\":\"b\""));
+        assert!(lines[1].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"sweep.cells_done\":3"));
+        assert!(lines[2].contains("\"seq\":1"));
+        crate::validate::validate_metrics_jsonl(&text).expect("valid jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,95 @@
+//! Observability for the dynnet stack: phase spans, a unified metric
+//! registry, and Chrome-trace / JSONL exporters — all zero-overhead when
+//! disabled.
+//!
+//! The paper's T-dynamic framework is all about *per-round* behavior under
+//! churn, yet runtime signals used to live in scattered one-off structs
+//! (`DeltaStats`, pool stats, verifier ledger counters, sweep shard
+//! progress). This crate unifies them behind three small APIs:
+//!
+//! * **Phase spans** ([`span`]) — RAII timing regions the simulator drops
+//!   around each round phase (wakeup, CSR patch/rebuild, send,
+//!   receive+publish) and the sweep engine drops around each cell. Gated by
+//!   the `DYNNET_TRACE` env variable (or [`set_enabled`]): when tracing is
+//!   off, constructing a span is one relaxed atomic load — no clock read,
+//!   no allocation. When the `trace` cargo feature is off the API is a
+//!   compile-to-nothing stub.
+//! * **Metric registry** ([`registry()`]) — named atomic counters/gauges plus
+//!   a [`MetricSource`] trait for pull-style producers, snapshotted into a
+//!   deterministically ordered [`Snapshot`].
+//! * **Exporters** ([`chrome`], [`jsonl`]) — a Chrome trace-event JSON
+//!   writer (loadable in Perfetto / `chrome://tracing`) and a line-oriented
+//!   JSONL metrics writer that reuses the bench report's "one record per
+//!   line, merge by source" idiom.
+//! * **Validator** ([`validate`], `obs-validate` binary) — a dependency-free
+//!   JSON parser plus schema checks for both emitted formats, so CI can
+//!   assert smoke-run artifacts are well-formed.
+//!
+//! Everything here is *deterministically inert*: spans and metrics observe
+//! an execution but never feed values back into it, so enabling tracing
+//! cannot change simulation outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod jsonl;
+pub mod registry;
+pub mod span;
+pub mod validate;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use jsonl::JsonlWriter;
+pub use registry::{registry, CounterHandle, MetricSource, Registry, Snapshot};
+pub use span::{
+    dropped_events, enabled, events_len, labeled_span, phase_span, phase_span_arg, set_enabled,
+    take_events, PhaseSpan, TraceEvent,
+};
+pub use validate::{validate_chrome_trace, validate_metrics_jsonl, ChromeReport, JsonlReport};
+
+/// A sink for coarse progress events of a long-running activity (a sweep, a
+/// long replay). Lives here so executors can report progress without
+/// choosing a destination: stderr, the metric registry, or both.
+///
+/// Implementations must be cheap and side-effect-free with respect to the
+/// computation being observed (progress events carry no data the activity
+/// reads back).
+pub trait ProgressSink: Send + Sync {
+    /// `done` of `total` work units have completed in activity `scope`.
+    fn progress(&self, scope: &str, done: u64, total: u64);
+
+    /// Activity `scope` finished; `summary` is a human-readable one-liner.
+    fn finished(&self, scope: &str, summary: &str);
+}
+
+/// A [`ProgressSink`] that mirrors progress into the metric registry
+/// (`progress.done` / `progress.total` gauges) — the destination used when
+/// a metrics stream, not a terminal, is watching the run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegistrySink;
+
+impl ProgressSink for RegistrySink {
+    fn progress(&self, _scope: &str, done: u64, total: u64) {
+        registry().counter("progress.done").set(done);
+        registry().counter("progress.total").set(total);
+    }
+
+    fn finished(&self, _scope: &str, _summary: &str) {
+        registry().counter("progress.finished").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_sink_updates_gauges() {
+        RegistrySink.progress("s", 3, 10);
+        RegistrySink.finished("s", "done");
+        let snap = registry().snapshot();
+        assert_eq!(snap.get("progress.done"), Some(3));
+        assert_eq!(snap.get("progress.total"), Some(10));
+        assert!(snap.get("progress.finished").is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! The unified metric registry: named atomic counters/gauges plus a
+//! pull-style [`MetricSource`] trait, snapshotted into a deterministically
+//! ordered [`Snapshot`].
+//!
+//! Producers resolve a [`CounterHandle`] once (one registry lock) and then
+//! update it with plain atomic operations — safe to call from the round
+//! loop. Consumers take a [`Registry::snapshot`] whenever they want a
+//! consistent-enough view (metrics are monotone counters or gauges; no
+//! cross-metric atomicity is promised) and merge in any [`MetricSource`]s
+//! they hold.
+//!
+//! ## Metric name taxonomy
+//!
+//! Names are `subsystem.metric`, both lowercase:
+//!
+//! | prefix      | producer                               | examples |
+//! |-------------|----------------------------------------|----------|
+//! | `sim.*`     | `MetricsObserver` (dynnet-runtime)     | `sim.rounds`, `sim.output_churn`, `sim.delta_edges`, `sim.newly_awake`, `sim.num_awake` |
+//! | `pool.*`    | `MetricsObserver`, from `rayon::pool_stats()` | `pool.budget`, `pool.workers_spawned`, `pool.tasks_pooled`, `pool.calls_inline`, `pool.peak_active` |
+//! | `verify.*`  | `TDynamicVerifier` (dynnet-core)       | `verify.rounds_checked`, `verify.rounds_valid`, `verify.packing_violations`, `verify.covering_violations`, `verify.undecided` |
+//! | `window.*`  | `TDynamicVerifier`'s `GraphWindow`     | `window.gc_queue_depth`, `window.edge_maturity_depth`, `window.node_maturity_depth` |
+//! | `sweep.*`   | the sweep engine's progress sink       | `sweep.cells_done`, `sweep.cells_total`, `sweep.threads` |
+//! | `obs.*`     | this crate                             | `obs.trace_events`, `obs.trace_dropped` |
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A handle to one named metric: a shared `u64` cell usable as a monotone
+/// counter ([`CounterHandle::inc`]/[`CounterHandle::add`]) or a gauge
+/// ([`CounterHandle::set`]). Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds `1` to the metric.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta` to the metric.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the metric to `value` (gauge semantics).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-wide metric registry. Obtain it via [`registry`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// `BTreeMap` so snapshots iterate in name order (deterministic output).
+    metrics: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+}
+
+/// The process-wide [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// Returns the handle for metric `name`, registering it (at 0) on first
+    /// use. Takes the registry lock; resolve handles once and reuse them in
+    /// hot loops.
+    pub fn counter(&self, name: &'static str) -> CounterHandle {
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        CounterHandle(Arc::clone(metrics.entry(name).or_default()))
+    }
+
+    /// A point-in-time copy of every registered metric, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut snap = Snapshot::new();
+        for (name, cell) in metrics.iter() {
+            snap.set(*name, cell.load(Ordering::Relaxed));
+        }
+        snap
+    }
+
+    /// Resets every registered metric to 0 (testing aid; handles stay
+    /// valid).
+    pub fn reset(&self) {
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        for cell in metrics.values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A pull-style producer of named metric values — implemented by stateful
+/// components that already keep their own counters (delta stats, verifier
+/// ledgers, window queues) so a snapshot can collect them without the
+/// component pushing on every update.
+pub trait MetricSource {
+    /// Writes this source's current metric values into `out`.
+    fn collect(&self, out: &mut Snapshot);
+}
+
+/// A point-in-time set of named metric values, ordered by name. Produced by
+/// [`Registry::snapshot`] and extended by [`MetricSource`]s; serialized by
+/// [`crate::jsonl`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Sets metric `name` to `value` (overwriting any previous value).
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// The value of metric `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges `source`'s metrics into this snapshot.
+    pub fn collect_from(&mut self, source: &dyn MetricSource) {
+        source.collect(self);
+    }
+
+    /// The snapshot as one JSON object, keys in name order:
+    /// `{"pool.budget":2,"sim.rounds":40}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.values.len() * 24);
+        out.push('{');
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::chrome::escape_json_into(name, &mut out);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = Registry::default();
+        let c = reg.counter("t.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let same = reg.counter("t.count");
+        same.inc();
+        assert_eq!(c.get(), 6);
+        let g = reg.counter("t.gauge");
+        g.set(17);
+        g.set(9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("t.count"), Some(6));
+        assert_eq!(snap.get("t.gauge"), Some(9));
+        reg.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_name_ordered() {
+        let mut snap = Snapshot::new();
+        snap.set("b.two", 2);
+        snap.set("a.one", 1);
+        assert_eq!(snap.to_json(), "{\"a.one\":1,\"b.two\":2}");
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn metric_sources_merge() {
+        struct Fixed;
+        impl MetricSource for Fixed {
+            fn collect(&self, out: &mut Snapshot) {
+                out.set("fixed.x", 3);
+            }
+        }
+        let mut snap = Snapshot::new();
+        snap.collect_from(&Fixed);
+        assert_eq!(snap.get("fixed.x"), Some(3));
+    }
+}

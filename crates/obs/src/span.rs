@@ -1,0 +1,408 @@
+//! Phase spans: RAII timing regions collected into an in-memory trace
+//! buffer, exported via [`crate::chrome`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero overhead when off.** Tracing defaults to off; constructing a
+//!    span then costs one relaxed atomic load and touches neither the clock
+//!    nor the allocator. With the `trace` cargo feature disabled the whole
+//!    API is a compile-to-nothing stub ([`enabled`] is `const false`).
+//! 2. **Deterministically inert.** Spans only *observe*: no measured
+//!    duration ever feeds back into the computation, so enabling tracing
+//!    cannot change simulation outputs. Every clock read sits at a
+//!    `// TIMING:`-labelled site (enforced by `dynnet-lint`).
+//! 3. **Bounded memory.** The global buffer holds at most
+//!    `DYNNET_TRACE_CAP` events (default 4 Mi); beyond that events are
+//!    counted as dropped, never silently lost.
+//!
+//! Timestamps are nanoseconds since the process's *trace epoch* — the
+//! instant the first span of the process opened — so they are stable across
+//! threads and monotonically consistent within one trace.
+
+/// One completed span, ready for export. Produced by dropping a
+/// [`PhaseSpan`] while tracing is enabled; drained with [`take_events`].
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Static span name (the phase: `"send"`, `"receive"`, `"cell"`, …).
+    pub name: &'static str,
+    /// Static category (the subsystem: `"round"`, `"sweep"`, `"verify"`).
+    pub cat: &'static str,
+    /// Dynamic label refining `name` (e.g. a sweep cell label); `None` for
+    /// the allocation-free static constructors.
+    pub label: Option<Box<str>>,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small sequential id of the thread that recorded the span.
+    pub tid: u64,
+    /// Name of the span's one numeric argument (`""` = no argument).
+    pub arg_name: &'static str,
+    /// Value of the span's numeric argument (meaningful when `arg_name` is
+    /// non-empty).
+    pub arg: u64,
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::TraceEvent;
+    use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    const STATE_UNRESOLVED: u8 = 0;
+    const STATE_OFF: u8 = 1;
+    const STATE_ON: u8 = 2;
+
+    /// Tri-state so the `DYNNET_TRACE` env variable is read exactly once;
+    /// after resolution `enabled()` is a single relaxed load.
+    static TRACE_STATE: AtomicU8 = AtomicU8::new(STATE_UNRESOLVED);
+    /// Events rejected by the buffer cap (see [`dropped_events`]).
+    static DROPPED: AtomicU64 = AtomicU64::new(0);
+    /// Next thread id to hand out; ids are assigned on a thread's first span.
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    /// Buffer cap, resolved from `DYNNET_TRACE_CAP` on first recording.
+    static CAP: AtomicUsize = AtomicUsize::new(0);
+
+    /// Whether span recording is currently on. One relaxed atomic load on
+    /// the hot path; the first call resolves the `DYNNET_TRACE` env
+    /// variable (`1`/`true`/`on` enable, anything else disables).
+    #[inline]
+    pub fn enabled() -> bool {
+        match TRACE_STATE.load(Ordering::Relaxed) {
+            STATE_ON => true,
+            STATE_OFF => false,
+            _ => resolve_env(),
+        }
+    }
+
+    #[cold]
+    fn resolve_env() -> bool {
+        let on = matches!(
+            std::env::var("DYNNET_TRACE").as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        );
+        TRACE_STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+        on
+    }
+
+    /// Turns span recording on or off, overriding `DYNNET_TRACE`. Used by
+    /// the `--trace-out` flag and by tests.
+    pub fn set_enabled(on: bool) {
+        TRACE_STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    }
+
+    fn collector() -> &'static Mutex<Vec<TraceEvent>> {
+        static COLLECTOR: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+        COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// The process's trace epoch: the instant the first span opened.
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        // TIMING: establishes the origin all span timestamps are relative
+        // to; read once per process, never fed into simulation state.
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn cap() -> usize {
+        match CAP.load(Ordering::Relaxed) {
+            0 => {
+                let cap = std::env::var("DYNNET_TRACE_CAP")
+                    .ok()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&c| c > 0)
+                    .unwrap_or(1 << 22);
+                CAP.store(cap, Ordering::Relaxed);
+                cap
+            }
+            cap => cap,
+        }
+    }
+
+    fn current_tid() -> u64 {
+        thread_local! {
+            static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        }
+        TID.with(|t| *t)
+    }
+
+    /// A span that has started; recorded on drop.
+    struct OpenSpan {
+        name: &'static str,
+        cat: &'static str,
+        label: Option<Box<str>>,
+        arg_name: &'static str,
+        arg: u64,
+        start: Instant,
+    }
+
+    /// An RAII phase span: records one [`TraceEvent`] covering its lifetime
+    /// when dropped — if tracing was enabled when it was constructed.
+    /// Constructed via [`phase_span`] / [`phase_span_arg`] /
+    /// [`labeled_span`]; when tracing is off the struct holds `None` and
+    /// drop is free.
+    pub struct PhaseSpan(Option<OpenSpan>);
+
+    impl PhaseSpan {
+        /// Attaches (or replaces) the span's numeric argument after
+        /// construction — for values only known once the phase ran. No-op
+        /// when tracing is off.
+        pub fn set_arg(&mut self, name: &'static str, value: u64) {
+            if let Some(open) = &mut self.0 {
+                open.arg_name = name;
+                open.arg = value;
+            }
+        }
+    }
+
+    impl Drop for PhaseSpan {
+        fn drop(&mut self) {
+            if let Some(open) = self.0.take() {
+                record(open);
+            }
+        }
+    }
+
+    fn open(
+        cat: &'static str,
+        name: &'static str,
+        label: Option<Box<str>>,
+        arg_name: &'static str,
+        arg: u64,
+    ) -> PhaseSpan {
+        // Pin the epoch at-or-before every span start.
+        let _ = epoch();
+        // TIMING: span start timestamp; observes the execution, never feeds
+        // back into it.
+        let start = Instant::now();
+        PhaseSpan(Some(OpenSpan {
+            name,
+            cat,
+            label,
+            arg_name,
+            arg,
+            start,
+        }))
+    }
+
+    /// Opens a span of category `cat` named `name`. When tracing is off
+    /// this is one atomic load — no clock read, no allocation.
+    #[inline]
+    pub fn phase_span(cat: &'static str, name: &'static str) -> PhaseSpan {
+        if !enabled() {
+            return PhaseSpan(None);
+        }
+        open(cat, name, None, "", 0)
+    }
+
+    /// Opens a span carrying one named numeric argument (e.g.
+    /// `phase_span_arg("round", "csr_patch", "delta_edges", 12)`).
+    #[inline]
+    pub fn phase_span_arg(
+        cat: &'static str,
+        name: &'static str,
+        arg_name: &'static str,
+        arg: u64,
+    ) -> PhaseSpan {
+        if !enabled() {
+            return PhaseSpan(None);
+        }
+        open(cat, name, None, arg_name, arg)
+    }
+
+    /// Opens a span with a dynamic label (e.g. a sweep cell's label). The
+    /// label is copied *only* when tracing is enabled, so the off path
+    /// stays allocation-free.
+    #[inline]
+    pub fn labeled_span(cat: &'static str, name: &'static str, label: &str) -> PhaseSpan {
+        if !enabled() {
+            return PhaseSpan(None);
+        }
+        open(cat, name, Some(Box::from(label)), "", 0)
+    }
+
+    fn record(open: OpenSpan) {
+        // TIMING: span end timestamp, paired with the start read above.
+        let end = Instant::now();
+        let epoch = epoch();
+        let event = TraceEvent {
+            name: open.name,
+            cat: open.cat,
+            label: open.label,
+            start_ns: open
+                .start
+                .saturating_duration_since(epoch)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+            dur_ns: end
+                .saturating_duration_since(open.start)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+            tid: current_tid(),
+            arg_name: open.arg_name,
+            arg: open.arg,
+        };
+        let cap = cap();
+        let mut buf = collector().lock().unwrap_or_else(PoisonError::into_inner);
+        if buf.len() >= cap {
+            drop(buf);
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.push(event);
+        }
+    }
+
+    /// Drains and returns every event recorded so far (in recording order).
+    pub fn take_events() -> Vec<TraceEvent> {
+        std::mem::take(&mut *collector().lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Number of events currently buffered.
+    pub fn events_len() -> usize {
+        collector()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Number of events rejected because the buffer cap was reached.
+    pub fn dropped_events() -> u64 {
+        DROPPED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::TraceEvent;
+
+    /// Stub span: the `trace` feature is off, so this is a unit struct and
+    /// every constructor is a no-op the optimizer removes entirely.
+    pub struct PhaseSpan(());
+
+    impl PhaseSpan {
+        /// No-op stub (`trace` feature off).
+        #[inline(always)]
+        pub fn set_arg(&mut self, _name: &'static str, _value: u64) {}
+    }
+
+    /// Always `false`: the `trace` feature is compiled out.
+    #[inline(always)]
+    pub const fn enabled() -> bool {
+        false
+    }
+
+    /// No-op stub (`trace` feature off).
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// No-op stub (`trace` feature off).
+    #[inline(always)]
+    pub fn phase_span(_cat: &'static str, _name: &'static str) -> PhaseSpan {
+        PhaseSpan(())
+    }
+
+    /// No-op stub (`trace` feature off).
+    #[inline(always)]
+    pub fn phase_span_arg(
+        _cat: &'static str,
+        _name: &'static str,
+        _arg_name: &'static str,
+        _arg: u64,
+    ) -> PhaseSpan {
+        PhaseSpan(())
+    }
+
+    /// No-op stub (`trace` feature off).
+    #[inline(always)]
+    pub fn labeled_span(_cat: &'static str, _name: &'static str, _label: &str) -> PhaseSpan {
+        PhaseSpan(())
+    }
+
+    /// Always empty (`trace` feature off).
+    pub fn take_events() -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Always 0 (`trace` feature off).
+    pub fn events_len() -> usize {
+        0
+    }
+
+    /// Always 0 (`trace` feature off).
+    pub fn dropped_events() -> u64 {
+        0
+    }
+}
+
+pub use imp::{
+    dropped_events, enabled, events_len, labeled_span, phase_span, phase_span_arg, set_enabled,
+    take_events, PhaseSpan,
+};
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Span tests toggle the process-global trace state; serialize them.
+    fn state_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = state_lock();
+        set_enabled(false);
+        let before = events_len();
+        {
+            let mut s = phase_span("round", "send");
+            s.set_arg("x", 1);
+            let _l = labeled_span("sweep", "cell", "n=4");
+        }
+        assert_eq!(events_len(), before);
+    }
+
+    #[test]
+    fn enabled_spans_record_and_drain() {
+        let _guard = state_lock();
+        set_enabled(true);
+        let _ = take_events();
+        {
+            let _a = phase_span("round", "send");
+            let _b = phase_span_arg("round", "csr_patch", "delta_edges", 7);
+            let _c = labeled_span("sweep", "cell", "n=4 p=0.1");
+        }
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 3);
+        // Drop order is c, b, a (reverse declaration order).
+        assert_eq!(events[0].label.as_deref(), Some("n=4 p=0.1"));
+        assert_eq!(events[1].arg_name, "delta_edges");
+        assert_eq!(events[1].arg, 7);
+        assert_eq!(events[2].name, "send");
+        assert_eq!(events[2].cat, "round");
+        for e in &events {
+            assert!(e.start_ns <= events[0].start_ns + 1_000_000_000);
+        }
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn set_arg_attaches_late_argument() {
+        let _guard = state_lock();
+        set_enabled(true);
+        let _ = take_events();
+        {
+            let mut s = phase_span("round", "receive");
+            s.set_arg("churn", 42);
+        }
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].arg_name, events[0].arg), ("churn", 42));
+    }
+}

@@ -1,0 +1,455 @@
+//! Schema validation for the emitted artifacts.
+//!
+//! CI smoke runs emit a Chrome trace and a metrics JSONL; these validators
+//! (and the `obs-validate` binary wrapping them) check the files are
+//! well-formed so the exporters cannot rot silently. The JSON parser is a
+//! minimal hand-rolled recursive-descent parser — the build is fully
+//! offline, so no serde.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Arr(_) => "array",
+            JsonValue::Obj(_) => "object",
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, String> {
+        match self {
+            JsonValue::Obj(m) => Ok(m),
+            other => Err(format!(
+                "{what}: expected object, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<f64, String> {
+        match self {
+            JsonValue::Num(n) => Ok(*n),
+            other => Err(format!(
+                "{what}: expected number, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(format!(
+                "{what}: expected string, got {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
+/// Recursion guard: the emitted formats nest at most 4 levels.
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn fail(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.fail("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.fail("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.fail("invalid \\u escape"))?;
+                            // Surrogate pairs are not emitted by our writers;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.fail("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("invalid utf-8 in string"))?;
+                    match rest.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(self.fail("unterminated string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect_byte(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing data after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Summary of a validated Chrome trace (see [`validate_chrome_trace`]).
+#[derive(Clone, Debug, Default)]
+pub struct ChromeReport {
+    /// Number of trace events.
+    pub events: usize,
+    /// The categories seen.
+    pub categories: BTreeSet<String>,
+    /// Sum of event durations per category, in microseconds.
+    pub dur_us_by_cat: BTreeMap<String, f64>,
+    /// Sum of event durations per (category, display name), in microseconds.
+    pub dur_us_by_name: BTreeMap<String, f64>,
+}
+
+/// Validates a Chrome trace-event JSON document as produced by
+/// [`crate::chrome::write_chrome_trace`]: a top-level object with a
+/// `traceEvents` array of complete (`ph == "X"`) events carrying string
+/// `name`/`cat` and non-negative numeric `ts`/`dur`/`tid`/`pid`.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeReport, String> {
+    let doc = parse_json(text)?;
+    let top = doc.as_obj("top level")?;
+    let events = match top.get("traceEvents") {
+        Some(JsonValue::Arr(events)) => events,
+        Some(other) => {
+            return Err(format!(
+                "traceEvents: expected array, got {}",
+                other.type_name()
+            ))
+        }
+        None => return Err("missing 'traceEvents' key".to_string()),
+    };
+    let mut report = ChromeReport::default();
+    for (i, event) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        let obj = event.as_obj(&what)?;
+        let field = |key: &str| {
+            obj.get(key)
+                .ok_or_else(|| format!("{what}: missing '{key}'"))
+        };
+        let name = field("name")?.as_str(&format!("{what}.name"))?;
+        let cat = field("cat")?.as_str(&format!("{what}.cat"))?;
+        let ph = field("ph")?.as_str(&format!("{what}.ph"))?;
+        if ph != "X" {
+            return Err(format!("{what}.ph: expected \"X\", got \"{ph}\""));
+        }
+        for key in ["ts", "dur", "tid", "pid"] {
+            let v = field(key)?.as_num(&format!("{what}.{key}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{what}.{key}: not a finite non-negative number"));
+            }
+        }
+        let dur = field("dur")?.as_num("dur")?;
+        report.events += 1;
+        report.categories.insert(cat.to_string());
+        *report.dur_us_by_cat.entry(cat.to_string()).or_insert(0.0) += dur;
+        *report
+            .dur_us_by_name
+            .entry(format!("{cat}/{name}"))
+            .or_insert(0.0) += dur;
+    }
+    Ok(report)
+}
+
+/// Summary of a validated metrics JSONL file (see
+/// [`validate_metrics_jsonl`]).
+#[derive(Clone, Debug, Default)]
+pub struct JsonlReport {
+    /// Number of snapshot lines.
+    pub lines: usize,
+    /// The scopes seen.
+    pub scopes: BTreeSet<String>,
+}
+
+/// Validates a metrics JSONL file as produced by [`crate::JsonlWriter`]:
+/// every non-empty line is an object with a string `scope`, a numeric
+/// `seq` strictly increasing within its scope, and a `metrics` object with
+/// numeric values.
+pub fn validate_metrics_jsonl(text: &str) -> Result<JsonlReport, String> {
+    let mut report = JsonlReport::default();
+    let mut last_seq: BTreeMap<String, f64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let what = format!("line {}", lineno + 1);
+        let doc = parse_json(line).map_err(|e| format!("{what}: {e}"))?;
+        let obj = doc.as_obj(&what)?;
+        let scope = obj
+            .get("scope")
+            .ok_or_else(|| format!("{what}: missing 'scope'"))?
+            .as_str(&format!("{what}.scope"))?;
+        let seq = obj
+            .get("seq")
+            .ok_or_else(|| format!("{what}: missing 'seq'"))?
+            .as_num(&format!("{what}.seq"))?;
+        if let Some(prev) = last_seq.get(scope) {
+            if seq <= *prev {
+                return Err(format!(
+                    "{what}: seq {seq} not increasing within scope '{scope}' (previous {prev})"
+                ));
+            }
+        }
+        last_seq.insert(scope.to_string(), seq);
+        let metrics = obj
+            .get("metrics")
+            .ok_or_else(|| format!("{what}: missing 'metrics'"))?
+            .as_obj(&format!("{what}.metrics"))?;
+        for (name, value) in metrics {
+            value.as_num(&format!("{what}.metrics[{name}]"))?;
+        }
+        report.lines += 1;
+        report.scopes.insert(scope.to_string());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(parse_json("null"), Ok(JsonValue::Null));
+        assert_eq!(parse_json(" true "), Ok(JsonValue::Bool(true)));
+        assert_eq!(parse_json("-1.5e2"), Ok(JsonValue::Num(-150.0)));
+        assert_eq!(
+            parse_json("\"a\\n\\u0041\""),
+            Ok(JsonValue::Str("a\nA".to_string()))
+        );
+        let doc = parse_json("{\"a\":[1,{\"b\":[]}],\"c\":\"x\"}").expect("parse");
+        let JsonValue::Obj(top) = doc else {
+            panic!("expected object")
+        };
+        assert!(matches!(top.get("a"), Some(JsonValue::Arr(v)) if v.len() == 2));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn chrome_validator_accepts_writer_output_and_sums_durations() {
+        let text = "{\"traceEvents\":[\
+            {\"name\":\"send\",\"cat\":\"round\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.0,\"dur\":2.5},\
+            {\"name\":\"send\",\"cat\":\"round\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":3.0,\"dur\":1.5}\
+            ],\"displayTimeUnit\":\"ms\"}";
+        let report = validate_chrome_trace(text).expect("valid");
+        assert_eq!(report.events, 2);
+        assert!(report.categories.contains("round"));
+        assert!((report.dur_us_by_cat["round"] - 4.0).abs() < 1e-9);
+        assert!((report.dur_us_by_name["round/send"] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_bad_events() {
+        for bad in [
+            "[]",                                                  // not an object
+            "{}",                                                  // missing traceEvents
+            "{\"traceEvents\":[{\"cat\":\"c\",\"ph\":\"X\"}]}",    // missing name
+            "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":1}]}",
+            "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":-1,\"dur\":1}]}",
+        ] {
+            assert!(validate_chrome_trace(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn jsonl_validator_checks_seq_per_scope() {
+        let good = "{\"scope\":\"a\",\"seq\":0,\"metrics\":{\"m\":1}}\n\
+                    {\"scope\":\"b\",\"seq\":0,\"metrics\":{}}\n\
+                    {\"scope\":\"a\",\"seq\":1,\"metrics\":{\"m\":2}}\n";
+        let report = validate_metrics_jsonl(good).expect("valid");
+        assert_eq!(report.lines, 3);
+        assert_eq!(report.scopes.len(), 2);
+
+        let stale = "{\"scope\":\"a\",\"seq\":1,\"metrics\":{}}\n\
+                     {\"scope\":\"a\",\"seq\":1,\"metrics\":{}}\n";
+        assert!(validate_metrics_jsonl(stale).is_err());
+        assert!(validate_metrics_jsonl("{\"seq\":0,\"metrics\":{}}").is_err());
+        assert!(
+            validate_metrics_jsonl("{\"scope\":\"a\",\"seq\":0,\"metrics\":{\"m\":\"x\"}}")
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! `DYNNET_TRACE` environment gating, exercised in a fresh process: the
+//! integration-test binary has its own copy of the trace statics, so the
+//! first `enabled()` call below is the one that resolves the variable.
+//!
+//! One test function only — resolution happens once per process.
+
+use dynnet_obs as obs;
+
+#[cfg(feature = "trace")]
+#[test]
+fn env_var_resolves_on_first_use_and_set_enabled_overrides() {
+    // Must run before any other obs call in this process.
+    std::env::set_var("DYNNET_TRACE", "on");
+    assert!(obs::enabled(), "DYNNET_TRACE=on must enable tracing");
+    {
+        let _s = obs::phase_span("test", "env");
+    }
+    assert_eq!(obs::events_len(), 1, "enabled span must record");
+
+    // Explicit override beats the (already resolved) environment.
+    obs::set_enabled(false);
+    assert!(!obs::enabled());
+    {
+        let _s = obs::phase_span("test", "env");
+    }
+    assert_eq!(obs::events_len(), 1, "disabled span must not record");
+
+    let events = obs::take_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!((events[0].cat, events[0].name), ("test", "env"));
+    assert_eq!(obs::dropped_events(), 0);
+}
+
+#[cfg(not(feature = "trace"))]
+#[test]
+fn stub_api_is_compiled_out() {
+    std::env::set_var("DYNNET_TRACE", "on");
+    assert!(
+        !obs::enabled(),
+        "trace feature off: enabled() is const false"
+    );
+    obs::set_enabled(true);
+    {
+        let mut s = obs::phase_span("test", "env");
+        s.set_arg("x", 1);
+    }
+    assert_eq!(obs::events_len(), 0);
+    assert!(obs::take_events().is_empty());
+}

@@ -17,6 +17,9 @@
 //!   into an [`ExecutionRecord`].
 //! * [`ChurnStats`] — per-round and per-node output-change counters.
 //! * [`ConvergenceTracker`] — per-node wake-up and first-decision rounds.
+//! * [`MetricsObserver`] — mirrors round/churn/awake/delta counters into the
+//!   unified `dynnet-obs` metric registry (`sim.*`), and stamps pool and
+//!   trace-buffer totals (`pool.*`, `obs.*`) at the end of the execution.
 //!
 //! The streaming T-dynamic verifier lives in `dynnet-core`
 //! (`TDynamicVerifier`) because it needs the problem definitions.
@@ -332,6 +335,77 @@ impl<O: Clone + PartialEq> RoundObserver<O> for ChurnStats<O> {
         };
         self.series.push(changed);
         self.prev = Some(view.outputs.to_vec());
+    }
+}
+
+/// Mirrors per-round simulator signals into the unified metric registry
+/// ([`dynnet_obs::registry()`]): `sim.rounds`, `sim.output_churn`,
+/// `sim.delta_edges`, `sim.newly_awake` accumulate across the execution,
+/// `sim.num_awake` is a gauge of the latest round. At
+/// [`RoundObserver::finish`] it additionally stamps the worker-pool totals
+/// (`pool.*`, from [`rayon::pool_stats`]) and the trace-buffer state
+/// (`obs.trace_events` / `obs.trace_dropped`).
+///
+/// Handles are resolved once at construction, so the per-round path is a
+/// handful of relaxed atomic adds — cheap enough to leave attached even in
+/// benchmarks. Like every observer, it only reads the round view; it is
+/// deterministically inert.
+pub struct MetricsObserver {
+    rounds: dynnet_obs::CounterHandle,
+    output_churn: dynnet_obs::CounterHandle,
+    delta_edges: dynnet_obs::CounterHandle,
+    newly_awake: dynnet_obs::CounterHandle,
+    num_awake: dynnet_obs::CounterHandle,
+}
+
+impl MetricsObserver {
+    /// Creates an observer bound to the process-wide registry.
+    pub fn new() -> Self {
+        let reg = dynnet_obs::registry();
+        MetricsObserver {
+            rounds: reg.counter("sim.rounds"),
+            output_churn: reg.counter("sim.output_churn"),
+            delta_edges: reg.counter("sim.delta_edges"),
+            newly_awake: reg.counter("sim.newly_awake"),
+            num_awake: reg.counter("sim.num_awake"),
+        }
+    }
+}
+
+impl Default for MetricsObserver {
+    fn default() -> Self {
+        MetricsObserver::new()
+    }
+}
+
+impl<O> RoundObserver<O> for MetricsObserver {
+    fn on_round(&mut self, view: &RoundView<'_, O>) {
+        self.rounds.inc();
+        if let Some(changed) = view.changed_outputs {
+            self.output_churn.add(changed.len() as u64);
+        }
+        if let Some(delta) = view.delta {
+            self.delta_edges
+                .add((delta.inserted.len() + delta.removed.len()) as u64);
+        }
+        self.newly_awake.add(view.newly_awake.len() as u64);
+        self.num_awake.set(view.num_awake as u64);
+    }
+
+    fn finish(&mut self) {
+        let reg = dynnet_obs::registry();
+        let stats = rayon::pool_stats();
+        reg.counter("pool.budget").set(stats.budget as u64);
+        reg.counter("pool.workers_spawned")
+            .set(stats.workers_spawned as u64);
+        reg.counter("pool.tasks_pooled").set(stats.tasks_pooled);
+        reg.counter("pool.calls_inline").set(stats.calls_inline);
+        reg.counter("pool.peak_active")
+            .set(stats.peak_active as u64);
+        reg.counter("obs.trace_events")
+            .set(dynnet_obs::events_len() as u64);
+        reg.counter("obs.trace_dropped")
+            .set(dynnet_obs::dropped_events());
     }
 }
 

@@ -310,8 +310,14 @@ where
     pub fn step_streaming(&mut self, graph: &Graph) -> StepSummary {
         assert_eq!(graph.num_nodes(), self.n, "graph universe mismatch");
         let round = self.next_round;
-        let newly_awake = self.run_wakeups(graph, round);
-        self.rebuild_effective(graph);
+        let newly_awake = {
+            let _span = dynnet_obs::phase_span("round", "wakeup");
+            self.run_wakeups(graph, round)
+        };
+        {
+            let _span = dynnet_obs::phase_span("round", "csr_rebuild");
+            self.rebuild_effective(graph);
+        }
         self.finish_round(round, newly_awake, None)
     }
 
@@ -326,13 +332,20 @@ where
     pub fn step_delta(&mut self, graph: &Graph, delta: &GraphDelta) -> StepSummary {
         assert_eq!(graph.num_nodes(), self.n, "graph universe mismatch");
         let round = self.next_round;
-        let newly_awake = self.run_wakeups(graph, round);
+        let newly_awake = {
+            let _span = dynnet_obs::phase_span("round", "wakeup");
+            self.run_wakeups(graph, round)
+        };
 
         if !self.effective_valid {
-            self.rebuild_effective(graph);
+            {
+                let _span = dynnet_obs::phase_span("round", "csr_rebuild");
+                self.rebuild_effective(graph);
+            }
             return self.finish_round(round, newly_awake, None);
         }
 
+        let mut patch_span = dynnet_obs::phase_span("round", "csr_patch");
         // Translate the adversary's delta into the *effective* delta: the
         // change of the awake-restricted graph relative to last round.
         let prev_csr = &self.effective;
@@ -394,6 +407,10 @@ where
             }
         }
         eff.normalize();
+        patch_span.set_arg(
+            "delta_edges",
+            (eff.inserted.len() + eff.removed.len()) as u64,
+        );
 
         if Arc::strong_count(&self.effective) > 1 {
             // An observer retained last round's snapshot: copy-on-write.
@@ -408,6 +425,7 @@ where
             }
             CsrApplyOutcome::Rebuilt => self.stats.full_csr_builds += 1,
         }
+        drop(patch_span);
         self.finish_round(round, newly_awake, Some(eff))
     }
 
@@ -468,8 +486,16 @@ where
             self.nodes[v.index()] = Some(alg);
         }
 
-        self.run_send_phase(round, &csr);
-        let changed_outputs = self.run_receive_phase(round, &csr);
+        {
+            let _span = dynnet_obs::phase_span("round", "send");
+            self.run_send_phase(round, &csr);
+        }
+        let changed_outputs = {
+            let mut span = dynnet_obs::phase_span("round", "receive");
+            let changed = self.run_receive_phase(round, &csr);
+            span.set_arg("churn", changed.len() as u64);
+            changed
+        };
 
         self.next_round += 1;
         StepSummary {

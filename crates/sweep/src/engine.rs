@@ -17,10 +17,11 @@
 //! the process.
 
 use crate::spec::{Cell, SweepSpec};
+use dynnet_obs::ProgressSink;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A sweep failed because a cell panicked (or a worker died).
@@ -142,10 +143,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// enable per-round parallelism (`SimConfig::parallel`) automatically shrink
 /// their fan-out to the budget's remaining share instead of multiplying
 /// threads per cell.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SweepEngine {
     threads: usize,
     progress: bool,
+    /// Structured progress consumers ([`dynnet_obs::ProgressSink`]), fed at
+    /// the same cadence as the stderr line (and per report-step on the
+    /// serial path, which stays silent on stderr).
+    sinks: Vec<Arc<dyn ProgressSink>>,
+}
+
+impl std::fmt::Debug for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepEngine")
+            .field("threads", &self.threads)
+            .field("progress", &self.progress)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 impl Default for SweepEngine {
@@ -163,6 +178,7 @@ impl SweepEngine {
         SweepEngine {
             threads: threads.max(1),
             progress: false,
+            sinks: Vec::new(),
         }
     }
 
@@ -172,18 +188,40 @@ impl SweepEngine {
         self
     }
 
+    /// Registers a structured progress sink. Sinks receive roughly ten
+    /// `progress` events per sweep plus one `finished` event carrying the
+    /// throughput/load-balance summary — on every execution path, including
+    /// the serial one (which never writes to stderr).
+    pub fn add_sink(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// A single-threaded twin of this engine (same progress setting). Used
-    /// by timing-sensitive sweeps (e.g. throughput experiments) that must
-    /// not share the machine with sibling cells.
+    /// A single-threaded twin of this engine (same progress setting and
+    /// sinks). Used by timing-sensitive sweeps (e.g. throughput experiments)
+    /// that must not share the machine with sibling cells.
     pub fn serial(&self) -> SweepEngine {
         SweepEngine {
             threads: 1,
             progress: self.progress,
+            sinks: self.sinks.clone(),
+        }
+    }
+
+    /// Mirrors one progress event into the `sweep.*` registry gauges and
+    /// every registered sink. Called ~10 times per sweep, never per cell.
+    fn emit_progress(&self, name: &str, done: usize, total: usize, threads: usize) {
+        let reg = dynnet_obs::registry();
+        reg.counter("sweep.cells_done").set(done as u64);
+        reg.counter("sweep.cells_total").set(total as u64);
+        reg.counter("sweep.threads").set(threads as u64);
+        for sink in &self.sinks {
+            sink.progress(name, done as u64, total as u64);
         }
     }
 
@@ -295,21 +333,26 @@ impl SweepEngine {
                             stats.stolen += 1;
                         }
                         let cell = &spec.cells()[i];
-                        match catch_unwind(AssertUnwindSafe(|| run_cell(cell))) {
+                        let outcome = {
+                            let _span = dynnet_obs::labeled_span("sweep", "cell", &cell.label);
+                            catch_unwind(AssertUnwindSafe(|| run_cell(cell)))
+                        };
+                        match outcome {
                             Ok(r) => {
                                 out.push((i, r));
                                 stats.executed += 1;
                                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                                if self.progress
-                                    && (done.is_multiple_of(report_step) || done == total)
-                                {
-                                    let secs = start.elapsed().as_secs_f64();
-                                    eprintln!(
-                                        "  [sweep {}] {done}/{total} cells ({:.0}%) on {threads} threads, {:.1} cells/s",
-                                        spec.name(),
-                                        100.0 * done as f64 / total as f64,
-                                        done as f64 / secs.max(1e-9),
-                                    );
+                                if done.is_multiple_of(report_step) || done == total {
+                                    self.emit_progress(spec.name(), done, total, threads);
+                                    if self.progress {
+                                        let secs = start.elapsed().as_secs_f64();
+                                        eprintln!(
+                                            "  [sweep {}] {done}/{total} cells ({:.0}%) on {threads} threads, {:.1} cells/s",
+                                            spec.name(),
+                                            100.0 * done as f64 / total as f64,
+                                            done as f64 / secs.max(1e-9),
+                                        );
+                                    }
                                 }
                             }
                             Err(payload) => {
@@ -404,9 +447,15 @@ impl SweepEngine {
     where
         F: Fn(&Cell<P>) -> R,
     {
-        let mut results = Vec::with_capacity(spec.len());
+        let total = spec.len();
+        let report_step = (total / 10).max(1);
+        let mut results = Vec::with_capacity(total);
         for cell in spec.cells() {
-            match catch_unwind(AssertUnwindSafe(|| run_cell(cell))) {
+            let outcome = {
+                let _span = dynnet_obs::labeled_span("sweep", "cell", &cell.label);
+                catch_unwind(AssertUnwindSafe(|| run_cell(cell)))
+            };
+            match outcome {
                 Ok(r) => results.push(r),
                 Err(payload) => {
                     return Err(SweepError {
@@ -416,6 +465,10 @@ impl SweepEngine {
                         message: panic_message(payload.as_ref()),
                     })
                 }
+            }
+            let done = results.len();
+            if done.is_multiple_of(report_step) || done == total {
+                self.emit_progress(spec.name(), done, total, 1);
             }
         }
         let report = SweepReport {
@@ -432,7 +485,7 @@ impl SweepEngine {
     }
 
     fn log_report(&self, name: &str, report: &SweepReport) {
-        if !self.progress {
+        if !self.progress && self.sinks.is_empty() {
             return;
         }
         let shards: Vec<String> = report
@@ -441,14 +494,20 @@ impl SweepEngine {
             .enumerate()
             .map(|(i, s)| format!("shard {i}: {} cells ({} stolen)", s.executed, s.stolen))
             .collect();
-        eprintln!(
-            "  [sweep {name}] {} cells on {} threads in {:.2}s ({:.1} cells/s; {})",
+        let summary = format!(
+            "{} cells on {} threads in {:.2}s ({:.1} cells/s; {})",
             report.cells,
             report.threads,
             report.elapsed.as_secs_f64(),
             report.throughput(),
             shards.join(", "),
         );
+        for sink in &self.sinks {
+            sink.finished(name, &summary);
+        }
+        if self.progress {
+            eprintln!("  [sweep {name}] {summary}");
+        }
     }
 }
 
