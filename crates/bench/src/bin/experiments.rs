@@ -26,6 +26,13 @@
 //! * `--metrics-out FILE` — stream metric snapshots (JSONL, one per sweep
 //!   progress event plus a final one) from the unified `dynnet-obs`
 //!   registry.
+//! * `--checkpoint-dir DIR` — persist every finished sweep cell under
+//!   `DIR/<sweep-name>/` so a killed run can be resumed. Starts fresh
+//!   (discarding any prior checkpoint) unless `--resume` is also given.
+//! * `--resume` — with `--checkpoint-dir`, verify and reuse completed cells
+//!   from a previous (possibly crashed) run instead of re-running them.
+//!   The resumed run's tables and CSVs are byte-identical to an
+//!   uninterrupted run's.
 //!
 //! Tables are printed as Markdown on stdout and additionally written to
 //! `<results-dir>/<id>.md` (and `<results-dir>/<id>_<table>.csv`).
@@ -94,6 +101,8 @@ fn main() {
     let mut smoke = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let mut selected_args: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -114,10 +123,16 @@ fn main() {
                     it.next().expect("--metrics-out needs a path"),
                 ));
             }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(
+                    it.next().expect("--checkpoint-dir needs a path"),
+                ));
+            }
+            "--resume" => resume = true,
             flag if flag.starts_with('-') => {
                 eprintln!(
                     "unknown flag: {flag} (expected --threads N, --results-dir DIR, --smoke, \
-                     --trace-out FILE, --metrics-out FILE)"
+                     --trace-out FILE, --metrics-out FILE, --checkpoint-dir DIR, --resume)"
                 );
                 std::process::exit(2);
             }
@@ -146,6 +161,12 @@ fn main() {
     let mut ctx = ExpContext::new(threads);
     ctx.engine = ctx.engine.with_progress(true);
     ctx.smoke = smoke;
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+    ctx.checkpoint_dir = checkpoint_dir;
+    ctx.resume = resume;
     if trace_out.is_some() {
         obs::set_enabled(true);
     }
@@ -170,11 +191,16 @@ fn main() {
             continue;
         }
         eprintln!("== running {} — {}", e.id, e.description);
+        // Scope shared footprint graphs to this experiment: the cache
+        // entries it creates are dropped when the scope ends, so running
+        // many experiments back to back holds no stale graphs.
+        let footprint_scope = dynnet::graph::generators::FootprintScope::new();
         // TIMING: per-experiment elapsed time goes to stderr progress only;
         // the generated tables contain no wall-clock values.
         let start = Instant::now();
         let tables = (e.run)(&ctx);
         let elapsed = start.elapsed();
+        drop(footprint_scope);
         let mut md = format!("## {} — {}\n\n", e.id.to_uppercase(), e.description);
         for t in &tables {
             md.push_str(&t.to_markdown());

@@ -187,7 +187,7 @@ pub fn e11_concat_vs_restart(ctx: &ExpContext) -> Vec<Table> {
                     let mut restart_churn = ChurnStats::new();
                     Scenario::new(n)
                         .algorithm(move |v: NodeId| RestartColoring::new(v, period))
-                        .adversary(ScriptedAdversary::new(recorder.into_trace()))
+                        .adversary(ScriptedAdversary::new(recorder.into_trace().expect("recorded trace")))
                         .seed(12)
                         .rounds(rounds)
                         .run(&mut [&mut restart_verifier, &mut restart_churn]);
@@ -218,7 +218,7 @@ pub fn e11_concat_vs_restart(ctx: &ExpContext) -> Vec<Table> {
                     let mut restart_churn = ChurnStats::new();
                     Scenario::new(n)
                         .algorithm(move |v: NodeId| RestartMis::new(v, period))
-                        .adversary(ScriptedAdversary::new(recorder.into_trace()))
+                        .adversary(ScriptedAdversary::new(recorder.into_trace().expect("recorded trace")))
                         .seed(14)
                         .rounds(rounds)
                         .run(&mut [&mut restart_verifier, &mut restart_churn]);
@@ -357,7 +357,7 @@ pub fn e13_tdma_mobility(ctx: &ExpContext) -> Vec<Table> {
         let s = Summary::of(&probe.success_rates);
         table.push_row(vec![
             cell.params.0.to_string(),
-            fmt2(recorder.trace().total_edge_changes() as f64 / rounds as f64),
+            fmt2(recorder.trace().map_or(0, |t| t.total_edge_changes()) as f64 / rounds as f64),
             fmt_pct(s.mean),
             fmt_pct(s.min),
             fmt2(Summary::of(&probe.frame_lengths).mean),

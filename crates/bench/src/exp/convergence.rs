@@ -7,11 +7,12 @@
 
 use super::ExpContext;
 use dynnet::core::mis::independence_violations;
+use dynnet::graph::CodecError;
 use dynnet::metrics::{fmt2, log_fit, Summary, Table};
 use dynnet::prelude::*;
 use dynnet::runtime::rng::experiment_rng;
 use dynnet::runtime::AlgorithmFactory;
-use dynnet::sweep::{fold, Aggregator, Cell, CellRows, GroupedSummary, SweepSpec};
+use dynnet::sweep::{Cell, CellRows, CellValue, SweepSpec};
 
 const N_SWEEP: &[usize] = &[64, 128, 256, 512, 1024, 2048, 4096];
 const N_SWEEP_SMOKE: &[usize] = &[64, 128, 256];
@@ -88,9 +89,12 @@ pub fn e1_basic_coloring_scaling(ctx: &ExpContext) -> Vec<Table> {
     let spec = SweepSpec::grid3("e1", &family_idx, n_axis, &seeds, |&f, &n, &seed| {
         (format!("{} n={n} seed={seed}", families[f]), (f, n, seed))
     });
-    let run = ctx
-        .engine
-        .run(&spec, |cell| {
+    // Streaming grouped sweep: each (family, n) group folds to its Summary
+    // as its last seed lands, so only in-flight groups are buffered (and
+    // every finished cell checkpoints under `--checkpoint-dir`).
+    let grouped = ctx.run_grouped(
+        &spec,
+        |cell| {
             let (f, n, seed) = cell.params;
             let name = families[f];
             let fam = if f == 1 {
@@ -109,27 +113,28 @@ pub fn e1_basic_coloring_scaling(ctx: &ExpContext) -> Vec<Table> {
                     .rounds(400),
                 |o: &ColorOutput| o.is_decided(),
             ) as f64
-        })
-        .expect("e1 sweep");
-    let mut agg = fold(
-        &spec,
-        run,
-        GroupedSummary::new(
-            "E1 — Basic coloring (Algorithm 6): rounds until all nodes colored (static graphs)",
-            &["family", "n", "mean rounds", "max rounds", "mean/log2(n)"],
-            |c: &Cell<(usize, usize, u64)>| (c.params.0, c.params.1),
-            |_c: &Cell<(usize, usize, u64)>, r: &f64| *r,
-            |k: &(usize, usize), s: &Summary| scaling_row(families[k.0].to_string(), k.1, s),
-        ),
+        },
+        |c: &Cell<(usize, usize, u64)>| (c.params.0, c.params.1),
+        |k: &(usize, usize), _cells: &[Cell<(usize, usize, u64)>], results: Vec<f64>| {
+            (*k, Summary::of(&results))
+        },
     );
-    let mut tables = Aggregator::<(usize, usize, u64), f64>::finish(&mut agg);
-    tables.push(fit_table(
-        "E1 — O(log n) shape check (least-squares fit of mean rounds)",
-        "family",
-        agg.groups(),
-        |&f| families[f].to_string(),
-    ));
-    tables
+    let mut table = Table::new(
+        "E1 — Basic coloring (Algorithm 6): rounds until all nodes colored (static graphs)",
+        &["family", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+    );
+    for (k, s) in &grouped.groups {
+        table.push_row(scaling_row(families[k.0].to_string(), k.1, s));
+    }
+    vec![
+        table,
+        fit_table(
+            "E1 — O(log n) shape check (least-squares fit of mean rounds)",
+            "family",
+            &grouped.groups,
+            |&f| families[f].to_string(),
+        ),
+    ]
 }
 
 /// E2: DColor — rounds until all nodes colored under edge churn, over a
@@ -145,9 +150,9 @@ pub fn e2_dcolor_scaling_under_churn(ctx: &ExpContext) -> Vec<Table> {
     let spec = SweepSpec::grid3("e2", churns, n_axis, &seeds, |&churn, &n, &seed| {
         (format!("p={churn} n={n} seed={seed}"), (churn, n, seed))
     });
-    let run = ctx
-        .engine
-        .run(&spec, |cell| {
+    let grouped = ctx.run_grouped(
+        &spec,
+        |cell| {
             let (churn, n, seed) = cell.params;
             let footprint = generators::shared_footprint(
                 &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
@@ -170,27 +175,28 @@ pub fn e2_dcolor_scaling_under_churn(ctx: &ExpContext) -> Vec<Table> {
                     .rounds(400),
                 |o: &ColorOutput| o.is_decided(),
             ) as f64
-        })
-        .expect("e2 sweep");
-    let mut agg = fold(
-        &spec,
-        run,
-        GroupedSummary::new(
-            "E2 — DColor (Algorithm 2): rounds until all nodes colored under per-edge flip churn",
-            &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
-            |c: &Cell<(f64, usize, u64)>| (c.params.0, c.params.1),
-            |_c: &Cell<(f64, usize, u64)>, r: &f64| *r,
-            |k: &(f64, usize), s: &Summary| scaling_row(format!("{}", k.0), k.1, s),
-        ),
+        },
+        |c: &Cell<(f64, usize, u64)>| (c.params.0, c.params.1),
+        |k: &(f64, usize), _cells: &[Cell<(f64, usize, u64)>], results: Vec<f64>| {
+            (*k, Summary::of(&results))
+        },
     );
-    let mut tables = Aggregator::<(f64, usize, u64), f64>::finish(&mut agg);
-    tables.push(fit_table(
-        "E2 — O(log n) shape check",
-        "churn p",
-        agg.groups(),
-        |&p| format!("{p}"),
-    ));
-    tables
+    let mut table = Table::new(
+        "E2 — DColor (Algorithm 2): rounds until all nodes colored under per-edge flip churn",
+        &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+    );
+    for (k, s) in &grouped.groups {
+        table.push_row(scaling_row(format!("{}", k.0), k.1, s));
+    }
+    vec![
+        table,
+        fit_table(
+            "E2 — O(log n) shape check",
+            "churn p",
+            &grouped.groups,
+            |&p| format!("{p}"),
+        ),
+    ]
 }
 
 /// Per-cell progress counters of the E3 measurement.
@@ -201,6 +207,30 @@ struct ProgressCounts {
     shrink_events: usize,
     colored_given_no_shrink: usize,
     no_shrink: usize,
+}
+
+impl CellValue for ProgressCounts {
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.observed,
+            self.colored_events,
+            self.shrink_events,
+            self.colored_given_no_shrink,
+            self.no_shrink,
+        ] {
+            v.encode_value(out);
+        }
+    }
+
+    fn decode_value(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(ProgressCounts {
+            observed: usize::decode_value(input)?,
+            colored_events: usize::decode_value(input)?,
+            shrink_events: usize::decode_value(input)?,
+            colored_given_no_shrink: usize::decode_value(input)?,
+            no_shrink: usize::decode_value(input)?,
+        })
+    }
 }
 
 /// E3: DColor per-round progress events (Lemma 4.3): among nodes that are
@@ -215,90 +245,88 @@ pub fn e3_dcolor_progress(ctx: &ExpContext) -> Vec<Table> {
     let spec = SweepSpec::grid1("e3", graphs, |&(name, avg_deg)| {
         (format!("{name} n={n}"), (name, avg_deg))
     });
-    ctx.engine
-        .aggregate(
-            &spec,
-            |cell| {
-                let (_, avg_deg) = cell.params;
-                let g = generators::shared_footprint(
-                    &generators::GraphFamily::ErdosRenyi {
-                        avg_degree: avg_deg,
-                    },
-                    n,
-                    1,
-                    "e3",
-                    || generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3")),
-                );
-                let mut runner = Scenario::new(n)
-                    .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
-                    .adversary(StaticAdversary::new((*g).clone()))
-                    .seed(3)
-                    .rounds(rounds)
-                    .runner();
-                let mut c = ProgressCounts::default();
-                let mut prev_state: Vec<Option<(bool, usize)>> = vec![None; n]; // (colored, palette size)
-                while runner.step(&mut []) {
-                    #[allow(clippy::needless_range_loop)]
-                    for i in 0..n {
-                        let node = runner.sim().node(NodeId::new(i)).unwrap();
-                        let colored_now = node.output().is_decided();
-                        let palette_now = node.palette().len();
-                        if let Some((was_colored, old_palette)) = prev_state[i] {
-                            if !was_colored && old_palette > 0 {
-                                c.observed += 1;
-                                let shrank = palette_now as f64 <= 0.75 * old_palette as f64;
+    ctx.aggregate(
+        &spec,
+        |cell| {
+            let (_, avg_deg) = cell.params;
+            let g = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi {
+                    avg_degree: avg_deg,
+                },
+                n,
+                1,
+                "e3",
+                || generators::erdos_renyi_avg_degree(n, avg_deg, &mut experiment_rng(1, "e3")),
+            );
+            let mut runner = Scenario::new(n)
+                .algorithm(|v: NodeId| DColor::new(v, ColorOutput::Undecided))
+                .adversary(StaticAdversary::new((*g).clone()))
+                .seed(3)
+                .rounds(rounds)
+                .runner();
+            let mut c = ProgressCounts::default();
+            let mut prev_state: Vec<Option<(bool, usize)>> = vec![None; n]; // (colored, palette size)
+            while runner.step(&mut []) {
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n {
+                    let node = runner.sim().node(NodeId::new(i)).unwrap();
+                    let colored_now = node.output().is_decided();
+                    let palette_now = node.palette().len();
+                    if let Some((was_colored, old_palette)) = prev_state[i] {
+                        if !was_colored && old_palette > 0 {
+                            c.observed += 1;
+                            let shrank = palette_now as f64 <= 0.75 * old_palette as f64;
+                            if colored_now {
+                                c.colored_events += 1;
+                            }
+                            if shrank {
+                                c.shrink_events += 1;
+                            } else {
+                                c.no_shrink += 1;
                                 if colored_now {
-                                    c.colored_events += 1;
-                                }
-                                if shrank {
-                                    c.shrink_events += 1;
-                                } else {
-                                    c.no_shrink += 1;
-                                    if colored_now {
-                                        c.colored_given_no_shrink += 1;
-                                    }
+                                    c.colored_given_no_shrink += 1;
                                 }
                             }
                         }
-                        prev_state[i] = Some((colored_now, palette_now));
                     }
+                    prev_state[i] = Some((colored_now, palette_now));
                 }
-                c
+            }
+            c
+        },
+        CellRows::new(
+            "E3 — DColor per-round progress events (Lemma 4.3)",
+            &[
+                "graph",
+                "node-rounds observed",
+                "colored",
+                "palette shrank ≥1/4",
+                "P(colored | no big shrink)",
+                "claimed lower bound",
+            ],
+            |cell: &Cell<(&str, f64)>, c: ProgressCounts| {
+                let p_cond = if c.no_shrink > 0 {
+                    c.colored_given_no_shrink as f64 / c.no_shrink as f64
+                } else {
+                    1.0
+                };
+                vec![vec![
+                    cell.params.0.to_string(),
+                    c.observed.to_string(),
+                    format!(
+                        "{:.1}%",
+                        100.0 * c.colored_events as f64 / c.observed.max(1) as f64
+                    ),
+                    format!(
+                        "{:.1}%",
+                        100.0 * c.shrink_events as f64 / c.observed.max(1) as f64
+                    ),
+                    format!("{:.3}", p_cond),
+                    "0.016 (= 1/64)".to_string(),
+                ]]
             },
-            CellRows::new(
-                "E3 — DColor per-round progress events (Lemma 4.3)",
-                &[
-                    "graph",
-                    "node-rounds observed",
-                    "colored",
-                    "palette shrank ≥1/4",
-                    "P(colored | no big shrink)",
-                    "claimed lower bound",
-                ],
-                |cell: &Cell<(&str, f64)>, c: ProgressCounts| {
-                    let p_cond = if c.no_shrink > 0 {
-                        c.colored_given_no_shrink as f64 / c.no_shrink as f64
-                    } else {
-                        1.0
-                    };
-                    vec![vec![
-                        cell.params.0.to_string(),
-                        c.observed.to_string(),
-                        format!(
-                            "{:.1}%",
-                            100.0 * c.colored_events as f64 / c.observed.max(1) as f64
-                        ),
-                        format!(
-                            "{:.1}%",
-                            100.0 * c.shrink_events as f64 / c.observed.max(1) as f64
-                        ),
-                        format!("{:.3}", p_cond),
-                        "0.016 (= 1/64)".to_string(),
-                    ]]
-                },
-            ),
-        )
-        .expect("e3 sweep")
+        ),
+    )
 }
 
 /// Streaming probe for the E6 decay measurement: maintains the running
@@ -360,9 +388,9 @@ pub fn e6_dmis_scaling_and_decay(ctx: &ExpContext) -> Vec<Table> {
     let spec = SweepSpec::grid3("e6", churns, n_axis, &seeds, |&churn, &n, &seed| {
         (format!("p={churn} n={n} seed={seed}"), (churn, n, seed))
     });
-    let run = ctx
-        .engine
-        .run(&spec, |cell| {
+    let grouped = ctx.run_grouped(
+        &spec,
+        |cell| {
             let (churn, n, seed) = cell.params;
             let footprint = generators::shared_footprint(
                 &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
@@ -385,24 +413,24 @@ pub fn e6_dmis_scaling_and_decay(ctx: &ExpContext) -> Vec<Table> {
                     .rounds(400),
                 |o: &MisOutput| o.is_decided(),
             ) as f64
-        })
-        .expect("e6 sweep");
-    let mut agg = fold(
-        &spec,
-        run,
-        GroupedSummary::new(
-            "E6 — DMis (Algorithm 4): rounds until all nodes decided",
-            &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
-            |c: &Cell<(f64, usize, u64)>| (c.params.0, c.params.1),
-            |_c: &Cell<(f64, usize, u64)>, r: &f64| *r,
-            |k: &(f64, usize), s: &Summary| scaling_row(format!("{}", k.0), k.1, s),
-        ),
+        },
+        |c: &Cell<(f64, usize, u64)>| (c.params.0, c.params.1),
+        |k: &(f64, usize), _cells: &[Cell<(f64, usize, u64)>], results: Vec<f64>| {
+            (*k, Summary::of(&results))
+        },
     );
-    let mut tables = Aggregator::<(f64, usize, u64), f64>::finish(&mut agg);
+    let mut scaling = Table::new(
+        "E6 — DMis (Algorithm 4): rounds until all nodes decided",
+        &["churn p", "n", "mean rounds", "max rounds", "mean/log2(n)"],
+    );
+    for (k, s) in &grouped.groups {
+        scaling.push_row(scaling_row(format!("{}", k.0), k.1, s));
+    }
+    let mut tables = vec![scaling];
     tables.push(fit_table(
         "E6 — O(log n) shape check",
         "churn p",
-        agg.groups(),
+        &grouped.groups,
         |&p| format!("{p}"),
     ));
 
@@ -414,65 +442,62 @@ pub fn e6_dmis_scaling_and_decay(ctx: &ExpContext) -> Vec<Table> {
     let decay_spec = SweepSpec::grid1("e6-decay", &[0.0f64, 0.05], |&churn| {
         (format!("decay p={churn}"), churn)
     });
-    let mut decay_tables = ctx
-        .engine
-        .aggregate(
-            &decay_spec,
-            |cell| {
-                let churn = cell.params;
-                let footprint = generators::shared_footprint(
-                    &generators::GraphFamily::ErdosRenyi { avg_degree: 12.0 },
-                    decay_n,
-                    7,
-                    "e6-decay",
-                    || {
-                        generators::erdos_renyi_avg_degree(
-                            decay_n,
-                            12.0,
-                            &mut experiment_rng(7, "e6-decay"),
-                        )
-                    },
-                );
-                let mut probe = DecayProbe {
-                    intersection: None,
-                    series: Series::new("undecided-edges"),
-                    done: false,
-                };
-                let mut runner = Scenario::new(decay_n)
-                    .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
-                    .adversary(FlipChurnAdversary::new(&footprint, churn, 303))
-                    .seed(5)
-                    .rounds(decay_rounds)
-                    .runner();
-                while runner.step(&mut [&mut probe]) {
-                    if probe.done {
-                        break;
-                    }
-                }
-                probe.series.decay_ratios(2)
-            },
-            CellRows::new(
-                "E6 — Undecided-edge decay per 2 rounds (Lemma 5.2: expected factor ≤ 2/3)",
-                &[
-                    "graph",
-                    "churn p",
-                    "mean decay factor",
-                    "p95 decay factor",
-                    "samples",
-                ],
-                |cell: &Cell<f64>, ratios: Vec<f64>| {
-                    let s = Summary::of(&ratios);
-                    vec![vec![
-                        format!("ER d̄=12, n={decay_n}"),
-                        format!("{}", cell.params),
-                        fmt2(s.mean),
-                        fmt2(s.p95),
-                        s.count.to_string(),
-                    ]]
+    let mut decay_tables = ctx.aggregate(
+        &decay_spec,
+        |cell| {
+            let churn = cell.params;
+            let footprint = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 12.0 },
+                decay_n,
+                7,
+                "e6-decay",
+                || {
+                    generators::erdos_renyi_avg_degree(
+                        decay_n,
+                        12.0,
+                        &mut experiment_rng(7, "e6-decay"),
+                    )
                 },
-            ),
-        )
-        .expect("e6 decay sweep");
+            );
+            let mut probe = DecayProbe {
+                intersection: None,
+                series: Series::new("undecided-edges"),
+                done: false,
+            };
+            let mut runner = Scenario::new(decay_n)
+                .algorithm(|v: NodeId| DMis::new(v, MisOutput::Undecided))
+                .adversary(FlipChurnAdversary::new(&footprint, churn, 303))
+                .seed(5)
+                .rounds(decay_rounds)
+                .runner();
+            while runner.step(&mut [&mut probe]) {
+                if probe.done {
+                    break;
+                }
+            }
+            probe.series.decay_ratios(2)
+        },
+        CellRows::new(
+            "E6 — Undecided-edge decay per 2 rounds (Lemma 5.2: expected factor ≤ 2/3)",
+            &[
+                "graph",
+                "churn p",
+                "mean decay factor",
+                "p95 decay factor",
+                "samples",
+            ],
+            |cell: &Cell<f64>, ratios: Vec<f64>| {
+                let s = Summary::of(&ratios);
+                vec![vec![
+                    format!("ER d̄=12, n={decay_n}"),
+                    format!("{}", cell.params),
+                    fmt2(s.mean),
+                    fmt2(s.p95),
+                    s.count.to_string(),
+                ]]
+            },
+        ),
+    );
     tables.append(&mut decay_tables);
     tables
 }
@@ -490,9 +515,9 @@ pub fn e7_smis_scaling(ctx: &ExpContext) -> Vec<Table> {
     let spec = SweepSpec::grid2("e7", n_axis, &seeds, |&n, &seed| {
         (format!("n={n} seed={seed}"), (n, seed))
     });
-    let run = ctx
-        .engine
-        .run(&spec, |cell| {
+    let grouped = ctx.run_grouped(
+        &spec,
+        |cell| {
             let (n, seed) = cell.params;
             let g = generators::shared_footprint(
                 &generators::GraphFamily::ErdosRenyi { avg_degree: 10.0 },
@@ -515,29 +540,25 @@ pub fn e7_smis_scaling(ctx: &ExpContext) -> Vec<Table> {
                     .rounds(600),
                 |o: &MisOutput| o.is_decided(),
             ) as f64
-        })
-        .expect("e7 sweep");
-    let mut agg = fold(
-        &spec,
-        run,
-        GroupedSummary::new(
-            "E7 — SMis (Algorithm 5): rounds until all nodes decided (static graphs)",
-            &["n", "mean rounds", "max rounds", "mean/log2(n)"],
-            |c: &Cell<(usize, u64)>| c.params.0,
-            |_c: &Cell<(usize, u64)>, r: &f64| *r,
-            |&n: &usize, s: &Summary| {
-                vec![
-                    n.to_string(),
-                    fmt2(s.mean),
-                    fmt2(s.max),
-                    fmt2(s.mean / (n as f64).log2()),
-                ]
-            },
-        ),
+        },
+        |c: &Cell<(usize, u64)>| c.params.0,
+        |&n: &usize, _cells: &[Cell<(usize, u64)>], results: Vec<f64>| (n, Summary::of(&results)),
     );
-    let mut tables = Aggregator::<(usize, u64), f64>::finish(&mut agg);
+    let mut scaling = Table::new(
+        "E7 — SMis (Algorithm 5): rounds until all nodes decided (static graphs)",
+        &["n", "mean rounds", "max rounds", "mean/log2(n)"],
+    );
+    for (n, s) in &grouped.groups {
+        scaling.push_row(vec![
+            n.to_string(),
+            fmt2(s.mean),
+            fmt2(s.max),
+            fmt2(s.mean / (*n as f64).log2()),
+        ]);
+    }
+    let mut tables = vec![scaling];
     let mut fits = Table::new("E7 — O(log n) shape check", &["fit", "R²"]);
-    let points: Vec<(usize, f64)> = agg.groups().iter().map(|(n, s)| (*n, s.mean)).collect();
+    let points: Vec<(usize, f64)> = grouped.groups.iter().map(|(n, s)| (*n, s.mean)).collect();
     if let Some(fit) = log_fit(&points) {
         fits.push_row(vec![
             format!("{:.2} + {:.2}·log2(n)", fit.intercept, fit.slope),

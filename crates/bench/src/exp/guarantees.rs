@@ -71,66 +71,64 @@ pub fn e4_combined_coloring_under_churn(ctx: &ExpContext) -> Vec<Table> {
         &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1]
     };
     let spec = SweepSpec::grid1("e4", churns, |&churn| (format!("p={churn}"), churn));
-    ctx.engine
-        .aggregate(
-            &spec,
-            |cell| {
-                let churn = cell.params;
-                let footprint = generators::shared_footprint(
-                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
-                    n,
-                    4,
-                    "e4",
-                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(4, "e4")),
-                );
-                let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
-                let mut streak = EdgeConflictStreak::new(window);
-                let mut recorder = TraceRecorder::graphs_only();
-                let runner = Scenario::new(n)
-                    .algorithm(dynamic_coloring(window))
-                    .adversary(FlipChurnAdversary::new(
-                        &footprint,
-                        churn,
-                        400 + (churn * 1e4) as u64,
-                    ))
-                    .seed(4)
-                    .rounds(rounds)
-                    .run(&mut [&mut verifier, &mut streak, &mut recorder]);
-                let summary = verifier.into_summary();
-                let final_out: Vec<ColorOutput> = runner
-                    .outputs()
-                    .iter()
-                    .map(|o| o.unwrap_or(ColorOutput::Undecided))
-                    .collect();
-                vec![
-                    format!("{churn}"),
-                    fmt2(recorder.trace().total_edge_changes() as f64 / rounds as f64),
-                    format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
-                    format!(
-                        "{} ({})",
-                        streak.longest,
-                        if streak.longest < window { "yes" } else { "NO" }
-                    ),
-                    max_color_used(&final_out).to_string(),
-                    (footprint.max_degree() + 1).to_string(),
-                ]
-            },
-            CellRows::new(
+    ctx.aggregate(
+        &spec,
+        |cell| {
+            let churn = cell.params;
+            let footprint = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                n,
+                4,
+                "e4",
+                || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(4, "e4")),
+            );
+            let mut verifier = TDynamicVerifier::new(ColoringProblem, window);
+            let mut streak = EdgeConflictStreak::new(window);
+            let mut recorder = TraceRecorder::graphs_only();
+            let runner = Scenario::new(n)
+                .algorithm(dynamic_coloring(window))
+                .adversary(FlipChurnAdversary::new(
+                    &footprint,
+                    churn,
+                    400 + (churn * 1e4) as u64,
+                ))
+                .seed(4)
+                .rounds(rounds)
+                .run(&mut [&mut verifier, &mut streak, &mut recorder]);
+            let summary = verifier.into_summary();
+            let final_out: Vec<ColorOutput> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.unwrap_or(ColorOutput::Undecided))
+                .collect();
+            vec![
+                format!("{churn}"),
+                fmt2(recorder.trace().map_or(0, |t| t.total_edge_changes()) as f64 / rounds as f64),
+                format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
                 format!(
-                    "E4 — Combined coloring (Corollary 1.2), n = {n}, T = {window}, {rounds} rounds"
+                    "{} ({})",
+                    streak.longest,
+                    if streak.longest < window { "yes" } else { "NO" }
                 ),
-                &[
-                    "churn p",
-                    "edge changes/round",
-                    "T-dynamic valid rounds",
-                    "max per-edge conflict duration (< T?)",
-                    "max color used",
-                    "max degree + 1",
-                ],
-                |_cell: &Cell<f64>, row: Vec<String>| vec![row],
+                max_color_used(&final_out).to_string(),
+                (footprint.max_degree() + 1).to_string(),
+            ]
+        },
+        CellRows::new(
+            format!(
+                "E4 — Combined coloring (Corollary 1.2), n = {n}, T = {window}, {rounds} rounds"
             ),
-        )
-        .expect("e4 sweep")
+            &[
+                "churn p",
+                "edge changes/round",
+                "T-dynamic valid rounds",
+                "max per-edge conflict duration (< T?)",
+                "max color used",
+                "max degree + 1",
+            ],
+            |_cell: &Cell<f64>, row: Vec<String>| vec![row],
+        ),
+    )
 }
 
 /// E5: locally-static stability of the combined coloring — a single-cell
@@ -145,8 +143,7 @@ pub fn e5_locally_static_coloring(ctx: &ExpContext) -> Vec<Table> {
         NodeId::new(12 * 16 + 11),
     ];
     let spec = SweepSpec::new("e5").cell("16×16 grid", seeds);
-    ctx.engine
-        .aggregate(
+    ctx.aggregate(
             &spec,
             |cell| {
                 let seeds = &cell.params;
@@ -195,8 +192,7 @@ pub fn e5_locally_static_coloring(ctx: &ExpContext) -> Vec<Table> {
                 ],
                 |_cell: &Cell<Vec<NodeId>>, rows: Vec<Vec<String>>| rows,
             ),
-        )
-        .expect("e5 sweep")
+    )
 }
 
 /// The E8 workload grid: each cell names one adversary configuration and
@@ -229,76 +225,69 @@ pub fn e8_combined_mis_under_churn(ctx: &ExpContext) -> Vec<Table> {
         all_workloads
     };
     let spec = SweepSpec::grid1("e8", workloads, |&(name, w)| (name.to_string(), (name, w)));
-    ctx.engine
-        .aggregate(
-            &spec,
-            |cell| {
-                let (name, workload) = cell.params;
-                let footprint = generators::shared_footprint(
-                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
-                    n,
-                    8,
-                    "e8",
-                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(8, "e8")),
-                );
-                let adv: Box<dyn OutputAdversary<MisOutput>> = match workload {
-                    E8Workload::Static => Box::new(StaticAdversary::new((*footprint).clone())),
-                    E8Workload::Flip(p, seed) => {
-                        Box::new(FlipChurnAdversary::new(&footprint, p, seed))
-                    }
-                    E8Workload::Mobility => Box::new(MobilityAdversary::new(
-                        MobilityConfig {
-                            n,
-                            radius: 0.08,
-                            min_speed: 0.002,
-                            max_speed: 0.01,
-                        },
-                        83,
-                    )),
-                    E8Workload::NodeChurn => {
-                        Box::new(NodeChurnAdversary::new((*footprint).clone(), 0.02, 0.1, 84))
-                    }
-                };
-                let mut verifier = TDynamicVerifier::new(MisProblem, window);
-                let mut churn = ChurnStats::new();
-                let mut recorder = TraceRecorder::graphs_only();
-                let runner = Scenario::new(n)
-                    .algorithm(dynamic_mis(n, window))
-                    .adversary(adv)
-                    .seed(8)
-                    .rounds(rounds)
-                    .run(&mut [&mut verifier, &mut churn, &mut recorder]);
-                let summary = verifier.into_summary();
-                let final_out: Vec<MisOutput> = runner
-                    .outputs()
-                    .iter()
-                    .map(|o| o.unwrap_or(MisOutput::Undecided))
-                    .collect();
-                let steady_churn =
-                    churn.total_from(2 * window) as f64 / (rounds - 2 * window) as f64;
-                vec![
-                    name.to_string(),
-                    fmt2(recorder.trace().total_edge_changes() as f64 / rounds as f64),
-                    format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
-                    dynnet::core::mis::mis_size(&final_out).to_string(),
-                    fmt2(steady_churn),
-                ]
-            },
-            CellRows::new(
-                format!(
-                    "E8 — Combined MIS (Corollary 1.3), n = {n}, T = {window}, {rounds} rounds"
-                ),
-                &[
-                    "workload",
-                    "edge changes/round",
-                    "T-dynamic valid rounds",
-                    "MIS size (final)",
-                    "output changes/round (steady state)",
-                ],
-                |_cell: &Cell<(&str, E8Workload)>, row: Vec<String>| vec![row],
-            ),
-        )
-        .expect("e8 sweep")
+    ctx.aggregate(
+        &spec,
+        |cell| {
+            let (name, workload) = cell.params;
+            let footprint = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                n,
+                8,
+                "e8",
+                || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(8, "e8")),
+            );
+            let adv: Box<dyn OutputAdversary<MisOutput>> = match workload {
+                E8Workload::Static => Box::new(StaticAdversary::new((*footprint).clone())),
+                E8Workload::Flip(p, seed) => Box::new(FlipChurnAdversary::new(&footprint, p, seed)),
+                E8Workload::Mobility => Box::new(MobilityAdversary::new(
+                    MobilityConfig {
+                        n,
+                        radius: 0.08,
+                        min_speed: 0.002,
+                        max_speed: 0.01,
+                    },
+                    83,
+                )),
+                E8Workload::NodeChurn => {
+                    Box::new(NodeChurnAdversary::new((*footprint).clone(), 0.02, 0.1, 84))
+                }
+            };
+            let mut verifier = TDynamicVerifier::new(MisProblem, window);
+            let mut churn = ChurnStats::new();
+            let mut recorder = TraceRecorder::graphs_only();
+            let runner = Scenario::new(n)
+                .algorithm(dynamic_mis(n, window))
+                .adversary(adv)
+                .seed(8)
+                .rounds(rounds)
+                .run(&mut [&mut verifier, &mut churn, &mut recorder]);
+            let summary = verifier.into_summary();
+            let final_out: Vec<MisOutput> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.unwrap_or(MisOutput::Undecided))
+                .collect();
+            let steady_churn = churn.total_from(2 * window) as f64 / (rounds - 2 * window) as f64;
+            vec![
+                name.to_string(),
+                fmt2(recorder.trace().map_or(0, |t| t.total_edge_changes()) as f64 / rounds as f64),
+                format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
+                dynnet::core::mis::mis_size(&final_out).to_string(),
+                fmt2(steady_churn),
+            ]
+        },
+        CellRows::new(
+            format!("E8 — Combined MIS (Corollary 1.3), n = {n}, T = {window}, {rounds} rounds"),
+            &[
+                "workload",
+                "edge changes/round",
+                "T-dynamic valid rounds",
+                "MIS size (final)",
+                "output changes/round (steady state)",
+            ],
+            |_cell: &Cell<(&str, E8Workload)>, row: Vec<String>| vec![row],
+        ),
+    )
 }
 
 /// The E10 wake-up schedule grid.
@@ -327,65 +316,62 @@ pub fn e10_asynchronous_wakeup(ctx: &ExpContext) -> Vec<Table> {
         all_schedules
     };
     let spec = SweepSpec::grid1("e10", schedules, |&(name, s)| (name.to_string(), (name, s)));
-    ctx.engine
-        .aggregate(
-            &spec,
-            |cell| {
-                let (name, schedule) = cell.params;
-                let footprint = generators::shared_footprint(
-                    &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
-                    n,
-                    10,
-                    "e10",
-                    || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(10, "e10")),
-                );
-                let wake_rounds: Vec<u64> = match schedule {
-                    E10Schedule::AllAtZero => vec![0; n],
-                    E10Schedule::Uniform => {
-                        let w = RandomWakeup::new(n, 2 * window as u64, 55);
-                        (0..n).map(|i| w.wake_round(NodeId::new(i))).collect()
-                    }
-                    E10Schedule::Staggered => {
-                        (0..n).map(|i| (i as u64).min(3 * window as u64)).collect()
-                    }
-                };
-                let warmup = wake_rounds.iter().map(|&w| w as usize).max().unwrap_or(0) + window;
-                let mut tracker = ConvergenceTracker::new(|o: &ColorOutput| o.is_decided());
-                let mut verifier =
-                    TDynamicVerifier::new(ColoringProblem, window).check_from(warmup);
-                Scenario::new(n)
-                    .algorithm(dynamic_coloring(window))
-                    .adversary(FlipChurnAdversary::new(&footprint, 0.01, 101))
-                    .wakeup(dynnet::runtime::ScriptedWakeup {
-                        rounds: wake_rounds,
-                    })
-                    .seed(10)
-                    .rounds(rounds)
-                    .run(&mut [&mut tracker, &mut verifier]);
-                // Rounds from wake-up until the node's output is first
-                // decided.
-                let latency: Vec<f64> = tracker.latencies().iter().map(|&l| l as f64).collect();
-                let s = Summary::of(&latency);
-                let summary = verifier.into_summary();
-                vec![
-                    name.to_string(),
-                    fmt2(s.mean),
-                    fmt2(s.p95),
-                    format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
-                ]
-            },
-            CellRows::new(
-                format!("E10 — Asynchronous wake-up, combined coloring, n = {n}, T = {window}"),
-                &[
-                    "wake-up schedule",
-                    "rounds to first decision after wake (mean)",
-                    "rounds to first decision after wake (p95)",
-                    "T-dynamic valid rounds after warm-up",
-                ],
-                |_cell: &Cell<(&str, E10Schedule)>, row: Vec<String>| vec![row],
-            ),
-        )
-        .expect("e10 sweep")
+    ctx.aggregate(
+        &spec,
+        |cell| {
+            let (name, schedule) = cell.params;
+            let footprint = generators::shared_footprint(
+                &generators::GraphFamily::ErdosRenyi { avg_degree: 8.0 },
+                n,
+                10,
+                "e10",
+                || generators::erdos_renyi_avg_degree(n, 8.0, &mut experiment_rng(10, "e10")),
+            );
+            let wake_rounds: Vec<u64> = match schedule {
+                E10Schedule::AllAtZero => vec![0; n],
+                E10Schedule::Uniform => {
+                    let w = RandomWakeup::new(n, 2 * window as u64, 55);
+                    (0..n).map(|i| w.wake_round(NodeId::new(i))).collect()
+                }
+                E10Schedule::Staggered => {
+                    (0..n).map(|i| (i as u64).min(3 * window as u64)).collect()
+                }
+            };
+            let warmup = wake_rounds.iter().map(|&w| w as usize).max().unwrap_or(0) + window;
+            let mut tracker = ConvergenceTracker::new(|o: &ColorOutput| o.is_decided());
+            let mut verifier = TDynamicVerifier::new(ColoringProblem, window).check_from(warmup);
+            Scenario::new(n)
+                .algorithm(dynamic_coloring(window))
+                .adversary(FlipChurnAdversary::new(&footprint, 0.01, 101))
+                .wakeup(dynnet::runtime::ScriptedWakeup {
+                    rounds: wake_rounds,
+                })
+                .seed(10)
+                .rounds(rounds)
+                .run(&mut [&mut tracker, &mut verifier]);
+            // Rounds from wake-up until the node's output is first
+            // decided.
+            let latency: Vec<f64> = tracker.latencies().iter().map(|&l| l as f64).collect();
+            let s = Summary::of(&latency);
+            let summary = verifier.into_summary();
+            vec![
+                name.to_string(),
+                fmt2(s.mean),
+                fmt2(s.p95),
+                format!("{}/{}", summary.rounds_valid, summary.rounds_checked),
+            ]
+        },
+        CellRows::new(
+            format!("E10 — Asynchronous wake-up, combined coloring, n = {n}, T = {window}"),
+            &[
+                "wake-up schedule",
+                "rounds to first decision after wake (mean)",
+                "rounds to first decision after wake (p95)",
+                "T-dynamic valid rounds after warm-up",
+            ],
+            |_cell: &Cell<(&str, E10Schedule)>, row: Vec<String>| vec![row],
+        ),
+    )
 }
 
 /// E12: sweep the window size below and above the recommended `Θ(log n)`

@@ -37,7 +37,10 @@ pub mod convergence;
 pub mod guarantees;
 
 use dynnet::metrics::Table;
-use dynnet::sweep::SweepEngine;
+use dynnet::sweep::{
+    Aggregator, Cell, CellValue, CheckpointStore, GroupedRun, SweepEngine, SweepRun, SweepSpec,
+};
+use std::path::PathBuf;
 
 /// Harness-wide execution context handed to every experiment.
 pub struct ExpContext {
@@ -46,6 +49,13 @@ pub struct ExpContext {
     /// Reduced-grid smoke mode (CI): shrink grids/horizons so a sweep
     /// finishes in seconds while still exercising every code path.
     pub smoke: bool,
+    /// Durable per-cell checkpointing: when set (`--checkpoint-dir`), every
+    /// checkpointable sweep persists each finished cell under
+    /// `<dir>/<spec-name>/` so a killed run can resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume mode (`--resume`): reuse completed cells found in the
+    /// checkpoint directory instead of starting fresh.
+    pub resume: bool,
 }
 
 impl ExpContext {
@@ -54,6 +64,8 @@ impl ExpContext {
         ExpContext {
             engine: SweepEngine::new(threads),
             smoke: false,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 
@@ -61,6 +73,76 @@ impl ExpContext {
     /// concurrent sibling cells would distort wall-clock measurements.
     pub fn serial_engine(&self) -> SweepEngine {
         self.engine.serial()
+    }
+
+    /// The checkpoint store for a sweep, when `--checkpoint-dir` is set:
+    /// each spec gets its own subdirectory, created fresh or resumed per
+    /// `--resume`.
+    fn store(&self, spec_name: &str) -> Option<CheckpointStore> {
+        let dir = self.checkpoint_dir.as_ref()?.join(spec_name);
+        let store = if self.resume {
+            CheckpointStore::resume(dir)
+        } else {
+            CheckpointStore::create(dir)
+        };
+        Some(store.unwrap_or_else(|e| panic!("checkpoint store for {spec_name}: {e}")))
+    }
+
+    /// Runs a sweep, checkpointing each finished cell when
+    /// `--checkpoint-dir` is set (and skipping cells already completed when
+    /// resuming). Falls back to a plain in-memory run otherwise; results
+    /// are identical either way.
+    pub fn run<P, R, F>(&self, spec: &SweepSpec<P>, run_cell: F) -> SweepRun<R>
+    where
+        P: Sync,
+        R: Send + CellValue,
+        F: Fn(&Cell<P>) -> R + Sync,
+    {
+        let run = match self.store(spec.name()) {
+            Some(store) => self.engine.run_checkpointed(spec, &store, run_cell),
+            None => self.engine.run(spec, run_cell),
+        };
+        run.unwrap_or_else(|e| panic!("{} sweep: {e}", spec.name()))
+    }
+
+    /// Checkpointable version of [`SweepEngine::aggregate`]: runs the sweep
+    /// through [`ExpContext::run`] and folds the results in grid order.
+    pub fn aggregate<P, R, F, A>(&self, spec: &SweepSpec<P>, run_cell: F, agg: A) -> Vec<Table>
+    where
+        P: Sync,
+        R: Send + CellValue,
+        F: Fn(&Cell<P>) -> R + Sync,
+        A: Aggregator<P, R>,
+    {
+        let run = self.run(spec, run_cell);
+        let mut agg = dynnet::sweep::fold(spec, run, agg);
+        agg.finish()
+    }
+
+    /// Streaming grouped sweep (checkpointed when `--checkpoint-dir` is
+    /// set): each group of consecutive same-key cells is folded as soon as
+    /// its last cell lands, so only in-flight groups are buffered — the
+    /// bounded-memory path for large seed-ensemble grids.
+    pub fn run_grouped<P, R, K, G, F, FK, FG>(
+        &self,
+        spec: &SweepSpec<P>,
+        run_cell: F,
+        group_of: FK,
+        fold_group: FG,
+    ) -> GroupedRun<G>
+    where
+        P: Sync,
+        R: Send + CellValue,
+        K: PartialEq + Sync,
+        G: Send,
+        F: Fn(&Cell<P>) -> R + Sync,
+        FK: Fn(&Cell<P>) -> K + Sync,
+        FG: Fn(&K, &[Cell<P>], Vec<R>) -> G + Sync,
+    {
+        let store = self.store(spec.name());
+        self.engine
+            .run_grouped(spec, store.as_ref(), run_cell, group_of, fold_group)
+            .unwrap_or_else(|e| panic!("{} sweep: {e}", spec.name()))
     }
 }
 

@@ -79,19 +79,19 @@ pub mod prelude {
         VerificationSummary, VerifyError, ViolationLedger,
     };
     pub use dynnet_graph::{
-        generators, CsrApplyOutcome, CsrGraph, Edge, Graph, GraphDelta, GraphWindow, NodeId,
-        WindowUpdate,
+        generators, CodecError, CsrApplyOutcome, CsrGraph, DeltaLogReader, DeltaLogWriter, Edge,
+        Graph, GraphDelta, GraphWindow, LogStats, NodeId, WindowUpdate,
     };
     pub use dynnet_metrics::{log_fit, RowSink, Series, Summary, Table};
     pub use dynnet_obs::{MetricSource, ProgressSink, Snapshot};
     pub use dynnet_runtime::{
-        AllAtStart, ChurnStats, ConvergenceTracker, DeltaStats, MetricsObserver, NodeAlgorithm,
-        ObserverFactory, RandomWakeup, RoundObserver, RoundView, SimConfig, Simulator, Staggered,
-        TraceRecorder, WakeupSchedule,
+        AllAtStart, ChurnStats, ConvergenceTracker, DeltaLogRecorder, DeltaStats, MetricsObserver,
+        NodeAlgorithm, ObserverFactory, RandomWakeup, RoundObserver, RoundView, SimConfig,
+        Simulator, Staggered, TraceRecorder, WakeupSchedule,
     };
     pub use dynnet_sweep::{
-        run_observed, Aggregator, Cell, CellRows, GroupedSummary, SweepEngine, SweepError,
-        SweepReport, SweepRun, SweepSpec,
+        run_observed, Aggregator, Cell, CellRows, CellValue, CheckpointStore, GroupedRun,
+        GroupedSummary, KillSwitch, SweepEngine, SweepError, SweepReport, SweepRun, SweepSpec,
     };
 }
 

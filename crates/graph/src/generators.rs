@@ -9,6 +9,7 @@ use crate::node::{Edge, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// An empty graph on `n` active nodes.
@@ -275,9 +276,73 @@ const FOOTPRINT_CACHE_CAP: usize = 64;
 
 type FootprintKey = (String, usize, u64, String);
 
-fn footprint_cache() -> &'static Mutex<HashMap<FootprintKey, Arc<Graph>>> {
-    static CACHE: OnceLock<Mutex<HashMap<FootprintKey, Arc<Graph>>>> = OnceLock::new();
+/// Cached footprint plus whether it was built while a [`FootprintScope`]
+/// was active (scoped entries are dropped when the last scope ends).
+type FootprintEntry = (Arc<Graph>, bool);
+
+fn footprint_cache() -> &'static Mutex<HashMap<FootprintKey, FootprintEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<FootprintKey, FootprintEntry>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of currently live [`FootprintScope`] handles.
+static ACTIVE_FOOTPRINT_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII handle scoping the footprint cache to a sweep group: footprints
+/// built while at least one scope is live are evicted when the *last*
+/// scope drops, so a finished experiment grid releases its (potentially
+/// large) base graphs instead of pinning them for the process lifetime.
+///
+/// Entries built outside any scope keep the old process-wide behavior —
+/// they stay until the cache-cap eviction. Scopes may nest
+/// and overlap freely (e.g. concurrent sweep cells of one grid); only the
+/// final drop clears.
+#[derive(Debug)]
+pub struct FootprintScope(());
+
+impl FootprintScope {
+    /// Opens a scope; footprints built before the matching drop are
+    /// released with it.
+    pub fn new() -> FootprintScope {
+        ACTIVE_FOOTPRINT_SCOPES.fetch_add(1, Ordering::SeqCst);
+        FootprintScope(())
+    }
+}
+
+impl Default for FootprintScope {
+    fn default() -> Self {
+        FootprintScope::new()
+    }
+}
+
+impl Drop for FootprintScope {
+    fn drop(&mut self) {
+        if ACTIVE_FOOTPRINT_SCOPES.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut cache = footprint_cache()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.retain(|_, (_, scoped)| !*scoped);
+        }
+    }
+}
+
+/// Number of footprints currently cached (scoped and unscoped).
+pub fn footprint_cache_len() -> usize {
+    footprint_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len()
+}
+
+/// Number of cached footprints owned by live [`FootprintScope`]s.
+pub fn footprint_cache_scoped_len() -> usize {
+    footprint_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+        // DETERMINISM: order-independent count; hash order cannot leak.
+        .filter(|(_, scoped)| *scoped)
+        .count()
 }
 
 /// Process-wide `Arc`-cached footprint generator, keyed by
@@ -305,14 +370,15 @@ pub fn shared_footprint(
     let mut cache = footprint_cache()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if let Some(g) = cache.get(&key) {
+    if let Some((g, _)) = cache.get(&key) {
         return Arc::clone(g);
     }
     if cache.len() >= FOOTPRINT_CACHE_CAP {
         cache.clear();
     }
     let g = Arc::new(build());
-    cache.insert(key, Arc::clone(&g));
+    let scoped = ACTIVE_FOOTPRINT_SCOPES.load(Ordering::SeqCst) > 0;
+    cache.insert(key, (Arc::clone(&g), scoped));
     g
 }
 

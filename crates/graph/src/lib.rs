@@ -23,6 +23,8 @@
 //!   that are the native currency of the round pipeline, and recorded
 //!   dynamic graph sequences for replaying identical adversarial schedules
 //!   across algorithms.
+//! * [`codec`] — the compact varint wire format for deltas and the
+//!   append-only delta log files behind the durable trace store.
 //! * [`generators`] — deterministic and random graph families.
 //! * [`algo`] — centralized algorithms and validity predicates used by the
 //!   solution checkers and baselines.
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod codec;
 pub mod csr;
 pub mod dynamic;
 pub mod export;
@@ -42,6 +45,7 @@ pub mod neighborhood;
 pub mod node;
 pub mod window;
 
+pub use codec::{CodecError, DeltaLogReader, DeltaLogWriter, LogStats};
 pub use csr::{CsrApplyOutcome, CsrGraph};
 pub use dynamic::{DynamicGraphTrace, GraphDelta};
 pub use graph::Graph;

@@ -39,8 +39,8 @@ pub mod wakeup;
 
 pub use algorithm::{AlgorithmFactory, Incoming, NodeAlgorithm, NodeContext};
 pub use observer::{
-    ChurnStats, ConvergenceTracker, ExecutionRecord, MetricsObserver, ObserverFactory,
-    RoundObserver, RoundView, TraceRecorder,
+    ChurnStats, ConvergenceTracker, DeltaLogRecorder, ExecutionRecord, MetricsObserver,
+    ObserverFactory, RoundObserver, RoundView, TraceRecorder,
 };
 pub use simulator::{DeltaStats, RoundReport, SimConfig, Simulator, StepSummary};
 pub use wakeup::{AllAtStart, RandomWakeup, ScriptedWakeup, Staggered, WakeupSchedule};

@@ -15,6 +15,9 @@
 //! * [`TraceRecorder`] — records the dynamic graph sequence (and, unless
 //!   constructed with [`TraceRecorder::graphs_only`], the per-round reports)
 //!   into an [`ExecutionRecord`].
+//! * [`DeltaLogRecorder`] — streams the graph sequence to an on-disk delta
+//!   log (`dynnet_graph::codec`) in `O(1)` memory in the number of rounds,
+//!   for million-round traces that must survive the process.
 //! * [`ChurnStats`] — per-round and per-node output-change counters.
 //! * [`ConvergenceTracker`] — per-node wake-up and first-decision rounds.
 //! * [`MetricsObserver`] — mirrors round/churn/awake/delta counters into the
@@ -25,7 +28,9 @@
 //! (`TDynamicVerifier`) because it needs the problem definitions.
 
 use crate::simulator::RoundReport;
-use dynnet_graph::{CsrGraph, DynamicGraphTrace, Graph, GraphDelta, NodeId};
+use dynnet_graph::{
+    CodecError, CsrGraph, DeltaLogWriter, DynamicGraphTrace, Graph, GraphDelta, LogStats, NodeId,
+};
 use std::cell::OnceCell;
 use std::sync::Arc;
 
@@ -203,24 +208,27 @@ impl<O: Clone> TraceRecorder<O> {
         self.trace.as_ref().map_or(0, |t| t.num_rounds())
     }
 
-    /// The recorded graph sequence.
-    ///
-    /// Panics if no round was recorded.
-    pub fn trace(&self) -> &DynamicGraphTrace {
-        self.trace.as_ref().expect("no round recorded")
+    /// The recorded graph sequence, or `None` if no round was recorded.
+    pub fn trace(&self) -> Option<&DynamicGraphTrace> {
+        self.trace.as_ref()
     }
 
-    /// Consumes the recorder into the graph sequence alone.
-    pub fn into_trace(self) -> DynamicGraphTrace {
-        self.trace.expect("no round recorded")
+    /// Consumes the recorder into the graph sequence alone, or `None` if no
+    /// round was recorded.
+    pub fn into_trace(self) -> Option<DynamicGraphTrace> {
+        self.trace
     }
 
     /// Consumes the recorder into an [`ExecutionRecord`].
     ///
-    /// Panics if no round was recorded.
+    /// A recorder that never saw a round yields the empty record (a
+    /// zero-node, single-round trace with no reports) rather than
+    /// panicking — `num_rounds() >= 1` distinguishes a real recording.
     pub fn into_record(self) -> ExecutionRecord<O> {
         ExecutionRecord {
-            trace: self.trace.expect("no round recorded"),
+            trace: self
+                .trace
+                .unwrap_or_else(|| DynamicGraphTrace::new(Graph::new(0))),
             reports: self.reports,
         }
     }
@@ -250,6 +258,137 @@ impl<O: Clone> RoundObserver<O> for TraceRecorder<O> {
                 newly_awake: view.newly_awake.to_vec(),
                 num_awake: view.num_awake,
             });
+        }
+    }
+}
+
+/// Streams the dynamic graph sequence to an on-disk delta log instead of
+/// RAM, so million-round traces record in `O(1)` memory in the number of
+/// rounds.
+///
+/// Rounds append one framed [`GraphDelta`] record each to the log at the
+/// given path (see [`dynnet_graph::codec`] for the wire format): record 0
+/// is the initial state expressed as a delta from the all-asleep empty
+/// graph, so `dynnet_graph::codec::replay_log` reconstructs the final
+/// recorded graph without any side information. A small mirror [`Graph`]
+/// (`O(n + m)`, *not* `O(rounds)`) tracks the current topology so rounds
+/// that arrive without a delta (full CSR rebuilds) can be diffed.
+///
+/// IO and encode failures are sticky: the first [`CodecError`] stops the
+/// recording and is surfaced by [`DeltaLogRecorder::close`] — observers
+/// cannot return errors from `on_round`, and a durability layer must never
+/// panic the simulation it records. On success `close` fsyncs the log,
+/// bumps the `store.bytes_written` / `store.fsync_count` counters in the
+/// unified metric registry, and returns the write-side [`LogStats`]
+/// (whose `max_buffered` high-water mark is the bounded-memory evidence
+/// the integration tests pin).
+pub struct DeltaLogRecorder {
+    path: std::path::PathBuf,
+    writer: Option<DeltaLogWriter>,
+    mirror: Option<Graph>,
+    rounds: u64,
+    error: Option<CodecError>,
+}
+
+impl DeltaLogRecorder {
+    /// Creates a recorder that will write (truncating) the delta log at
+    /// `path`. The file itself is created on the first observed round,
+    /// when the universe size is known.
+    pub fn create(path: impl Into<std::path::PathBuf>) -> Self {
+        DeltaLogRecorder {
+            path: path.into(),
+            writer: None,
+            mirror: None,
+            rounds: 0,
+            error: None,
+        }
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn num_rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The graph after the last recorded round (the mirror the log's
+    /// replay must match), or `None` before the first round.
+    pub fn final_graph(&self) -> Option<&Graph> {
+        self.mirror.as_ref()
+    }
+
+    /// Current write-side statistics, if the log was opened.
+    pub fn stats(&self) -> Option<LogStats> {
+        self.writer.as_ref().map(DeltaLogWriter::stats)
+    }
+
+    fn append(&mut self, mut delta: GraphDelta) {
+        if self.error.is_some() {
+            return;
+        }
+        delta.normalize();
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.append(&delta) {
+                self.error = Some(e);
+                return;
+            }
+        }
+        if let Some(m) = &mut self.mirror {
+            delta.apply(m);
+        }
+        self.rounds += 1;
+    }
+
+    /// Finishes the log: flushes, fsyncs, stamps the `store.*` counters,
+    /// and returns the final statistics — or the first error the recording
+    /// hit (a recorder that saw no rounds returns empty stats and writes
+    /// nothing).
+    pub fn close(mut self) -> Result<LogStats, CodecError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let Some(writer) = self.writer.take() else {
+            return Ok(LogStats::default());
+        };
+        let stats = writer.finish()?;
+        let reg = dynnet_obs::registry();
+        reg.counter("store.bytes_written").add(stats.bytes_written);
+        reg.counter("store.fsync_count").add(stats.fsyncs);
+        Ok(stats)
+    }
+}
+
+impl<O> RoundObserver<O> for DeltaLogRecorder {
+    fn on_round(&mut self, view: &RoundView<'_, O>) {
+        if self.error.is_some() {
+            return;
+        }
+        if self.writer.is_none() {
+            // First round: open the log and write the initial state as a
+            // delta from the all-asleep empty graph.
+            let g = view.current_graph().clone();
+            match DeltaLogWriter::create(&self.path, g.num_nodes()) {
+                Ok(w) => self.writer = Some(w),
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+            let initial = GraphDelta::between(&Graph::new_all_asleep(g.num_nodes()), &g);
+            self.mirror = Some(Graph::new_all_asleep(g.num_nodes()));
+            self.append(initial);
+            return;
+        }
+        match view.delta {
+            // Delta path: the handed delta applies to the mirror exactly
+            // as it applied to the simulator's graph.
+            Some(d) => self.append(d.clone()),
+            // Full-rebuild round mid-trace: diff against the mirror.
+            None => {
+                let delta = match &self.mirror {
+                    Some(m) => GraphDelta::between(m, view.current_graph()),
+                    None => GraphDelta::default(),
+                };
+                self.append(delta);
+            }
         }
     }
 }

@@ -85,14 +85,22 @@ where
     F: FnMut(&Cell<P>, R) -> Vec<Vec<String>>,
 {
     fn fold(&mut self, cell: &Cell<P>, result: R) {
-        let sink = self.sink.as_mut().expect("fold after finish");
+        // Folding after finish is a no-op rather than a panic; finish()
+        // empties the sink exactly once.
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
         for row in (self.render)(cell, result) {
             sink.push(cell.index, row);
         }
     }
 
     fn finish(&mut self) -> Vec<Table> {
-        vec![self.sink.take().expect("finish called twice").into_table()]
+        vec![self
+            .sink
+            .take()
+            .map(RowSink::into_table)
+            .unwrap_or_default()]
     }
 }
 
@@ -156,7 +164,11 @@ where
 
     fn finish(&mut self) -> Vec<Table> {
         self.flush();
-        vec![self.sink.take().expect("finish called twice").into_table()]
+        vec![self
+            .sink
+            .take()
+            .map(RowSink::into_table)
+            .unwrap_or_default()]
     }
 }
 
@@ -169,10 +181,9 @@ impl<K, FK, FV, FR> GroupedSummary<K, FK, FV, FR> {
         if let Some((k, first_index, samples)) = self.current.take() {
             let summary = Summary::of(&samples);
             let row = (self.row)(&k, &summary);
-            self.sink
-                .as_mut()
-                .expect("fold after finish")
-                .push(first_index, row);
+            if let Some(sink) = self.sink.as_mut() {
+                sink.push(first_index, row);
+            }
             self.groups.push((k, summary));
         }
     }

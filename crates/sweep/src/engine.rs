@@ -85,12 +85,17 @@ impl SweepReport {
 
 /// The result of a successful sweep: per-cell results in grid order plus the
 /// execution report.
+#[derive(Debug)]
 pub struct SweepRun<R> {
     pub(crate) results: Vec<R>,
     report: SweepReport,
 }
 
 impl<R> SweepRun<R> {
+    pub(crate) fn from_parts(results: Vec<R>, report: SweepReport) -> Self {
+        SweepRun { results, report }
+    }
+
     /// The per-cell results, indexed by grid (cell) index — independent of
     /// the order in which the cells actually completed.
     pub fn results(&self) -> &[R] {
@@ -116,8 +121,34 @@ impl<R> SweepRun<R> {
 /// release point, and cell panics are already routed through the cancel
 /// path, so the correct behavior is to keep going and report the *original*
 /// failure as a typed [`SweepError`] instead of aborting on the poison.
-fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Assembles grid-ordered results from a slot vector. Every cell must have
+/// produced a result; a hole means a worker exited without executing its
+/// cell — reported as a typed sweep failure naming the cell, never as a
+/// process-aborting panic.
+pub(crate) fn collect_slots<P, R>(
+    spec: &SweepSpec<P>,
+    slots: Vec<Option<R>>,
+) -> Result<Vec<R>, SweepError> {
+    let mut results: Vec<R> = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(r) => results.push(r),
+            None => {
+                return Err(SweepError {
+                    sweep: spec.name().to_string(),
+                    cell_index: i,
+                    cell_label: spec.cells()[i].label.clone(),
+                    message: "cell produced no result (worker exited without executing it)"
+                        .to_string(),
+                })
+            }
+        }
+    }
+    Ok(results)
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -237,24 +268,61 @@ impl SweepEngine {
         R: Send,
         F: Fn(&Cell<P>) -> R + Sync,
     {
+        let pending: Vec<usize> = (0..spec.len()).collect();
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..spec.len()).map(|_| None).collect());
+        let report = self.drive(spec, &pending, 0, &run_cell, &|cell: &Cell<P>, r: R| {
+            lock_recover(&slots)[cell.index] = Some(r);
+            Ok(())
+        })?;
+        let results = collect_slots(
+            spec,
+            slots
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )?;
+        Ok(SweepRun { results, report })
+    }
+
+    /// The shared execution core behind [`SweepEngine::run`], the
+    /// checkpointed runs, and the streaming grouped runs: executes the
+    /// `pending` cell indices of `spec` (work-stealing when this engine has
+    /// more than one thread) and hands each finished cell's result to
+    /// `consume` *on the worker that ran it*, in completion order.
+    ///
+    /// `done_offset` counts cells already completed before this run (resumed
+    /// sweeps), so progress reporting reflects the whole grid. A panic in
+    /// `run_cell` or `consume`, or an `Err` from `consume`, cancels the
+    /// sweep and is reported as a typed [`SweepError`] naming the cell.
+    pub(crate) fn drive<P, R, F, C>(
+        &self,
+        spec: &SweepSpec<P>,
+        pending: &[usize],
+        done_offset: usize,
+        run_cell: &F,
+        consume: &C,
+    ) -> Result<SweepReport, SweepError>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&Cell<P>) -> R + Sync,
+        C: Fn(&Cell<P>, R) -> Result<(), String> + Sync,
+    {
         let total = spec.len();
+        let work = pending.len();
         // TIMING: wall-clock feeds only the run report (throughput line on
         // stderr), never the sweep results — output stays deterministic.
         let start = Instant::now();
-        if total == 0 {
-            return Ok(SweepRun {
-                results: Vec::new(),
-                report: SweepReport {
-                    cells: 0,
-                    threads: 1,
-                    elapsed: start.elapsed(),
-                    shards: vec![ShardStats::default()],
-                },
+        if work == 0 {
+            return Ok(SweepReport {
+                cells: 0,
+                threads: 1,
+                elapsed: start.elapsed(),
+                shards: vec![ShardStats::default()],
             });
         }
-        let threads = self.threads.min(total);
+        let threads = self.threads.min(work);
         if threads == 1 {
-            return self.run_serial(spec, run_cell, start);
+            return self.drive_serial(spec, pending, done_offset, run_cell, consume, start);
         }
 
         // Claim the engine's worker count from the shared thread budget for
@@ -267,10 +335,17 @@ impl SweepEngine {
         // inline sequential execution (results are identical either way).
         let _budget_claim = rayon::claim_threads(threads);
 
-        // One contiguous shard of cell indices per worker.
-        let chunk = total.div_ceil(threads);
+        // One contiguous shard of pending cell indices per worker.
+        let chunk = work.div_ceil(threads);
         let shards: Vec<Mutex<VecDeque<usize>>> = (0..threads)
-            .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(total)).collect()))
+            .map(|w| {
+                Mutex::new(
+                    pending[(w * chunk).min(work)..((w + 1) * chunk).min(work)]
+                        .iter()
+                        .copied()
+                        .collect(),
+                )
+            })
             .collect();
         let cancel = AtomicBool::new(false);
         let failure: Mutex<Option<SweepError>> = Mutex::new(None);
@@ -278,7 +353,7 @@ impl SweepEngine {
         // Report roughly ten times per sweep (always on the final cell).
         let report_step = (total / 10).max(1);
 
-        let mut worker_outputs: Vec<(Vec<(usize, R)>, ShardStats)> = Vec::with_capacity(threads);
+        let mut worker_stats: Vec<ShardStats> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for w in 0..threads {
@@ -286,9 +361,7 @@ impl SweepEngine {
                 let cancel = &cancel;
                 let failure = &failure;
                 let completed = &completed;
-                let run_cell = &run_cell;
                 handles.push(scope.spawn(move || {
-                    let mut out: Vec<(usize, R)> = Vec::new();
                     let mut stats = ShardStats::default();
                     'work: while !cancel.load(Ordering::Relaxed) {
                         // Own shard first.
@@ -333,15 +406,23 @@ impl SweepEngine {
                             stats.stolen += 1;
                         }
                         let cell = &spec.cells()[i];
+                        // `consume` (checkpoint persist, slot store, group
+                        // fold) runs inside the same panic isolation as the
+                        // cell itself, so a kill-switch panic or a store
+                        // failure cancels the sweep exactly like a cell
+                        // panic — attributed to this cell.
                         let outcome = {
                             let _span = dynnet_obs::labeled_span("sweep", "cell", &cell.label);
-                            catch_unwind(AssertUnwindSafe(|| run_cell(cell)))
+                            catch_unwind(AssertUnwindSafe(|| {
+                                let r = run_cell(cell);
+                                consume(cell, r)
+                            }))
                         };
                         match outcome {
-                            Ok(r) => {
-                                out.push((i, r));
+                            Ok(Ok(())) => {
                                 stats.executed += 1;
-                                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                                let done =
+                                    done_offset + completed.fetch_add(1, Ordering::Relaxed) + 1;
                                 if done.is_multiple_of(report_step) || done == total {
                                     self.emit_progress(spec.name(), done, total, threads);
                                     if self.progress {
@@ -350,19 +431,24 @@ impl SweepEngine {
                                             "  [sweep {}] {done}/{total} cells ({:.0}%) on {threads} threads, {:.1} cells/s",
                                             spec.name(),
                                             100.0 * done as f64 / total as f64,
-                                            done as f64 / secs.max(1e-9),
+                                            (done - done_offset) as f64 / secs.max(1e-9),
                                         );
                                     }
                                 }
                             }
-                            Err(payload) => {
+                            failed => {
+                                let message = match failed {
+                                    Ok(Err(message)) => message,
+                                    Err(payload) => panic_message(payload.as_ref()),
+                                    Ok(Ok(())) => String::new(), // unreachable: handled above
+                                };
                                 let mut slot = lock_recover(failure);
                                 if slot.is_none() {
                                     *slot = Some(SweepError {
                                         sweep: spec.name().to_string(),
                                         cell_index: cell.index,
                                         cell_label: cell.label.clone(),
-                                        message: panic_message(payload.as_ref()),
+                                        message,
                                     });
                                 }
                                 cancel.store(true, Ordering::Relaxed);
@@ -370,12 +456,12 @@ impl SweepEngine {
                             }
                         }
                     }
-                    (out, stats)
+                    stats
                 }));
             }
             for h in handles {
                 match h.join() {
-                    Ok(pair) => worker_outputs.push(pair),
+                    Ok(stats) => worker_stats.push(stats),
                     Err(payload) => {
                         // A worker died outside catch_unwind (should not
                         // happen); surface it as a sweep-level failure.
@@ -399,89 +485,73 @@ impl SweepEngine {
         {
             return Err(err);
         }
-        // Assemble results by grid index, independent of completion order.
-        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
-        let mut shard_stats = Vec::with_capacity(threads);
-        for (pairs, stats) in worker_outputs {
-            shard_stats.push(stats);
-            for (i, r) in pairs {
-                slots[i] = Some(r);
-            }
-        }
-        // Every cell must have produced a result; a hole means a worker
-        // exited without executing its cell — reported as a typed sweep
-        // failure naming the cell, never as a process-aborting panic.
-        let mut results: Vec<R> = Vec::with_capacity(total);
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot {
-                Some(r) => results.push(r),
-                None => {
-                    return Err(SweepError {
-                        sweep: spec.name().to_string(),
-                        cell_index: i,
-                        cell_label: spec.cells()[i].label.clone(),
-                        message: "cell produced no result (worker exited without executing it)"
-                            .to_string(),
-                    })
-                }
-            }
-        }
         let report = SweepReport {
-            cells: total,
+            cells: work,
             threads,
             elapsed: start.elapsed(),
-            shards: shard_stats,
+            shards: worker_stats,
         };
         self.log_report(spec.name(), &report);
-        Ok(SweepRun { results, report })
+        Ok(report)
     }
 
-    /// The `threads == 1` reference path: a plain in-order loop on the
-    /// calling thread (still panic-isolated per cell).
-    fn run_serial<P, R, F>(
+    /// The `threads == 1` reference path of [`SweepEngine::drive`]: a plain
+    /// in-order loop on the calling thread (still panic-isolated per cell).
+    fn drive_serial<P, R, F, C>(
         &self,
         spec: &SweepSpec<P>,
-        run_cell: F,
+        pending: &[usize],
+        done_offset: usize,
+        run_cell: &F,
+        consume: &C,
         start: Instant,
-    ) -> Result<SweepRun<R>, SweepError>
+    ) -> Result<SweepReport, SweepError>
     where
         F: Fn(&Cell<P>) -> R,
+        C: Fn(&Cell<P>, R) -> Result<(), String>,
     {
         let total = spec.len();
         let report_step = (total / 10).max(1);
-        let mut results = Vec::with_capacity(total);
-        for cell in spec.cells() {
+        let mut executed = 0usize;
+        for &i in pending {
+            let cell = &spec.cells()[i];
             let outcome = {
                 let _span = dynnet_obs::labeled_span("sweep", "cell", &cell.label);
-                catch_unwind(AssertUnwindSafe(|| run_cell(cell)))
+                catch_unwind(AssertUnwindSafe(|| {
+                    let r = run_cell(cell);
+                    consume(cell, r)
+                }))
             };
-            match outcome {
-                Ok(r) => results.push(r),
-                Err(payload) => {
-                    return Err(SweepError {
-                        sweep: spec.name().to_string(),
-                        cell_index: cell.index,
-                        cell_label: cell.label.clone(),
-                        message: panic_message(payload.as_ref()),
-                    })
-                }
+            let failed = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(message)) => Some(message),
+                Err(payload) => Some(panic_message(payload.as_ref())),
+            };
+            if let Some(message) = failed {
+                return Err(SweepError {
+                    sweep: spec.name().to_string(),
+                    cell_index: cell.index,
+                    cell_label: cell.label.clone(),
+                    message,
+                });
             }
-            let done = results.len();
+            executed += 1;
+            let done = done_offset + executed;
             if done.is_multiple_of(report_step) || done == total {
                 self.emit_progress(spec.name(), done, total, 1);
             }
         }
         let report = SweepReport {
-            cells: spec.len(),
+            cells: pending.len(),
             threads: 1,
             elapsed: start.elapsed(),
             shards: vec![ShardStats {
-                executed: spec.len(),
+                executed: pending.len(),
                 stolen: 0,
             }],
         };
         self.log_report(spec.name(), &report);
-        Ok(SweepRun { results, report })
+        Ok(report)
     }
 
     fn log_report(&self, name: &str, report: &SweepReport) {

@@ -58,12 +58,16 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod engine;
 pub mod spec;
+pub mod stream;
 
 pub use aggregate::{fold, Aggregator, CellRows, GroupedSummary};
+pub use checkpoint::{CellValue, CheckpointStore, KillSwitch, LoadSummary, StoreError};
 pub use engine::{ShardStats, SweepEngine, SweepError, SweepReport, SweepRun};
 pub use spec::{Cell, SweepSpec};
+pub use stream::GroupedRun;
 
 use dynnet_runtime::ObserverFactory;
 

@@ -1,0 +1,327 @@
+//! Streaming group aggregation: fold each sweep group as its last cell
+//! lands, holding only in-flight groups in memory.
+//!
+//! The post-hoc [`Aggregator`](crate::Aggregator) path buffers *every* cell
+//! result until the sweep finishes. On a 10k+-cell grid (hundreds of seeds
+//! per point) that is a large, pointless resident set: the per-group
+//! reduction (mean/max over seeds) only ever needs one group's cells at a
+//! time. [`SweepEngine::run_grouped`] folds each group of consecutive
+//! same-key cells the moment its last cell completes — on whichever worker
+//! delivered it — so peak buffered cells is bounded by the number of groups
+//! in flight, not the grid size. The fold outputs land in group order,
+//! byte-identical across thread counts, and the run reports its
+//! `peak_buffered` watermark so tests can pin the bound.
+//!
+//! Combined with a [`CheckpointStore`] the same path is crash-resumable:
+//! checkpointed cells are replayed through the grouping state before the
+//! engine runs the remainder, so groups that were already complete fold
+//! without re-running anything.
+
+use crate::checkpoint::{CellValue, CheckpointStore};
+use crate::engine::{lock_recover, SweepEngine, SweepError, SweepReport};
+use crate::spec::{Cell, SweepSpec};
+use std::sync::Mutex;
+
+/// The result of a streaming grouped sweep: one fold output per group, in
+/// group (grid) order, plus the execution report and the peak number of
+/// cell results that were buffered at any instant — the bound the
+/// streaming design exists to keep small.
+#[derive(Debug)]
+pub struct GroupedRun<G> {
+    /// Fold outputs, one per group, in grid order.
+    pub groups: Vec<G>,
+    /// The sweep execution report (cells actually run this process).
+    pub report: SweepReport,
+    /// High-water mark of simultaneously buffered cell results. A serial
+    /// run's watermark equals the largest group; parallel runs may overlap
+    /// a few groups but never approach the full grid.
+    pub peak_buffered: usize,
+}
+
+/// One group of consecutive same-key cells: its key and cell index range.
+struct GroupSpan<K> {
+    key: K,
+    start: usize,
+    end: usize, // exclusive
+}
+
+/// Shared grouping state: per-group slot buffers that exist only while the
+/// group is in flight.
+struct GroupState<R, G> {
+    /// Per-group buffers; `None` once folded (or not yet started — see
+    /// `remaining`).
+    buffers: Vec<Option<Vec<Option<R>>>>,
+    /// Cells still missing per group; 0 means folded.
+    remaining: Vec<usize>,
+    outputs: Vec<Option<G>>,
+    buffered_now: usize,
+    peak_buffered: usize,
+}
+
+fn group_spans<P, K: PartialEq>(
+    spec: &SweepSpec<P>,
+    group_of: impl Fn(&Cell<P>) -> K,
+) -> Vec<GroupSpan<K>> {
+    let mut spans: Vec<GroupSpan<K>> = Vec::new();
+    for cell in spec.cells() {
+        let key = group_of(cell);
+        match spans.last_mut() {
+            Some(span) if span.key == key => span.end = cell.index + 1,
+            _ => spans.push(GroupSpan {
+                key,
+                start: cell.index,
+                end: cell.index + 1,
+            }),
+        }
+    }
+    spans
+}
+
+impl SweepEngine {
+    /// Runs `spec`, folding each run of consecutive cells that share a
+    /// group key (per `group_of`) through `fold_group` as soon as the
+    /// group's last cell finishes. Only in-flight groups are buffered, so
+    /// memory stays bounded by group size × concurrency instead of grid
+    /// size.
+    ///
+    /// `fold_group` receives the group key, the group's cells, and the
+    /// results in grid order; its outputs come back in grid order
+    /// regardless of completion order or thread count.
+    ///
+    /// With `store = Some(..)`, finished cells are persisted before they
+    /// count (and previously checkpointed cells are loaded, verified, and
+    /// fed through the same grouping state without re-running), making the
+    /// whole grouped sweep crash-resumable.
+    pub fn run_grouped<P, R, K, G, F, FK, FG>(
+        &self,
+        spec: &SweepSpec<P>,
+        store: Option<&CheckpointStore>,
+        run_cell: F,
+        group_of: FK,
+        fold_group: FG,
+    ) -> Result<GroupedRun<G>, SweepError>
+    where
+        P: Sync,
+        R: Send + CellValue,
+        K: PartialEq + Sync,
+        G: Send,
+        F: Fn(&Cell<P>) -> R + Sync,
+        FK: Fn(&Cell<P>) -> K + Sync,
+        FG: Fn(&K, &[Cell<P>], Vec<R>) -> G + Sync,
+    {
+        let spans = group_spans(spec, &group_of);
+        // Map each cell index to its group index.
+        let mut group_of_cell = vec![0usize; spec.len()];
+        for (gi, span) in spans.iter().enumerate() {
+            for slot in &mut group_of_cell[span.start..span.end] {
+                *slot = gi;
+            }
+        }
+        let state = Mutex::new(GroupState {
+            buffers: spans.iter().map(|_| None).collect(),
+            remaining: spans.iter().map(|s| s.end - s.start).collect(),
+            outputs: spans.iter().map(|_| None).collect(),
+            buffered_now: 0,
+            peak_buffered: 0,
+        });
+
+        // Delivers one cell result into its group buffer; when the group
+        // completes, takes the buffer (releasing the lock around the
+        // user fold) and stores the fold output in group order.
+        let deliver = |cell: &Cell<P>, result: R| -> Result<(), String> {
+            let gi = group_of_cell[cell.index];
+            let span = &spans[gi];
+            let completed = {
+                let mut st = lock_recover(&state);
+                let buf = st.buffers[gi]
+                    .get_or_insert_with(|| (span.start..span.end).map(|_| None).collect());
+                let slot = &mut buf[cell.index - span.start];
+                if slot.is_some() {
+                    return Err(format!("duplicate result for cell {}", cell.index));
+                }
+                *slot = Some(result);
+                st.buffered_now += 1;
+                st.peak_buffered = st.peak_buffered.max(st.buffered_now);
+                st.remaining[gi] -= 1;
+                if st.remaining[gi] == 0 {
+                    st.buffers[gi].take()
+                } else {
+                    None
+                }
+            };
+            if let Some(buf) = completed {
+                let mut results = Vec::with_capacity(span.end - span.start);
+                for (offset, slot) in buf.into_iter().enumerate() {
+                    results.push(slot.ok_or_else(|| {
+                        format!("group {gi} missing cell {}", span.start + offset)
+                    })?);
+                }
+                let output = fold_group(&span.key, &spec.cells()[span.start..span.end], results);
+                let mut st = lock_recover(&state);
+                st.buffered_now -= span.end - span.start;
+                st.outputs[gi] = Some(output);
+            }
+            Ok(())
+        };
+
+        // Replay checkpointed cells through the same delivery path, then
+        // run only the holes.
+        let pending: Vec<usize> = match store {
+            Some(store) => {
+                let (loaded, _summary) = store.load::<R, P>(spec).map_err(|e| SweepError {
+                    sweep: spec.name().to_string(),
+                    cell_index: usize::MAX,
+                    cell_label: "<store>".to_string(),
+                    message: e.to_string(),
+                })?;
+                let mut pending = Vec::new();
+                for (index, slot) in loaded.into_iter().enumerate() {
+                    match slot {
+                        Some(result) => {
+                            deliver(&spec.cells()[index], result).map_err(|message| SweepError {
+                                sweep: spec.name().to_string(),
+                                cell_index: index,
+                                cell_label: spec.cells()[index].label.clone(),
+                                message,
+                            })?
+                        }
+                        None => pending.push(index),
+                    }
+                }
+                pending
+            }
+            None => (0..spec.len()).collect(),
+        };
+
+        let done_offset = spec.len() - pending.len();
+        let report = self.drive(
+            spec,
+            &pending,
+            done_offset,
+            &run_cell,
+            &|cell: &Cell<P>, result: R| {
+                if let Some(store) = store {
+                    store.persist(cell, &result).map_err(|e| e.to_string())?;
+                }
+                deliver(cell, result)
+            },
+        )?;
+
+        let state = state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut groups = Vec::with_capacity(spans.len());
+        for (gi, output) in state.outputs.into_iter().enumerate() {
+            match output {
+                Some(g) => groups.push(g),
+                None => {
+                    return Err(SweepError {
+                        sweep: spec.name().to_string(),
+                        cell_index: spans[gi].start,
+                        cell_label: spec.cells()[spans[gi].start].label.clone(),
+                        message: format!("group {gi} never completed"),
+                    })
+                }
+            }
+        }
+        Ok(GroupedRun {
+            groups,
+            report,
+            peak_buffered: state.peak_buffered,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::KillSwitch;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dynnet-stream-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// 4 groups × 5 seeds; each cell returns `group * 100 + seed`.
+    fn seeded_spec() -> SweepSpec<(usize, usize)> {
+        SweepSpec::grid2(
+            "seeds",
+            &[0usize, 1, 2, 3],
+            &[0usize, 1, 2, 3, 4],
+            |&g, &s| (format!("g={g} s={s}"), (g, s)),
+        )
+    }
+
+    fn fold_sum(key: &usize, cells: &[Cell<(usize, usize)>], results: Vec<u64>) -> (usize, u64) {
+        assert_eq!(cells.len(), results.len());
+        (*key, results.iter().sum())
+    }
+
+    #[test]
+    fn grouped_outputs_are_grid_ordered_and_bounded() {
+        let spec = seeded_spec();
+        let expected: Vec<(usize, u64)> = (0..4)
+            .map(|g| (g, (0..5).map(|s| (g * 100 + s) as u64).sum()))
+            .collect();
+        for threads in [1usize, 4] {
+            let run = SweepEngine::new(threads)
+                .run_grouped(
+                    &spec,
+                    None,
+                    |c| (c.params.0 * 100 + c.params.1) as u64,
+                    |c| c.params.0,
+                    fold_sum,
+                )
+                .unwrap();
+            assert_eq!(run.groups, expected, "threads={threads}");
+            assert!(
+                run.peak_buffered < spec.len(),
+                "threads={threads}: buffered the whole grid"
+            );
+            if threads == 1 {
+                // Serial: at most one group in flight.
+                assert_eq!(run.peak_buffered, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_resume_replays_checkpointed_cells() {
+        let spec = seeded_spec();
+        let dir = tmp_dir("resume");
+        let engine = SweepEngine::new(1);
+        let store = CheckpointStore::create(&dir)
+            .unwrap()
+            .with_kill_switch(KillSwitch::after(7));
+        let err = engine
+            .run_grouped(
+                &spec,
+                Some(&store),
+                |c| (c.params.0 * 100 + c.params.1) as u64,
+                |c| c.params.0,
+                fold_sum,
+            )
+            .expect_err("kill switch must fire");
+        assert!(err.message.contains("kill switch"));
+
+        let store = CheckpointStore::resume(&dir).unwrap();
+        let run = engine
+            .run_grouped(
+                &spec,
+                Some(&store),
+                |c| (c.params.0 * 100 + c.params.1) as u64,
+                |c| c.params.0,
+                fold_sum,
+            )
+            .unwrap();
+        let expected: Vec<(usize, u64)> = (0..4)
+            .map(|g| (g, (0..5).map(|s| (g * 100 + s) as u64).sum()))
+            .collect();
+        assert_eq!(run.groups, expected);
+        // 7 cells were already durable; only 13 ran.
+        assert_eq!(run.report.cells, 13);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

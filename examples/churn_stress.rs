@@ -99,7 +99,9 @@ fn main() {
         let mut restart_stats = ChurnStats::new();
         Scenario::new(n)
             .algorithm(move |v: NodeId| RestartColoring::new(v, period))
-            .adversary(ScriptedAdversary::new(recorder.into_trace()))
+            .adversary(ScriptedAdversary::new(
+                recorder.into_trace().expect("recorded trace"),
+            ))
             .wakeup(wake.clone())
             .seed(2)
             .rounds(rounds)

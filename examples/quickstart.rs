@@ -56,7 +56,7 @@ fn main() {
     );
 
     // 5. Peek at the final round.
-    let trace = recorder.into_trace();
+    let trace = recorder.into_trace().expect("recorded trace");
     let final_graph = trace.graph_at(rounds - 1);
     let final_out: Vec<ColorOutput> = runner
         .outputs()

@@ -30,7 +30,9 @@ fn combined_coloring_churns_less_than_restart_baseline() {
     let mut restart_churn = ChurnStats::new();
     Scenario::new(n)
         .algorithm(move |v: NodeId| RestartColoring::new(v, period))
-        .adversary(ScriptedAdversary::new(recorder.into_trace()))
+        .adversary(ScriptedAdversary::new(
+            recorder.into_trace().expect("recorded trace"),
+        ))
         .seed(2)
         .rounds(rounds)
         .run(&mut [&mut restart_churn]);
@@ -65,7 +67,9 @@ fn combined_mis_is_valid_in_far_more_rounds_than_restart_baseline() {
     let mut restart_verifier = TDynamicVerifier::new(MisProblem, window);
     Scenario::new(n)
         .algorithm(move |v: NodeId| RestartMis::new(v, period))
-        .adversary(ScriptedAdversary::new(recorder.into_trace()))
+        .adversary(ScriptedAdversary::new(
+            recorder.into_trace().expect("recorded trace"),
+        ))
         .seed(4)
         .rounds(rounds)
         .run(&mut [&mut restart_verifier]);

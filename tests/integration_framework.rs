@@ -32,7 +32,7 @@ fn theorem_1_1_part1_coloring_and_mis_on_identical_schedules() {
     );
 
     // MIS run on the *identical* schedule via trace replay.
-    let trace = recorder.into_trace();
+    let trace = recorder.into_trace().expect("recorded trace");
     let mut mis_verifier = TDynamicVerifier::new(MisProblem, window);
     let mut replay_recorder = TraceRecorder::graphs_only();
     Scenario::new(n)
@@ -41,7 +41,7 @@ fn theorem_1_1_part1_coloring_and_mis_on_identical_schedules() {
         .seed(6)
         .rounds(rounds)
         .run(&mut [&mut mis_verifier, &mut replay_recorder]);
-    let replayed = replay_recorder.into_trace();
+    let replayed = replay_recorder.into_trace().expect("recorded trace");
     assert_eq!(
         (0..rounds)
             .map(|r| trace.graph_at(r).num_edges())

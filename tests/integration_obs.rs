@@ -101,7 +101,10 @@ fn roster<O: Sync + 'static>(
             "node-churn",
             Box::new(NodeChurnAdversary::new(footprint(15), 0.05, 0.2, 16)),
         ),
-        ("growth", Box::new(GrowthAdversary::new(footprint(17), 6, 2))),
+        (
+            "growth",
+            Box::new(GrowthAdversary::new(footprint(17), 6, 2)),
+        ),
         (
             "mobility",
             Box::new(MobilityAdversary::new(
