@@ -84,16 +84,20 @@ pub fn resolve_contention<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> usize {
     assert!(subslots >= 1);
+    assert_eq!(colors.len(), g.num_nodes(), "one color per node");
     let mut involved = vec![false; g.num_nodes()];
     for e in &report.collision_edges {
         involved[e.u.index()] = true;
         involved[e.v.index()] = true;
     }
     let choices: Vec<Option<usize>> = (0..g.num_nodes())
+        // INVARIANT: `involved` was built with length num_nodes just above.
         .map(|i| involved[i].then(|| rng.gen_range(0..subslots)))
         .collect();
     let mut recovered = 0;
     for i in 0..g.num_nodes() {
+        // INVARIANT: `choices` is num_nodes long (collected above) and
+        // `colors` is the caller's per-node slice, asserted at entry.
         let Some(my_slot) = choices[i] else { continue };
         let my_color = colors[i].color();
         let conflict = g

@@ -67,6 +67,7 @@ pub fn oracle_mis(g: &Graph) -> Vec<MisOutput> {
     let mis = algo::greedy_mis(g);
     (0..g.num_nodes())
         .map(|i| {
+            // INVARIANT: greedy_mis returns one flag per node of `g`.
             if mis[i] {
                 MisOutput::InMis
             } else if g.is_active(NodeId::new(i)) {

@@ -391,8 +391,7 @@ pub fn e12_window_size_sweep(ctx: &ExpContext) -> Vec<Table> {
         vec![3, 6, 12, recommended / 2, recommended]
     };
     let spec = SweepSpec::grid1("e12", &windows, |&w| (format!("T={w}"), w));
-    ctx.engine
-        .aggregate(
+    ctx.aggregate(
             &spec,
             |cell| {
                 let window = cell.params;
@@ -441,5 +440,4 @@ pub fn e12_window_size_sweep(ctx: &ExpContext) -> Vec<Table> {
                 },
             ),
         )
-        .expect("e12 sweep")
 }

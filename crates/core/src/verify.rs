@@ -129,6 +129,51 @@ impl InvalidRounds {
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
     }
+
+    /// Reconstructs an `InvalidRounds` from its serialized parts,
+    /// validating every structural invariant [`InvalidRounds::push`]
+    /// maintains: runs ascending, non-empty and non-adjacent, at most
+    /// [`InvalidRounds::MAX_RUNS`] of them, rounds only dropped once the
+    /// cap is full, and `total` consistent with `runs + dropped`.
+    ///
+    /// Checkpoint decoders use this so a corrupt payload yields a typed
+    /// error instead of a summary that violates the type's invariants.
+    pub fn from_parts(
+        runs: Vec<(usize, usize)>,
+        total: usize,
+        dropped: usize,
+    ) -> Result<Self, &'static str> {
+        if runs.len() > Self::MAX_RUNS {
+            return Err("more recorded runs than MAX_RUNS");
+        }
+        if dropped > 0 && runs.len() != Self::MAX_RUNS {
+            return Err("rounds were dropped but the run list is not at the cap");
+        }
+        let mut recorded = 0usize;
+        let mut prev_end: Option<usize> = None;
+        for &(start, len) in &runs {
+            if len == 0 {
+                return Err("empty run");
+            }
+            if prev_end.is_some_and(|end| start <= end) {
+                // `start == end` would mean two adjacent runs that `push`
+                // would have merged; `start < end` is overlap/disorder.
+                return Err("runs not ascending and non-adjacent");
+            }
+            prev_end = Some(start.checked_add(len).ok_or("run end overflows usize")?);
+            recorded = recorded
+                .checked_add(len)
+                .ok_or("run total overflows usize")?;
+        }
+        if recorded.checked_add(dropped) != Some(total) {
+            return Err("total does not equal recorded + dropped");
+        }
+        Ok(InvalidRounds {
+            runs,
+            total,
+            dropped,
+        })
+    }
 }
 
 /// Equality against a plain round list — convenience for tests. Holds only
@@ -535,9 +580,25 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
         if r < self.check_from {
             return;
         }
-        let w = self.window.as_ref().expect("window initialized");
-        let (undecided, packing, covering) = if self.full_recheck {
-            let report = check_t_dynamic(&self.problem, w, outputs);
+        // Disjoint field borrows: the window is read while the ledger and
+        // summary are written; destructuring proves that to the borrow
+        // checker without re-looking the `Option`s up through `expect`.
+        let Self {
+            problem,
+            full_recheck,
+            window,
+            ledger,
+            summary,
+            ..
+        } = self;
+        let Some(w) = window.as_ref() else {
+            // Both callers create the window before producing the round's
+            // WindowUpdate, so there is nothing to check here.
+            debug_assert!(false, "check_round before the first observed round");
+            return;
+        };
+        let (undecided, packing, covering) = if *full_recheck {
+            let report = check_t_dynamic(problem, w, outputs);
             (
                 report.undecided.len(),
                 report.packing_violations.len(),
@@ -548,18 +609,19 @@ impl<P: DynamicProblem> TDynamicVerifier<P> {
             // Every following round is checked too (rounds are consecutive
             // past `check_from`), so patching from the round's WindowUpdate
             // keeps the ledger exact.
-            match &mut self.ledger {
-                None => self.ledger = Some(ViolationLedger::init(&self.problem, w, outputs)),
-                Some(ledger) => ledger.apply_round(&self.problem, update, outputs, changed),
-            }
-            let ledger = self.ledger.as_ref().expect("ledger initialized");
+            let ledger = match ledger {
+                Some(ledger) => {
+                    ledger.apply_round(problem, update, outputs, changed);
+                    ledger
+                }
+                None => ledger.insert(ViolationLedger::init(problem, w, outputs)),
+            };
             (
                 ledger.undecided_count(),
                 ledger.packing_violation_count(),
                 ledger.covering_violation_count(),
             )
         };
-        let summary = &mut self.summary;
         summary.rounds_checked += 1;
         summary.total_packing_violations += packing;
         summary.total_covering_violations += covering;
@@ -829,6 +891,56 @@ mod tests {
         assert_eq!(mixed, vec![3, 4, 5, 9, 12, 13]);
         assert_eq!(mixed.runs(), &[(3, 3), (9, 1), (12, 2)]);
         assert!(!mixed.is_empty());
+    }
+
+    #[test]
+    fn invalid_rounds_from_parts_validates() {
+        // Any value produced by push round-trips through its parts.
+        let mut inv = InvalidRounds::default();
+        for r in [3usize, 4, 5, 9, 12, 13] {
+            inv.push(r);
+        }
+        let back =
+            InvalidRounds::from_parts(inv.runs().to_vec(), inv.len(), inv.truncated()).unwrap();
+        assert_eq!(back, inv);
+
+        // Truncated values round-trip too.
+        let mut alt = InvalidRounds::default();
+        for r in 0..2 * (InvalidRounds::MAX_RUNS + 7) {
+            if r % 2 == 0 {
+                alt.push(r);
+            }
+        }
+        assert!(alt.truncated() > 0);
+        let back =
+            InvalidRounds::from_parts(alt.runs().to_vec(), alt.len(), alt.truncated()).unwrap();
+        assert_eq!(back, alt);
+
+        // Structural violations are rejected.
+        assert!(
+            InvalidRounds::from_parts(vec![(0, 0)], 0, 0).is_err(),
+            "empty run"
+        );
+        assert!(
+            InvalidRounds::from_parts(vec![(5, 1), (3, 1)], 2, 0).is_err(),
+            "descending runs"
+        );
+        assert!(
+            InvalidRounds::from_parts(vec![(3, 2), (5, 1)], 3, 0).is_err(),
+            "adjacent runs must be merged"
+        );
+        assert!(
+            InvalidRounds::from_parts(vec![(3, 1)], 5, 0).is_err(),
+            "total mismatch"
+        );
+        assert!(
+            InvalidRounds::from_parts(vec![(3, 1)], 2, 1).is_err(),
+            "dropped rounds require a full run list"
+        );
+        assert!(
+            InvalidRounds::from_parts(vec![(usize::MAX, 2)], 2, 0).is_err(),
+            "run end overflow"
+        );
     }
 
     #[test]

@@ -12,25 +12,30 @@ use std::collections::VecDeque;
 /// own singleton components.
 pub fn connected_components(g: &Graph) -> Vec<NodeId> {
     let n = g.num_nodes();
-    let mut comp: Vec<Option<NodeId>> = vec![None; n];
+    // Every node starts as its own singleton root; BFS from the smallest
+    // unvisited node then overwrites its whole component. No slot can be
+    // left unassigned, so no `Option` (and no `expect`) is needed.
+    let mut comp: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut visited = vec![false; n];
     for start in 0..n {
-        if comp[start].is_some() {
+        if visited[start] {
             continue;
         }
         let root = NodeId::new(start);
+        visited[start] = true;
         let mut queue = VecDeque::new();
-        comp[start] = Some(root);
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
             for w in g.neighbors(u) {
-                if comp[w.index()].is_none() {
-                    comp[w.index()] = Some(root);
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    comp[w.index()] = root;
                     queue.push_back(w);
                 }
             }
         }
     }
-    comp.into_iter().map(|c| c.expect("all assigned")).collect()
+    comp
 }
 
 /// Number of connected components among *active* nodes.

@@ -223,6 +223,7 @@ impl DynamicGraphTrace {
     pub fn graph_at(&self, r: usize) -> Graph {
         assert!(r < self.num_rounds(), "round {r} beyond trace length");
         let mut g = self.initial.clone();
+        // INVARIANT: r < num_rounds() = deltas.len() + 1, checked above.
         for delta in &self.deltas[..r] {
             delta.apply(&mut g);
         }

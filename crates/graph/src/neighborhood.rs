@@ -40,6 +40,7 @@ pub fn neighborhood(g: &Graph, v: NodeId, alpha: usize) -> Vec<NodeId> {
 pub fn sphere(g: &Graph, v: NodeId, alpha: usize) -> Vec<NodeId> {
     let dists = bfs_distances(g, v, Some(alpha));
     let mut out: Vec<NodeId> = (0..g.num_nodes())
+        // INVARIANT: bfs_distances returns one entry per node of `g`.
         .filter(|&i| dists[i] == Some(alpha))
         .map(NodeId::new)
         .collect();

@@ -105,6 +105,8 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
+            // INVARIANT: documented caller contract (`# Panics` above) —
+            // `x` must be an endpoint; any other call is a logic bug.
             panic!("{x} is not an endpoint of {self:?}")
         }
     }

@@ -1,4 +1,4 @@
-//! The lint allowlist: blessed sites and burn-down budgets, parsed from a
+//! The lint allowlist: blessed sites and burn-down lists, parsed from a
 //! plain-text file (`crates/lint/dynnet-lint.allow` in this workspace).
 //!
 //! Format: one directive per line, `#` starts a comment.
@@ -9,20 +9,25 @@
 //! # whole-file escapes for the determinism / wall-clock rules
 //! hash-iteration crates/foo/src/bar.rs
 //! wall-clock crates/foo/src/bench_helper.rs
-//! # unwrap()/expect() burn-down: exact per-file counts in non-test code
-//! unwrap-budget crates/graph/src/window.rs 5
-//! # crates exempt from the unwrap rule (binary harnesses, the lint itself)
-//! unwrap-exempt crates/bench
+//! # files blessed to construct or draw from RNGs (rule: rng-confined)
+//! rng-confined crates/runtime/src/rng.rs
+//! # crates whose public APIs are exempt from panic-reachability
+//! panic-exempt crates/bench
+//! # burn-down: files whose raw indexing predates panic-reachability
+//! panic-indexing crates/graph/src/window.rs
 //! # crate roots allowed #![deny(unsafe_code)] instead of forbid
 //! unsafe-deny-exception crates/foo
 //! ```
 //!
-//! Budgets are exact in both directions: a file with *fewer* sites than its
-//! budget fails too, with a message asking for the budget to be ratcheted
-//! down — that is what makes the allowlist a burn-down list rather than a
-//! creeping ceiling.
+//! Burn-down directives are exact: a `panic-indexing` line for a file with
+//! no raw indexing left *fails* the lint with a staleness finding — that is
+//! what makes the allowlist a burn-down list rather than a creeping
+//! ceiling. (The PR 6 `unwrap-budget` directive worked the same way; it was
+//! retired when the last budgeted sites were converted to typed errors and
+//! the `panic-reachability` rule took over — the strict parser rejects any
+//! resurrected budget line.)
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Parsed allowlist. The default value allows nothing.
 #[derive(Debug, Default, Clone)]
@@ -33,11 +38,18 @@ pub struct Allowlist {
     pub hash_iteration: BTreeSet<String>,
     /// Files exempt from the wall-clock rule.
     pub wall_clock: BTreeSet<String>,
-    /// Per-file unwrap()/expect() budgets (exact counts).
-    pub unwrap_budget: BTreeMap<String, usize>,
-    /// Crate directory prefixes (e.g. `crates/bench`) exempt from the
-    /// unwrap rule entirely.
-    pub unwrap_exempt: BTreeSet<String>,
+    /// Files blessed to construct RNGs or draw from them (rule
+    /// `rng-confined`): the deterministic hierarchy roots, the adversaries,
+    /// and the algorithm step functions.
+    pub rng_confined: BTreeSet<String>,
+    /// Crate directory prefixes (e.g. `crates/bench`) whose public fns are
+    /// not treated as panic-reachability roots — binary harnesses whose
+    /// error handling *is* panicking.
+    pub panic_exempt: BTreeSet<String>,
+    /// Burn-down list: files whose raw indexing sites predate the
+    /// `panic-reachability` rule and are not yet individually proven.
+    /// Stale entries (no raw indexing left) fail the lint.
+    pub panic_indexing: BTreeSet<String>,
     /// Crate directory prefixes whose root may use `#![deny(unsafe_code)]`
     /// instead of `forbid`.
     pub unsafe_deny_exception: BTreeSet<String>,
@@ -72,16 +84,14 @@ impl Allowlist {
                 "wall-clock" => {
                     allow.wall_clock.insert(arg("path")?);
                 }
-                "unwrap-budget" => {
-                    let path = arg("path")?;
-                    let count = arg("count")?;
-                    let count: usize = count
-                        .parse()
-                        .map_err(|_| format!("allowlist line {lineno}: bad count {count:?}"))?;
-                    allow.unwrap_budget.insert(path, count);
+                "rng-confined" => {
+                    allow.rng_confined.insert(arg("path")?);
                 }
-                "unwrap-exempt" => {
-                    allow.unwrap_exempt.insert(arg("crate path")?);
+                "panic-exempt" => {
+                    allow.panic_exempt.insert(arg("crate path")?);
+                }
+                "panic-indexing" => {
+                    allow.panic_indexing.insert(arg("path")?);
                 }
                 "unsafe-deny-exception" => {
                     allow.unsafe_deny_exception.insert(arg("crate path")?);
@@ -108,9 +118,9 @@ impl Allowlist {
         Allowlist::parse(&text)
     }
 
-    /// True if `rel` lives inside a crate listed in `unwrap-exempt`.
-    pub fn is_unwrap_exempt(&self, rel: &str) -> bool {
-        self.unwrap_exempt.iter().any(|p| {
+    /// True if `rel` lives inside a crate listed in `panic-exempt`.
+    pub fn is_panic_exempt(&self, rel: &str) -> bool {
+        self.panic_exempt.iter().any(|p| {
             rel.strip_prefix(p.as_str())
                 .is_some_and(|r| r.starts_with('/'))
         })
@@ -128,22 +138,26 @@ mod tests {
              thread-spawn vendor/rayon/src/lib.rs  # blessed\n\
              hash-iteration crates/a/src/b.rs\n\
              wall-clock crates/a/src/c.rs\n\
-             unwrap-budget crates/a/src/d.rs 7\n\
-             unwrap-exempt crates/bench\n\
+             rng-confined crates/runtime/src/rng.rs\n\
+             panic-exempt crates/bench\n\
+             panic-indexing crates/graph/src/window.rs\n\
              unsafe-deny-exception crates/x\n",
         )
         .expect("parse");
         assert!(a.thread_spawn.contains("vendor/rayon/src/lib.rs"));
-        assert_eq!(a.unwrap_budget["crates/a/src/d.rs"], 7);
-        assert!(a.is_unwrap_exempt("crates/bench/src/lib.rs"));
-        assert!(!a.is_unwrap_exempt("crates/bench2/src/lib.rs"));
+        assert!(a.rng_confined.contains("crates/runtime/src/rng.rs"));
+        assert!(a.panic_indexing.contains("crates/graph/src/window.rs"));
+        assert!(a.is_panic_exempt("crates/bench/src/lib.rs"));
+        assert!(!a.is_panic_exempt("crates/bench2/src/lib.rs"));
     }
 
     #[test]
     fn rejects_unknown_and_malformed() {
         assert!(Allowlist::parse("frobnicate x").is_err());
-        assert!(Allowlist::parse("unwrap-budget crates/a/src/d.rs").is_err());
-        assert!(Allowlist::parse("unwrap-budget crates/a/src/d.rs seven").is_err());
+        // The retired PR 6 budget directives must not silently parse.
+        assert!(Allowlist::parse("unwrap-budget crates/a/src/d.rs 3").is_err());
+        assert!(Allowlist::parse("unwrap-exempt crates/bench").is_err());
+        assert!(Allowlist::parse("panic-indexing").is_err());
         assert!(Allowlist::parse("thread-spawn a b").is_err());
     }
 }

@@ -3,31 +3,47 @@
 //! Project-specific static analysis for the dynnet workspace. The repo's
 //! headline guarantees — byte-identical sweep output for any `--threads N`
 //! and a zero-spawn persistent worker pool — rest on a small amount of
-//! `unsafe` concurrency code (`vendor/rayon`) and on the absence of
-//! hash-iteration order anywhere near an output path. `dynnet-lint` turns
-//! those from remembered conventions into CI-failing rules:
+//! `unsafe` concurrency code (`vendor/rayon`) and on a set of conventions
+//! (blessed RNG sites, zero hot-path allocation, justified atomic
+//! orderings, panic-free public APIs) that `dynnet-lint` turns into
+//! CI-failing rules:
 //!
 //! * [`rules::safety_comment`] — every `unsafe` site documents its invariant.
 //! * [`rules::unsafe_confined`] — `unsafe` only in `vendor/`; first-party
 //!   crates carry `#![forbid(unsafe_code)]`.
 //! * [`rules::thread_spawn`] — thread creation only at the two blessed
-//!   sites (the worker pool, the sweep engine), so the thread budget stays
-//!   the single source of parallelism.
-//! * [`rules::hash_iteration`] — no `HashMap`/`HashSet` iteration order
-//!   can reach an output path without a `// DETERMINISM:` justification.
+//!   sites (the worker pool, the sweep engine).
+//! * [`rules::hash_iteration`] — no `HashMap`/`HashSet` iteration order can
+//!   reach an output path without a `// DETERMINISM:` justification —
+//!   resolved through type aliases and intermediate bindings via the
+//!   [`symbols`] table.
 //! * [`rules::wall_clock`] — wall-clock reads only at `// TIMING:`-labelled
 //!   sites.
-//! * [`rules::unwrap_budget`] — `unwrap()`/`expect()` in library crates are
-//!   held to exact per-file burn-down budgets.
+//! * [`rules::rng_confined`] — RNG construction/draws only at blessed
+//!   allowlisted sites.
+//! * [`rules::hot_path_alloc`] — no allocation inside `// HOT:`-marked
+//!   round-kernel regions (sites excusable with `// ALLOC:`).
+//! * [`rules::ordering_justified`] — every non-`SeqCst` atomic ordering
+//!   carries `// ORDERING:`.
+//! * [`callgraph::panic_reachability`] — no `unwrap`/`expect`/`panic!`/raw
+//!   indexing reachable from a public library API without `// INVARIANT:`
+//!   (the successor of the PR 6 per-file unwrap budgets, now a
+//!   reachability proof over the cross-crate call graph).
 //!
-//! The analyzer is a deterministic, dependency-free lexical pass (no `syn`;
-//! the build environment is offline). Diagnostics are sorted by
-//! `(file, line, rule)` so output is byte-stable across runs and machines.
+//! The analyzer is deterministic and dependency-free (no `syn`; the build
+//! environment is offline): [`scan`] separates code from comments and
+//! literals, [`parse`] builds a token-tree view on top, [`symbols`]
+//! resolves hash-container bindings per file, and [`callgraph`] links
+//! `fn` items across crates. Doc examples (```` ```rust ```` blocks) are
+//! extracted by [`scan::SourceFile::doc_examples`] and linted like code.
+//! Diagnostics are sorted by `(file, line, rule)` so output is byte-stable
+//! across runs and machines.
 //!
 //! Run it from the workspace root:
 //!
 //! ```text
-//! cargo run -p dynnet-lint
+//! cargo run -p dynnet-lint            # human-readable, problem-matcher friendly
+//! cargo run -p dynnet-lint -- --format json
 //! ```
 //!
 //! The allowlist lives at `crates/lint/dynnet-lint.allow`; see
@@ -37,8 +53,11 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod callgraph;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use allow::Allowlist;
 use scan::SourceFile;
@@ -68,6 +87,67 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// The finding as one JSON object (no external deps, so the encoder is
+    /// local; strings are escaped per RFC 8259).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":{},"line":{},"rule":{},"message":{}}}"#,
+            json_string(&self.rel),
+            self.line,
+            json_string(self.rule),
+            json_string(&self.msg)
+        )
+    }
+}
+
+/// Minimal JSON string encoder.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A source file with its semantic analysis attached: token stream,
+/// recognized `fn` items, and the hash-container symbol table.
+pub struct AnalyzedFile {
+    /// The scanned line model.
+    pub src: SourceFile,
+    /// Token stream over the code lines.
+    pub tokens: Vec<parse::Token>,
+    /// Recognized `fn` items (callgraph nodes).
+    pub fns: Vec<parse::FnItem>,
+    /// Hash-container symbol table.
+    pub symbols: symbols::FileSymbols,
+}
+
+impl AnalyzedFile {
+    /// Runs the semantic passes over a scanned file.
+    pub fn analyze(src: SourceFile) -> AnalyzedFile {
+        let tokens = parse::tokenize(&src.lines);
+        let fns = parse::fn_items(&tokens);
+        let symbols = symbols::analyze(&tokens);
+        AnalyzedFile {
+            src,
+            tokens,
+            fns,
+            symbols,
+        }
+    }
+}
+
 /// The outcome of a lint run.
 #[derive(Debug)]
 pub struct LintReport {
@@ -82,6 +162,22 @@ impl LintReport {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
+
+    /// The report as a JSON document: an object with the file count and the
+    /// findings array, stable field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// The directories scanned under the workspace root.
@@ -92,7 +188,10 @@ const SCAN_ROOTS: [&str; 4] = ["crates", "vendor", "tests", "examples"];
 /// Scans `crates/`, `vendor/`, `tests/`, and `examples/` for `.rs` files in
 /// sorted order (deterministic), skipping lint fixtures
 /// (`tests/fixtures/` subtrees, which violate rules on purpose) and any
-/// `target/` directory.
+/// `target/` directory. Each file is analyzed semantically (tokens, fn
+/// items, symbols), its doc examples are extracted as synthetic files, the
+/// per-file rules run over everything, and finally the whole-workspace
+/// `panic-reachability` pass runs over the collected call graph.
 pub fn run_lint(root: &Path, allow: &Allowlist) -> Result<LintReport, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     for sub in SCAN_ROOTS {
@@ -103,7 +202,7 @@ pub fn run_lint(root: &Path, allow: &Allowlist) -> Result<LintReport, String> {
     }
     files.sort();
 
-    let mut diagnostics = Vec::new();
+    let mut analyzed: Vec<AnalyzedFile> = Vec::new();
     let mut files_scanned = 0usize;
     for path in &files {
         let rel = relative_slash(root, path)?;
@@ -118,10 +217,21 @@ pub fn run_lint(root: &Path, allow: &Allowlist) -> Result<LintReport, String> {
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let file = SourceFile::scan(&rel, &source);
-        rules::apply_all(&file, allow, &mut diagnostics);
+        if let Some(doc) = file.doc_examples() {
+            analyzed.push(AnalyzedFile::analyze(doc));
+        }
+        analyzed.push(AnalyzedFile::analyze(file));
         files_scanned += 1;
     }
+
+    let mut diagnostics = Vec::new();
+    for af in &analyzed {
+        rules::apply_all(af, allow, &mut diagnostics);
+    }
+    let deps = callgraph::crate_deps(root);
+    callgraph::panic_reachability(&analyzed, allow, &deps, &mut diagnostics);
     diagnostics.sort();
+    diagnostics.dedup();
     Ok(LintReport {
         diagnostics,
         files_scanned,

@@ -11,17 +11,27 @@ const USAGE: &str = "\
 dynnet-lint: project-specific static analysis for the dynnet workspace
 
 USAGE:
-    dynnet-lint [--root <dir>] [--allowlist <file>]
+    dynnet-lint [--root <dir>] [--allowlist <file>] [--format <text|json>]
 
 OPTIONS:
     --root <dir>        Workspace root to scan (default: walk up from the
                         current directory to the first [workspace] manifest)
     --allowlist <file>  Allowlist file (default: <root>/crates/lint/dynnet-lint.allow;
                         an absent default file means an empty allowlist)
+    --format <fmt>      Output format: `text` (default; one `file:line: [rule]
+                        message` line per finding, matching the checked-in
+                        GitHub problem matcher) or `json` (a single JSON
+                        object with `files_scanned` and `diagnostics`)
     -h, --help          Show this help
 
 EXIT CODE: 0 clean, 1 violations found, 2 usage or I/O error.
 ";
+
+/// Output formats of the CLI.
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     match real_main() {
@@ -36,6 +46,7 @@ fn main() -> ExitCode {
 fn real_main() -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +57,13 @@ fn real_main() -> Result<ExitCode, String> {
                 allowlist = Some(PathBuf::from(
                     args.next().ok_or("--allowlist requires a value")?,
                 ));
+            }
+            "--format" => {
+                format = match args.next().ok_or("--format requires a value")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (text|json)")),
+                };
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -77,21 +95,31 @@ fn real_main() -> Result<ExitCode, String> {
     };
 
     let report = run_lint(&root, &allow)?;
-    for d in &report.diagnostics {
-        println!("{d}");
+    match format {
+        Format::Json => {
+            println!("{}", report.to_json());
+        }
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.is_clean() {
+                println!(
+                    "dynnet-lint: clean ({} files scanned, 9 rules)",
+                    report.files_scanned
+                );
+            } else {
+                println!(
+                    "dynnet-lint: {} violation(s) in {} file(s) scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+            }
+        }
     }
-    if report.is_clean() {
-        println!(
-            "dynnet-lint: clean ({} files scanned, 6 rules)",
-            report.files_scanned
-        );
-        Ok(ExitCode::SUCCESS)
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
     } else {
-        println!(
-            "dynnet-lint: {} violation(s) in {} file(s) scanned",
-            report.diagnostics.len(),
-            report.files_scanned
-        );
-        Ok(ExitCode::FAILURE)
-    }
+        ExitCode::FAILURE
+    })
 }

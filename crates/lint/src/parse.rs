@@ -1,0 +1,539 @@
+//! Token-tree parsing on top of the lexical line model.
+//!
+//! [`crate::scan`] separates code from comments and literals; this module
+//! turns the remaining code into a flat token stream with balanced-delimiter
+//! structure ([`tokenize`], [`match_delim`]) and recognizes the handful of
+//! item shapes the semantic rules need: function items with visibility and
+//! body extents ([`fn_items`]), `impl` blocks ([`impl_blocks`]), call sites
+//! ([`call_sites`]), and marker-anchored brace regions ([`region_after`],
+//! used by the `// HOT:` rule).
+//!
+//! This is still not a full Rust parser — no expressions, no generics
+//! resolution, no name hygiene. It is exactly the token-tree layer `syn`
+//! would provide, hand-rolled because the build environment is offline, and
+//! deliberately deterministic: tokens are produced in source order and every
+//! consumer iterates them in source order.
+
+use crate::scan::Line;
+
+/// Delimiter kinds of a token-tree group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` … `)`
+    Paren,
+    /// `[` … `]`
+    Bracket,
+    /// `{` … `}`
+    Brace,
+}
+
+/// One token of the code stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier, keyword, or numeric literal (anything `[A-Za-z0-9_]+`).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-indexed source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True if the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenizes the scanned code lines (comments and literal contents are
+/// already gone) into a flat stream. Lifetimes (`'a`) are dropped; numeric
+/// literals arrive as [`TokenKind::Ident`] (they never match a name lookup,
+/// since identifiers cannot start with a digit).
+pub fn tokenize(lines: &[Line]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                    line: lineno,
+                });
+            } else if c == '\'' {
+                // A surviving quote is a lifetime marker (char literals were
+                // blanked by the scanner); skip it and its identifier.
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                let kind = match c {
+                    '(' => TokenKind::Open(Delim::Paren),
+                    ')' => TokenKind::Close(Delim::Paren),
+                    '[' => TokenKind::Open(Delim::Bracket),
+                    ']' => TokenKind::Close(Delim::Bracket),
+                    '{' => TokenKind::Open(Delim::Brace),
+                    '}' => TokenKind::Close(Delim::Brace),
+                    other => TokenKind::Punct(other),
+                };
+                tokens.push(Token { kind, line: lineno });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Returns the index of the token closing the group opened at `open`
+/// (`tokens[open]` must be a [`TokenKind::Open`]), or `None` if the stream
+/// is unbalanced (malformed input is tolerated, never panicked on).
+pub fn match_delim(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Function-item visibility, as written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// No `pub` at all.
+    Private,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — not exported from the crate.
+    Restricted,
+    /// Plain `pub` — part of the crate's public API surface.
+    Public,
+}
+
+/// One `fn` item recognized in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// As-written visibility (`pub` on an inherent method of a private type
+    /// is still reported [`Visibility::Public`] — an over-approximation the
+    /// reachability rule accepts).
+    pub vis: Visibility,
+    /// The `Self` type name when the fn sits in an `impl` block.
+    pub self_type: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 1-indexed line range of the body, inclusive (`None` for bodyless
+    /// trait-method declarations).
+    pub body_lines: Option<(usize, usize)>,
+    /// Token index range of the body group, exclusive of the braces.
+    pub body_tokens: Option<(usize, usize)>,
+    /// Token index range of the parameter list, exclusive of the parens.
+    pub param_tokens: Option<(usize, usize)>,
+}
+
+/// Recognizes every `fn` item in the stream, with visibility, enclosing
+/// `impl` type, parameter-list and body extents.
+pub fn fn_items(tokens: &[Token]) -> Vec<FnItem> {
+    let impls = impl_blocks(tokens);
+    let mut items = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        let Some(name) = name_tok.ident() else {
+            i += 1;
+            continue;
+        };
+        let vis = visibility_before(tokens, i);
+        let self_type = impls
+            .iter()
+            .find(|b| b.body_tokens.0 <= i && i < b.body_tokens.1)
+            .map(|b| b.type_name.clone());
+        // Parameter list: first paren group after the name (skips generics,
+        // which contain no parens before the parameter list).
+        let mut j = i + 2;
+        let mut param_tokens = None;
+        let mut angle_depth = 0i32;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct('<') => angle_depth += 1,
+                // `->` must not close a generic list (Fn-trait bounds).
+                TokenKind::Punct('>') if !(j > 0 && tokens[j - 1].is_punct('-')) => {
+                    angle_depth -= 1
+                }
+                TokenKind::Open(Delim::Paren) if angle_depth <= 0 => {
+                    if let Some(close) = match_delim(tokens, j) {
+                        param_tokens = Some((j + 1, close));
+                        j = close;
+                    }
+                    break;
+                }
+                TokenKind::Punct(';') | TokenKind::Open(Delim::Brace) => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        // Body: the next top-level `{` before a `;` ends the header.
+        let mut body_tokens = None;
+        let mut body_lines = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct(';') => break,
+                TokenKind::Open(Delim::Brace) => {
+                    if let Some(close) = match_delim(tokens, j) {
+                        body_tokens = Some((j + 1, close));
+                        body_lines = Some((tokens[j].line, tokens[close].line));
+                    }
+                    break;
+                }
+                TokenKind::Open(_) => {
+                    j = match_delim(tokens, j).unwrap_or(tokens.len());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        items.push(FnItem {
+            name: name.to_string(),
+            vis,
+            self_type,
+            decl_line: tokens[i].line,
+            body_lines,
+            body_tokens,
+            param_tokens,
+        });
+        i += 2;
+    }
+    items
+}
+
+/// Reads the visibility of the item whose defining keyword sits at `kw`:
+/// walks backwards over the contiguous header (attributes, `const`,
+/// `unsafe`, `async`, `extern`, `default`) looking for `pub`.
+fn visibility_before(tokens: &[Token], kw: usize) -> Visibility {
+    const HEADER: [&str; 6] = ["const", "unsafe", "async", "extern", "default", "pub"];
+    let mut i = kw;
+    while i > 0 {
+        let prev = &tokens[i - 1];
+        match &prev.kind {
+            TokenKind::Ident(s) if HEADER.contains(&s.as_str()) => {
+                if s == "pub" {
+                    return Visibility::Public;
+                }
+                i -= 1;
+            }
+            // `pub(crate)` / `pub(super)`: a paren group preceded by `pub`.
+            TokenKind::Close(Delim::Paren) => {
+                let mut depth = 1i32;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match tokens[j].kind {
+                        TokenKind::Close(Delim::Paren) => depth += 1,
+                        TokenKind::Open(Delim::Paren) => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if j > 0 && tokens[j - 1].is_ident("pub") {
+                    return Visibility::Restricted;
+                }
+                return Visibility::Private;
+            }
+            _ => return Visibility::Private,
+        }
+    }
+    Visibility::Private
+}
+
+/// One `impl` block: the `Self` type name and the body extent.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// The implemented type's name (the last path segment before the body,
+    /// with generics stripped; for `impl Trait for Type` this is `Type`).
+    pub type_name: String,
+    /// Token range of the body, exclusive of the braces.
+    pub body_tokens: (usize, usize),
+}
+
+/// Recognizes `impl` blocks and the type they attach methods to.
+pub fn impl_blocks(tokens: &[Token]) -> Vec<ImplBlock> {
+    let mut blocks = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Scan the header up to the body brace; remember the last plain
+        // identifier at angle-depth 0 that is not a keyword — that is the
+        // type name (`impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`).
+        let mut j = i + 1;
+        let mut angle_depth = 0i32;
+        let mut type_name: Option<String> = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct('<') => angle_depth += 1,
+                // `->` in an Fn-trait bound must not close the generic list.
+                TokenKind::Punct('>') if !(j > 0 && tokens[j - 1].is_punct('-')) => {
+                    angle_depth -= 1
+                }
+                TokenKind::Ident(s)
+                    if angle_depth == 0
+                        && !matches!(s.as_str(), "for" | "where" | "dyn" | "mut" | "const") =>
+                {
+                    type_name = Some(s.clone());
+                }
+                TokenKind::Open(Delim::Brace) => {
+                    if let (Some(name), Some(close)) = (type_name.take(), match_delim(tokens, j)) {
+                        blocks.push(ImplBlock {
+                            type_name: name,
+                            body_tokens: (j + 1, close),
+                        });
+                        // Nested impls inside fn bodies are rare; scanning
+                        // forward from j+1 keeps them recognized too.
+                    }
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j.max(i) + 1;
+    }
+    blocks
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (last path segment for qualified calls).
+    pub name: String,
+    /// The path segment directly before the name for `Qualifier::name(...)`
+    /// calls (`Type::new`, `module::helper`).
+    pub qualifier: Option<String>,
+    /// True for `.name(...)` method-call syntax.
+    pub method: bool,
+    /// 1-indexed line of the call.
+    pub line: usize,
+}
+
+/// Rust keywords that can directly precede a `(` without being calls.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "let", "else", "impl",
+];
+
+/// Extracts the call sites in `tokens[range]`: `name(…)`, `path::name(…)`,
+/// and `.name(…)`. Macro invocations (`name!(…)`) are *excluded* — they are
+/// surfaced separately by the lexical panic-site scan.
+pub fn call_sites(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    let (start, end) = range;
+    for i in start..end.min(tokens.len()) {
+        if !matches!(tokens[i].kind, TokenKind::Open(Delim::Paren)) || i == 0 {
+            continue;
+        }
+        let Some(name) = tokens[i - 1].ident() else {
+            continue;
+        };
+        if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Macro call `name!(` — the `!` sits between name and paren? No:
+        // for macros the stream is [name, '!', '(' ], so tokens[i-1] is '!'
+        // and we never get here. Handled: nothing to exclude.
+        let mut qualifier = None;
+        let mut method = false;
+        if i >= 2 {
+            if tokens[i - 2].is_punct('.') {
+                method = true;
+            } else if i >= 4 && tokens[i - 2].is_punct(':') && tokens[i - 3].is_punct(':') {
+                qualifier = tokens[i - 4].ident().map(str::to_string);
+            }
+        }
+        calls.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            method,
+            line: tokens[i - 1].line,
+        });
+    }
+    calls
+}
+
+/// Returns the inclusive line range of the brace region anchored at a marker
+/// on `marker_line`: the body of the first `{` group opening on a line
+/// `>= marker_line` (the marker's own line allows trailing markers). Used by
+/// the `// HOT:` rule to turn one comment into a region.
+pub fn region_after(tokens: &[Token], marker_line: usize) -> Option<(usize, usize)> {
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t.kind, TokenKind::Open(Delim::Brace)) && t.line >= marker_line {
+            let close = match_delim(tokens, i)?;
+            return Some((t.line, tokens[close].line));
+        }
+    }
+    None
+}
+
+/// Renders `tokens[range]` back to a compact string (single spaces between
+/// tokens) — used for type strings in the symbol table.
+pub fn render(tokens: &[Token], range: (usize, usize)) -> String {
+    let mut out = String::new();
+    for t in &tokens[range.0..range.1.min(tokens.len())] {
+        let s = match &t.kind {
+            TokenKind::Ident(s) => s.as_str(),
+            TokenKind::Punct(c) => {
+                out.push(*c);
+                continue;
+            }
+            TokenKind::Open(Delim::Paren) => "(",
+            TokenKind::Close(Delim::Paren) => ")",
+            TokenKind::Open(Delim::Bracket) => "[",
+            TokenKind::Close(Delim::Bracket) => "]",
+            TokenKind::Open(Delim::Brace) => "{",
+            TokenKind::Close(Delim::Brace) => "}",
+        };
+        if !out.is_empty() && out.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+            out.push(' ');
+        }
+        out.push_str(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(&SourceFile::scan("crates/x/src/lib.rs", src).lines)
+    }
+
+    #[test]
+    fn tokenizes_with_lines_and_delims() {
+        let t = toks("fn f(a: u32) {\n    g(a);\n}");
+        assert!(t[0].is_ident("fn"));
+        assert!(t[1].is_ident("f"));
+        assert_eq!(t[0].line, 1);
+        let open = t
+            .iter()
+            .position(|t| t.kind == TokenKind::Open(Delim::Brace))
+            .expect("body brace");
+        let close = match_delim(&t, open).expect("balanced");
+        assert_eq!(t[close].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_dropped_literals_blank() {
+        let t = toks("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(!t.iter().any(|t| t.is_ident("a") && t.line == 1));
+        let t = toks("let s = \"fn fake()\";");
+        assert!(!t.iter().any(|t| t.is_ident("fake")));
+    }
+
+    #[test]
+    fn fn_items_with_visibility_and_bodies() {
+        let src = "\
+pub fn api() { helper(); }
+fn helper() {}
+pub(crate) fn internal() {}
+impl Widget {
+    pub fn method(&self) -> u32 { self.x }
+}
+trait T { fn decl(&self); }
+";
+        let t = toks(src);
+        let fns = fn_items(&t);
+        let by_name = |n: &str| fns.iter().find(|f| f.name == n).expect(n);
+        assert_eq!(by_name("api").vis, Visibility::Public);
+        assert_eq!(by_name("helper").vis, Visibility::Private);
+        assert_eq!(by_name("internal").vis, Visibility::Restricted);
+        let m = by_name("method");
+        assert_eq!(m.vis, Visibility::Public);
+        assert_eq!(m.self_type.as_deref(), Some("Widget"));
+        assert_eq!(m.body_lines, Some((5, 5)));
+        assert!(by_name("decl").body_lines.is_none());
+    }
+
+    #[test]
+    fn call_sites_distinguish_shapes() {
+        let src = "fn f() {\n    plain();\n    Graph::new(3);\n    x.method(1);\n    if (a) {}\n    mac!(arg);\n}";
+        let t = toks(src);
+        let body = fn_items(&t)[0].body_tokens.expect("body");
+        let calls = call_sites(&t, body);
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "plain" && !c.method && c.qualifier.is_none()));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "new" && c.qualifier.as_deref() == Some("Graph")));
+        assert!(calls.iter().any(|c| c.name == "method" && c.method));
+        assert!(!calls.iter().any(|c| c.name == "if"));
+        assert!(!calls.iter().any(|c| c.name == "mac"));
+    }
+
+    #[test]
+    fn region_after_marker() {
+        let src = "fn f() {\n    setup();\n    for i in 0..n {\n        body();\n    }\n}";
+        let t = toks(src);
+        // A marker on line 3 (the `for` line) covers the loop body.
+        assert_eq!(region_after(&t, 3), Some((3, 5)));
+        // A marker on line 1 covers the whole fn.
+        assert_eq!(region_after(&t, 1), Some((1, 6)));
+    }
+
+    #[test]
+    fn render_types() {
+        let t = toks("x: HashMap<Edge, usize>,");
+        let s = render(&t, (2, t.len() - 1));
+        assert_eq!(s, "HashMap<Edge,usize>");
+    }
+}

@@ -1,24 +1,37 @@
-//! The six dynnet lint rules. Each rule is a pure function from a scanned
-//! [`SourceFile`] (plus the [`Allowlist`]) to diagnostics; the runner in
-//! [`crate`] applies all of them to every workspace source file.
+//! The dynnet lint rules. Each per-file rule is a pure function from an
+//! analyzed [`AnalyzedFile`] (plus the [`Allowlist`]) to diagnostics; the
+//! runner in [`crate`] applies all of them to every workspace source file
+//! and then runs the whole-workspace [`crate::callgraph::panic_reachability`]
+//! pass.
 //!
-//! | rule id            | invariant                                                        |
-//! |--------------------|------------------------------------------------------------------|
-//! | `safety-comment`   | every `unsafe` site carries a `// SAFETY:` comment               |
-//! | `unsafe-confined`  | `unsafe` only in `vendor/`; first-party crates forbid it         |
-//! | `thread-spawn`     | thread creation only at allowlisted sites (pool, sweep engine)   |
-//! | `hash-iteration`   | no `HashMap`/`HashSet` iteration without `// DETERMINISM:`       |
-//! | `wall-clock`       | no `Instant::now`/`SystemTime` without `// TIMING:`              |
-//! | `unwrap-budget`    | `unwrap()`/`expect()` in library crates match burn-down budgets  |
+//! | rule id              | invariant                                                         |
+//! |----------------------|-------------------------------------------------------------------|
+//! | `safety-comment`     | every `unsafe` site carries a `// SAFETY:` comment                |
+//! | `unsafe-confined`    | `unsafe` only in `vendor/`; first-party crates forbid it          |
+//! | `thread-spawn`       | thread creation only at allowlisted sites (pool, sweep engine)    |
+//! | `hash-iteration`     | no `HashMap`/`HashSet` iteration without `// DETERMINISM:` — now  |
+//! |                      | resolved through type aliases and intermediate bindings           |
+//! | `wall-clock`         | no `Instant::now`/`SystemTime` without `// TIMING:`               |
+//! | `rng-confined`       | RNG construction/draws only at blessed allowlisted sites          |
+//! | `hot-path-alloc`     | no allocation inside `// HOT:`-marked round-kernel regions        |
+//! | `ordering-justified` | every non-`SeqCst` atomic ordering carries `// ORDERING:`         |
+//! | `panic-reachability` | no panic site reachable from a public API without `// INVARIANT:` |
+//!
+//! Doc examples (```` ```rust ```` blocks) are extracted by
+//! [`crate::scan::SourceFile::doc_examples`] and linted with the subset of
+//! rules that make sense for example code (`thread-spawn`,
+//! `hash-iteration`, `wall-clock`, `rng-confined`, `ordering-justified`).
 
 use crate::allow::Allowlist;
+use crate::parse::region_after;
 use crate::scan::{find_word, is_ident_byte, SourceFile};
-use crate::Diagnostic;
+use crate::{AnalyzedFile, Diagnostic};
 use std::collections::BTreeSet;
 
 /// How many comment lines above a flagged line a justification comment
-/// (`SAFETY:`/`DETERMINISM:`/`TIMING:`) may sit.
-const JUSTIFY_BACK: usize = 3;
+/// (`SAFETY:`/`DETERMINISM:`/`TIMING:`/`ORDERING:`/`ALLOC:`/`INVARIANT:`)
+/// may sit.
+pub(crate) const JUSTIFY_BACK: usize = 3;
 
 fn diag(file: &SourceFile, line: usize, rule: &'static str, msg: String) -> Diagnostic {
     Diagnostic {
@@ -168,13 +181,19 @@ const HASH_ITER_METHODS: [&str; 9] = [
 /// unless a `// DETERMINISM:` comment justifies the site (order provably
 /// does not leak, e.g. the results are sorted or folded commutatively) or
 /// the file is allowlisted. Membership tests and lookups are not flagged.
-pub fn hash_iteration(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+///
+/// Names are gathered both lexically (binding lines that literally mention
+/// the container) and semantically via [`crate::symbols`], so iteration
+/// through a type alias (`type Index = HashMap<…>; fn f(idx: &Index)`) or
+/// an intermediate binding (`let view = &self.index;`) fires too.
+pub fn hash_iteration(af: &AnalyzedFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    let file = &af.src;
     if !file.rel.starts_with("crates/") || allow.hash_iteration.contains(&file.rel) {
         return;
     }
-    // Pass 1: names bound to hash containers anywhere in the file (let
-    // bindings, struct fields, fn parameters).
-    let mut names: BTreeSet<String> = BTreeSet::new();
+    // Pass 1: names bound to hash containers — the lexical pass plus the
+    // symbol table's alias-resolved and propagated names.
+    let mut names: BTreeSet<String> = af.symbols.hash_names.clone();
     for line in &file.lines {
         let code = &line.code;
         if !(code.contains("HashMap") || code.contains("HashSet")) {
@@ -336,76 +355,194 @@ pub fn wall_clock(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic
     }
 }
 
-/// Rule `unwrap-budget`: `.unwrap()` / `.expect(` call sites in library
-/// crates' non-test code are counted per file and compared against the
-/// allowlist's burn-down budget. Over budget fails (convert to typed errors
-/// or consciously raise the budget); *under* budget also fails, asking for
-/// the budget to be ratcheted down so the count only ever shrinks.
-pub fn unwrap_budget(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
-    if !file.rel.starts_with("crates/")
-        || !file.rel.contains("/src/")
-        || allow.is_unwrap_exempt(&file.rel)
-    {
+/// RNG construction entry points: creating a generator anywhere but the
+/// blessed hierarchy roots breaks the seed-derivation story.
+const RNG_CONSTRUCT: [&str; 5] = [
+    "seed_from_u64",
+    "from_seed",
+    "from_entropy",
+    "thread_rng",
+    "from_rng",
+];
+
+/// RNG draw calls (method position).
+const RNG_DRAW: [&str; 5] = [
+    ".gen()",
+    ".gen::<",
+    ".gen_range(",
+    ".gen_bool(",
+    ".gen_ratio(",
+];
+
+/// Rule `rng-confined`: randomness may only be constructed or drawn at
+/// blessed sites (`rng-confined <path>` in the allowlist) — the
+/// deterministic hierarchy roots in `runtime::rng`, the adversaries, and
+/// the algorithm step functions. A stray `seed_from_u64` or `.gen_range(`
+/// anywhere else is exactly the nondeterminism the per-(seed, node, round)
+/// derivation exists to prevent, and it evades the determinism pins because
+/// those only re-run blessed configurations.
+pub fn rng_confined(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !file.rel.starts_with("crates/") || allow.rng_confined.contains(&file.rel) {
         return;
     }
-    let mut sites: Vec<usize> = Vec::new(); // line numbers, one entry per site
     for (idx, line) in file.lines.iter().enumerate() {
         if file.is_test[idx] {
             continue;
         }
-        for pat in [".unwrap()", ".expect("] {
-            let mut from = 0usize;
-            while let Some(off) = line.code[from..].find(pat) {
-                sites.push(idx + 1);
-                from += off + pat.len();
-            }
-        }
-    }
-    sites.sort_unstable();
-    let budget = allow.unwrap_budget.get(&file.rel).copied().unwrap_or(0);
-    match sites.len().cmp(&budget) {
-        std::cmp::Ordering::Greater => {
-            let first_over = sites[budget];
-            out.push(diag(
-                file,
-                first_over,
-                "unwrap-budget",
-                format!(
-                    "{} unwrap()/expect() site(s) in non-test code but the burn-down \
-                     budget is {budget} — convert to typed errors, or raise \
-                     `unwrap-budget {} {}` in the allowlist",
-                    sites.len(),
-                    file.rel,
-                    sites.len(),
-                ),
-            ));
-        }
-        std::cmp::Ordering::Less => {
-            out.push(diag(
-                file,
-                1,
-                "unwrap-budget",
-                format!(
-                    "stale burn-down budget: {budget} allowed but only {} site(s) remain — \
-                     ratchet down to `unwrap-budget {} {}`",
-                    sites.len(),
-                    file.rel,
-                    sites.len(),
-                ),
-            ));
-        }
-        std::cmp::Ordering::Equal => {}
+        let code = &line.code;
+        let construct = RNG_CONSTRUCT
+            .iter()
+            .find(|w| !find_word(code, w).is_empty());
+        let draw = RNG_DRAW.iter().find(|p| code.contains(**p));
+        let Some(what) = construct.or(draw) else {
+            continue;
+        };
+        out.push(diag(
+            file,
+            idx + 1,
+            "rng-confined",
+            format!(
+                "`{what}` outside a blessed RNG site — randomness must flow from the \
+                 deterministic per-(seed, node, round) hierarchy; add \
+                 `rng-confined {}` only for generator/adversary/algorithm modules",
+                file.rel
+            ),
+        ));
     }
 }
 
-/// Applies every rule to one scanned file.
-pub fn apply_all(file: &SourceFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+/// Allocation patterns banned inside `// HOT:` regions.
+const ALLOC_PATTERNS: [&str; 13] = [
+    "Vec::new(",
+    "vec![",
+    "Box::new(",
+    "String::new(",
+    "format!(",
+    ".to_string()",
+    ".to_vec()",
+    ".to_owned()",
+    ".clone()",
+    "with_capacity(",
+    "HashMap::new(",
+    "BTreeMap::new(",
+    ".collect(",
+];
+
+/// Rule `hot-path-alloc`: a `// HOT:` marker comment turns the next brace
+/// region (loop body, fn body) into an allocation-free zone: the PR 7 round
+/// kernel's per-round throughput rests on zero per-node allocation, and a
+/// stray `format!` or `.clone()` in the node loop silently costs more than
+/// any other regression. Individual sites may be excused with an
+/// `// ALLOC:` comment (e.g. an `Arc` refcount clone that does not hit the
+/// allocator).
+pub fn hot_path_alloc(af: &AnalyzedFile, out: &mut Vec<Diagnostic>) {
+    let file = &af.src;
+    if !file.rel.starts_with("crates/") {
+        return;
+    }
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        // The marker must *start* the comment — prose that merely mentions
+        // `// HOT:` (like these docs) must not open a region.
+        if line.comment.trim_start().starts_with("HOT:") {
+            if let Some(region) = region_after(&af.tokens, idx + 1) {
+                regions.push(region);
+            }
+        }
+    }
+    if regions.is_empty() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test[idx] || !regions.iter().any(|&(lo, hi)| lo <= lineno && lineno <= hi) {
+            continue;
+        }
+        let Some(pat) = ALLOC_PATTERNS.iter().find(|p| line.code.contains(**p)) else {
+            continue;
+        };
+        if file.comment_near(lineno, JUSTIFY_BACK, "ALLOC:") {
+            continue;
+        }
+        out.push(diag(
+            file,
+            lineno,
+            "hot-path-alloc",
+            format!(
+                "`{pat}` inside a `// HOT:` region — the round kernel must not allocate \
+                 per node/round; hoist the buffer out of the loop or excuse the site \
+                 with `// ALLOC:`"
+            ),
+        ));
+    }
+}
+
+/// Non-`SeqCst` atomic orderings that demand justification.
+const WEAK_ORDERINGS: [&str; 4] = ["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// Rule `ordering-justified`: every non-`SeqCst` atomic memory ordering
+/// must carry an `// ORDERING:` comment stating the happens-before edge it
+/// relies on (or why no edge is needed, e.g. a monotonic counter read only
+/// after a join). Applies to vendor code too — the vendored pool is exactly
+/// where the subtle orderings live.
+pub fn ordering_justified(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        let hit = WEAK_ORDERINGS.iter().find(|v| {
+            let pat = format!("Ordering::{v}");
+            let mut from = 0usize;
+            while let Some(off) = code[from..].find(&pat) {
+                let end = from + off + pat.len();
+                if code.as_bytes().get(end).is_none_or(|&b| !is_ident_byte(b)) {
+                    return true;
+                }
+                from = end;
+            }
+            false
+        });
+        let Some(variant) = hit else {
+            continue;
+        };
+        let lineno = idx + 1;
+        if file.comment_near(lineno, JUSTIFY_BACK, "ORDERING:") {
+            continue;
+        }
+        out.push(diag(
+            file,
+            lineno,
+            "ordering-justified",
+            format!(
+                "`Ordering::{variant}` without an `// ORDERING:` justification — state \
+                 the happens-before edge this ordering relies on (SeqCst needs none)"
+            ),
+        ));
+    }
+}
+
+/// Applies every per-file rule to one analyzed file. Doc-example files get
+/// the subset of rules meaningful for example code; the whole-workspace
+/// `panic-reachability` pass runs separately in [`crate::run_lint`].
+pub fn apply_all(af: &AnalyzedFile, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    let file = &af.src;
+    if file.from_doc_example {
+        thread_spawn(file, allow, out);
+        hash_iteration(af, allow, out);
+        wall_clock(file, allow, out);
+        rng_confined(file, allow, out);
+        ordering_justified(file, out);
+        return;
+    }
     safety_comment(file, out);
     unsafe_confined(file, allow, out);
     thread_spawn(file, allow, out);
-    hash_iteration(file, allow, out);
+    hash_iteration(af, allow, out);
     wall_clock(file, allow, out);
-    unwrap_budget(file, allow, out);
+    rng_confined(file, allow, out);
+    hot_path_alloc(af, out);
+    ordering_justified(file, out);
 }
 
 #[cfg(test)]
@@ -418,7 +555,7 @@ mod tests {
 
     fn run(rel: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        apply_all(&scan(rel, src), allow, &mut out);
+        apply_all(&AnalyzedFile::analyze(scan(rel, src)), allow, &mut out);
         out
     }
 
@@ -481,6 +618,35 @@ mod tests {
     }
 
     #[test]
+    fn hash_iteration_through_alias_and_binding() {
+        let src = "\
+type Index = std::collections::HashMap<u32, u32>;
+fn f(idx: &Index) {
+    for (k, _) in idx.iter() {
+        drop(k);
+    }
+}
+fn g(idx: &Index) {
+    let view = idx;
+    for k in view.keys() {
+        drop(k);
+    }
+}
+";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(
+            out.iter()
+                .any(|d| d.rule == "hash-iteration" && d.line == 3),
+            "alias'd param iteration: {out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|d| d.rule == "hash-iteration" && d.line == 9),
+            "propagated binding iteration: {out:?}"
+        );
+    }
+
+    #[test]
     fn membership_is_not_iteration() {
         let src = "use std::collections::HashSet;\nfn f(s: &HashSet<u32>) -> bool {\n    s.contains(&3)\n}\n";
         let out = run("crates/x/src/a.rs", src, &Allowlist::default());
@@ -496,37 +662,6 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_budget_exact_over_under() {
-        let src = "#![forbid(unsafe_code)]\nfn f(v: &[u32]) -> u32 { *v.first().unwrap() }\nfn g(v: &[u32]) -> u32 { *v.get(1).expect(\"two\") }\n";
-        let mut allow = Allowlist::default();
-        // budget 0: over
-        let out = run("crates/x/src/lib.rs", src, &allow);
-        assert!(
-            out.iter().any(|d| d.rule == "unwrap-budget" && d.line == 2),
-            "{out:?}"
-        );
-        // exact
-        allow.unwrap_budget.insert("crates/x/src/lib.rs".into(), 2);
-        let out = run("crates/x/src/lib.rs", src, &allow);
-        assert!(!out.iter().any(|d| d.rule == "unwrap-budget"), "{out:?}");
-        // stale
-        allow.unwrap_budget.insert("crates/x/src/lib.rs".into(), 5);
-        let out = run("crates/x/src/lib.rs", src, &allow);
-        assert!(
-            out.iter()
-                .any(|d| d.rule == "unwrap-budget" && d.msg.contains("stale")),
-            "{out:?}"
-        );
-    }
-
-    #[test]
-    fn unwrap_or_variants_not_counted() {
-        let src = "#![forbid(unsafe_code)]\nfn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }\nfn g(v: Option<u32>) -> u32 { v.unwrap_or_else(|| 1) }\n";
-        let out = run("crates/x/src/lib.rs", src, &Allowlist::default());
-        assert!(!out.iter().any(|d| d.rule == "unwrap-budget"), "{out:?}");
-    }
-
-    #[test]
     fn wall_clock_needs_timing_label() {
         let src = "fn t() { let _ = std::time::Instant::now(); }\n";
         let out = run("crates/x/src/a.rs", src, &Allowlist::default());
@@ -535,6 +670,121 @@ mod tests {
             "// TIMING: progress reporting only.\nfn t() { let _ = std::time::Instant::now(); }\n";
         let out = run("crates/x/src/a.rs", src, &Allowlist::default());
         assert!(!out.iter().any(|d| d.rule == "wall-clock"), "{out:?}");
+    }
+
+    #[test]
+    fn rng_confined_flags_construction_and_draws() {
+        let src = "fn f() {\n    let mut rng = ChaCha8Rng::seed_from_u64(7);\n    let x: u32 = rng.gen_range(0..9);\n    let _ = x;\n}\n";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(
+            out.iter().any(|d| d.rule == "rng-confined" && d.line == 2),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|d| d.rule == "rng-confined" && d.line == 3),
+            "{out:?}"
+        );
+        let mut allow = Allowlist::default();
+        allow.rng_confined.insert("crates/x/src/a.rs".into());
+        let out = run("crates/x/src/a.rs", src, &allow);
+        assert!(!out.iter().any(|d| d.rule == "rng-confined"), "{out:?}");
+    }
+
+    #[test]
+    fn rng_confined_ignores_tests_and_vendor() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let _ = rng.gen_range(0..9); }\n}\n";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(!out.iter().any(|d| d.rule == "rng-confined"), "{out:?}");
+        let out = run(
+            "vendor/rand/src/lib.rs",
+            "fn f() { let _ = x.gen_range(0..9); }\n",
+            &Allowlist::default(),
+        );
+        assert!(!out.iter().any(|d| d.rule == "rng-confined"), "{out:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_region_and_escape() {
+        let src = "\
+fn step(n: usize) {
+    // HOT: per-node round loop.
+    for i in 0..n {
+        let label = format!(\"node {i}\");
+        drop(label);
+    }
+    let after = format!(\"done\");
+    drop(after);
+}
+";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(
+            out.iter()
+                .any(|d| d.rule == "hot-path-alloc" && d.line == 4),
+            "{out:?}"
+        );
+        assert!(
+            !out.iter()
+                .any(|d| d.rule == "hot-path-alloc" && d.line == 7),
+            "outside the region: {out:?}"
+        );
+        let excused = "\
+fn step(n: usize) {
+    // HOT: per-node round loop.
+    for _i in 0..n {
+        // ALLOC: Arc refcount bump, no allocator hit.
+        let h = handle.clone();
+        drop(h);
+    }
+}
+";
+        let out = run("crates/x/src/a.rs", excused, &Allowlist::default());
+        assert!(!out.iter().any(|d| d.rule == "hot-path-alloc"), "{out:?}");
+    }
+
+    #[test]
+    fn ordering_needs_justification() {
+        let src = "fn f(c: &AtomicUsize) -> usize { c.load(Ordering::Relaxed) }\n";
+        let out = run("crates/x/src/a.rs", src, &Allowlist::default());
+        assert!(
+            out.iter().any(|d| d.rule == "ordering-justified"),
+            "{out:?}"
+        );
+        // Vendor code is covered too.
+        let out = run("vendor/x/src/lib.rs", src, &Allowlist::default());
+        assert!(
+            out.iter().any(|d| d.rule == "ordering-justified"),
+            "{out:?}"
+        );
+        let good = "// ORDERING: counter only read after the pool joins.\nfn f(c: &AtomicUsize) -> usize { c.load(Ordering::Relaxed) }\n";
+        let out = run("crates/x/src/a.rs", good, &Allowlist::default());
+        assert!(
+            !out.iter().any(|d| d.rule == "ordering-justified"),
+            "{out:?}"
+        );
+        let seqcst = "fn f(c: &AtomicUsize) -> usize { c.load(Ordering::SeqCst) }\n";
+        let out = run("crates/x/src/a.rs", seqcst, &Allowlist::default());
+        assert!(
+            !out.iter().any(|d| d.rule == "ordering-justified"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn doc_examples_get_the_subset() {
+        let src = "\
+//! ```
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! ```
+fn live() {}
+";
+        let af = AnalyzedFile::analyze(scan("crates/x/src/a.rs", src));
+        let doc = af.src.doc_examples().expect("example");
+        let mut out = Vec::new();
+        apply_all(&AnalyzedFile::analyze(doc), &Allowlist::default(), &mut out);
+        assert!(
+            out.iter().any(|d| d.rule == "rng-confined" && d.line == 2),
+            "{out:?}"
+        );
     }
 
     #[test]

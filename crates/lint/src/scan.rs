@@ -32,6 +32,10 @@ pub struct SourceFile {
     /// `is_test[i]` is true when line `i + 1` is inside a `#[cfg(test)]`
     /// item or the whole file is a test target (`tests/` directory).
     pub is_test: Vec<bool>,
+    /// True for the synthetic file produced by [`SourceFile::doc_examples`]:
+    /// the fenced ```` ```rust ```` blocks of a real file, re-scanned as
+    /// code. Diagnostics keep the real path and line numbers.
+    pub from_doc_example: bool,
 }
 
 impl SourceFile {
@@ -48,7 +52,52 @@ impl SourceFile {
             rel: rel.to_string(),
             lines,
             is_test,
+            from_doc_example: false,
         }
+    }
+
+    /// Extracts this file's doc examples (fenced ```` ```rust ```` blocks in
+    /// comments, including ` ```ignore `/` ```no_run `) into a synthetic
+    /// [`SourceFile`] whose code lines sit at their original line numbers
+    /// (non-example lines are blank), so rule diagnostics point into the
+    /// real file. Hidden lines (`# ` prefix) are unhidden and linted too.
+    /// Returns `None` when the file has no rust example lines.
+    pub fn doc_examples(&self) -> Option<SourceFile> {
+        let mut example_lines: Vec<(usize, String)> = Vec::new();
+        let mut in_example = false;
+        let mut is_rust = false;
+        for (idx, line) in self.lines.iter().enumerate() {
+            if line.comment.is_empty() {
+                continue;
+            }
+            let text = doc_comment_text(&line.comment);
+            let trimmed = text.trim_start();
+            if let Some(info) = trimmed.strip_prefix("```") {
+                if in_example {
+                    in_example = false;
+                } else {
+                    in_example = true;
+                    is_rust = fence_is_rust(info);
+                }
+                continue;
+            }
+            if in_example && is_rust {
+                let code = match trimmed.strip_prefix("# ") {
+                    Some(unhidden) => unhidden.to_string(),
+                    None if trimmed == "#" => String::new(),
+                    None => text.clone(),
+                };
+                example_lines.push((idx + 1, code));
+            }
+        }
+        let max_line = example_lines.last()?.0;
+        let mut padded = vec![String::new(); max_line];
+        for (lineno, code) in example_lines {
+            padded[lineno - 1] = code;
+        }
+        let mut file = SourceFile::scan(&self.rel, &padded.join("\n"));
+        file.from_doc_example = true;
+        Some(file)
     }
 
     /// True if any comment on lines `line - back ..= line` (1-indexed)
@@ -58,6 +107,39 @@ impl SourceFile {
         let lo = line.saturating_sub(back).max(1);
         (lo..=line.min(self.lines.len())).any(|l| self.lines[l - 1].comment.contains(marker))
     }
+}
+
+/// Normalizes one line of collected comment text to its doc content: the
+/// scanner strips `//` but keeps the third `/` of `///` (and the `!` of
+/// `//!`); drop that marker and one following space.
+fn doc_comment_text(comment: &str) -> String {
+    let text = comment
+        .strip_prefix('/')
+        .or_else(|| comment.strip_prefix('!'))
+        .unwrap_or(comment);
+    text.strip_prefix(' ').unwrap_or(text).to_string()
+}
+
+/// True when a fence info string marks a rust example (rustdoc lints
+/// ` ``` `, ` ```rust `, ` ```ignore `, ` ```no_run `, …; ` ```text ` and
+/// other languages are prose).
+fn fence_is_rust(info: &str) -> bool {
+    let info = info.trim();
+    info.is_empty()
+        || info.split(',').all(|t| {
+            matches!(
+                t.trim(),
+                "rust"
+                    | "ignore"
+                    | "no_run"
+                    | "should_panic"
+                    | "compile_fail"
+                    | "edition2015"
+                    | "edition2018"
+                    | "edition2021"
+                    | "edition2024"
+            )
+        })
 }
 
 /// Whole-file test targets: integration test directories at the workspace
@@ -377,6 +459,39 @@ mod tests {
         assert_eq!(find_word("unsafe_code unsafe", "unsafe"), vec![12]);
         assert_eq!(find_word("an unsafe block", "unsafe"), vec![3]);
         assert!(find_word("#![forbid(unsafe_code)]", "unsafe").is_empty());
+    }
+
+    #[test]
+    fn doc_examples_extracted_at_original_lines() {
+        let src = "\
+//! Crate docs.
+//!
+//! ```
+//! let m = foo();
+//! # let hidden = bar();
+//! ```
+//!
+//! ```text
+//! not rust: thread::spawn
+//! ```
+fn live() {}
+";
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        let doc = f.doc_examples().expect("has examples");
+        assert!(doc.from_doc_example);
+        assert_eq!(doc.lines[3].code.trim(), "let m = foo();");
+        assert_eq!(doc.lines[4].code.trim(), "let hidden = bar();");
+        assert!(
+            !doc.lines.iter().any(|l| l.code.contains("thread::spawn")),
+            "text fence skipped"
+        );
+        assert!(!doc.lines.iter().any(|l| l.code.contains("live")));
+    }
+
+    #[test]
+    fn doc_examples_absent() {
+        let f = SourceFile::scan("crates/x/src/lib.rs", "// plain comment\nfn f() {}\n");
+        assert!(f.doc_examples().is_none());
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Per-file symbol table: which identifiers are bound to hash-ordered
+//! containers (`HashMap`/`HashSet`), resolved *semantically* rather than
+//! lexically.
+//!
+//! The lexical `hash-iteration` pass (PR 6) only caught names whose binding
+//! line literally mentions `HashMap`/`HashSet`. This module closes the three
+//! holes that leaves:
+//!
+//! * **type aliases** — `type Index = HashMap<u32, u32>;` followed by
+//!   `fn f(idx: &Index)` binds `idx` to a hash container; alias chains
+//!   (`type A = B; type B = HashMap<…>;`) resolve to a fixpoint,
+//! * **annotations through aliases** — `let m: Index = …`, struct fields
+//!   `index: Index,`, and fn parameters `idx: &Index` all contribute names,
+//! * **intermediate bindings** — `let view = &self.index;` or
+//!   `let copy = index.clone();` propagate hash-ness to the new name
+//!   (fixpoint over the file).
+//!
+//! Analysis is per file, over the token stream of [`crate::parse`]. It is an
+//! over-approximation by design: a name is *suspected* hash-ordered; the
+//! `hash-iteration` rule only fires when such a name is actually iterated,
+//! so extra names cost nothing unless they alias a real iteration site.
+
+use crate::parse::{match_delim, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Hash-container symbol information for one file.
+#[derive(Debug, Default, Clone)]
+pub struct FileSymbols {
+    /// Identifiers bound (directly, through an alias, or through an
+    /// intermediate binding) to a hash-ordered container.
+    pub hash_names: BTreeSet<String>,
+    /// Type alias names that resolve to `HashMap`/`HashSet`.
+    pub hash_aliases: BTreeSet<String>,
+}
+
+impl FileSymbols {
+    /// True when `ty` names a hash container: the std types themselves or
+    /// one of this file's resolved aliases.
+    pub fn is_hash_type(&self, ty: &str) -> bool {
+        ty == "HashMap" || ty == "HashSet" || self.hash_aliases.contains(ty)
+    }
+}
+
+/// Constructor-ish associated functions: `T::new()` etc. bind a value of
+/// type `T`.
+const CONSTRUCTORS: [&str; 5] = ["new", "default", "with_capacity", "from_iter", "from"];
+
+/// Analyzes one file's token stream into its [`FileSymbols`].
+pub fn analyze(tokens: &[Token]) -> FileSymbols {
+    let mut syms = FileSymbols {
+        hash_names: BTreeSet::new(),
+        hash_aliases: resolve_aliases(tokens),
+    };
+    // Fixpoint: every pass may bind new names (propagation through `let`),
+    // which can make earlier `let y = x;` lines match. File-local alias
+    // chains are short; the cap only guards against pathological input.
+    for _ in 0..8 {
+        let before = syms.hash_names.len();
+        collect_annotations(tokens, &mut syms);
+        collect_let_bindings(tokens, &mut syms);
+        if syms.hash_names.len() == before {
+            break;
+        }
+    }
+    syms
+}
+
+/// Collects `type Name = …;` items and resolves which alias names reach
+/// `HashMap`/`HashSet`, following alias-to-alias chains to a fixpoint.
+fn resolve_aliases(tokens: &[Token]) -> BTreeSet<String> {
+    let mut aliases: Vec<(String, String)> = Vec::new(); // (name, rhs root)
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("type") {
+            continue;
+        }
+        let (Some(name), Some(eq)) = (tokens.get(i + 1).and_then(Token::ident), tokens.get(i + 2))
+        else {
+            continue;
+        };
+        // Only plain `type Name = …;` — generic aliases (`type N<T> = …`)
+        // don't occur for hash containers here and are skipped.
+        if !eq.is_punct('=') {
+            continue;
+        }
+        let (_, root) = read_type(tokens, i + 3);
+        if let Some(root) = root {
+            aliases.push((name.to_string(), root));
+        }
+    }
+    let mut hash: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let before = hash.len();
+        for (name, root) in &aliases {
+            if root == "HashMap" || root == "HashSet" || hash.contains(root) {
+                hash.insert(name.clone());
+            }
+        }
+        if hash.len() == before {
+            return hash;
+        }
+    }
+}
+
+/// Collects every `name: Type` annotation (let annotations, struct fields,
+/// fn parameters — all share the shape) whose type root is a hash container.
+fn collect_annotations(tokens: &[Token], syms: &mut FileSymbols) {
+    for i in 0..tokens.len() {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        // `name :` but not `name ::` and not `:: name :`.
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            || (i > 0 && tokens[i - 1].is_punct(':'))
+        {
+            continue;
+        }
+        let (_, root) = read_type(tokens, i + 2);
+        if root.is_some_and(|r| syms.is_hash_type(&r)) {
+            syms.hash_names.insert(name.to_string());
+        }
+    }
+}
+
+/// Collects `let` bindings whose initializer visibly produces a hash
+/// container: `let m = Index::new()` (alias constructor) and the
+/// propagation forms `let y = x;` / `= &x;` / `= &mut x;` / `= x.clone();`
+/// for an already-known hash name `x`.
+fn collect_let_bindings(tokens: &[Token], syms: &mut FileSymbols) {
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = tokens.get(j).and_then(Token::ident) else {
+            continue;
+        };
+        // Skip a `: Type` annotation (handled by collect_annotations) to
+        // reach the `=`.
+        let mut k = j + 1;
+        if tokens.get(k).is_some_and(|t| t.is_punct(':')) {
+            let (end, _) = read_type(tokens, k + 1);
+            k = end;
+        }
+        if !tokens.get(k).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        if rhs_is_hash(tokens, k + 1, syms) {
+            syms.hash_names.insert(name.to_string());
+        }
+    }
+}
+
+/// Decides whether the initializer starting at `start` visibly produces a
+/// hash container.
+fn rhs_is_hash(tokens: &[Token], start: usize, syms: &FileSymbols) -> bool {
+    // Optional leading `&` / `&mut`.
+    let mut i = start;
+    if tokens.get(i).is_some_and(|t| t.is_punct('&')) {
+        i += 1;
+        if tokens.get(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+    }
+    // Path chain: ident (:: ident)* — record the segments.
+    let mut segs: Vec<&str> = Vec::new();
+    while let Some(id) = tokens.get(i).and_then(Token::ident) {
+        segs.push(id);
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            i += 3;
+        } else {
+            i += 1;
+            break;
+        }
+    }
+    let [.., owner, last] = segs.as_slice() else {
+        // Single segment: `let y = x;` / `= &x;` / `= x.clone();`.
+        let Some(&name) = segs.first() else {
+            return false;
+        };
+        if !syms.hash_names.contains(name) {
+            return false;
+        }
+        return match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Punct(';')) | None => true,
+            Some(TokenKind::Punct('.')) => {
+                tokens.get(i + 1).is_some_and(|t| t.is_ident("clone"))
+                    && terminated_after_call(tokens, i + 2)
+            }
+            _ => false,
+        };
+    };
+    // `Owner::ctor(...)` — a constructor on a hash type or hash alias.
+    syms.is_hash_type(owner)
+        && CONSTRUCTORS.contains(last)
+        && tokens
+            .get(i)
+            .is_some_and(|t| matches!(t.kind, TokenKind::Open(crate::parse::Delim::Paren)))
+}
+
+/// True when the paren group at `open` closes directly into `;` (or the end
+/// of the stream) — i.e. the call is the whole initializer.
+fn terminated_after_call(tokens: &[Token], open: usize) -> bool {
+    if !tokens
+        .get(open)
+        .is_some_and(|t| matches!(t.kind, TokenKind::Open(crate::parse::Delim::Paren)))
+    {
+        return false;
+    }
+    match match_delim(tokens, open) {
+        Some(close) => matches!(
+            tokens.get(close + 1).map(|t| &t.kind),
+            Some(TokenKind::Punct(';')) | None
+        ),
+        None => false,
+    }
+}
+
+/// Reads a type expression starting at `start`; returns the index of the
+/// terminating token (`,` `;` `=` at angle-depth 0, a closing delimiter of
+/// the enclosing group, or end of stream) and the root type name — the last
+/// segment of the leading path, e.g. `HashMap` for
+/// `&mut std::collections::HashMap<K, V>`, `Vec` for `Vec<HashMap<K, V>>`.
+pub fn read_type(tokens: &[Token], start: usize) -> (usize, Option<String>) {
+    let mut i = start;
+    let mut angle = 0i32;
+    let mut root: Option<String> = None;
+    let mut chain_last: Option<String> = None;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('<') => {
+                if root.is_none() {
+                    root = chain_last.take();
+                }
+                angle += 1;
+            }
+            TokenKind::Punct('>') => {
+                if angle == 0 {
+                    break; // stray `>`: end of an enclosing generic list
+                }
+                angle -= 1;
+            }
+            TokenKind::Punct(',') | TokenKind::Punct(';') | TokenKind::Punct('=') if angle == 0 => {
+                break;
+            }
+            TokenKind::Close(_) => break,
+            TokenKind::Open(_) => {
+                // Tuple/array/fn-pointer groups inside the type: skip whole.
+                i = match_delim(tokens, i).unwrap_or(tokens.len());
+            }
+            TokenKind::Ident(s)
+                if angle == 0 && !matches!(s.as_str(), "mut" | "dyn" | "impl" | "const") =>
+            {
+                chain_last = Some(s.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, root.or(chain_last))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::tokenize;
+    use crate::scan::SourceFile;
+
+    fn syms(src: &str) -> FileSymbols {
+        analyze(&tokenize(
+            &SourceFile::scan("crates/x/src/lib.rs", src).lines,
+        ))
+    }
+
+    #[test]
+    fn alias_chain_resolves() {
+        let s = syms("type Inner = std::collections::HashMap<u32, u32>;\ntype Outer = Inner;");
+        assert!(s.hash_aliases.contains("Inner"));
+        assert!(s.hash_aliases.contains("Outer"));
+        assert!(s.is_hash_type("Outer"));
+    }
+
+    #[test]
+    fn annotations_through_aliases() {
+        let src = "\
+type Index = HashMap<u32, u32>;
+struct S { index: Index, plain: Vec<u32> }
+fn f(idx: &Index, v: &[u32]) {
+    let local: Index = Index::new();
+    let _ = (idx, v, local);
+}
+";
+        let s = syms(src);
+        assert!(s.hash_names.contains("index"));
+        assert!(s.hash_names.contains("idx"));
+        assert!(s.hash_names.contains("local"));
+        assert!(!s.hash_names.contains("plain"));
+        assert!(!s.hash_names.contains("v"));
+    }
+
+    #[test]
+    fn constructor_and_propagation() {
+        let src = "\
+type Index = HashSet<u64>;
+fn f() {
+    let made = Index::with_capacity(8);
+    let view = &made;
+    let copied = made.clone();
+    let unrelated = made.len();
+}
+";
+        let s = syms(src);
+        assert!(s.hash_names.contains("made"));
+        assert!(s.hash_names.contains("view"), "{s:?}");
+        assert!(s.hash_names.contains("copied"));
+        assert!(!s.hash_names.contains("unrelated"));
+    }
+
+    #[test]
+    fn vec_of_hash_is_not_hash_rooted() {
+        let s = syms("fn f(v: Vec<HashMap<u32, u32>>) { let _ = v; }");
+        assert!(!s.hash_names.contains("v"));
+    }
+
+    #[test]
+    fn read_type_roots() {
+        let t = tokenize(
+            &SourceFile::scan(
+                "crates/x/src/lib.rs",
+                "&mut std::collections::HashMap<K, V>,",
+            )
+            .lines,
+        );
+        let (_, root) = read_type(&t, 0);
+        assert_eq!(root.as_deref(), Some("HashMap"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: a rustdoc example that spawns a thread. Doc examples are
+//! extracted and linted like code (at their original line numbers), so
+//! the `thread-spawn` rule must fire inside the example. The `text` block
+//! below is not Rust and must stay silent.
+
+#![forbid(unsafe_code)]
+
+/// Runs `f` once.
+///
+/// ```
+/// std::thread::spawn(|| ());
+/// ```
+///
+/// ```text
+/// thread::spawn is fine in prose blocks
+/// ```
+pub fn run<F: FnOnce()>(f: F) {
+    f();
+}

@@ -1,0 +1,30 @@
+//! Fixture: hash iteration reached through a `type` alias, a constructor,
+//! and an intermediate binding — invisible to a lexical scan, caught by
+//! the symbol table. One `// DETERMINISM:`-justified iteration stays
+//! silent.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+type Index = HashMap<u32, u32>;
+
+pub fn from_annotation(m: &Index) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn from_constructor() -> Vec<u32> {
+    let idx = Index::new();
+    idx.keys().copied().collect()
+}
+
+pub fn from_binding(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let view = m;
+    view.keys().copied().collect()
+}
+
+/// The escape hatch still works on aliased containers.
+pub fn justified(m: &Index) -> u32 {
+    // DETERMINISM: summation is order-independent.
+    m.values().sum()
+}

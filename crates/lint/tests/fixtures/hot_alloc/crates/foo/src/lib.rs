@@ -1,0 +1,26 @@
+//! Fixture: allocation inside a `// HOT:` region fires `hot-path-alloc`;
+//! an `// ALLOC:`-justified allocation in a second hot region stays
+//! silent, as does allocation outside any marked region.
+
+#![forbid(unsafe_code)]
+
+// HOT: per-item kernel, must not allocate.
+pub fn kernel(xs: &mut [u32]) -> usize {
+    let mut count = 0;
+    for x in xs.iter_mut() {
+        *x += 1;
+        count += 1;
+    }
+    let scratch: Vec<u32> = Vec::new();
+    count + scratch.len()
+}
+
+// HOT: kernel with a justified setup allocation.
+pub fn kernel_justified(n: usize) -> Vec<u32> {
+    // ALLOC: result buffer, allocated once per call, not per item.
+    Vec::with_capacity(n)
+}
+
+pub fn cold_path() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,20 @@
+//! Fixture: a `Relaxed` atomic operation without an `// ORDERING:`
+//! justification fires `ordering-justified`; a justified `Relaxed` and a
+//! `SeqCst` operation stay silent.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_justified(c: &AtomicU64) {
+    // ORDERING: standalone counter; no other memory rides on it.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_seqcst(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,41 @@
+//! Fixture: panic-reachability over a two-hop call chain. `entry` (public)
+//! calls the private `helper`, whose `unwrap()` must fire with the witness
+//! path. The `// INVARIANT:`-proved site, the `[..index()]` node-id form,
+//! and the panic in uncalled private code must all stay silent; the raw
+//! indexing in `pick` fires unless the file is on the `panic-indexing`
+//! burn-down list.
+
+#![forbid(unsafe_code)]
+
+pub fn entry(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn proved(v: &[u32]) -> u32 {
+    // INVARIANT: callers validate non-emptiness at the boundary.
+    *v.first().unwrap()
+}
+
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+pub fn by_node_id(outputs: &[u32], u: crate::NodeId) -> u32 {
+    outputs[u.index()]
+}
+
+pub struct NodeId(usize);
+
+impl NodeId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+fn never_called() {
+    panic!("unreachable from the public surface");
+}

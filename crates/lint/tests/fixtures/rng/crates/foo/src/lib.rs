@@ -1,0 +1,14 @@
+//! Fixture: RNG construction and draws outside a blessed module. Both the
+//! construction (`seed_from_u64`) and the draw (`.gen_range(`) must fire
+//! `rng-confined`; the `rng-confined crates/foo/src/lib.rs` allowlist
+//! directive silences the whole file.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub fn stray_rng(seed: u64) -> u32 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.gen_range(0..10)
+}

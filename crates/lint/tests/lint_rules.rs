@@ -82,27 +82,114 @@ fn wall_clock_fires_without_timing_comment() {
 }
 
 #[test]
-fn unwrap_budget_is_exact_in_both_directions() {
-    // Budget 1 for 2 sites: fires at the first over-budget site (line 12).
-    let allow = Allowlist::parse("unwrap-budget crates/foo/src/lib.rs 1\n").expect("parse");
-    let r = lint_fixture("unwrap", &allow);
-    assert_single(&r, "unwrap-budget", "crates/foo/src/lib.rs", 12);
+fn hash_iteration_resolves_aliases_and_bindings() {
+    // Iteration through a `type` alias parameter (line 13), an alias
+    // constructor binding (line 18), and a propagated `let view = m;`
+    // binding (line 23) — none of which mention HashMap on the flagged
+    // line. The `// DETERMINISM:`-justified iteration stays silent.
+    let r = lint_fixture("hash_alias", &Allowlist::default());
+    let lines: Vec<(usize, &str)> = r.diagnostics.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(
+        lines,
+        vec![
+            (13, "hash-iteration"),
+            (18, "hash-iteration"),
+            (23, "hash-iteration"),
+        ],
+        "{:?}",
+        r.diagnostics
+    );
+}
 
-    // Exact budget: clean — and the unwrap inside #[cfg(test)] is free.
-    let allow = Allowlist::parse("unwrap-budget crates/foo/src/lib.rs 2\n").expect("parse");
-    let r = lint_fixture("unwrap", &allow);
-    assert!(r.is_clean(), "exact budget fired: {:?}", r.diagnostics);
+#[test]
+fn panic_reachability_fires_through_call_chain() {
+    // `entry` (public) -> `helper` (private) -> `unwrap()` at line 15, and
+    // the raw indexing in `pick` at line 24. The `// INVARIANT:`-proved
+    // site, the `[..index()]` node-id form, and the panic in uncalled
+    // private code stay silent.
+    let r = lint_fixture("panic_reach", &Allowlist::default());
+    assert_eq!(r.diagnostics.len(), 2, "{:?}", r.diagnostics);
+    let unwrap = &r.diagnostics[0];
+    assert_eq!((unwrap.rule, unwrap.line), ("panic-reachability", 15));
+    assert!(
+        unwrap.msg.contains("foo::entry") && unwrap.msg.contains("entry -> helper"),
+        "expected the public root and witness path: {}",
+        unwrap.msg
+    );
+    let indexing = &r.diagnostics[1];
+    assert_eq!((indexing.rule, indexing.line), ("panic-reachability", 24));
+    assert!(
+        indexing.msg.contains("raw indexing"),
+        "expected a raw-indexing finding: {}",
+        indexing.msg
+    );
 
-    // Over-generous budget: stale, must be ratcheted down.
-    let allow = Allowlist::parse("unwrap-budget crates/foo/src/lib.rs 3\n").expect("parse");
-    let r = lint_fixture("unwrap", &allow);
-    assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
-    assert_eq!(r.diagnostics[0].rule, "unwrap-budget");
+    // The burn-down directive silences the indexing site but not the unwrap.
+    let allow = Allowlist::parse("panic-indexing crates/foo/src/lib.rs\n").expect("parse");
+    let r = lint_fixture("panic_reach", &allow);
+    assert_single(&r, "panic-reachability", "crates/foo/src/lib.rs", 15);
+}
+
+#[test]
+fn panic_indexing_directive_goes_stale() {
+    // A burn-down entry for a file with no raw indexing left must itself
+    // fail the lint — the allowlist only shrinks.
+    let allow = Allowlist::parse("panic-indexing crates/foo/src/lib.rs\n").expect("parse");
+    let r = lint_fixture("clean", &allow);
+    assert_single(&r, "panic-reachability", "crates/foo/src/lib.rs", 1);
     assert!(
         r.diagnostics[0].msg.contains("stale"),
-        "expected a stale-budget message: {}",
+        "expected a stale-directive message: {}",
         r.diagnostics[0].msg
     );
+}
+
+#[test]
+fn rng_confined_fires_and_allowlist_blesses() {
+    // Construction (line 12) and draw (line 13), silenced whole-file by the
+    // `rng-confined` directive.
+    let r = lint_fixture("rng", &Allowlist::default());
+    assert_eq!(r.diagnostics.len(), 2, "{:?}", r.diagnostics);
+    assert_eq!(
+        (r.diagnostics[0].rule, r.diagnostics[0].line),
+        ("rng-confined", 12)
+    );
+    assert_eq!(
+        (r.diagnostics[1].rule, r.diagnostics[1].line),
+        ("rng-confined", 13)
+    );
+
+    let allow = Allowlist::parse("rng-confined crates/foo/src/lib.rs\n").expect("parse");
+    let r = lint_fixture("rng", &allow);
+    assert!(
+        r.is_clean(),
+        "blessed RNG site still fired: {:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn hot_path_alloc_fires_inside_marked_region() {
+    // The allocation inside the first `// HOT:` region fires; the
+    // `// ALLOC:`-justified one and the cold-path allocation stay silent.
+    let r = lint_fixture("hot_alloc", &Allowlist::default());
+    assert_single(&r, "hot-path-alloc", "crates/foo/src/lib.rs", 14);
+}
+
+#[test]
+fn ordering_without_justification_fires() {
+    // The bare `Ordering::Relaxed` fires; the `// ORDERING:`-justified
+    // `Relaxed` and the `SeqCst` stay silent.
+    let r = lint_fixture("ordering", &Allowlist::default());
+    assert_single(&r, "ordering-justified", "crates/foo/src/lib.rs", 10);
+}
+
+#[test]
+fn doc_examples_are_linted_at_their_original_lines() {
+    // The thread spawn inside the rustdoc example fires at its real line in
+    // the source file; the ```text block is prose and stays silent.
+    let r = lint_fixture("doc_example", &Allowlist::default());
+    assert_single(&r, "thread-spawn", "crates/foo/src/lib.rs", 11);
 }
 
 #[test]
@@ -125,8 +212,8 @@ fn clean_fixture_is_clean() {
 #[test]
 fn diagnostics_are_sorted_and_stable() {
     // Two runs over the same tree produce byte-identical, sorted output.
-    let a = lint_fixture("unwrap", &Allowlist::default());
-    let b = lint_fixture("unwrap", &Allowlist::default());
+    let a = lint_fixture("hash_alias", &Allowlist::default());
+    let b = lint_fixture("hash_alias", &Allowlist::default());
     let render = |r: &LintReport| {
         r.diagnostics
             .iter()
@@ -137,6 +224,10 @@ fn diagnostics_are_sorted_and_stable() {
     let mut sorted = a.diagnostics.clone();
     sorted.sort();
     assert_eq!(sorted, a.diagnostics);
+    // The JSON rendering carries the same findings for the CI matcher.
+    let json = a.to_json();
+    assert!(json.contains("\"rule\":\"hash-iteration\""), "{json}");
+    assert!(json.contains("\"line\":13"), "{json}");
 }
 
 #[test]

@@ -42,6 +42,8 @@ impl Series {
 
     /// Summary statistics over the rounds `from..`.
     pub fn summary_from(&self, from: usize) -> Summary {
+        // INVARIANT: the start bound is clamped to len, so the range is
+        // always valid (an out-of-range `from` yields the empty summary).
         Summary::of(&self.values[from.min(self.values.len())..])
     }
 
@@ -69,6 +71,7 @@ impl Series {
         assert!(lag >= 1);
         let mut out = Vec::new();
         for i in 0..self.values.len().saturating_sub(lag) {
+            // INVARIANT: i < len - lag, so both i and i + lag are in range.
             if self.values[i] > 0.0 {
                 out.push(self.values[i + lag] / self.values[i]);
             }

@@ -42,18 +42,24 @@ impl CounterHandle {
     /// Adds `delta` to the metric.
     #[inline]
     pub fn add(&self, delta: u64) {
+        // ORDERING: independent monotonic counter; no other memory is
+        // published through it, so no happens-before edge is needed.
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Sets the metric to `value` (gauge semantics).
     #[inline]
     pub fn set(&self, value: u64) {
+        // ORDERING: gauge write stands alone; readers only need *a* recent
+        // value, not synchronization with surrounding writes.
         self.0.store(value, Ordering::Relaxed);
     }
 
     /// The current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: metrics are advisory; a slightly stale read is fine and
+        // guards no other data.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -85,6 +91,8 @@ impl Registry {
         let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let mut snap = Snapshot::new();
         for (name, cell) in metrics.iter() {
+            // ORDERING: snapshot is advisory (each cell read independently;
+            // the registry lock only guards the map, not the values).
             snap.set(*name, cell.load(Ordering::Relaxed));
         }
         snap
@@ -95,6 +103,8 @@ impl Registry {
     pub fn reset(&self) {
         let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         for cell in metrics.values() {
+            // ORDERING: test-only reset; racing increments may survive it by
+            // design, so no stronger ordering would buy anything.
             cell.store(0, Ordering::Relaxed);
         }
     }

@@ -69,6 +69,8 @@ mod imp {
     /// variable (`1`/`true`/`on` enable, anything else disables).
     #[inline]
     pub fn enabled() -> bool {
+        // ORDERING: a tri-state flag read in isolation; the worst a stale
+        // read costs is one extra recorded/skipped span.
         match TRACE_STATE.load(Ordering::Relaxed) {
             STATE_ON => true,
             STATE_OFF => false,
@@ -82,6 +84,8 @@ mod imp {
             std::env::var("DYNNET_TRACE").as_deref(),
             Ok("1") | Ok("true") | Ok("on")
         );
+        // ORDERING: idempotent cache of an env var; every racer computes
+        // the same value, so publication order is irrelevant.
         TRACE_STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
         on
     }
@@ -89,6 +93,8 @@ mod imp {
     /// Turns span recording on or off, overriding `DYNNET_TRACE`. Used by
     /// the `--trace-out` flag and by tests.
     pub fn set_enabled(on: bool) {
+        // ORDERING: standalone flag; spans racing with the toggle may be
+        // recorded or not either way, which is acceptable for tracing.
         TRACE_STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
     }
 
@@ -106,6 +112,8 @@ mod imp {
     }
 
     fn cap() -> usize {
+        // ORDERING: idempotent env-var cache, same as resolve_env — every
+        // thread that races the 0 state stores the identical value.
         match CAP.load(Ordering::Relaxed) {
             0 => {
                 let cap = std::env::var("DYNNET_TRACE_CAP")
@@ -113,6 +121,7 @@ mod imp {
                     .and_then(|s| s.parse::<usize>().ok())
                     .filter(|&c| c > 0)
                     .unwrap_or(1 << 22);
+                // ORDERING: same idempotent-cache argument as the load above.
                 CAP.store(cap, Ordering::Relaxed);
                 cap
             }
@@ -122,6 +131,8 @@ mod imp {
 
     fn current_tid() -> u64 {
         thread_local! {
+            // ORDERING: unique-id allocation only needs atomicity of the
+            // increment, not ordering against other memory.
             static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
         }
         TID.with(|t| *t)
@@ -247,6 +258,7 @@ mod imp {
         let mut buf = collector().lock().unwrap_or_else(PoisonError::into_inner);
         if buf.len() >= cap {
             drop(buf);
+            // ORDERING: independent overflow counter, reported out-of-band.
             DROPPED.fetch_add(1, Ordering::Relaxed);
         } else {
             buf.push(event);
@@ -268,6 +280,7 @@ mod imp {
 
     /// Number of events rejected because the buffer cap was reached.
     pub fn dropped_events() -> u64 {
+        // ORDERING: advisory counter read; callers only report the number.
         DROPPED.load(Ordering::Relaxed)
     }
 }

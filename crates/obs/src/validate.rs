@@ -119,6 +119,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        // INVARIANT: the parser only advances pos by peeked bytes, so
+        // pos <= bytes.len() and the open range is always valid.
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
@@ -135,6 +137,7 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
+        // INVARIANT: start was an earlier pos and pos <= bytes.len().
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.fail("invalid utf-8 in number"))?;
         text.parse::<f64>()
@@ -183,6 +186,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Advance one whole UTF-8 scalar.
+                    // INVARIANT: peek() returned Some, so pos < bytes.len().
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.fail("invalid utf-8 in string"))?;
                     match rest.chars().next() {

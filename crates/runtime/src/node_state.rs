@@ -44,9 +44,11 @@ impl AwakeSet {
     }
 
     /// Tests membership of index `i`.
+    // HOT: queried per node per round by the wakeup schedule.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // INVARIANT: i < len and words holds ceil(len / 64) entries.
         (self.words[i >> 6] >> (i & 63)) & 1 == 1
     }
 
@@ -54,6 +56,7 @@ impl AwakeSet {
     #[inline]
     pub fn insert(&mut self, i: usize) {
         debug_assert!(i < self.len);
+        // INVARIANT: i < len and words holds ceil(len / 64) entries.
         self.words[i >> 6] |= 1 << (i & 63);
     }
 

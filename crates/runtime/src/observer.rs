@@ -161,6 +161,8 @@ impl<O> ExecutionRecord<O> {
     ///
     /// Panics if the recorder did not record reports.
     pub fn outputs_at(&self, r: usize) -> &[Option<O>] {
+        // INVARIANT: documented caller contract — one report was recorded
+        // per executed round, so r must be < num_rounds().
         &self.reports[r].outputs
     }
 

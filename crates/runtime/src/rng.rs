@@ -43,6 +43,7 @@ pub fn experiment_rng(seed: u64, purpose: &str) -> ChaCha8Rng {
     let mut words = vec![seed];
     for chunk in purpose.as_bytes().chunks(8) {
         let mut w = [0u8; 8];
+        // INVARIANT: chunks(8) yields at most 8 bytes, w is [u8; 8].
         w[..chunk.len()].copy_from_slice(chunk);
         words.push(u64::from_le_bytes(w));
     }

@@ -579,6 +579,8 @@ where
         let seed = self.config.seed;
         let n = self.n;
         let wake_round = &self.wake_round;
+        // HOT: per-node send closure — runs once per awake node per round
+        // on every worker; must stay allocation-free.
         let send_one = |i: usize, alg: &mut A| {
             let v = NodeId::new(i);
             let mut ctx = NodeContext {
@@ -634,6 +636,8 @@ where
         let n = self.n;
         let wake_round = &self.wake_round;
         let messages = &self.messages;
+        // HOT: per-node receive closure — the inbox scratch is reused
+        // across nodes; the only allocation is the per-message clone below.
         let receive_and_publish = |i: usize,
                                    slot: &mut Option<A>,
                                    out: &mut Option<A::Output>,
@@ -645,6 +649,9 @@ where
                 inbox.extend(
                     csr.neighbors(v)
                         .iter()
+                        // ALLOC: delivery semantics — each neighbor gets its
+                        // own copy of the payload; `A::Msg` is small by
+                        // contract, so the clone is a memcpy, not a malloc.
                         .filter_map(|&u| messages[u.index()].clone().map(|m| (u, m))),
                 );
                 let mut ctx = NodeContext {

@@ -275,6 +275,54 @@ tuple_cell_value!(A: 0, B: 1, C: 2);
 tuple_cell_value!(A: 0, B: 1, C: 2, D: 3);
 tuple_cell_value!(A: 0, B: 1, C: 2, D: 3, E: 4);
 
+/// Verification results are sweep-cell results for the guarantee
+/// experiments (E12's window sweep), so they checkpoint too. The
+/// `InvalidRounds` component is serialized as its parts (runs, total,
+/// dropped) and revalidated on decode through
+/// [`dynnet_core::verify::InvalidRounds::from_parts`] — a corrupt
+/// checkpoint fails typed, it cannot smuggle in a summary that violates
+/// the run-encoding invariants.
+impl CellValue for dynnet_core::verify::VerificationSummary {
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        self.rounds_checked.encode_value(out);
+        self.rounds_valid.encode_value(out);
+        self.rounds_partial_valid.encode_value(out);
+        self.total_packing_violations.encode_value(out);
+        self.total_covering_violations.encode_value(out);
+        self.total_undecided.encode_value(out);
+        self.first_valid_round.encode_value(out);
+        self.invalid_rounds.runs().to_vec().encode_value(out);
+        self.invalid_rounds.len().encode_value(out);
+        self.invalid_rounds.truncated().encode_value(out);
+    }
+
+    fn decode_value(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let rounds_checked = usize::decode_value(input)?;
+        let rounds_valid = usize::decode_value(input)?;
+        let rounds_partial_valid = usize::decode_value(input)?;
+        let total_packing_violations = usize::decode_value(input)?;
+        let total_covering_violations = usize::decode_value(input)?;
+        let total_undecided = usize::decode_value(input)?;
+        let first_valid_round = Option::<usize>::decode_value(input)?;
+        let runs = Vec::<(usize, usize)>::decode_value(input)?;
+        let total = usize::decode_value(input)?;
+        let dropped = usize::decode_value(input)?;
+        let invalid_rounds =
+            dynnet_core::verify::InvalidRounds::from_parts(runs, total, dropped)
+                .map_err(|e| CodecError::InvalidValue(format!("invalid_rounds: {e}")))?;
+        Ok(dynnet_core::verify::VerificationSummary {
+            rounds_checked,
+            rounds_valid,
+            rounds_partial_valid,
+            total_packing_violations,
+            total_covering_violations,
+            total_undecided,
+            first_valid_round,
+            invalid_rounds,
+        })
+    }
+}
+
 /// Encodes a value to a standalone payload.
 pub fn encode_cell_value<R: CellValue>(value: &R) -> Vec<u8> {
     let mut out = Vec::new();
@@ -617,6 +665,8 @@ impl CheckpointStore {
 
         match self.kill {
             KillMode::Panic(n) if persisted >= n => {
+                // INVARIANT: crash-injection harness — only reachable when
+                // the kill-switch env variable is set by a resilience test.
                 panic!("kill switch fired after {persisted} persisted cells")
             }
             KillMode::Exit(n) if persisted >= n => {
@@ -685,6 +735,9 @@ impl SweepEngine {
             &run_cell,
             &|cell: &Cell<P>, r: R| {
                 store.persist(cell, &r).map_err(|e| e.to_string())?;
+                // INVARIANT: cell.index < spec.len() by construction (it is
+                // the cell's insertion position) and load() sized the slot
+                // vector to spec.len().
                 lock_recover(&slots)[cell.index] = Some(r);
                 Ok(())
             },
@@ -751,6 +804,65 @@ mod tests {
         // NaN round-trips bit-exactly — equality on bits, not value.
         assert_eq!(back.4[1].to_bits(), v.4[1].to_bits());
         assert!(decode_cell_value::<u64>(&[]).is_err());
+    }
+
+    #[test]
+    fn verification_summary_roundtrips() {
+        use dynnet_core::verify::VerificationSummary;
+        let mut summary = VerificationSummary {
+            rounds_checked: 100,
+            rounds_valid: 90,
+            rounds_partial_valid: 95,
+            total_packing_violations: 3,
+            total_covering_violations: 4,
+            total_undecided: 17,
+            first_valid_round: Some(6),
+            invalid_rounds: Default::default(),
+        };
+        for r in [6usize, 7, 8, 20, 41, 42] {
+            summary.invalid_rounds.push(r);
+        }
+        let back: VerificationSummary = decode_cell_value(&encode_cell_value(&summary)).unwrap();
+        assert_eq!(back, summary);
+        assert_eq!(back.invalid_rounds.runs(), &[(6, 3), (20, 1), (41, 2)]);
+    }
+
+    #[test]
+    fn verification_summary_roundtrips_past_run_cap() {
+        use dynnet_core::verify::{InvalidRounds, VerificationSummary};
+        let mut summary = VerificationSummary::default();
+        // Alternate valid/invalid so every invalid round is its own run;
+        // push past the cap so indices get dropped but the count stays.
+        for r in 0..2 * (InvalidRounds::MAX_RUNS + 50) {
+            if r % 2 == 0 {
+                summary.invalid_rounds.push(r);
+            }
+        }
+        assert!(summary.invalid_rounds.truncated() > 0);
+        let back: VerificationSummary = decode_cell_value(&encode_cell_value(&summary)).unwrap();
+        assert_eq!(back, summary);
+        assert_eq!(
+            back.invalid_rounds.truncated(),
+            summary.invalid_rounds.truncated()
+        );
+    }
+
+    #[test]
+    fn corrupt_verification_summary_fails_typed() {
+        use dynnet_core::verify::VerificationSummary;
+        let mut summary = VerificationSummary::default();
+        summary.invalid_rounds.push(5);
+        summary.invalid_rounds.push(9);
+        let bytes = encode_cell_value(&summary);
+        // Truncated payloads and length-extended payloads both fail.
+        assert!(decode_cell_value::<VerificationSummary>(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_cell_value::<VerificationSummary>(&extended).is_err());
+        // A payload whose run list violates the ascending/non-adjacent
+        // invariant is rejected by from_parts, not accepted silently.
+        let bad = dynnet_core::verify::InvalidRounds::from_parts(vec![(9, 1), (5, 1)], 2, 0);
+        assert!(bad.is_err());
     }
 
     #[test]

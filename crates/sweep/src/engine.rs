@@ -363,6 +363,9 @@ impl SweepEngine {
                 let completed = &completed;
                 handles.push(scope.spawn(move || {
                     let mut stats = ShardStats::default();
+                    // ORDERING: cancellation is best-effort — a worker may
+                    // finish one extra cell after the flag flips; the
+                    // failure slot it reports through is a Mutex.
                     'work: while !cancel.load(Ordering::Relaxed) {
                         // Own shard first.
                         let mut next = lock_recover(&shards[w]).pop_front();
@@ -421,6 +424,8 @@ impl SweepEngine {
                         match outcome {
                             Ok(Ok(())) => {
                                 stats.executed += 1;
+                                // ORDERING: log-cadence counter only; results
+                                // go via the slot Mutex and the join barrier.
                                 let done =
                                     done_offset + completed.fetch_add(1, Ordering::Relaxed) + 1;
                                 if done.is_multiple_of(report_step) || done == total {
@@ -451,6 +456,9 @@ impl SweepEngine {
                                         message,
                                     });
                                 }
+                                // ORDERING: the failure payload is published
+                                // via the `failure` Mutex above; this flag
+                                // only hastens sibling shutdown.
                                 cancel.store(true, Ordering::Relaxed);
                                 break 'work;
                             }
